@@ -1,0 +1,266 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one testing.B benchmark per artifact; see DESIGN.md §4), plus the
+// ablation benches for the design choices called out in DESIGN.md §5 and
+// end-to-end pipeline benchmarks of the public API.
+//
+// The experiment benches run at the Quick (tiny) scale so `go test -bench=.`
+// finishes in minutes; `cmd/experiments` runs the same artifacts at full
+// scale.
+package rqm_test
+
+import (
+	"io"
+	"testing"
+
+	"rqm"
+	"rqm/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, run func(experiments.Config, io.Writer) error) {
+	b.Helper()
+	cfg := experiments.Quick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI regenerates the dataset inventory (paper Table I).
+func BenchmarkTableI(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.TableI(c, w)
+		return err
+	})
+}
+
+// BenchmarkTableII regenerates the model-accuracy table (paper Table II).
+func BenchmarkTableII(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.TableII(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure3 regenerates the encoder-efficiency separation (Fig. 3).
+func BenchmarkFigure3(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure3(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure4 regenerates the sampling-rate study (Fig. 4).
+func BenchmarkFigure4(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure4(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure5 regenerates bit-rate estimation accuracy (Fig. 5).
+func BenchmarkFigure5(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure5(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure6 regenerates PSNR estimation accuracy (Fig. 6).
+func BenchmarkFigure6(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure6(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure7 regenerates SSIM estimation accuracy (Fig. 7).
+func BenchmarkFigure7(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure7(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure8 regenerates FFT quality-degradation estimation (Fig. 8).
+func BenchmarkFigure8(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure8(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure9 regenerates the modeling-vs-TAE cost comparison (Fig. 9).
+func BenchmarkFigure9(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure9(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure10 regenerates the predictor rate-distortion study (Fig. 10).
+func BenchmarkFigure10(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure10(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure11 regenerates the memory-limit control study (Fig. 11).
+func BenchmarkFigure11(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure11(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure12 regenerates in-situ per-timestep optimization (Fig. 12).
+func BenchmarkFigure12(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure12(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure13 regenerates the snapshot ratio-quality comparison (Fig. 13).
+func BenchmarkFigure13(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure13(c, w)
+		return err
+	})
+}
+
+// BenchmarkFigure14 regenerates the parallel dump-time comparison (Fig. 14).
+func BenchmarkFigure14(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.Figure14(c, w)
+		return err
+	})
+}
+
+// Ablation benches (DESIGN.md §5).
+
+// BenchmarkAblationCorrectionLayer measures Eq. 9 on/off accuracy.
+func BenchmarkAblationCorrectionLayer(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.AblationCorrectionLayer(c, w)
+		return err
+	})
+}
+
+// BenchmarkAblationErrorDistribution measures Eq. 11 vs Eq. 10 accuracy.
+func BenchmarkAblationErrorDistribution(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.AblationErrorDistribution(c, w)
+		return err
+	})
+}
+
+// BenchmarkAblationSampleRate measures accuracy vs sampling rate.
+func BenchmarkAblationSampleRate(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.AblationSampleRate(c, w)
+		return err
+	})
+}
+
+// BenchmarkAblationAnchors measures low-rate anchors vs pure Eq. 2.
+func BenchmarkAblationAnchors(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.AblationAnchors(c, w)
+		return err
+	})
+}
+
+// BenchmarkAblationLossless measures the RLE model vs measured backends.
+func BenchmarkAblationLossless(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.AblationLossless(c, w)
+		return err
+	})
+}
+
+// BenchmarkExtensionCodecSelection runs the transform-codec (ZFP-class)
+// model extension and cross-codec selection.
+func BenchmarkExtensionCodecSelection(b *testing.B) {
+	benchExperiment(b, func(c experiments.Config, w io.Writer) error {
+		_, err := experiments.ExtensionCodecSelection(c, w)
+		return err
+	})
+}
+
+// End-to-end pipeline benches on the public API.
+
+func benchField(b *testing.B) *rqm.Field {
+	b.Helper()
+	f, err := rqm.GenerateField("nyx/temperature", 1, rqm.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkCompressPipeline measures full compression throughput.
+func BenchmarkCompressPipeline(b *testing.B) {
+	f := benchField(b)
+	lo, hi := f.ValueRange()
+	opts := rqm.CompressOptions{
+		Predictor: rqm.Lorenzo, Mode: rqm.ABS,
+		ErrorBound: (hi - lo) * 1e-3, Lossless: rqm.LosslessRLE,
+	}
+	b.SetBytes(f.OriginalBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rqm.Compress(f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompressPipeline measures full decompression throughput.
+func BenchmarkDecompressPipeline(b *testing.B) {
+	f := benchField(b)
+	lo, hi := f.ValueRange()
+	res, err := rqm.Compress(f, rqm.CompressOptions{
+		Predictor: rqm.Lorenzo, Mode: rqm.ABS, ErrorBound: (hi - lo) * 1e-3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(f.OriginalBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rqm.Decompress(res.Bytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileBuild measures the model's one-time sampling cost — the
+// quantity that makes it ~18x cheaper than trial-and-error (Fig. 9).
+func BenchmarkProfileBuild(b *testing.B) {
+	f := benchField(b)
+	b.SetBytes(f.OriginalBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rqm.NewProfile(f, rqm.Lorenzo, rqm.ModelOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimate measures one O(sample) model evaluation.
+func BenchmarkEstimate(b *testing.B) {
+	f := benchField(b)
+	p, err := rqm.NewProfile(f, rqm.Lorenzo, rqm.ModelOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eb := p.Range * 1e-4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.EstimateAt(eb)
+	}
+}

@@ -1,0 +1,83 @@
+// Command datagen writes the synthesized SDRBench stand-in datasets to disk
+// as raw .rqmf field files (readable by cmd/rqc and cmd/rqmodel).
+//
+// Usage:
+//
+//	datagen -dataset nyx -scale small -seed 42 -out ./data
+//	datagen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rqm"
+	"rqm/internal/datagen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "dataset to generate (empty = all)")
+		scale   = flag.String("scale", "small", "tiny|small|medium")
+		seed    = flag.Uint64("seed", 42, "generation seed")
+		outDir  = flag.String("out", ".", "output directory")
+		list    = flag.Bool("list", false, "list available datasets and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range rqm.DatasetNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	names := rqm.DatasetNames()
+	if *dataset != "" {
+		names = []string{*dataset}
+	}
+	for _, name := range names {
+		ds, err := rqm.GenerateDataset(name, *seed, sc)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range ds.Fields {
+			path := filepath.Join(*outDir, strings.ReplaceAll(f.Name, "/", "_")+".rqmf")
+			out, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			n, err := f.WriteTo(out)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d bytes, dims %v)\n", path, n, f.Dims)
+		}
+	}
+}
+
+func parseScale(s string) (rqm.Scale, error) {
+	switch s {
+	case "tiny":
+		return datagen.Tiny, nil
+	case "small":
+		return datagen.Small, nil
+	case "medium":
+		return datagen.Medium, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want tiny|small|medium)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

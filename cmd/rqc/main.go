@@ -1,0 +1,206 @@
+// Command rqc is the CLI front end of the prediction-based lossy
+// compressor.
+//
+// Usage:
+//
+//	rqc compress   -in field.rqmf -out field.rqz -predictor lorenzo -mode rel -eb 1e-3 -lossless flate
+//	rqc decompress -in field.rqz  -out field.rqmf
+//	rqc inspect    -in field.rqz
+//
+// compress prints the run statistics; with -verify it also decompresses and
+// checks the error bound end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rqm"
+	"rqm/internal/compressor"
+	"rqm/internal/grid"
+	"rqm/internal/predictor"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "compress":
+		cmdCompress(os.Args[2:])
+	case "decompress":
+		cmdDecompress(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rqc compress|decompress|inspect [flags]")
+	os.Exit(2)
+}
+
+func cmdCompress(args []string) {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	var (
+		in       = fs.String("in", "", "input .rqmf field file")
+		out      = fs.String("out", "", "output compressed file")
+		codec    = fs.String("codec", "prediction", "prediction|transform")
+		predName = fs.String("predictor", "lorenzo", "lorenzo|lorenzo2|interpolation|interpolation-cubic|regression")
+		mode     = fs.String("mode", "rel", "abs|rel|pwrel")
+		eb       = fs.Float64("eb", 1e-3, "error bound (mode semantics)")
+		lossless = fs.String("lossless", "flate", "none|rle|lz77|flate")
+		verify   = fs.Bool("verify", false, "decompress and verify the bound")
+	)
+	must(fs.Parse(args))
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("compress: -in and -out are required"))
+	}
+	f := readField(*in)
+	if *codec == "transform" {
+		compressTransform(f, *in, *out, *mode, *eb, *verify)
+		return
+	}
+	kind, err := predictor.ParseKind(*predName)
+	must(err)
+	m, err := compressor.ParseErrorMode(*mode)
+	must(err)
+	ll, err := parseLossless(*lossless)
+	must(err)
+	res, err := rqm.Compress(f, rqm.CompressOptions{
+		Predictor: kind, Mode: m, ErrorBound: *eb, Lossless: ll,
+	})
+	must(err)
+	must(os.WriteFile(*out, res.Bytes, 0o644))
+	st := res.Stats
+	fmt.Printf("compressed %s: %d -> %d bytes (ratio %.2fx, %.3f bits/value)\n",
+		*in, st.OriginalBytes, st.CompressedBytes, st.Ratio, st.BitRate)
+	fmt.Printf("  p0=%.4f unpredictable=%d huffman=%.3f bits/value\n",
+		st.P0, st.Unpredictable, st.BitRateHuffman)
+	fmt.Printf("  predict=%v encode=%v lossless=%v\n", st.PredictTime, st.EncodeTime, st.LosslessTime)
+	if *verify {
+		dec, err := rqm.Decompress(res.Bytes)
+		must(err)
+		must(rqm.VerifyErrorBound(f, dec, m, *eb))
+		psnr, err := rqm.PSNR(f, dec)
+		must(err)
+		fmt.Printf("  verified: bound holds, PSNR %.2f dB\n", psnr)
+	}
+}
+
+// compressTransform handles the transform-codec path (absolute and
+// value-range-relative bounds only).
+func compressTransform(f *grid.Field, in, out, mode string, eb float64, verify bool) {
+	abs := eb
+	switch mode {
+	case "abs":
+	case "rel":
+		lo, hi := f.ValueRange()
+		abs = eb * (hi - lo)
+	default:
+		fatal(fmt.Errorf("compress: transform codec supports -mode abs|rel, got %q", mode))
+	}
+	res, err := rqm.TransformCompress(f, rqm.TransformOptions{ErrorBound: abs})
+	must(err)
+	must(os.WriteFile(out, res.Bytes, 0o644))
+	st := res.Stats
+	fmt.Printf("compressed %s (transform): %d -> %d bytes (ratio %.2fx, %.3f bits/value)\n",
+		in, st.OriginalBytes, st.CompressedBytes, st.Ratio, st.BitRate)
+	if verify {
+		dec, err := rqm.TransformDecompress(res.Bytes)
+		must(err)
+		must(rqm.VerifyErrorBound(f, dec, rqm.ABS, abs))
+		psnr, err := rqm.PSNR(f, dec)
+		must(err)
+		fmt.Printf("  verified: bound holds, PSNR %.2f dB\n", psnr)
+	}
+}
+
+func cmdDecompress(args []string) {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	var (
+		in    = fs.String("in", "", "input compressed file")
+		out   = fs.String("out", "", "output .rqmf field file")
+		codec = fs.String("codec", "prediction", "prediction|transform")
+	)
+	must(fs.Parse(args))
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("decompress: -in and -out are required"))
+	}
+	blob, err := os.ReadFile(*in)
+	must(err)
+	var f *rqm.Field
+	if *codec == "transform" {
+		f, err = rqm.TransformDecompress(blob)
+	} else {
+		f, err = rqm.Decompress(blob)
+	}
+	must(err)
+	dst, err := os.Create(*out)
+	must(err)
+	_, err = f.WriteTo(dst)
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	must(err)
+	fmt.Printf("decompressed %s -> %s (field %q, dims %v)\n", *in, *out, f.Name, f.Dims)
+}
+
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "compressed file")
+	must(fs.Parse(args))
+	if *in == "" {
+		fatal(fmt.Errorf("inspect: -in is required"))
+	}
+	blob, err := os.ReadFile(*in)
+	must(err)
+	f, err := rqm.Decompress(blob)
+	must(err)
+	lo, hi := f.ValueRange()
+	fmt.Printf("container: %d bytes\n", len(blob))
+	fmt.Printf("field: %q dims=%v precision=float%d\n", f.Name, f.Dims, f.Prec.Bits())
+	fmt.Printf("values: %d, range [%g, %g]\n", f.Len(), lo, hi)
+	fmt.Printf("effective ratio vs original precision: %.2fx\n",
+		float64(f.OriginalBytes())/float64(len(blob)))
+}
+
+func readField(path string) *grid.Field {
+	in, err := os.Open(path)
+	must(err)
+	defer in.Close()
+	f, err := grid.ReadFrom(in)
+	must(err)
+	if f.Name == "" {
+		f.Name = path
+	}
+	return f
+}
+
+func parseLossless(s string) (rqm.LosslessKind, error) {
+	switch s {
+	case "none":
+		return rqm.LosslessNone, nil
+	case "rle":
+		return rqm.LosslessRLE, nil
+	case "lz77":
+		return rqm.LosslessLZ77, nil
+	case "flate":
+		return rqm.LosslessFlate, nil
+	}
+	return 0, fmt.Errorf("unknown lossless backend %q", s)
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rqc:", err)
+	os.Exit(1)
+}

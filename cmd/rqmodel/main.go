@@ -1,0 +1,115 @@
+// Command rqmodel runs the ratio-quality model on a field file: it prints
+// the modeled rate-distortion table for an error-bound sweep, optionally
+// validates against real compression runs, and solves the inverse problems.
+//
+// Usage:
+//
+//	rqmodel -in field.rqmf -predictor lorenzo
+//	rqmodel -in field.rqmf -target-psnr 60
+//	rqmodel -in field.rqmf -target-bitrate 2.5
+//	rqmodel -in field.rqmf -measure          # compare against real runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"rqm"
+	"rqm/internal/grid"
+	"rqm/internal/predictor"
+)
+
+func main() {
+	var (
+		in            = flag.String("in", "", "input .rqmf field file")
+		predName      = flag.String("predictor", "lorenzo", "prediction scheme")
+		sampleRate    = flag.Float64("sample", 0.01, "model sampling rate")
+		seed          = flag.Uint64("seed", 42, "sampling seed")
+		measure       = flag.Bool("measure", false, "also run real compression for comparison")
+		targetPSNR    = flag.Float64("target-psnr", 0, "solve error bound for this PSNR (dB)")
+		targetBitRate = flag.Float64("target-bitrate", 0, "solve error bound for this bit-rate")
+		targetRatio   = flag.Float64("target-ratio", 0, "solve error bound for this compression ratio")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "rqmodel: -in is required")
+		os.Exit(2)
+	}
+	fh, err := os.Open(*in)
+	must(err)
+	f, err := grid.ReadFrom(fh)
+	fh.Close()
+	must(err)
+	if f.Name == "" {
+		f.Name = *in
+	}
+	kind, err := predictor.ParseKind(*predName)
+	must(err)
+
+	prof, err := rqm.NewProfile(f, kind, rqm.ModelOptions{SampleRate: *sampleRate, Seed: *seed, UseLossless: true})
+	must(err)
+	fmt.Printf("profile: %s on %q (%d values, range %.6g, %d sampled errors, built in %v)\n",
+		kind, f.Name, prof.N, prof.Range, len(prof.Errors), prof.BuildTime)
+
+	switch {
+	case *targetPSNR > 0:
+		eb, err := prof.ErrorBoundForPSNR(*targetPSNR)
+		must(err)
+		est := prof.EstimateAt(eb)
+		fmt.Printf("error bound for PSNR >= %.2f dB: %.6g (modeled PSNR %.2f, ratio %.2fx)\n",
+			*targetPSNR, eb, est.PSNR, est.Ratio)
+	case *targetBitRate > 0:
+		eb, err := prof.ErrorBoundForBitRate(*targetBitRate)
+		must(err)
+		est := prof.EstimateAt(eb)
+		fmt.Printf("error bound for %.3f bits/value: %.6g (modeled huffman %.3f, total %.3f)\n",
+			*targetBitRate, eb, est.HuffmanBitRate, est.TotalBitRate)
+	case *targetRatio > 1:
+		eb, err := prof.ErrorBoundForRatio(*targetRatio)
+		must(err)
+		est := prof.EstimateAt(eb)
+		fmt.Printf("error bound for ratio %.1fx: %.6g (modeled ratio %.2fx, PSNR %.2f dB)\n",
+			*targetRatio, eb, est.Ratio, est.PSNR)
+	default:
+		sweep(prof, f, kind, *measure)
+	}
+}
+
+func sweep(prof *rqm.Profile, f *rqm.Field, kind rqm.PredictorKind, measure bool) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if measure {
+		fmt.Fprintln(tw, "relEB\tabsEB\test bits\test ratio\test PSNR\test SSIM\tmeas bits\tmeas ratio\tmeas PSNR")
+	} else {
+		fmt.Fprintln(tw, "relEB\tabsEB\test bits\test ratio\test PSNR\test SSIM")
+	}
+	for _, rel := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1} {
+		eb := rel * prof.Range
+		est := prof.EstimateAt(eb)
+		if !measure {
+			fmt.Fprintf(tw, "%.0e\t%.4g\t%.3f\t%.2f\t%.2f\t%.4f\n",
+				rel, eb, est.TotalBitRate, est.Ratio, est.PSNR, est.SSIM)
+			continue
+		}
+		res, err := rqm.Compress(f, rqm.CompressOptions{
+			Predictor: kind, Mode: rqm.ABS, ErrorBound: eb, Lossless: rqm.LosslessFlate,
+		})
+		must(err)
+		dec, err := rqm.Decompress(res.Bytes)
+		must(err)
+		psnr, err := rqm.PSNR(f, dec)
+		must(err)
+		fmt.Fprintf(tw, "%.0e\t%.4g\t%.3f\t%.2f\t%.2f\t%.4f\t%.3f\t%.2f\t%.2f\n",
+			rel, eb, est.TotalBitRate, est.Ratio, est.PSNR, est.SSIM,
+			res.Stats.BitRate, res.Stats.Ratio, psnr)
+	}
+	must(tw.Flush())
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rqmodel:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+// Codec comparison (the paper's future-work extension): the ratio-quality
+// model covers both the prediction-based pipeline and the transform-based
+// (ZFP-style) codec, so codec selection across families becomes a pair of
+// cheap estimates instead of two full compression runs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"rqm"
+)
+
+func main() {
+	field, err := rqm.GenerateField("qmcpack/einspline", 42, rqm.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("field %q (%v), oscillatory orbital data\n\n", field.Name, field.Dims)
+
+	// One profile per codec family — sampling only, no compression.
+	predProf, err := rqm.NewProfile(field, rqm.Lorenzo, rqm.ModelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trProf, err := rqm.TransformProfile(field, 0.01, 42, rqm.ModelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "relEB\tpred est bits\ttransf est bits\tmodel pick\tpred meas bits\ttransf meas bits\tmeasured pick")
+	agree := 0
+	rels := []float64{1e-4, 1e-3, 1e-2}
+	for _, rel := range rels {
+		eb := rel * predProf.Range
+		pe := predProf.EstimateAt(eb).HuffmanBitRate
+		te := trProf.EstimateAt(eb).HuffmanBitRate
+		modelPick := "prediction"
+		if te < pe {
+			modelPick = "transform"
+		}
+
+		// Verify with real runs.
+		pres, err := rqm.Compress(field, rqm.CompressOptions{
+			Predictor: rqm.Lorenzo, Mode: rqm.ABS, ErrorBound: eb,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tres, err := rqm.TransformCompress(field, rqm.TransformOptions{ErrorBound: eb})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pm := pres.Stats.BitRateHuffman
+		tm := float64(tres.Stats.PayloadBits) / float64(field.Len())
+		measPick := "prediction"
+		if tm < pm {
+			measPick = "transform"
+		}
+		if measPick == modelPick {
+			agree++
+		}
+		fmt.Fprintf(tw, "%.0e\t%.3f\t%.3f\t%s\t%.3f\t%.3f\t%s\n",
+			rel, pe, te, modelPick, pm, tm, measPick)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel agreed with measurement on %d/%d bounds\n", agree, len(rels))
+
+	// Both codecs guarantee the bound; show it once.
+	eb := 1e-3 * predProf.Range
+	tres, err := rqm.TransformCompress(field, rqm.TransformOptions{ErrorBound: eb})
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := rqm.TransformDecompress(tres.Bytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rqm.VerifyErrorBound(field, back, rqm.ABS, eb); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transform codec bound verified at eb=%.4g (%d values)\n", eb, field.Len())
+}

@@ -1,0 +1,61 @@
+// Predictor selection (paper use-case §IV-A): profile every candidate
+// predictor once, let the model rank them, and verify the pick against real
+// compression runs — without the per-bound trial-and-error the paper
+// replaces.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"rqm"
+)
+
+func main() {
+	// RTM wavefields are where the paper demonstrates predictor switching
+	// (interpolation wins at low bit-rates, Lorenzo at high).
+	ds, err := rqm.GenerateDataset("rtm", 42, rqm.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	field := ds.Fields[len(ds.Fields)-1]
+	candidates := []rqm.PredictorKind{rqm.Lorenzo, rqm.Interpolation, rqm.InterpolationCubic, rqm.Regression}
+
+	lo, hi := field.ValueRange()
+	eb := 1e-3 * (hi - lo)
+	choices, err := rqm.SelectPredictor(field, candidates, eb, rqm.ModelOptions{UseLossless: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tpredictor\tmodel bits/value\tmodel PSNR\tmeasured bits/value")
+	for i, c := range choices {
+		// Validate each candidate with a real run.
+		res, err := rqm.Compress(field, rqm.CompressOptions{
+			Predictor: c.Kind, Mode: rqm.ABS, ErrorBound: eb, Lossless: rqm.LosslessFlate,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.2f\t%.3f\n",
+			i+1, c.Kind, c.Estimate.TotalBitRate, c.Estimate.PSNR, res.Stats.BitRate)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel's pick: %s (one sampling pass per candidate, no trial compression)\n",
+		choices[0].Kind)
+
+	// The rate-distortion view across bounds, straight from the model.
+	fmt.Println("\nmodeled rate-distortion (bits/value -> PSNR):")
+	for _, c := range choices[:2] {
+		fmt.Printf("  %s:", c.Kind)
+		for _, pt := range rqm.RateDistortion(c.Profile, 1e-5, 1e-2, 6) {
+			fmt.Printf("  %.2f->%.1fdB", pt.BitRate, pt.PSNR)
+		}
+		fmt.Println()
+	}
+}

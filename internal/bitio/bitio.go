@@ -1,0 +1,188 @@
+// Package bitio provides MSB-first bit-granular writers and readers over
+// byte buffers. It is the substrate for the Huffman coder: codes are written
+// most-significant-bit first so that canonical Huffman prefixes sort
+// lexicographically in the bit stream.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the stream.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of stream")
+
+// Writer accumulates bits MSB-first into an internal byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // bits pending, left-aligned within the low `n` bits
+	n    uint   // number of pending bits in cur (0..63)
+	bits uint64 // total bits written
+}
+
+// NewWriter returns a Writer with capacity pre-allocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBits writes the low `width` bits of v, most significant bit first.
+// width must be in [0, 57]; wider values must be split by the caller.
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	if width > 57 {
+		panic(fmt.Sprintf("bitio: WriteBits width %d > 57", width))
+	}
+	v &= (1 << width) - 1
+	w.cur = w.cur<<width | v
+	w.n += width
+	w.bits += uint64(width)
+	for w.n >= 8 {
+		w.n -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.n))
+	}
+}
+
+// WriteBit writes a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	w.WriteBits(uint64(b&1), 1)
+}
+
+// WriteUint64 writes a full 64-bit value MSB-first.
+func (w *Writer) WriteUint64(v uint64) {
+	w.WriteBits(v>>32, 32)
+	w.WriteBits(v&0xFFFFFFFF, 32)
+}
+
+// Bits reports the total number of bits written so far.
+func (w *Writer) Bits() uint64 { return w.bits }
+
+// Bytes flushes any partial byte (zero-padded on the right) and returns the
+// underlying buffer. The Writer remains usable; further writes continue after
+// the padding, so call Bytes only when the stream is complete.
+func (w *Writer) Bytes() []byte {
+	if w.n > 0 {
+		pad := 8 - w.n
+		w.cur <<= pad
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur = 0
+		w.n = 0
+	}
+	return w.buf
+}
+
+// Reset truncates the writer to empty, retaining the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur = 0
+	w.n = 0
+	w.bits = 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int    // next byte index
+	cur  uint64 // bit accumulator, left-filled from buf
+	n    uint   // valid bits in cur
+	read uint64 // total bits consumed
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// fill tops up the accumulator so that at least `need` bits are available,
+// or returns false if the stream is exhausted first.
+func (r *Reader) fill(need uint) bool {
+	for r.n < need {
+		if r.pos >= len(r.buf) {
+			return false
+		}
+		r.cur = r.cur<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.n += 8
+	}
+	return true
+}
+
+// ReadBits reads `width` bits MSB-first. width must be in [0, 57].
+func (r *Reader) ReadBits(width uint) (uint64, error) {
+	if width == 0 {
+		return 0, nil
+	}
+	if width > 57 {
+		panic(fmt.Sprintf("bitio: ReadBits width %d > 57", width))
+	}
+	if !r.fill(width) {
+		return 0, ErrUnexpectedEOF
+	}
+	r.n -= width
+	v := r.cur >> r.n & ((1 << width) - 1)
+	r.read += uint64(width)
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// ReadUint64 reads a full 64-bit value MSB-first.
+func (r *Reader) ReadUint64() (uint64, error) {
+	hi, err := r.ReadBits(32)
+	if err != nil {
+		return 0, err
+	}
+	lo, err := r.ReadBits(32)
+	if err != nil {
+		return 0, err
+	}
+	return hi<<32 | lo, nil
+}
+
+// Peek returns up to `width` upcoming bits without consuming them. If fewer
+// bits remain, the result is left-aligned as if the stream were zero-padded;
+// ok reports whether at least one real bit remains.
+func (r *Reader) Peek(width uint) (v uint64, ok bool) {
+	if width == 0 || width > 57 {
+		panic(fmt.Sprintf("bitio: Peek width %d out of range", width))
+	}
+	r.fill(width) // best effort
+	if r.n >= width {
+		return r.cur >> (r.n - width) & ((1 << width) - 1), true
+	}
+	if r.n == 0 {
+		return 0, false
+	}
+	// Zero-pad the tail.
+	return r.cur << (width - r.n) & ((1 << width) - 1), true
+}
+
+// Skip consumes `width` bits previously examined with Peek. It is the
+// caller's responsibility not to skip past the padded end of stream.
+func (r *Reader) Skip(width uint) error {
+	if !r.fill(width) {
+		// Allow skipping into zero padding at most within the final byte.
+		if r.n == 0 {
+			return ErrUnexpectedEOF
+		}
+		r.read += uint64(r.n)
+		r.n = 0
+		return nil
+	}
+	r.n -= width
+	r.read += uint64(width)
+	return nil
+}
+
+// BitsRead reports the number of bits consumed so far (excluding padding
+// skipped at end of stream).
+func (r *Reader) BitsRead() uint64 { return r.read }

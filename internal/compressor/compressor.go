@@ -1,0 +1,644 @@
+// Package compressor assembles the full SZ3-style prediction-based
+// error-bounded lossy compressor: predictor → linear-scaling quantizer →
+// canonical Huffman coder → optional lossless backend (zero-RLE, LZ77, or
+// DEFLATE). It supports absolute, value-range-relative, and pointwise-
+// relative (log-transform) error bounds and guarantees the bound on every
+// reconstructed value.
+package compressor
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"rqm/internal/bitio"
+	"rqm/internal/grid"
+	"rqm/internal/huffman"
+	"rqm/internal/lz77"
+	"rqm/internal/predictor"
+	"rqm/internal/quantizer"
+	"rqm/internal/rle"
+	"rqm/internal/stats"
+)
+
+// ErrorMode selects how the user's error bound is interpreted.
+type ErrorMode int
+
+const (
+	// ABS bounds |original − reconstructed| pointwise.
+	ABS ErrorMode = iota
+	// REL bounds the error relative to the field's value range
+	// (absolute bound = eb × (max − min)).
+	REL
+	// PWREL bounds the error relative to each point's own magnitude,
+	// implemented with the standard logarithmic transform.
+	PWREL
+)
+
+// String names the mode.
+func (m ErrorMode) String() string {
+	switch m {
+	case ABS:
+		return "abs"
+	case REL:
+		return "rel"
+	case PWREL:
+		return "pwrel"
+	}
+	return fmt.Sprintf("ErrorMode(%d)", int(m))
+}
+
+// ParseErrorMode resolves a mode name.
+func ParseErrorMode(s string) (ErrorMode, error) {
+	for _, m := range []ErrorMode{ABS, REL, PWREL} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("compressor: unknown error mode %q", s)
+}
+
+// LosslessKind selects the optional lossless stage after Huffman coding.
+type LosslessKind int
+
+const (
+	// LosslessNone keeps the raw Huffman payload.
+	LosslessNone LosslessKind = iota
+	// LosslessRLE applies zero-byte run-length encoding (the stage the
+	// paper's model reasons about).
+	LosslessRLE
+	// LosslessLZ77 applies the built-in dictionary coder (Zstandard
+	// stand-in).
+	LosslessLZ77
+	// LosslessFlate applies DEFLATE via compress/flate (Gzip stand-in).
+	LosslessFlate
+)
+
+// String names the lossless backend.
+func (l LosslessKind) String() string {
+	switch l {
+	case LosslessNone:
+		return "none"
+	case LosslessRLE:
+		return "rle"
+	case LosslessLZ77:
+		return "lz77"
+	case LosslessFlate:
+		return "flate"
+	}
+	return fmt.Sprintf("LosslessKind(%d)", int(l))
+}
+
+// Options configures one compression run.
+type Options struct {
+	// Predictor selects the prediction scheme.
+	Predictor predictor.Kind
+	// Mode interprets ErrorBound.
+	Mode ErrorMode
+	// ErrorBound is the user bound in Mode semantics; must be positive.
+	ErrorBound float64
+	// Lossless selects the optional stage after Huffman.
+	Lossless LosslessKind
+	// Radius overrides the quantizer radius (0 = quantizer.DefaultRadius).
+	Radius int32
+}
+
+// Stats reports what happened during compression; the experiment harness
+// compares these against the model's estimates.
+type Stats struct {
+	// N is the number of values.
+	N int
+	// AbsEB is the effective absolute bound in the (possibly transformed)
+	// compression domain.
+	AbsEB float64
+	// OriginalBytes is the field size at its original precision.
+	OriginalBytes int64
+	// CompressedBytes is the full container size.
+	CompressedBytes int64
+	// HuffmanBits is the Huffman payload size in bits (before lossless).
+	HuffmanBits uint64
+	// PayloadBytesFinal is the payload size after the lossless stage.
+	PayloadBytesFinal int
+	// CodebookBytes is the serialized codebook size.
+	CodebookBytes int
+	// AuxBytes is the predictor side-channel size (regression coefficients).
+	AuxBytes int
+	// Unpredictable counts values stored exactly.
+	Unpredictable int
+	// P0 is the frequency of the most common quantization code.
+	P0 float64
+	// ZeroFrac is the frequency of code 0 specifically.
+	ZeroFrac float64
+	// CodeHist is the quantization-code histogram (unpredictable excluded).
+	CodeHist *stats.CodeHistogram
+	// BitRate is total compressed bits per value.
+	BitRate float64
+	// BitRateHuffman is Huffman-payload bits per value (the quantity the
+	// paper's Eq. 1 estimates).
+	BitRateHuffman float64
+	// Ratio is OriginalBytes over CompressedBytes.
+	Ratio float64
+	// PredictTime, EncodeTime, LosslessTime break down the run (the paper's
+	// Fig. 9 cost accounting).
+	PredictTime  time.Duration
+	EncodeTime   time.Duration
+	LosslessTime time.Duration
+}
+
+// Result is a compressed field plus its statistics.
+type Result struct {
+	// Bytes is the self-describing compressed container.
+	Bytes []byte
+	// Stats describes the run.
+	Stats Stats
+}
+
+const (
+	containerMagic   = 0x52514d43 // "RQMC"
+	containerVersion = 1
+)
+
+// reservedSymbolOffset: symbol = code + radius; the value 2*radius+1 marks
+// an unpredictable (exactly stored) sample.
+func reservedSymbol(radius int32) uint32 { return uint32(2*radius) + 1 }
+
+// Compress runs the full pipeline on f.
+func Compress(f *grid.Field, opts Options) (*Result, error) {
+	if f == nil || f.Len() == 0 {
+		return nil, errors.New("compressor: empty field")
+	}
+	if !(opts.ErrorBound > 0) {
+		return nil, fmt.Errorf("compressor: error bound must be positive, got %v", opts.ErrorBound)
+	}
+	pred, err := predictor.New(opts.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	if !pred.Supports(f.Rank()) {
+		return nil, fmt.Errorf("compressor: predictor %s does not support rank %d", opts.Predictor, f.Rank())
+	}
+	radius := opts.Radius
+	if radius == 0 {
+		radius = quantizer.DefaultRadius
+	}
+
+	// Resolve the absolute bound and transform the data if needed.
+	work := make([]float64, f.Len())
+	copy(work, f.Data)
+	absEB := opts.ErrorBound
+	var signs, zeros []byte // PWREL bitmaps (1 byte per value pre-RLE)
+	switch opts.Mode {
+	case ABS:
+	case REL:
+		lo, hi := f.ValueRange()
+		absEB = opts.ErrorBound * (hi - lo)
+		if absEB == 0 {
+			absEB = opts.ErrorBound // constant field: any positive bound works
+		}
+	case PWREL:
+		absEB = math.Log2(1 + opts.ErrorBound)
+		signs = make([]byte, f.Len())
+		zeros = make([]byte, f.Len())
+		minLog := math.Inf(1)
+		for _, v := range work {
+			if v != 0 {
+				if lg := math.Log2(math.Abs(v)); lg < minLog {
+					minLog = lg
+				}
+			}
+		}
+		if math.IsInf(minLog, 1) {
+			minLog = 0 // all zeros
+		}
+		for i, v := range work {
+			switch {
+			case v == 0:
+				zeros[i] = 1
+				work[i] = minLog
+			case v < 0:
+				signs[i] = 1
+				work[i] = math.Log2(-v)
+			default:
+				work[i] = math.Log2(v)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("compressor: unknown error mode %d", int(opts.Mode))
+	}
+
+	qz, err := quantizer.New(absEB, radius)
+	if err != nil {
+		return nil, err
+	}
+
+	tPredict := time.Now()
+	syms := make([]uint32, 0, f.Len())
+	var unpred []float64
+	resSym := reservedSymbol(radius)
+	hist := stats.NewCodeHistogram()
+	aux, err := pred.CompressWalk(f.Dims, work, func(idx int, p float64) {
+		code, recon, ok := qz.Quantize(work[idx], p)
+		if !ok {
+			syms = append(syms, resSym)
+			unpred = append(unpred, work[idx])
+			// work[idx] keeps the exact value.
+			return
+		}
+		syms = append(syms, uint32(code)+uint32(radius))
+		hist.Add(code, 1)
+		work[idx] = recon
+	})
+	if err != nil {
+		return nil, err
+	}
+	predictTime := time.Since(tPredict)
+
+	tEncode := time.Now()
+	freqs := huffman.FreqsOf(syms)
+	cb, err := huffman.Build(freqs)
+	if err != nil {
+		return nil, err
+	}
+	codebook := cb.Serialize()
+	bw := bitio.NewWriter(len(syms) / 2)
+	if err := cb.Encode(bw, syms); err != nil {
+		return nil, err
+	}
+	huffBits := bw.Bits()
+	payload := bw.Bytes()
+	encodeTime := time.Since(tEncode)
+
+	tLossless := time.Now()
+	finalPayload, err := applyLossless(opts.Lossless, payload)
+	if err != nil {
+		return nil, err
+	}
+	losslessTime := time.Since(tLossless)
+
+	// Compress PWREL bitmaps with RLE (they are run-heavy).
+	var signsEnc, zerosEnc []byte
+	if opts.Mode == PWREL {
+		signsEnc = rle.Encode(signs)
+		zerosEnc = rle.Encode(zeros)
+	}
+
+	out := assembleContainer(f, opts, radius, absEB, aux, unpred, signsEnc, zerosEnc, codebook, finalPayload, len(payload))
+
+	p0, _ := hist.TopP()
+	if hist.Total == 0 {
+		p0 = 0
+	}
+	st := Stats{
+		N:                 f.Len(),
+		AbsEB:             absEB,
+		OriginalBytes:     f.OriginalBytes(),
+		CompressedBytes:   int64(len(out)),
+		HuffmanBits:       huffBits,
+		PayloadBytesFinal: len(finalPayload),
+		CodebookBytes:     len(codebook),
+		AuxBytes:          len(aux),
+		Unpredictable:     len(unpred),
+		P0:                p0,
+		ZeroFrac:          hist.P(0),
+		CodeHist:          hist,
+		BitRate:           float64(len(out)) * 8 / float64(f.Len()),
+		BitRateHuffman:    float64(huffBits) / float64(f.Len()),
+		Ratio:             float64(f.OriginalBytes()) / float64(len(out)),
+		PredictTime:       predictTime,
+		EncodeTime:        encodeTime,
+		LosslessTime:      losslessTime,
+	}
+	return &Result{Bytes: out, Stats: st}, nil
+}
+
+func applyLossless(kind LosslessKind, payload []byte) ([]byte, error) {
+	switch kind {
+	case LosslessNone:
+		return payload, nil
+	case LosslessRLE:
+		return rle.Encode(payload), nil
+	case LosslessLZ77:
+		return lz77.Encode(payload), nil
+	case LosslessFlate:
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fw.Write(payload); err != nil {
+			return nil, err
+		}
+		if err := fw.Close(); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	return nil, fmt.Errorf("compressor: unknown lossless kind %d", int(kind))
+}
+
+func undoLossless(kind LosslessKind, data []byte, rawLen int) ([]byte, error) {
+	switch kind {
+	case LosslessNone:
+		return data, nil
+	case LosslessRLE:
+		return rle.Decode(data, rawLen)
+	case LosslessLZ77:
+		return lz77.Decode(data, rawLen)
+	case LosslessFlate:
+		fr := flate.NewReader(bytes.NewReader(data))
+		defer fr.Close()
+		out := make([]byte, 0, rawLen)
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := fr.Read(buf)
+			out = append(out, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("compressor: unknown lossless kind %d", int(kind))
+}
+
+// assembleContainer lays out the self-describing byte stream.
+func assembleContainer(f *grid.Field, opts Options, radius int32, absEB float64,
+	aux []byte, unpred []float64, signsEnc, zerosEnc, codebook, payload []byte, rawPayloadLen int) []byte {
+
+	var buf bytes.Buffer
+	w := func(v interface{}) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint32(containerMagic))
+	w(uint8(containerVersion))
+	w(uint8(opts.Predictor))
+	w(uint8(opts.Mode))
+	w(uint8(opts.Lossless))
+	w(radius)
+	w(opts.ErrorBound)
+	w(absEB)
+	w(uint8(f.Prec))
+	w(uint8(f.Rank()))
+	for _, d := range f.Dims {
+		w(uint64(d))
+	}
+	name := []byte(f.Name)
+	if len(name) > 65535 {
+		name = name[:65535]
+	}
+	w(uint16(len(name)))
+	buf.Write(name)
+	w(uint32(len(unpred)))
+	for _, v := range unpred {
+		w(v)
+	}
+	w(uint32(len(aux)))
+	buf.Write(aux)
+	w(uint32(len(signsEnc)))
+	buf.Write(signsEnc)
+	w(uint32(len(zerosEnc)))
+	buf.Write(zerosEnc)
+	w(uint32(len(codebook)))
+	buf.Write(codebook)
+	w(uint32(rawPayloadLen))
+	w(uint32(len(payload)))
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+// Decompress reconstructs a field from a container produced by Compress.
+func Decompress(data []byte) (*grid.Field, error) {
+	r := bytes.NewReader(data)
+	rd := func(v interface{}) error { return binary.Read(r, binary.LittleEndian, v) }
+	var magic uint32
+	if err := rd(&magic); err != nil || magic != containerMagic {
+		return nil, errors.New("compressor: bad magic")
+	}
+	var version, predKind, mode, lossless, prec, rank uint8
+	var radius int32
+	var userEB, absEB float64
+	if err := firstErr(rd(&version), rd(&predKind), rd(&mode), rd(&lossless),
+		rd(&radius), rd(&userEB), rd(&absEB), rd(&prec), rd(&rank)); err != nil {
+		return nil, err
+	}
+	if version != containerVersion {
+		return nil, fmt.Errorf("compressor: unsupported version %d", version)
+	}
+	if rank < 1 || rank > 4 {
+		return nil, fmt.Errorf("compressor: bad rank %d", rank)
+	}
+	dims := make([]int, rank)
+	n := 1
+	for i := range dims {
+		var d uint64
+		if err := rd(&d); err != nil {
+			return nil, err
+		}
+		if d == 0 || d > 1<<32 {
+			return nil, fmt.Errorf("compressor: bad dimension %d", d)
+		}
+		dims[i] = int(d)
+		n *= dims[i]
+	}
+	var nameLen uint16
+	if err := rd(&nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, err
+	}
+	var unpredCount uint32
+	if err := rd(&unpredCount); err != nil {
+		return nil, err
+	}
+	if int(unpredCount) > n {
+		return nil, errors.New("compressor: unpredictable count exceeds field size")
+	}
+	unpred := make([]float64, unpredCount)
+	for i := range unpred {
+		if err := rd(&unpred[i]); err != nil {
+			return nil, err
+		}
+	}
+	aux, err := readBlob(r)
+	if err != nil {
+		return nil, err
+	}
+	signsEnc, err := readBlob(r)
+	if err != nil {
+		return nil, err
+	}
+	zerosEnc, err := readBlob(r)
+	if err != nil {
+		return nil, err
+	}
+	codebookBytes, err := readBlob(r)
+	if err != nil {
+		return nil, err
+	}
+	var rawPayloadLen, payloadLen uint32
+	if err := firstErr(rd(&rawPayloadLen), rd(&payloadLen)); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+
+	rawPayload, err := undoLossless(LosslessKind(lossless), payload, int(rawPayloadLen))
+	if err != nil {
+		return nil, err
+	}
+	cb, _, err := huffman.Parse(codebookBytes)
+	if err != nil {
+		return nil, err
+	}
+	syms := make([]uint32, n)
+	if err := cb.Decode(bitio.NewReader(rawPayload), syms); err != nil {
+		return nil, err
+	}
+
+	pred, err := predictor.New(predictor.Kind(predKind))
+	if err != nil {
+		return nil, err
+	}
+	qz, err := quantizer.New(absEB, radius)
+	if err != nil {
+		return nil, err
+	}
+	resSym := reservedSymbol(radius)
+	work := make([]float64, n)
+	symPos := 0
+	unpredPos := 0
+	var walkErr error
+	err = pred.DecompressWalk(dims, work, aux, func(idx int, p float64) {
+		if walkErr != nil {
+			return
+		}
+		s := syms[symPos]
+		symPos++
+		if s == resSym {
+			if unpredPos >= len(unpred) {
+				walkErr = errors.New("compressor: unpredictable stream exhausted")
+				return
+			}
+			work[idx] = unpred[unpredPos]
+			unpredPos++
+			return
+		}
+		code := int64(s) - int64(radius)
+		if code < -int64(radius) || code > int64(radius) {
+			walkErr = fmt.Errorf("compressor: symbol %d out of range", s)
+			return
+		}
+		work[idx] = qz.Reconstruct(p, int32(code))
+	})
+	if err == nil {
+		err = walkErr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if ErrorMode(mode) == PWREL {
+		signs, err := rle.Decode(signsEnc, n)
+		if err != nil {
+			return nil, err
+		}
+		zeros, err := rle.Decode(zerosEnc, n)
+		if err != nil {
+			return nil, err
+		}
+		if len(signs) != n || len(zeros) != n {
+			return nil, errors.New("compressor: bitmap length mismatch")
+		}
+		for i := range work {
+			switch {
+			case zeros[i] == 1:
+				work[i] = 0
+			case signs[i] == 1:
+				work[i] = -math.Exp2(work[i])
+			default:
+				work[i] = math.Exp2(work[i])
+			}
+		}
+	}
+
+	out, err := grid.FromData(string(name), grid.Precision(prec), work, dims...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func readBlob(r *bytes.Reader) ([]byte, error) {
+	var l uint32
+	if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
+		return nil, err
+	}
+	if int(l) > r.Len() {
+		return nil, errors.New("compressor: blob length exceeds container")
+	}
+	b := make([]byte, l)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// VerifyErrorBound checks that recon satisfies the bound against orig.
+// Returns nil if every sample is within the bound (with a 1e-12 relative
+// slack for float round-off).
+func VerifyErrorBound(orig, recon *grid.Field, mode ErrorMode, eb float64) error {
+	if orig.Len() != recon.Len() {
+		return errors.New("compressor: field sizes differ")
+	}
+	switch mode {
+	case ABS:
+		slack := eb * 1e-9
+		for i := range orig.Data {
+			if math.Abs(orig.Data[i]-recon.Data[i]) > eb+slack {
+				return fmt.Errorf("compressor: ABS bound violated at %d: |%g - %g| > %g",
+					i, orig.Data[i], recon.Data[i], eb)
+			}
+		}
+	case REL:
+		lo, hi := orig.ValueRange()
+		abs := eb * (hi - lo)
+		if abs == 0 {
+			abs = eb
+		}
+		return VerifyErrorBound(orig, recon, ABS, abs)
+	case PWREL:
+		for i := range orig.Data {
+			o := orig.Data[i]
+			d := math.Abs(o - recon.Data[i])
+			if o == 0 {
+				if d != 0 {
+					return fmt.Errorf("compressor: PWREL zero not exact at %d", i)
+				}
+				continue
+			}
+			if d > eb*math.Abs(o)*(1+1e-9) {
+				return fmt.Errorf("compressor: PWREL bound violated at %d: %g vs %g", i, d, eb*math.Abs(o))
+			}
+		}
+	}
+	return nil
+}

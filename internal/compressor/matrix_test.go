@@ -1,0 +1,223 @@
+package compressor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rqm/internal/datagen"
+	"rqm/internal/grid"
+	"rqm/internal/predictor"
+	"rqm/internal/stats"
+)
+
+// TestMatrixAllPredictorsModesBackends sweeps every supported combination
+// of predictor, error mode, and lossless backend on representative fields
+// and verifies the error bound end to end.
+func TestMatrixAllPredictorsModesBackends(t *testing.T) {
+	fields := map[string]*grid.Field{}
+	for _, name := range []string{"cesm/TS", "brown/pressure", "nyx/dark_matter_density"} {
+		f, err := datagen.GenerateField(name, 42, datagen.Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields[name] = f
+	}
+	preds := []predictor.Kind{predictor.Lorenzo, predictor.Lorenzo2,
+		predictor.Interpolation, predictor.InterpolationCubic, predictor.Regression}
+	modes := []ErrorMode{ABS, REL, PWREL}
+	backends := []LosslessKind{LosslessNone, LosslessRLE, LosslessLZ77, LosslessFlate}
+
+	for name, f := range fields {
+		lo, hi := f.ValueRange()
+		for _, kind := range preds {
+			p, err := predictor.New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !p.Supports(f.Rank()) {
+				continue
+			}
+			for _, mode := range modes {
+				if mode == PWREL && lo <= 0 && name != "nyx/dark_matter_density" {
+					// PWREL on sign-crossing data is covered separately;
+					// keep the matrix on the positive field.
+					continue
+				}
+				eb := 1e-3
+				if mode == ABS {
+					eb = (hi - lo) * 1e-3
+				}
+				for _, ll := range backends {
+					label := fmt.Sprintf("%s/%s/%s/%s", name, kind, mode, ll)
+					res, err := Compress(f, Options{
+						Predictor: kind, Mode: mode, ErrorBound: eb, Lossless: ll,
+					})
+					if err != nil {
+						t.Fatalf("%s: compress: %v", label, err)
+					}
+					dec, err := Decompress(res.Bytes)
+					if err != nil {
+						t.Fatalf("%s: decompress: %v", label, err)
+					}
+					if err := VerifyErrorBound(f, dec, mode, eb); err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecompressedStatsSane confirms reconstruction preserves coarse
+// statistics within bound-scale tolerances.
+func TestDecompressedStatsSane(t *testing.T) {
+	f, err := datagen.GenerateField("hurricane/TC", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.ValueRange()
+	eb := (hi - lo) * 1e-3
+	res, err := Compress(f, Options{Predictor: predictor.Interpolation, Mode: ABS, ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(res.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo, md := stats.Summary(f.Data), stats.Summary(dec.Data)
+	if math.Abs(mo.Mean()-md.Mean()) > eb {
+		t.Fatalf("mean drifted: %v vs %v", mo.Mean(), md.Mean())
+	}
+	if math.Abs(mo.StdDev()-md.StdDev()) > 2*eb {
+		t.Fatalf("std drifted: %v vs %v", mo.StdDev(), md.StdDev())
+	}
+}
+
+// TestCompressIsDeterministic: same input and options produce identical
+// bytes (required for reproducible archives).
+func TestCompressIsDeterministic(t *testing.T) {
+	f, err := datagen.GenerateField("scale/PRES", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.ValueRange()
+	opts := Options{Predictor: predictor.Lorenzo, Mode: ABS, ErrorBound: (hi - lo) * 1e-3, Lossless: LosslessRLE}
+	a, err := Compress(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compress(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Bytes) != len(b.Bytes) {
+		t.Fatal("nondeterministic output size")
+	}
+	for i := range a.Bytes {
+		if a.Bytes[i] != b.Bytes[i] {
+			t.Fatalf("output differs at byte %d", i)
+		}
+	}
+}
+
+// TestIdempotentRecompression: compressing the decompressed data at the
+// same bound must not lose further information catastrophically — the
+// second-generation PSNR stays close to the first.
+func TestIdempotentRecompression(t *testing.T) {
+	f, err := datagen.GenerateField("miranda/vx", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.ValueRange()
+	eb := (hi - lo) * 1e-3
+	opts := Options{Predictor: predictor.Lorenzo, Mode: ABS, ErrorBound: eb}
+	r1, err := Compress(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := Decompress(r1.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Compress(g1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Decompress(r2.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generation error compounds at most to 2·eb vs the original.
+	for i := range f.Data {
+		if math.Abs(f.Data[i]-g2.Data[i]) > 2*eb*(1+1e-9) {
+			t.Fatalf("second generation error at %d exceeds 2eb", i)
+		}
+	}
+}
+
+// TestConstantFieldCompressesTiny: a constant field must compress to a few
+// hundred bytes regardless of size.
+func TestConstantFieldCompressesTiny(t *testing.T) {
+	f := grid.MustNew("const", grid.Float32, 64, 64, 16)
+	for i := range f.Data {
+		f.Data[i] = 42.5
+	}
+	res, err := Compress(f, Options{Predictor: predictor.Lorenzo, Mode: ABS, ErrorBound: 1e-6, Lossless: LosslessRLE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CompressedBytes > 4096 {
+		t.Fatalf("constant field took %d bytes", res.Stats.CompressedBytes)
+	}
+	dec, err := Decompress(res.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec.Data {
+		if math.Abs(dec.Data[i]-42.5) > 1e-6 {
+			t.Fatal("constant reconstruction off")
+		}
+	}
+}
+
+// TestSingleValueField exercises the 1x1...x1 degenerate shapes.
+func TestSingleValueField(t *testing.T) {
+	for _, dims := range [][]int{{1}, {1, 1}, {1, 1, 1}} {
+		f := grid.MustNew("one", grid.Float64, dims...)
+		f.Data[0] = 3.14159
+		res, err := Compress(f, Options{Predictor: predictor.Lorenzo, Mode: ABS, ErrorBound: 1e-3})
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		dec, err := Decompress(res.Bytes)
+		if err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		if math.Abs(dec.Data[0]-3.14159) > 1e-3 {
+			t.Fatalf("dims %v: value %v", dims, dec.Data[0])
+		}
+	}
+}
+
+// TestNegativeAndExtremeValues exercises sign handling and large exponents.
+func TestNegativeAndExtremeValues(t *testing.T) {
+	f := grid.MustNew("ext", grid.Float64, 256)
+	rng := stats.NewXorShift64(11)
+	for i := range f.Data {
+		f.Data[i] = (rng.Float64() - 0.5) * 1e12
+	}
+	eb := 1e6
+	res, err := Compress(f, Options{Predictor: predictor.Lorenzo2, Mode: ABS, ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(res.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyErrorBound(f, dec, ABS, eb); err != nil {
+		t.Fatal(err)
+	}
+}

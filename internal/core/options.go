@@ -1,0 +1,88 @@
+// Package core implements the paper's contribution: the analytical
+// ratio-quality model for prediction-based lossy compression. From a single
+// cheap sampling pass (default 1% of the data) it estimates, for any error
+// bound, the compression bit-rate/ratio (Huffman model Eq. 1–3, RLE model
+// Eq. 4–8, plus per-stage overheads), the compression-error distribution
+// (Eq. 10–11), and the post-hoc analysis quality (PSNR Eq. 12, SSIM Eq. 15,
+// FFT spectra §III-D4). It also solves the inverse problems: the error
+// bound for a target bit-rate (Eq. 2 with low-rate anchor interpolation)
+// and for a target PSNR.
+package core
+
+import (
+	"rqm/internal/predictor"
+)
+
+// Options tunes the model. The zero value selects the paper's defaults via
+// normalize().
+type Options struct {
+	// SampleRate is the fraction of points sampled (paper default 0.01).
+	SampleRate float64
+	// Seed makes sampling deterministic.
+	Seed uint64
+	// Radius is the quantizer radius assumed by the model
+	// (quantizer.DefaultRadius when 0).
+	Radius int32
+	// DisableCorrection turns off the Eq. 9 bin-transfer correction layer
+	// (exposed for the ablation benches).
+	DisableCorrection bool
+	// C2Lorenzo and C2Interp are the Eq. 9 transfer fractions
+	// (paper: 0.2 and 0.1).
+	C2Lorenzo float64
+	C2Interp  float64
+	// CorrectionThreshold is θ2 in Eq. 9 (paper: 0.8).
+	CorrectionThreshold float64
+	// RLEC1Bits is C1 in Eq. 4–5: the fixed cost in bits of representing one
+	// run of consecutive zero codes. The default 16 matches a marker byte
+	// plus a one-byte varint in the byte-oriented RLE.
+	RLEC1Bits float64
+	// UseLossless includes the RLE-modeled lossless stage in the total
+	// bit-rate (matches pipelines that enable a lossless backend).
+	UseLossless bool
+	// HeaderBytes is the fixed container overhead assumed by the model.
+	HeaderBytes int
+	// AnchorP0 are the central-bin shares used as anchor points for the
+	// low-bit-rate regime (paper: 0.5, 0.8, 0.95).
+	AnchorP0 []float64
+}
+
+// normalize fills defaults in place and returns the value for chaining.
+func (o Options) normalize() Options {
+	if o.SampleRate <= 0 || o.SampleRate > 1 {
+		o.SampleRate = 0.01
+	}
+	if o.Radius == 0 {
+		o.Radius = 32768
+	}
+	if o.C2Lorenzo == 0 {
+		o.C2Lorenzo = 0.2
+	}
+	if o.C2Interp == 0 {
+		o.C2Interp = 0.1
+	}
+	if o.CorrectionThreshold == 0 {
+		o.CorrectionThreshold = 0.8
+	}
+	if o.RLEC1Bits == 0 {
+		o.RLEC1Bits = 16
+	}
+	if o.HeaderBytes == 0 {
+		o.HeaderBytes = 120
+	}
+	if len(o.AnchorP0) == 0 {
+		o.AnchorP0 = []float64{0.5, 0.8, 0.95}
+	}
+	return o
+}
+
+// c2For returns the Eq. 9 transfer fraction for a predictor kind (0 disables
+// correction for kinds the paper does not correct).
+func (o Options) c2For(kind predictor.Kind) float64 {
+	switch kind {
+	case predictor.Lorenzo, predictor.Lorenzo2:
+		return o.C2Lorenzo
+	case predictor.Interpolation, predictor.InterpolationCubic:
+		return o.C2Interp
+	}
+	return 0
+}

@@ -1,0 +1,514 @@
+// Package datagen synthesizes stand-ins for the ten SDRBench datasets the
+// paper evaluates (Table I). Real CESM/Nyx/HACC/... archives are multi-GB and
+// not redistributable here, so each generator reproduces the statistical
+// character that drives the ratio-quality model: dimensionality, smoothness
+// (spectral slope), dynamic range, and noise floor. The RTM stand-in is a
+// genuine finite-difference acoustic wave-equation solver, because RTM
+// snapshots *are* wavefields. See DESIGN.md §3 for the substitution notes.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"rqm/internal/fft"
+	"rqm/internal/grid"
+	"rqm/internal/stats"
+)
+
+// Scale selects the synthesized dataset size. Tests use Tiny; experiments use
+// Small or Medium. Paper-scale (GBs) is deliberately not offered.
+type Scale int
+
+const (
+	// Tiny is for unit tests (≈10k–100k values).
+	Tiny Scale = iota
+	// Small is the default experiment size (≈0.2–2M values).
+	Small
+	// Medium is for benchmark runs that want more stable statistics.
+	Medium
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// SpectralField synthesizes a Gaussian random field with isotropic power
+// spectrum P(k) ∝ k^(-slope) via inverse-FFT of white noise shaped in
+// k-space. Larger slopes give smoother fields (easier prediction); slope 0
+// is white noise. The field is normalized to zero mean, unit variance, then
+// affinely mapped to [lo, hi].
+func SpectralField(name string, prec grid.Precision, dims []int, slope float64, lo, hi float64, seed uint64) *grid.Field {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	rng := stats.NewXorShift64(seed)
+	spec := make([]complex128, n)
+	coord := make([]int, len(dims))
+	for idx := 0; idx < n; idx++ {
+		rem := idx
+		for ax := len(dims) - 1; ax >= 0; ax-- {
+			coord[ax] = rem % dims[ax]
+			rem /= dims[ax]
+		}
+		var k2 float64
+		for ax, c := range coord {
+			k := c
+			if k > dims[ax]/2 {
+				k -= dims[ax]
+			}
+			kf := float64(k) / float64(dims[ax])
+			k2 += kf * kf
+		}
+		if k2 == 0 {
+			spec[idx] = 0 // no DC: keep zero mean
+			continue
+		}
+		amp := math.Pow(k2, -slope/4) // |F| ∝ (k^2)^(-slope/4) = k^(-slope/2)
+		phase := 2 * math.Pi * rng.Float64()
+		mag := amp * math.Sqrt(-2*math.Log(math.Max(rng.Float64(), 1e-12)))
+		spec[idx] = complex(mag, 0) * cmplx.Exp(complex(0, phase))
+	}
+	// Inverse transform axis by axis: reuse ForwardND on the conjugate
+	// (inverse DFT = conj(forward(conj(x)))/N).
+	for i := range spec {
+		spec[i] = cmplx.Conj(spec[i])
+	}
+	out, err := fft.ForwardND(spec, dims)
+	if err != nil {
+		panic(err) // dims are internally consistent
+	}
+	field := grid.MustNew(name, prec, dims...)
+	for i := range out {
+		field.Data[i] = real(cmplx.Conj(out[i])) / float64(n)
+	}
+	normalizeTo(field.Data, lo, hi)
+	return field
+}
+
+// normalizeTo maps data affinely so its min/max match [lo, hi]. Degenerate
+// (constant) inputs map to lo.
+func normalizeTo(data []float64, lo, hi float64) {
+	mn, mx := stats.MinMax(data)
+	span := mx - mn
+	if span == 0 {
+		for i := range data {
+			data[i] = lo
+		}
+		return
+	}
+	scale := (hi - lo) / span
+	for i := range data {
+		data[i] = lo + (data[i]-mn)*scale
+	}
+}
+
+// LogNormalField exponentiates a spectral field to produce the heavy-tailed,
+// high-dynamic-range distribution typical of cosmological density (Nyx dark
+// matter density spans many orders of magnitude).
+func LogNormalField(name string, prec grid.Precision, dims []int, slope, sigma float64, seed uint64) *grid.Field {
+	f := SpectralField(name, prec, dims, slope, -1, 1, seed)
+	for i, v := range f.Data {
+		f.Data[i] = math.Exp(sigma * v)
+	}
+	return f
+}
+
+// Brownian1D generates a Brownian random walk, matching the paper's "Brown"
+// synthetic pressure dataset (1D Brownian data).
+func Brownian1D(name string, n int, step float64, seed uint64) *grid.Field {
+	f := grid.MustNew(name, grid.Float64, n)
+	rng := stats.NewXorShift64(seed)
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += step * rng.NormFloat64()
+		f.Data[i] = x
+	}
+	return f
+}
+
+// ParticlePositions1D emulates a HACC-style particle coordinate stream:
+// particles clustered around halo centers inside a periodic box, stored in
+// arbitrary (id) order, which is what makes HACC coordinates hard to predict
+// spatially but gives 1D streams a diffuse, noise-like error distribution.
+func ParticlePositions1D(name string, n int, box float64, nHalos int, seed uint64) *grid.Field {
+	f := grid.MustNew(name, grid.Float32, n)
+	rng := stats.NewXorShift64(seed)
+	centers := make([]float64, nHalos)
+	for i := range centers {
+		centers[i] = box * rng.Float64()
+	}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.7 {
+			c := centers[rng.Intn(nHalos)]
+			v := c + 0.01*box*rng.NormFloat64()
+			// Wrap into the box.
+			v = math.Mod(v, box)
+			if v < 0 {
+				v += box
+			}
+			f.Data[i] = v
+		} else {
+			f.Data[i] = box * rng.Float64()
+		}
+	}
+	return f
+}
+
+// ParticleVelocities1D emulates HACC velocity components: a Gaussian mixture
+// of a cold bulk flow plus hot cluster members.
+func ParticleVelocities1D(name string, n int, seed uint64) *grid.Field {
+	f := grid.MustNew(name, grid.Float32, n)
+	rng := stats.NewXorShift64(seed)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.8 {
+			f.Data[i] = 200 * rng.NormFloat64()
+		} else {
+			f.Data[i] = 1200 * rng.NormFloat64()
+		}
+	}
+	return f
+}
+
+// Orbital3D emulates QMCPACK einspline orbital data: smooth oscillatory
+// wavefunctions — sums of Gaussian envelopes times plane waves.
+func Orbital3D(name string, dims []int, nCenters int, seed uint64) *grid.Field {
+	f := grid.MustNew(name, grid.Float32, dims...)
+	rng := stats.NewXorShift64(seed)
+	type center struct {
+		x, y, z float64
+		s       float64
+		kx, ky  float64
+		kz      float64
+		amp     float64
+	}
+	cs := make([]center, nCenters)
+	for i := range cs {
+		cs[i] = center{
+			x: rng.Float64(), y: rng.Float64(), z: rng.Float64(),
+			s:   0.05 + 0.15*rng.Float64(),
+			kx:  4 * math.Pi * (rng.Float64() - 0.5) * 4,
+			ky:  4 * math.Pi * (rng.Float64() - 0.5) * 4,
+			kz:  4 * math.Pi * (rng.Float64() - 0.5) * 4,
+			amp: 0.5 + rng.Float64(),
+		}
+	}
+	d0, d1, d2 := dims[0], dims[1], dims[2]
+	idx := 0
+	for i := 0; i < d0; i++ {
+		x := float64(i) / float64(d0)
+		for j := 0; j < d1; j++ {
+			y := float64(j) / float64(d1)
+			for k := 0; k < d2; k++ {
+				z := float64(k) / float64(d2)
+				var v float64
+				for _, c := range cs {
+					dx, dy, dz := x-c.x, y-c.y, z-c.z
+					r2 := dx*dx + dy*dy + dz*dz
+					v += c.amp * math.Exp(-r2/(2*c.s*c.s)) * math.Cos(c.kx*dx+c.ky*dy+c.kz*dz)
+				}
+				f.Data[idx] = v
+				idx++
+			}
+		}
+	}
+	return f
+}
+
+// PhotonPanels4D emulates EXAFEL detector panels: a 4D stack
+// (events × panels × height × width) of noisy backgrounds with Bragg-like
+// Gaussian peaks. High noise floor keeps compressibility low, as with real
+// instrument data.
+func PhotonPanels4D(name string, dims []int, seed uint64) *grid.Field {
+	f := grid.MustNew(name, grid.Float32, dims...)
+	rng := stats.NewXorShift64(seed)
+	ev, pn, h, w := dims[0], dims[1], dims[2], dims[3]
+	for e := 0; e < ev; e++ {
+		for p := 0; p < pn; p++ {
+			base := (e*pn + p) * h * w
+			// Background pedestal with per-pixel Poisson-ish noise.
+			pedestal := 30 + 10*rng.Float64()
+			for i := 0; i < h*w; i++ {
+				f.Data[base+i] = pedestal + 5*rng.NormFloat64()
+			}
+			// A handful of bright peaks.
+			nPeaks := 2 + rng.Intn(5)
+			for q := 0; q < nPeaks; q++ {
+				cy, cx := rng.Intn(h), rng.Intn(w)
+				amp := 200 + 800*rng.Float64()
+				sig := 1 + 2*rng.Float64()
+				for dy := -6; dy <= 6; dy++ {
+					for dx := -6; dx <= 6; dx++ {
+						y, x := cy+dy, cx+dx
+						if y < 0 || y >= h || x < 0 || x >= w {
+							continue
+						}
+						r2 := float64(dy*dy + dx*dx)
+						f.Data[base+y*w+x] += amp * math.Exp(-r2/(2*sig*sig))
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+// WaveSnapshots runs a 3D acoustic wave equation (leapfrog FDTD with a
+// Ricker-wavelet point source and a damping sponge boundary) and returns the
+// pressure field every `every` steps after the source has rung in. This is a
+// faithful small-scale stand-in for RTM forward-modeling snapshots.
+func WaveSnapshots(name string, dims []int, steps, every int, seed uint64) []*grid.Field {
+	d0, d1, d2 := dims[0], dims[1], dims[2]
+	n := d0 * d1 * d2
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	rng := stats.NewXorShift64(seed)
+	// Heterogeneous velocity model: layered with smooth lateral variation.
+	c2 := make([]float64, n)
+	for i := 0; i < d0; i++ {
+		layerV := 0.30 + 0.25*float64(i)/float64(d0) + 0.05*math.Sin(7*float64(i)/float64(d0))
+		for j := 0; j < d1; j++ {
+			for k := 0; k < d2; k++ {
+				v := layerV * (1 + 0.05*math.Sin(3*float64(j)/float64(d1)+2*float64(k)/float64(d2)))
+				c2[(i*d1+j)*d2+k] = v * v
+			}
+		}
+	}
+	// Source position: near the "surface", jittered per seed.
+	sx := 2 + rng.Intn(3)
+	sy := d1/2 + rng.Intn(5) - 2
+	sz := d2/2 + rng.Intn(5) - 2
+	src := (sx*d1+sy)*d2 + sz
+	const fpeak = 0.06 // cycles per step
+	ricker := func(t int) float64 {
+		arg := math.Pi * fpeak * (float64(t) - 1.5/fpeak)
+		a := arg * arg
+		return (1 - 2*a) * math.Exp(-a)
+	}
+	sponge := 6
+	damp := func(i, d int) float64 {
+		e := i
+		if d-1-i < e {
+			e = d - 1 - i
+		}
+		if e >= sponge {
+			return 1
+		}
+		x := float64(sponge-e) / float64(sponge)
+		return 1 - 0.08*x*x
+	}
+	var out []*grid.Field
+	snap := 0
+	for t := 0; t < steps; t++ {
+		for i := 1; i < d0-1; i++ {
+			for j := 1; j < d1-1; j++ {
+				row := (i*d1 + j) * d2
+				up := ((i-1)*d1 + j) * d2
+				dn := ((i+1)*d1 + j) * d2
+				lf := (i*d1 + j - 1) * d2
+				rt := (i*d1 + j + 1) * d2
+				for k := 1; k < d2-1; k++ {
+					lap := cur[up+k] + cur[dn+k] + cur[lf+k] + cur[rt+k] +
+						cur[row+k-1] + cur[row+k+1] - 6*cur[row+k]
+					next[row+k] = 2*cur[row+k] - prev[row+k] + c2[row+k]*lap
+				}
+			}
+		}
+		next[src] += ricker(t)
+		// Sponge damping near boundaries.
+		for i := 0; i < d0; i++ {
+			di := damp(i, d0)
+			for j := 0; j < d1; j++ {
+				dj := di * damp(j, d1)
+				row := (i*d1 + j) * d2
+				for k := 0; k < d2; k++ {
+					f := dj * damp(k, d2)
+					if f != 1 {
+						next[row+k] *= f
+						cur[row+k] *= f
+					}
+				}
+			}
+		}
+		prev, cur, next = cur, next, prev
+		if every > 0 && t+1 >= every && (t+1)%every == 0 {
+			fld := grid.MustNew(fmt.Sprintf("%s/t%03d", name, t+1), grid.Float32, d0, d1, d2)
+			copy(fld.Data, cur)
+			out = append(out, fld)
+			snap++
+		}
+	}
+	return out
+}
+
+// Dataset groups the fields generated for one Table-I stand-in.
+type Dataset struct {
+	// Name is the paper's dataset name (lower-cased).
+	Name string
+	// Description matches Table I.
+	Description string
+	// Format names the original container format (informational).
+	Format string
+	// Fields holds the generated field stand-ins.
+	Fields []*grid.Field
+}
+
+// TotalBytes sums the original-precision byte sizes of all fields.
+func (d *Dataset) TotalBytes() int64 {
+	var n int64
+	for _, f := range d.Fields {
+		n += f.OriginalBytes()
+	}
+	return n
+}
+
+type spec struct {
+	desc, format string
+	gen          func(sc Scale, seed uint64) []*grid.Field
+}
+
+func dimsFor(sc Scale, tiny, small, medium []int) []int {
+	switch sc {
+	case Tiny:
+		return tiny
+	case Medium:
+		return medium
+	default:
+		return small
+	}
+}
+
+func lenFor(sc Scale, tiny, small, medium int) int {
+	switch sc {
+	case Tiny:
+		return tiny
+	case Medium:
+		return medium
+	default:
+		return small
+	}
+}
+
+var catalog = map[string]spec{
+	"cesm": {"Climate simulation", "NetCDF", func(sc Scale, seed uint64) []*grid.Field {
+		dims := dimsFor(sc, []int{45, 90}, []int{450, 900}, []int{900, 1800})
+		return []*grid.Field{
+			SpectralField("cesm/TS", grid.Float32, dims, 3.0, 190, 310, seed),
+			SpectralField("cesm/TROP_Z", grid.Float32, dims, 3.4, 5e3, 1.8e4, seed+1),
+		}
+	}},
+	"exafel": {"Instrument imaging", "HDF5", func(sc Scale, seed uint64) []*grid.Field {
+		dims := dimsFor(sc, []int{2, 4, 16, 32}, []int{4, 16, 64, 128}, []int{8, 32, 96, 194})
+		return []*grid.Field{PhotonPanels4D("exafel/raw", dims, seed)}
+	}},
+	"hurricane": {"Weather simulation", "Binary", func(sc Scale, seed uint64) []*grid.Field {
+		dims := dimsFor(sc, []int{10, 25, 25}, []int{50, 125, 125}, []int{100, 250, 250})
+		return []*grid.Field{
+			SpectralField("hurricane/U", grid.Float32, dims, 2.6, -80, 85, seed),
+			SpectralField("hurricane/TC", grid.Float32, dims, 3.0, -80, 30, seed+1),
+		}
+	}},
+	"hacc": {"Cosmology simulation", "GIO", func(sc Scale, seed uint64) []*grid.Field {
+		n := lenFor(sc, 20000, 1<<20, 1<<22)
+		return []*grid.Field{
+			ParticlePositions1D("hacc/xx", n, 256, 64, seed),
+			ParticleVelocities1D("hacc/vx", n, seed+1),
+		}
+	}},
+	"nyx": {"Cosmology simulation", "HDF5", func(sc Scale, seed uint64) []*grid.Field {
+		dims := dimsFor(sc, []int{24, 24, 24}, []int{96, 96, 96}, []int{160, 160, 160})
+		return []*grid.Field{
+			LogNormalField("nyx/dark_matter_density", grid.Float32, dims, 2.2, 3.0, seed),
+			SpectralField("nyx/temperature", grid.Float32, dims, 2.8, 1e3, 1e6, seed+1),
+			SpectralField("nyx/velocity_z", grid.Float32, dims, 2.5, -3e7, 3e7, seed+2),
+		}
+	}},
+	"scale": {"Climate simulation", "NetCDF", func(sc Scale, seed uint64) []*grid.Field {
+		dims := dimsFor(sc, []int{8, 30, 30}, []int{48, 120, 120}, []int{98, 240, 240})
+		return []*grid.Field{SpectralField("scale/PRES", grid.Float32, dims, 3.2, 2e3, 1.05e5, seed)}
+	}},
+	"qmcpack": {"Atoms' structure", "HDF5", func(sc Scale, seed uint64) []*grid.Field {
+		dims := dimsFor(sc, []int{17, 17, 28}, []int{69, 69, 115}, []int{69, 69, 115})
+		nc := lenFor(sc, 6, 24, 24)
+		return []*grid.Field{Orbital3D("qmcpack/einspline", dims, nc, seed)}
+	}},
+	"miranda": {"Turbulence simulation", "Binary", func(sc Scale, seed uint64) []*grid.Field {
+		dims := dimsFor(sc, []int{16, 24, 24}, []int{64, 96, 96}, []int{128, 192, 192})
+		return []*grid.Field{SpectralField("miranda/vx", grid.Float32, dims, 1.9, -1, 1, seed)}
+	}},
+	"brown": {"Synthetic Brown data", "Binary", func(sc Scale, seed uint64) []*grid.Field {
+		n := lenFor(sc, 20000, 1<<20, 1<<22)
+		return []*grid.Field{Brownian1D("brown/pressure", n, 0.01, seed)}
+	}},
+	"rtm": {"Reverse time migration", "HDF5", func(sc Scale, seed uint64) []*grid.Field {
+		dims := dimsFor(sc, []int{20, 24, 24}, []int{60, 112, 112}, []int{96, 176, 176})
+		steps := lenFor(sc, 96, 320, 448)
+		every := lenFor(sc, 16, 40, 56)
+		snaps := WaveSnapshots("rtm", dims, steps, every, seed)
+		for i, s := range snaps {
+			s.Name = fmt.Sprintf("rtm/snapshot_%d", i+1)
+		}
+		return snaps
+	}},
+}
+
+// Names lists the available dataset stand-ins in Table-I order.
+func Names() []string {
+	out := []string{"cesm", "exafel", "hurricane", "hacc", "nyx", "scale", "qmcpack", "miranda", "brown", "rtm"}
+	return out
+}
+
+// Generate builds the named dataset stand-in. Seed selects the realization;
+// the same (name, seed, scale) always produces identical data.
+func Generate(name string, seed uint64, sc Scale) (*Dataset, error) {
+	s, ok := catalog[name]
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("datagen: unknown dataset %q (known: %v)", name, known)
+	}
+	return &Dataset{
+		Name:        name,
+		Description: s.desc,
+		Format:      s.format,
+		Fields:      s.gen(sc, seed),
+	}, nil
+}
+
+// GenerateField is a convenience that returns a single named field from a
+// dataset stand-in ("dataset/field" resolves within the generated set; a bare
+// dataset name returns the first field).
+func GenerateField(path string, seed uint64, sc Scale) (*grid.Field, error) {
+	dsName := path
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			dsName = path[:i]
+			break
+		}
+	}
+	ds, err := Generate(dsName, seed, sc)
+	if err != nil {
+		return nil, err
+	}
+	if dsName == path {
+		return ds.Fields[0], nil
+	}
+	for _, f := range ds.Fields {
+		if f.Name == path {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("datagen: dataset %q has no field %q", dsName, path)
+}

@@ -1,0 +1,63 @@
+package datagen
+
+import (
+	"testing"
+)
+
+// TestRTMSnapshotCountsStable pins the snapshot counts per scale: the
+// experiment harness (Table II uses snapshots 1–3; Figs. 12–14 iterate the
+// stack) depends on them.
+func TestRTMSnapshotCountsStable(t *testing.T) {
+	want := map[Scale]int{Tiny: 6, Small: 8}
+	for sc, n := range want {
+		ds, err := Generate("rtm", 42, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds.Fields) != n {
+			t.Fatalf("scale %v: %d snapshots, want %d", sc, len(ds.Fields), n)
+		}
+	}
+}
+
+// TestDatasetFieldNamesStable pins the field naming convention the
+// experiment tables reference.
+func TestDatasetFieldNamesStable(t *testing.T) {
+	cases := map[string][]string{
+		"cesm":      {"cesm/TS", "cesm/TROP_Z"},
+		"hacc":      {"hacc/xx", "hacc/vx"},
+		"nyx":       {"nyx/dark_matter_density", "nyx/temperature", "nyx/velocity_z"},
+		"hurricane": {"hurricane/U", "hurricane/TC"},
+	}
+	for name, wantFields := range cases {
+		ds, err := Generate(name, 1, Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds.Fields) != len(wantFields) {
+			t.Fatalf("%s: %d fields, want %d", name, len(ds.Fields), len(wantFields))
+		}
+		for i, want := range wantFields {
+			if ds.Fields[i].Name != want {
+				t.Fatalf("%s field %d = %q, want %q", name, i, ds.Fields[i].Name, want)
+			}
+		}
+	}
+}
+
+// TestScalesOrdered verifies each scale strictly grows the dataset.
+func TestScalesOrdered(t *testing.T) {
+	for _, name := range []string{"cesm", "nyx", "brown"} {
+		tiny, err := Generate(name, 1, Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := Generate(name, 1, Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if small.TotalBytes() <= tiny.TotalBytes() {
+			t.Fatalf("%s: small (%d) not larger than tiny (%d)", name, small.TotalBytes(), tiny.TotalBytes())
+		}
+	}
+}

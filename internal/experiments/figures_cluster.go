@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"rqm/internal/cluster"
+	"rqm/internal/compressor"
+	"rqm/internal/core"
+	"rqm/internal/datagen"
+	"rqm/internal/grid"
+	"rqm/internal/predictor"
+	"rqm/internal/quality"
+)
+
+// Figure13Point is one snapshot's outcome under one strategy.
+type Figure13Point struct {
+	Snapshot string
+	BitRate  float64
+	PSNR     float64
+}
+
+// Figure13Result compares the offline (traditional) strategy with the
+// model-driven in-situ strategy at a PSNR floor.
+type Figure13Result struct {
+	TargetPSNR  float64
+	Traditional []Figure13Point
+	Model       []Figure13Point
+	// MeanBitsTraditional vs MeanBitsModel show the bit-rate saving while
+	// every snapshot still meets the floor.
+	MeanBitsTraditional, MeanBitsModel float64
+	// MinPSNRModel verifies the floor holds for the model-driven run.
+	MinPSNRModel float64
+}
+
+// candidateRels generates the offline candidate set, mirroring the paper's
+// {ABS 1e-4 .. 1e-8} fixed absolute bounds on RTM: the candidates are
+// *absolute* bounds derived from the global range across all snapshots, so
+// the traditional approach suffers the Liebig's-barrel effect the paper
+// describes (one worst-case bound applied to every snapshot).
+var candidateRels = []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6}
+
+// absCandidates converts the relative candidates to absolute bounds using
+// the widest snapshot range (largest first).
+func absCandidates(fields []*grid.Field) []float64 {
+	globalRange := 0.0
+	for _, f := range fields {
+		lo, hi := f.ValueRange()
+		if r := hi - lo; r > globalRange {
+			globalRange = r
+		}
+	}
+	out := make([]float64, len(candidateRels))
+	for i, r := range candidateRels {
+		out[i] = r * globalRange
+	}
+	return out
+}
+
+// Figure13 reproduces the per-snapshot ratio-quality comparison (paper
+// Fig. 13, target PSNR 56 dB): the traditional approach picks one
+// worst-case bound for all snapshots (Liebig's barrel); the model picks a
+// per-snapshot bound that hugs the target.
+func Figure13(cfg Config, w io.Writer) (*Figure13Result, error) {
+	const target = 56.0
+	ds, err := datagen.Generate("rtm", cfg.Seed, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure13Result{TargetPSNR: target, MinPSNRModel: math.Inf(1)}
+
+	// Traditional: offline trial-and-error over the shared absolute
+	// candidate set on every snapshot; choose the single bound under which
+	// all snapshots meet the target (the Liebig's barrel).
+	cands := absCandidates(ds.Fields)
+	chosen := 0.0
+	for _, eb := range cands { // largest (cheapest) first
+		allOK := true
+		for _, f := range ds.Fields {
+			psnr, _, err := measuredPSNRAt(f, eb)
+			if err != nil {
+				return nil, err
+			}
+			if psnr < target {
+				allOK = false
+				break
+			}
+		}
+		if allOK {
+			chosen = eb
+			break
+		}
+	}
+	if chosen == 0 {
+		chosen = cands[len(cands)-1]
+	}
+	for _, f := range ds.Fields {
+		psnr, stats, err := measuredPSNRAt(f, chosen)
+		if err != nil {
+			return nil, err
+		}
+		out.Traditional = append(out.Traditional, Figure13Point{Snapshot: f.Name, BitRate: stats.BitRate, PSNR: psnr})
+		out.MeanBitsTraditional += stats.BitRate
+	}
+	out.MeanBitsTraditional /= float64(len(ds.Fields))
+
+	// Model-driven: per-snapshot bound from ErrorBoundForPSNR.
+	for _, f := range ds.Fields {
+		prof, err := core.NewProfile(f, predictor.Interpolation, cfg.modelOptions())
+		if err != nil {
+			return nil, err
+		}
+		// Keep a 3 dB guard band to absorb model error (the analog of the
+		// paper's 20% headroom in the memory use-case): high-bound
+		// interpolation inherits reconstruction error from coarse levels,
+		// which pushes the true error distribution toward the bin edges and
+		// past the Eq. 10/11 variance.
+		eb, err := prof.ErrorBoundForPSNR(target + 3)
+		if err != nil {
+			return nil, err
+		}
+		res, err := compressAt(f, predictor.Interpolation, eb, compressor.LosslessFlate)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := compressor.Decompress(res.Bytes)
+		if err != nil {
+			return nil, err
+		}
+		psnr, err := quality.PSNR(f, dec)
+		if err != nil {
+			return nil, err
+		}
+		out.Model = append(out.Model, Figure13Point{Snapshot: f.Name, BitRate: res.Stats.BitRate, PSNR: psnr})
+		out.MeanBitsModel += res.Stats.BitRate
+		if psnr < out.MinPSNRModel {
+			out.MinPSNRModel = psnr
+		}
+	}
+	out.MeanBitsModel /= float64(len(ds.Fields))
+
+	tw := newTable(w)
+	row(tw, "snapshot", "trad bits", "trad PSNR", "model bits", "model PSNR")
+	for i := range out.Traditional {
+		row(tw, out.Traditional[i].Snapshot,
+			fmt.Sprintf("%.3f", out.Traditional[i].BitRate), fmt.Sprintf("%.2f", out.Traditional[i].PSNR),
+			fmt.Sprintf("%.3f", out.Model[i].BitRate), fmt.Sprintf("%.2f", out.Model[i].PSNR))
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "mean bits/value: traditional %.3f vs model %.3f (target %.0f dB, model min PSNR %.2f)\n",
+		out.MeanBitsTraditional, out.MeanBitsModel, target, out.MinPSNRModel)
+	return out, nil
+}
+
+func measuredPSNRAt(f *grid.Field, absEB float64) (float64, *compressor.Stats, error) {
+	res, err := compressAt(f, predictor.Interpolation, absEB, compressor.LosslessFlate)
+	if err != nil {
+		return 0, nil, err
+	}
+	dec, err := compressor.Decompress(res.Bytes)
+	if err != nil {
+		return 0, nil, err
+	}
+	psnr, err := quality.PSNR(f, dec)
+	if err != nil {
+		return 0, nil, err
+	}
+	return psnr, &res.Stats, nil
+}
+
+// Figure14Strategy aggregates one approach's dump sequence.
+type Figure14Strategy struct {
+	Name    string
+	Reports []cluster.DumpReport
+	Summary cluster.Summary
+}
+
+// Figure14Result compares the three dumping strategies on the simulated
+// 128-rank cluster.
+type Figure14Result struct {
+	Baseline     time.Duration // no-compression dump time per snapshot
+	Strategies   []Figure14Strategy
+	SpeedupVsTr  float64 // total time, model vs traditional
+	SpeedupVsTAE float64
+	// MaxSpeedupVsTr / MaxSpeedupVsTAE are the largest per-snapshot ratios
+	// (the paper's "up to 3.4× / 2.2×" numbers are per-snapshot maxima).
+	MaxSpeedupVsTr  float64
+	MaxSpeedupVsTAE float64
+}
+
+// Figure14 reproduces the parallel data-dumping comparison (paper Fig. 14):
+// "Tr" (traditional offline bound, no online optimization), "TAE" (in-situ
+// trial-and-error per snapshot), and the model-driven approach. The run is
+// weak-scaled: each of the 128 ranks holds one generated snapshot share, so
+// per-rank CPU costs are the measured single-core times and the shared file
+// system sees ranks× the compressed bytes — the regime where the paper's
+// 682 GB dataset lives (its uncompressed dump is I/O-bound at 29.4 s).
+func Figure14(cfg Config, w io.Writer) (*Figure14Result, error) {
+	const target = 56.0
+	machine := cluster.DefaultBebop()
+	ranks := int64(machine.Ranks)
+	ds, err := datagen.Generate("rtm", cfg.Seed, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure14Result{}
+	out.Baseline = machine.IOTime(ranks * ds.TotalBytes() / int64(len(ds.Fields)))
+
+	// Traditional: offline-chosen single absolute bound (optimization cost
+	// excluded, as in the paper), applied to every snapshot.
+	cands := absCandidates(ds.Fields)
+	tradEB := cands[len(cands)-1] // conservative offline pick
+	for _, eb := range cands {
+		allOK := true
+		for _, f := range ds.Fields {
+			psnr, _, err := measuredPSNRAt(f, eb)
+			if err != nil {
+				return nil, err
+			}
+			if psnr < target {
+				allOK = false
+				break
+			}
+		}
+		if allOK {
+			tradEB = eb
+			break
+		}
+	}
+	var trad Figure14Strategy
+	trad.Name = "Tr"
+	for _, f := range ds.Fields {
+		start := time.Now()
+		res, err := compressAt(f, predictor.Interpolation, tradEB, compressor.LosslessFlate)
+		if err != nil {
+			return nil, err
+		}
+		compCPU := time.Since(start)
+		trad.Reports = append(trad.Reports,
+			machine.Dump(f.Name, 0, compCPU*time.Duration(ranks),
+				ranks*res.Stats.CompressedBytes, int(ranks)*f.Len(), 0))
+	}
+	trad.Summary = cluster.Summarize(trad.Reports)
+
+	// In-situ TAE: each snapshot tries all candidates online (optimization
+	// cost = the trial compressions), then compresses with the pick.
+	var tae Figure14Strategy
+	tae.Name = "TAE"
+	for _, f := range ds.Fields {
+		optStart := time.Now()
+		best := cands[len(cands)-1]
+		for _, eb := range cands {
+			psnr, _, err := measuredPSNRAt(f, eb)
+			if err != nil {
+				return nil, err
+			}
+			if psnr >= target {
+				best = eb
+				break
+			}
+		}
+		optCPU := time.Since(optStart)
+		start := time.Now()
+		res, err := compressAt(f, predictor.Interpolation, best, compressor.LosslessFlate)
+		if err != nil {
+			return nil, err
+		}
+		compCPU := time.Since(start)
+		tae.Reports = append(tae.Reports,
+			machine.Dump(f.Name, optCPU*time.Duration(ranks), compCPU*time.Duration(ranks),
+				ranks*res.Stats.CompressedBytes, int(ranks)*f.Len(), 0))
+	}
+	tae.Summary = cluster.Summarize(tae.Reports)
+
+	// Model-driven: profile + inverse solve per snapshot (optimization),
+	// then one compression.
+	var mod Figure14Strategy
+	mod.Name = "Model"
+	for _, f := range ds.Fields {
+		optStart := time.Now()
+		prof, err := core.NewProfile(f, predictor.Interpolation, cfg.modelOptions())
+		if err != nil {
+			return nil, err
+		}
+		eb, err := prof.ErrorBoundForPSNR(target + 3)
+		if err != nil {
+			return nil, err
+		}
+		optCPU := time.Since(optStart)
+		start := time.Now()
+		res, err := compressAt(f, predictor.Interpolation, eb, compressor.LosslessFlate)
+		if err != nil {
+			return nil, err
+		}
+		compCPU := time.Since(start)
+		mod.Reports = append(mod.Reports,
+			machine.Dump(f.Name, optCPU*time.Duration(ranks), compCPU*time.Duration(ranks),
+				ranks*res.Stats.CompressedBytes, int(ranks)*f.Len(), 0))
+	}
+	mod.Summary = cluster.Summarize(mod.Reports)
+
+	out.Strategies = []Figure14Strategy{trad, tae, mod}
+	if mod.Summary.Total > 0 {
+		out.SpeedupVsTr = float64(trad.Summary.Total) / float64(mod.Summary.Total)
+		out.SpeedupVsTAE = float64(tae.Summary.Total) / float64(mod.Summary.Total)
+	}
+	for i := range mod.Reports {
+		mt := mod.Reports[i].Total()
+		if mt <= 0 {
+			continue
+		}
+		if s := float64(trad.Reports[i].Total()) / float64(mt); s > out.MaxSpeedupVsTr {
+			out.MaxSpeedupVsTr = s
+		}
+		if s := float64(tae.Reports[i].Total()) / float64(mt); s > out.MaxSpeedupVsTAE {
+			out.MaxSpeedupVsTAE = s
+		}
+	}
+
+	tw := newTable(w)
+	row(tw, "strategy", "snapshot", "op(s)", "comp(s)", "io(s)", "total(s)")
+	for _, s := range out.Strategies {
+		for _, r := range s.Reports {
+			row(tw, s.Name, r.Snapshot,
+				fmt.Sprintf("%.4f", r.OptimizationTime.Seconds()),
+				fmt.Sprintf("%.4f", r.CompressTime.Seconds()),
+				fmt.Sprintf("%.4f", r.IOTime.Seconds()),
+				fmt.Sprintf("%.4f", r.Total().Seconds()))
+		}
+		row(tw, s.Name, "TOTAL", "-", "-", "-", fmt.Sprintf("%.4f", s.Summary.Total.Seconds()))
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "baseline (no compression) per-snapshot I/O: %.3fs\n", out.Baseline.Seconds())
+	fmt.Fprintf(w, "model speedup (totals): %.2fx vs traditional, %.2fx vs in-situ TAE\n",
+		out.SpeedupVsTr, out.SpeedupVsTAE)
+	fmt.Fprintf(w, "model speedup (per-snapshot max): %.2fx vs traditional, %.2fx vs in-situ TAE\n",
+		out.MaxSpeedupVsTr, out.MaxSpeedupVsTAE)
+	return out, nil
+}

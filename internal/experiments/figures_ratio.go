@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"rqm/internal/compressor"
+	"rqm/internal/core"
+	"rqm/internal/datagen"
+	"rqm/internal/predictor"
+	"rqm/internal/quality"
+	"rqm/internal/stats"
+)
+
+// Figure3Point is one error bound's encoder breakdown.
+type Figure3Point struct {
+	RelEB        float64
+	HuffmanRatio float64 // compression ratio from Huffman alone
+	RLERatio     float64 // Huffman + built-in RLE
+	LZ77Ratio    float64 // Huffman + LZ77 ("Zstandard" stand-in)
+	FlateRatio   float64 // Huffman + DEFLATE ("Gzip" stand-in)
+}
+
+// Figure3 reproduces the encoder-efficiency separation plot (paper Fig. 3):
+// the optional lossless stage contributes only after Huffman approaches its
+// 1-bit-per-symbol limit at high error bounds.
+func Figure3(cfg Config, w io.Writer) ([]Figure3Point, error) {
+	f, err := cfg.field("nyx/temperature")
+	if err != nil {
+		return nil, err
+	}
+	rels := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+	var out []Figure3Point
+	tw := newTable(w)
+	row(tw, "relEB", "Huffman", "+RLE", "+LZ77", "+Flate")
+	for i, eb := range ebsFor(f, rels) {
+		p := Figure3Point{RelEB: rels[i]}
+		for _, s := range []struct {
+			kind compressor.LosslessKind
+			dst  *float64
+		}{
+			{compressor.LosslessNone, &p.HuffmanRatio},
+			{compressor.LosslessRLE, &p.RLERatio},
+			{compressor.LosslessLZ77, &p.LZ77Ratio},
+			{compressor.LosslessFlate, &p.FlateRatio},
+		} {
+			res, err := compressAt(f, predictor.Lorenzo, eb, s.kind)
+			if err != nil {
+				return nil, err
+			}
+			*s.dst = res.Stats.Ratio
+		}
+		out = append(out, p)
+		row(tw, fmt.Sprintf("%.0e", p.RelEB),
+			fmt.Sprintf("%.2f", p.HuffmanRatio), fmt.Sprintf("%.2f", p.RLERatio),
+			fmt.Sprintf("%.2f", p.LZ77Ratio), fmt.Sprintf("%.2f", p.FlateRatio))
+	}
+	return out, tw.Flush()
+}
+
+// Figure4Point is the sampling accuracy at one rate for one predictor.
+type Figure4Point struct {
+	Rate    float64
+	Kind    predictor.Kind
+	ErrRate float64 // |std_sampled − std_full| / std_full
+}
+
+// Figure4 reproduces the sampling-rate study (paper Fig. 4): the error
+// between sampled and full prediction-error statistics falls with the rate
+// and behaves similarly across the three predictors.
+func Figure4(cfg Config, w io.Writer) ([]Figure4Point, error) {
+	// Sampling statistics need enough points for the lowest rate (0.1% of a
+	// tiny field is a handful of samples), so this experiment always uses
+	// at least the Small field — it only samples, never compresses.
+	if cfg.Scale < datagen.Small {
+		cfg.Scale = datagen.Small
+	}
+	f, err := cfg.field("cesm/TS")
+	if err != nil {
+		return nil, err
+	}
+	kinds := []predictor.Kind{predictor.Lorenzo, predictor.Interpolation, predictor.Regression}
+	rates := []float64{0.001, 0.005, 0.01, 0.05, 0.1}
+	var out []Figure4Point
+	tw := newTable(w)
+	row(tw, "rate", "predictor", "errRate")
+	for _, kind := range kinds {
+		pred, err := predictor.New(kind)
+		if err != nil {
+			return nil, err
+		}
+		full := pred.SampleErrors(f, 1.0, cfg.Seed)
+		_, vFull := stats.MeanVar(full)
+		sFull := math.Sqrt(vFull)
+		for _, rate := range rates {
+			// Average over a few seeds to show the trend, like the paper's
+			// error bars.
+			var errSum float64
+			const reps = 5
+			for rep := 0; rep < reps; rep++ {
+				sampled := pred.SampleErrors(f, rate, cfg.Seed+uint64(rep)*977)
+				_, vS := stats.MeanVar(sampled)
+				if sFull > 0 {
+					errSum += math.Abs(math.Sqrt(vS)-sFull) / sFull
+				}
+			}
+			p := Figure4Point{Rate: rate, Kind: kind, ErrRate: errSum / reps}
+			out = append(out, p)
+			row(tw, fmt.Sprintf("%.3f", rate), kind.String(), pct(p.ErrRate))
+		}
+	}
+	return out, tw.Flush()
+}
+
+// Figure5Point compares estimated and measured bit-rates at one bound.
+type Figure5Point struct {
+	RelEB         float64
+	MeasuredHuff  float64
+	EstimatedHuff float64
+	MeasuredAll   float64 // with lossless stage
+	EstimatedAll  float64
+}
+
+// Figure5Result carries the sweep and its Eq. 20 error rates, both over all
+// rows and over the model's validated regime (measured bit-rate between 2
+// and the sampling-resolution ceiling log2(#samples); the paper notes the
+// model "matches the measurements very well above bit-rate of about 2").
+type Figure5Result struct {
+	Points       []Figure5Point
+	HuffErr      float64
+	AllErr       float64
+	HuffErrValid float64
+	AllErrValid  float64
+}
+
+// Figure5 reproduces the bit-rate estimation accuracy plot (paper Fig. 5):
+// estimated vs measured bit-rate for the Huffman stage alone and for the
+// full encoder chain.
+func Figure5(cfg Config, w io.Writer) (*Figure5Result, error) {
+	f, err := cfg.field("cesm/TS")
+	if err != nil {
+		return nil, err
+	}
+	prof, err := core.NewProfile(f, predictor.Lorenzo, cfg.modelOptions())
+	if err != nil {
+		return nil, err
+	}
+	rels := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1}
+	res := &Figure5Result{}
+	tw := newTable(w)
+	row(tw, "relEB", "measHuff", "estHuff", "measAll", "estAll")
+	var hm, he, am, ae []float64
+	for i, eb := range ebsFor(f, rels) {
+		rH, err := compressAt(f, predictor.Lorenzo, eb, compressor.LosslessNone)
+		if err != nil {
+			return nil, err
+		}
+		rA, err := compressAt(f, predictor.Lorenzo, eb, compressor.LosslessFlate)
+		if err != nil {
+			return nil, err
+		}
+		est := prof.EstimateAt(eb)
+		p := Figure5Point{
+			RelEB:         rels[i],
+			MeasuredHuff:  rH.Stats.BitRateHuffman,
+			EstimatedHuff: est.HuffmanBitRate,
+			MeasuredAll:   rA.Stats.BitRate,
+			EstimatedAll:  est.TotalBitRate,
+		}
+		res.Points = append(res.Points, p)
+		hm, he = append(hm, p.MeasuredHuff), append(he, p.EstimatedHuff)
+		am, ae = append(am, p.MeasuredAll), append(ae, p.EstimatedAll)
+		row(tw, fmt.Sprintf("%.0e", p.RelEB),
+			fmt.Sprintf("%.3f", p.MeasuredHuff), fmt.Sprintf("%.3f", p.EstimatedHuff),
+			fmt.Sprintf("%.3f", p.MeasuredAll), fmt.Sprintf("%.3f", p.EstimatedAll))
+	}
+	res.HuffErr = quality.AccuracyOfEstimate(hm, he)
+	res.AllErr = quality.AccuracyOfEstimate(am, ae)
+	// Validated regime: 2 bits up to what the sample size can resolve.
+	ceiling := 0.9 * math.Log2(float64(len(prof.Errors)))
+	var hmV, heV, amV, aeV []float64
+	for i := range hm {
+		if hm[i] >= 2 && hm[i] <= ceiling {
+			hmV, heV = append(hmV, hm[i]), append(heV, he[i])
+			amV, aeV = append(amV, am[i]), append(aeV, ae[i])
+		}
+	}
+	res.HuffErrValid = quality.AccuracyOfEstimate(hmV, heV)
+	res.AllErrValid = quality.AccuracyOfEstimate(amV, aeV)
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Huffman error rate: %s (all rows) / %s (validated regime 2..%.1f bits)\n",
+		pct(res.HuffErr), pct(res.HuffErrValid), ceiling)
+	fmt.Fprintf(w, "overall error rate: %s (all rows) / %s (validated regime)\n",
+		pct(res.AllErr), pct(res.AllErrValid))
+	return res, nil
+}

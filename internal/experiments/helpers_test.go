@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"rqm/internal/datagen"
+	"rqm/internal/grid"
+)
+
+func TestAbsCandidatesUseGlobalRange(t *testing.T) {
+	a := grid.MustNew("a", grid.Float32, 8)
+	b := grid.MustNew("b", grid.Float32, 8)
+	for i := range a.Data {
+		a.Data[i] = float64(i) // range 7
+	}
+	for i := range b.Data {
+		b.Data[i] = float64(i) * 10 // range 70
+	}
+	cands := absCandidates([]*grid.Field{a, b})
+	if len(cands) != len(candidateRels) {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	for i, rel := range candidateRels {
+		want := rel * 70
+		if cands[i] != want {
+			t.Fatalf("candidate %d = %v, want %v (global range)", i, cands[i], want)
+		}
+	}
+	// Largest first, strictly decreasing.
+	for i := 1; i < len(cands); i++ {
+		if cands[i] >= cands[i-1] {
+			t.Fatal("candidates not decreasing")
+		}
+	}
+}
+
+func TestEbsForScalesByRange(t *testing.T) {
+	f := grid.MustNew("x", grid.Float64, 4)
+	copy(f.Data, []float64{0, 1, 2, 10})
+	ebs := ebsFor(f, []float64{1e-2, 1e-1})
+	if ebs[0] != 0.1 || ebs[1] != 1.0 {
+		t.Fatalf("ebsFor = %v", ebs)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	d := Default()
+	if d.Scale != datagen.Small || d.SampleRate != 0.01 {
+		t.Fatalf("Default() = %+v", d)
+	}
+	q := Quick()
+	if q.Scale != datagen.Tiny || q.SampleRate <= d.SampleRate {
+		t.Fatalf("Quick() = %+v", q)
+	}
+}
+
+func TestTableIIFieldListMatchesPaper(t *testing.T) {
+	if len(tableIIFields) != 17 {
+		t.Fatalf("Table II evaluates %d fields, want 17", len(tableIIFields))
+	}
+	// 1D and 4D fields report no SSIM, like the paper's dashes.
+	for _, fc := range tableIIFields {
+		f, err := datagen.GenerateField(fc.Field, 1, datagen.Tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", fc.Field, err)
+		}
+		if (f.Rank() == 1 || f.Rank() == 4) && fc.HasSSIM {
+			t.Errorf("%s: rank %d should not report SSIM", fc.Field, f.Rank())
+		}
+	}
+}

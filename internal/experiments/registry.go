@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one named experiment, printing its artifact to w.
+type Runner func(cfg Config, w io.Writer) error
+
+// Registry maps experiment ids (DESIGN.md §4) to runners.
+func Registry() map[string]Runner {
+	wrap := func(f func(Config, io.Writer) error) Runner { return f }
+	return map[string]Runner{
+		"tab1":           wrap(func(c Config, w io.Writer) error { _, err := TableI(c, w); return err }),
+		"tab2":           wrap(func(c Config, w io.Writer) error { _, err := TableII(c, w); return err }),
+		"fig3":           wrap(func(c Config, w io.Writer) error { _, err := Figure3(c, w); return err }),
+		"fig4":           wrap(func(c Config, w io.Writer) error { _, err := Figure4(c, w); return err }),
+		"fig5":           wrap(func(c Config, w io.Writer) error { _, err := Figure5(c, w); return err }),
+		"fig6":           wrap(func(c Config, w io.Writer) error { _, err := Figure6(c, w); return err }),
+		"fig7":           wrap(func(c Config, w io.Writer) error { _, err := Figure7(c, w); return err }),
+		"fig8":           wrap(func(c Config, w io.Writer) error { _, err := Figure8(c, w); return err }),
+		"fig9":           wrap(func(c Config, w io.Writer) error { _, err := Figure9(c, w); return err }),
+		"fig10":          wrap(func(c Config, w io.Writer) error { _, err := Figure10(c, w); return err }),
+		"fig11":          wrap(func(c Config, w io.Writer) error { _, err := Figure11(c, w); return err }),
+		"fig12":          wrap(func(c Config, w io.Writer) error { _, err := Figure12(c, w); return err }),
+		"fig13":          wrap(func(c Config, w io.Writer) error { _, err := Figure13(c, w); return err }),
+		"fig14":          wrap(func(c Config, w io.Writer) error { _, err := Figure14(c, w); return err }),
+		"abl-correction": wrap(func(c Config, w io.Writer) error { _, err := AblationCorrectionLayer(c, w); return err }),
+		"abl-errdist":    wrap(func(c Config, w io.Writer) error { _, err := AblationErrorDistribution(c, w); return err }),
+		"abl-samplerate": wrap(func(c Config, w io.Writer) error { _, err := AblationSampleRate(c, w); return err }),
+		"abl-anchors":    wrap(func(c Config, w io.Writer) error { _, err := AblationAnchors(c, w); return err }),
+		"abl-lossless":   wrap(func(c Config, w io.Writer) error { _, err := AblationLossless(c, w); return err }),
+		"ext-codec":      wrap(func(c Config, w io.Writer) error { _, err := ExtensionCodecSelection(c, w); return err }),
+	}
+}
+
+// Names lists experiment ids in stable order.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for k := range reg {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes every experiment in order, with headers.
+func RunAll(cfg Config, w io.Writer) error {
+	reg := Registry()
+	for _, name := range Names() {
+		fmt.Fprintf(w, "\n=== %s ===\n", name)
+		if err := reg[name](cfg, w); err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+	}
+	return nil
+}

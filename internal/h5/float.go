@@ -1,0 +1,15 @@
+package h5
+
+import "math"
+
+// floatBits32 narrows to float32 bits (raw storage at original precision).
+func floatBits32(v float64) uint32 { return math.Float32bits(float32(v)) }
+
+// floatFrom32 widens float32 bits.
+func floatFrom32(b uint32) float32 { return math.Float32frombits(b) }
+
+// floatBits64 returns float64 bits.
+func floatBits64(v float64) uint64 { return math.Float64bits(v) }
+
+// floatFrom64 reconstructs a float64.
+func floatFrom64(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,490 @@
+// Package h5 is a compact stand-in for HDF5's chunked dataset storage with
+// dynamically-loaded compression filters (the way H5Z-SZ integrates SZ into
+// HDF5). A file holds named datasets; each dataset is split into chunks;
+// each chunk independently passes through a filter (none, or the rqm lossy
+// compressor), so partial reads only decompress the chunks they touch.
+//
+// Layout (little-endian):
+//
+//	superblock: magic "RQH5" | version u8 | datasetCount u32
+//	per dataset: header (see writeDatasetHeader) followed by chunk blobs
+package h5
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"rqm/internal/compressor"
+	"rqm/internal/grid"
+)
+
+// FilterKind identifies the chunk filter.
+type FilterKind uint8
+
+const (
+	// FilterNone stores chunks raw (float64 samples).
+	FilterNone FilterKind = iota
+	// FilterLossy passes chunks through the prediction-based compressor.
+	FilterLossy
+)
+
+const (
+	fileMagic   = 0x52514835 // "RQH5"
+	fileVersion = 1
+)
+
+// DatasetOptions controls how a dataset is stored.
+type DatasetOptions struct {
+	// ChunkDims is the chunk shape (clipped at dataset edges). Zero or
+	// mismatched rank means "one chunk for the whole dataset".
+	ChunkDims []int
+	// Filter selects the chunk filter.
+	Filter FilterKind
+	// Compressor configures FilterLossy.
+	Compressor compressor.Options
+	// Workers sets the number of goroutines filtering chunks concurrently
+	// (<=1 means serial). Output bytes are identical regardless of Workers.
+	Workers int
+}
+
+// Writer creates container files.
+type Writer struct {
+	f     *os.File
+	w     *bufio.Writer
+	count uint32
+	done  bool
+}
+
+// Create opens a new container file for writing.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{f: f, w: bufio.NewWriter(f)}
+	// Reserve superblock; count patched on Close.
+	if err := binary.Write(w.w, binary.LittleEndian, uint32(fileMagic)); err != nil {
+		return nil, err
+	}
+	if err := w.w.WriteByte(fileVersion); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(w.w, binary.LittleEndian, uint32(0)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// WriteDataset appends a dataset. Returns the compressed byte count of the
+// stored chunks (for I/O accounting).
+func (w *Writer) WriteDataset(name string, fld *grid.Field, opts DatasetOptions) (int64, error) {
+	if w.done {
+		return 0, errors.New("h5: writer closed")
+	}
+	chunkDims := opts.ChunkDims
+	if len(chunkDims) != fld.Rank() {
+		chunkDims = fld.Dims
+	}
+	edge := chunkDims[0] // block splitting uses a single edge per axis below
+	_ = edge
+	chunks := blocksFor(fld.Dims, chunkDims)
+	payloads, err := filterChunks(fld, chunks, opts)
+	if err != nil {
+		return 0, err
+	}
+	var stored int64
+	for _, p := range payloads {
+		stored += int64(len(p))
+	}
+
+	// Dataset header.
+	le := binary.LittleEndian
+	wr := func(v interface{}) error { return binary.Write(w.w, le, v) }
+	nameB := []byte(name)
+	if err := wr(uint16(len(nameB))); err != nil {
+		return 0, err
+	}
+	if _, err := w.w.Write(nameB); err != nil {
+		return 0, err
+	}
+	if err := wr(uint8(fld.Prec)); err != nil {
+		return 0, err
+	}
+	if err := wr(uint8(fld.Rank())); err != nil {
+		return 0, err
+	}
+	for _, d := range fld.Dims {
+		if err := wr(uint64(d)); err != nil {
+			return 0, err
+		}
+	}
+	for _, d := range chunkDims {
+		if err := wr(uint64(d)); err != nil {
+			return 0, err
+		}
+	}
+	if err := wr(uint8(opts.Filter)); err != nil {
+		return 0, err
+	}
+	if err := wr(uint32(len(payloads))); err != nil {
+		return 0, err
+	}
+	for _, p := range payloads {
+		if err := wr(uint64(len(p))); err != nil {
+			return 0, err
+		}
+	}
+	for _, p := range payloads {
+		if _, err := w.w.Write(p); err != nil {
+			return 0, err
+		}
+	}
+	w.count++
+	return stored, nil
+}
+
+// Close flushes data and patches the dataset count into the superblock.
+func (w *Writer) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], w.count)
+	if _, err := w.f.WriteAt(cnt[:], 5); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// datasetMeta indexes one dataset inside an opened file.
+type datasetMeta struct {
+	name       string
+	prec       grid.Precision
+	dims       []int
+	chunkDims  []int
+	filter     FilterKind
+	chunkSizes []int64
+	dataOffset int64 // file offset of the first chunk blob
+}
+
+// File is an opened container.
+type File struct {
+	f    *os.File
+	sets map[string]*datasetMeta
+	list []string
+}
+
+// Open reads the directory of an existing container.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(f)
+	le := binary.LittleEndian
+	var magic uint32
+	if err := binary.Read(br, le, &magic); err != nil || magic != fileMagic {
+		f.Close()
+		return nil, errors.New("h5: bad magic")
+	}
+	version, err := br.ReadByte()
+	if err != nil || version != fileVersion {
+		f.Close()
+		return nil, fmt.Errorf("h5: unsupported version")
+	}
+	var count uint32
+	if err := binary.Read(br, le, &count); err != nil {
+		f.Close()
+		return nil, err
+	}
+	out := &File{f: f, sets: make(map[string]*datasetMeta)}
+	offset := int64(9)
+	for i := uint32(0); i < count; i++ {
+		m, next, err := readDatasetMeta(br, offset)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("h5: dataset %d: %w", i, err)
+		}
+		out.sets[m.name] = m
+		out.list = append(out.list, m.name)
+		// Skip the chunk payloads in the buffered reader.
+		var toSkip int64
+		for _, s := range m.chunkSizes {
+			toSkip += s
+		}
+		if _, err := br.Discard(int(toSkip)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		offset = next + toSkip
+	}
+	return out, nil
+}
+
+func readDatasetMeta(br *bufio.Reader, offset int64) (*datasetMeta, int64, error) {
+	le := binary.LittleEndian
+	var nameLen uint16
+	if err := binary.Read(br, le, &nameLen); err != nil {
+		return nil, 0, err
+	}
+	offset += 2
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, 0, err
+	}
+	offset += int64(nameLen)
+	var prec, rank, filter uint8
+	if err := binary.Read(br, le, &prec); err != nil {
+		return nil, 0, err
+	}
+	if err := binary.Read(br, le, &rank); err != nil {
+		return nil, 0, err
+	}
+	offset += 2
+	if rank < 1 || rank > 4 {
+		return nil, 0, fmt.Errorf("bad rank %d", rank)
+	}
+	dims := make([]int, rank)
+	for i := range dims {
+		var d uint64
+		if err := binary.Read(br, le, &d); err != nil {
+			return nil, 0, err
+		}
+		dims[i] = int(d)
+		offset += 8
+	}
+	chunkDims := make([]int, rank)
+	for i := range chunkDims {
+		var d uint64
+		if err := binary.Read(br, le, &d); err != nil {
+			return nil, 0, err
+		}
+		chunkDims[i] = int(d)
+		offset += 8
+	}
+	if err := binary.Read(br, le, &filter); err != nil {
+		return nil, 0, err
+	}
+	offset++
+	var chunkCount uint32
+	if err := binary.Read(br, le, &chunkCount); err != nil {
+		return nil, 0, err
+	}
+	offset += 4
+	want := len(blocksFor(dims, chunkDims))
+	if int(chunkCount) != want {
+		return nil, 0, fmt.Errorf("chunk count %d does not match layout (%d)", chunkCount, want)
+	}
+	sizes := make([]int64, chunkCount)
+	for i := range sizes {
+		var s uint64
+		if err := binary.Read(br, le, &s); err != nil {
+			return nil, 0, err
+		}
+		sizes[i] = int64(s)
+		offset += 8
+	}
+	return &datasetMeta{
+		name:       string(name),
+		prec:       grid.Precision(prec),
+		dims:       dims,
+		chunkDims:  chunkDims,
+		filter:     FilterKind(filter),
+		chunkSizes: sizes,
+		dataOffset: offset,
+	}, offset, nil
+}
+
+// Datasets lists dataset names in file order.
+func (f *File) Datasets() []string { return append([]string(nil), f.list...) }
+
+// ReadDataset reassembles a dataset from its chunks.
+func (f *File) ReadDataset(name string) (*grid.Field, error) {
+	m, ok := f.sets[name]
+	if !ok {
+		return nil, fmt.Errorf("h5: no dataset %q", name)
+	}
+	out, err := grid.New(name, m.prec, m.dims...)
+	if err != nil {
+		return nil, err
+	}
+	chunks := blocksFor(m.dims, m.chunkDims)
+	off := m.dataOffset
+	for i, c := range chunks {
+		blob := make([]byte, m.chunkSizes[i])
+		if _, err := f.f.ReadAt(blob, off); err != nil {
+			return nil, err
+		}
+		off += m.chunkSizes[i]
+		var sub *grid.Field
+		switch m.filter {
+		case FilterNone:
+			sub, err = rawDecode(blob, m.prec, c.size)
+		case FilterLossy:
+			sub, err = compressor.Decompress(blob)
+		default:
+			err = fmt.Errorf("h5: unknown filter %d", m.filter)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("h5: chunk %d: %w", i, err)
+		}
+		implant(out, sub, c)
+	}
+	return out, nil
+}
+
+// Close releases the file handle.
+func (f *File) Close() error { return f.f.Close() }
+
+// box is an axis-aligned chunk region.
+type box struct {
+	origin []int
+	size   []int
+}
+
+func blocksFor(dims, chunkDims []int) []box {
+	rank := len(dims)
+	counts := make([]int, rank)
+	total := 1
+	for i := range dims {
+		cd := chunkDims[i]
+		if cd <= 0 {
+			cd = dims[i]
+		}
+		counts[i] = (dims[i] + cd - 1) / cd
+		total *= counts[i]
+	}
+	out := make([]box, 0, total)
+	coord := make([]int, rank)
+	for {
+		b := box{origin: make([]int, rank), size: make([]int, rank)}
+		for i := range coord {
+			cd := chunkDims[i]
+			if cd <= 0 {
+				cd = dims[i]
+			}
+			b.origin[i] = coord[i] * cd
+			sz := cd
+			if b.origin[i]+sz > dims[i] {
+				sz = dims[i] - b.origin[i]
+			}
+			b.size[i] = sz
+		}
+		out = append(out, b)
+		i := rank - 1
+		for ; i >= 0; i-- {
+			coord[i]++
+			if coord[i] < counts[i] {
+				break
+			}
+			coord[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// extract copies a chunk region into its own field.
+func extract(f *grid.Field, b box) *grid.Field {
+	sub := grid.MustNew(f.Name, f.Prec, b.size...)
+	st := f.Strides()
+	rank := f.Rank()
+	coord := make([]int, rank)
+	idx := 0
+	for {
+		flat := 0
+		for i := range coord {
+			flat += (b.origin[i] + coord[i]) * st[i]
+		}
+		sub.Data[idx] = f.Data[flat]
+		idx++
+		i := rank - 1
+		for ; i >= 0; i-- {
+			coord[i]++
+			if coord[i] < b.size[i] {
+				break
+			}
+			coord[i] = 0
+		}
+		if i < 0 {
+			return sub
+		}
+	}
+}
+
+// implant writes a chunk field back into the destination region.
+func implant(dst, sub *grid.Field, b box) {
+	st := dst.Strides()
+	rank := dst.Rank()
+	coord := make([]int, rank)
+	idx := 0
+	for {
+		flat := 0
+		for i := range coord {
+			flat += (b.origin[i] + coord[i]) * st[i]
+		}
+		dst.Data[flat] = sub.Data[idx]
+		idx++
+		i := rank - 1
+		for ; i >= 0; i-- {
+			coord[i]++
+			if coord[i] < b.size[i] {
+				break
+			}
+			coord[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// rawEncode stores a chunk without compression at its original precision.
+func rawEncode(f *grid.Field) []byte {
+	if f.Prec == grid.Float32 {
+		out := make([]byte, 4*len(f.Data))
+		for i, v := range f.Data {
+			binary.LittleEndian.PutUint32(out[i*4:], floatBits32(v))
+		}
+		return out
+	}
+	out := make([]byte, 8*len(f.Data))
+	for i, v := range f.Data {
+		binary.LittleEndian.PutUint64(out[i*8:], floatBits64(v))
+	}
+	return out
+}
+
+func rawDecode(blob []byte, prec grid.Precision, dims []int) (*grid.Field, error) {
+	f, err := grid.New("", prec, dims...)
+	if err != nil {
+		return nil, err
+	}
+	if prec == grid.Float32 {
+		if len(blob) != 4*f.Len() {
+			return nil, errors.New("h5: raw chunk size mismatch")
+		}
+		for i := range f.Data {
+			f.Data[i] = float64(floatFrom32(binary.LittleEndian.Uint32(blob[i*4:])))
+		}
+		return f, nil
+	}
+	if len(blob) != 8*f.Len() {
+		return nil, errors.New("h5: raw chunk size mismatch")
+	}
+	for i := range f.Data {
+		f.Data[i] = floatFrom64(binary.LittleEndian.Uint64(blob[i*8:]))
+	}
+	return f, nil
+}

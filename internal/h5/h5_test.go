@@ -1,0 +1,213 @@
+package h5
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"rqm/internal/compressor"
+	"rqm/internal/datagen"
+	"rqm/internal/grid"
+	"rqm/internal/predictor"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.rqh5")
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	for _, prec := range []grid.Precision{grid.Float32, grid.Float64} {
+		f := grid.MustNew("raw", prec, 10, 12)
+		for i := range f.Data {
+			f.Data[i] = float64(i) * 0.125
+		}
+		path := tmpPath(t)
+		w, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.WriteDataset("d", f, DatasetOptions{Filter: FilterNone}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rf, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rf.Close()
+		got, err := rf.ReadDataset("d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range f.Data {
+			if got.Data[i] != f.Data[i] {
+				t.Fatalf("prec %v: data[%d] = %v want %v", prec, i, got.Data[i], f.Data[i])
+			}
+		}
+	}
+}
+
+func TestChunkedLossyRoundTrip(t *testing.T) {
+	f, err := datagen.GenerateField("hurricane/U", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.ValueRange()
+	eb := (hi - lo) * 1e-3
+	path := tmpPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := w.WriteDataset("U", f, DatasetOptions{
+		ChunkDims: []int{5, 13, 13},
+		Filter:    FilterLossy,
+		Compressor: compressor.Options{
+			Predictor: predictor.Lorenzo, Mode: compressor.ABS, ErrorBound: eb,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored <= 0 || stored >= f.OriginalBytes() {
+		t.Fatalf("stored %d bytes of %d original", stored, f.OriginalBytes())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, err := rf.ReadDataset("U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.VerifyErrorBound(f, got, compressor.ABS, eb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleDatasets(t *testing.T) {
+	a := grid.MustNew("a", grid.Float32, 16)
+	b := grid.MustNew("b", grid.Float64, 4, 4)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	for i := range b.Data {
+		b.Data[i] = -float64(i)
+	}
+	path := tmpPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteDataset("a", a, DatasetOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteDataset("b", b, DatasetOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	names := rf.Datasets()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("datasets = %v", names)
+	}
+	gb, err := rf.ReadDataset("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.Data[15] != -15 {
+		t.Fatalf("b[15] = %v", gb.Data[15])
+	}
+	ga, err := rf.ReadDataset("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.Data[15] != 15 {
+		t.Fatalf("a[15] = %v", ga.Data[15])
+	}
+}
+
+func TestReadMissingDataset(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path)
+	f := grid.MustNew("x", grid.Float32, 4)
+	if _, err := w.WriteDataset("x", f, DatasetOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	if _, err := rf.ReadDataset("nope"); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+}
+
+func TestWriteAfterCloseRejected(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f := grid.MustNew("x", grid.Float32, 4)
+	if _, err := w.WriteDataset("x", f, DatasetOptions{}); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path)
+	w.Close()
+	if _, err := Open(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestChunkingPartialEdges(t *testing.T) {
+	// 7x5 with 3x3 chunks → edge chunks are partial; reassembly must be
+	// exact for the raw filter.
+	f := grid.MustNew("p", grid.Float64, 7, 5)
+	for i := range f.Data {
+		f.Data[i] = math.Sqrt(float64(i))
+	}
+	path := tmpPath(t)
+	w, _ := Create(path)
+	if _, err := w.WriteDataset("p", f, DatasetOptions{ChunkDims: []int{3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, err := rf.ReadDataset("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if got.Data[i] != f.Data[i] {
+			t.Fatalf("data[%d] = %v want %v", i, got.Data[i], f.Data[i])
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package h5
+
+import (
+	"fmt"
+	"sync"
+
+	"rqm/internal/compressor"
+	"rqm/internal/grid"
+)
+
+// filterChunks runs the chunk filter over all chunks, optionally with a
+// worker pool. Chunk order in the result matches the chunk layout, so the
+// file bytes do not depend on Workers.
+func filterChunks(fld *grid.Field, chunks []box, opts DatasetOptions) ([][]byte, error) {
+	filterOne := func(c box) ([]byte, error) {
+		sub := extract(fld, c)
+		switch opts.Filter {
+		case FilterNone:
+			return rawEncode(sub), nil
+		case FilterLossy:
+			res, err := compressor.Compress(sub, opts.Compressor)
+			if err != nil {
+				return nil, fmt.Errorf("h5: chunk filter: %w", err)
+			}
+			return res.Bytes, nil
+		}
+		return nil, fmt.Errorf("h5: unknown filter %d", opts.Filter)
+	}
+
+	payloads := make([][]byte, len(chunks))
+	if opts.Workers <= 1 || len(chunks) == 1 {
+		for i, c := range chunks {
+			blob, err := filterOne(c)
+			if err != nil {
+				return nil, err
+			}
+			payloads[i] = blob
+		}
+		return payloads, nil
+	}
+
+	workers := opts.Workers
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	type job struct{ idx int }
+	// Buffered so the producer never blocks even if workers exit early on
+	// error.
+	jobs := make(chan job, len(chunks))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := range jobs {
+				blob, err := filterOne(chunks[j.idx])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				payloads[j.idx] = blob
+			}
+		}(w)
+	}
+	for i := range chunks {
+		jobs <- job{i}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// A worker that failed may have left later chunks unprocessed; detect
+	// holes defensively.
+	for i, p := range payloads {
+		if p == nil {
+			return nil, fmt.Errorf("h5: chunk %d was not filtered", i)
+		}
+	}
+	return payloads, nil
+}

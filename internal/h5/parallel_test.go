@@ -1,0 +1,120 @@
+package h5
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rqm/internal/compressor"
+	"rqm/internal/datagen"
+	"rqm/internal/predictor"
+)
+
+// TestParallelChunkingIdenticalOutput verifies the file bytes are invariant
+// under the worker count (determinism is part of the format contract).
+func TestParallelChunkingIdenticalOutput(t *testing.T) {
+	f, err := datagen.GenerateField("hurricane/U", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.ValueRange()
+	write := func(workers int) []byte {
+		path := filepath.Join(t.TempDir(), "p.rqh5")
+		w, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.WriteDataset("U", f, DatasetOptions{
+			ChunkDims: []int{4, 30, 30},
+			Filter:    FilterLossy,
+			Workers:   workers,
+			Compressor: compressor.Options{
+				Predictor: predictor.Lorenzo, Mode: compressor.ABS, ErrorBound: (hi - lo) * 1e-3,
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	serial := write(1)
+	for _, workers := range []int{2, 4, 16} {
+		if got := write(workers); !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d produced different bytes (%d vs %d)", workers, len(got), len(serial))
+		}
+	}
+}
+
+// TestParallelChunkingErrorPropagates verifies a failing chunk surfaces an
+// error instead of deadlocking or writing a corrupt file.
+func TestParallelChunkingErrorPropagates(t *testing.T) {
+	f, err := datagen.GenerateField("hurricane/U", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "e.rqh5")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	_, err = w.WriteDataset("U", f, DatasetOptions{
+		ChunkDims: []int{4, 30, 30},
+		Filter:    FilterLossy,
+		Workers:   8,
+		Compressor: compressor.Options{
+			Predictor: predictor.Lorenzo, Mode: compressor.ABS, ErrorBound: 0, // invalid
+		},
+	})
+	if err == nil {
+		t.Fatal("invalid chunk compression accepted")
+	}
+}
+
+// TestParallelRoundTrip checks a multi-worker write still reads back within
+// the bound.
+func TestParallelRoundTrip(t *testing.T) {
+	f, err := datagen.GenerateField("scale/PRES", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.ValueRange()
+	eb := (hi - lo) * 1e-3
+	path := filepath.Join(t.TempDir(), "r.rqh5")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteDataset("PRES", f, DatasetOptions{
+		ChunkDims: []int{4, 40, 40},
+		Filter:    FilterLossy,
+		Workers:   4,
+		Compressor: compressor.Options{
+			Predictor: predictor.Interpolation, Mode: compressor.ABS, ErrorBound: eb,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, err := rf.ReadDataset("PRES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.VerifyErrorBound(f, got, compressor.ABS, eb); err != nil {
+		t.Fatal(err)
+	}
+}

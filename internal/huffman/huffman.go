@@ -1,0 +1,362 @@
+// Package huffman implements a canonical Huffman coder over uint32 symbols,
+// as used on SZ quantization codes. The codebook serializes compactly
+// (delta-varint symbols + length bytes) and decoding is canonical
+// (per-length first-code tables), so the encoder and decoder agree on
+// nothing but the serialized lengths.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"rqm/internal/bitio"
+)
+
+// MaxCodeLen bounds code lengths; frequencies are flattened until the bound
+// holds, which keeps every code within a single bitio read.
+const MaxCodeLen = 32
+
+// Codebook holds canonical codes for a symbol set.
+type Codebook struct {
+	// symbols sorted by (length asc, symbol asc) — canonical order.
+	symbols []uint32
+	lengths []uint8
+	codes   []uint32
+	// index maps symbol -> position in the canonical arrays.
+	index map[uint32]int
+	// decoding tables per length: firstCode[l], firstIndex[l], count[l].
+	firstCode  [MaxCodeLen + 2]uint32
+	firstIndex [MaxCodeLen + 2]int
+	countLen   [MaxCodeLen + 2]int
+	maxLen     uint8
+}
+
+type hNode struct {
+	freq        int64
+	sym         uint32
+	left, right *hNode
+}
+
+type hHeap []*hNode
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
+func (h *hHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Build constructs a canonical codebook from symbol frequencies. Zero-count
+// symbols are ignored; at least one positive count is required.
+func Build(freqs map[uint32]int64) (*Codebook, error) {
+	type sf struct {
+		sym  uint32
+		freq int64
+	}
+	items := make([]sf, 0, len(freqs))
+	for s, f := range freqs {
+		if f > 0 {
+			items = append(items, sf{s, f})
+		}
+	}
+	if len(items) == 0 {
+		return nil, errors.New("huffman: no symbols with positive frequency")
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].sym < items[j].sym })
+	if len(items) == 1 {
+		return fromLengths([]uint32{items[0].sym}, []uint8{1})
+	}
+	work := make([]int64, len(items))
+	for i, it := range items {
+		work[i] = it.freq
+	}
+	for {
+		lengths := treeLengths(work)
+		maxL := uint8(0)
+		for _, l := range lengths {
+			if l > maxL {
+				maxL = l
+			}
+		}
+		if maxL <= MaxCodeLen {
+			syms := make([]uint32, len(items))
+			for i, it := range items {
+				syms[i] = it.sym
+			}
+			return fromLengths(syms, lengths)
+		}
+		// Flatten the distribution and retry; converges because lengths
+		// shrink toward the balanced-tree depth ceil(log2(n)) <= 32 for any
+		// alphabet addressed by uint32 counts of this size.
+		for i := range work {
+			work[i] = (work[i] + 1) / 2
+		}
+	}
+}
+
+// treeLengths builds a Huffman tree over (freq, sym) and returns code
+// lengths per item (indexed like the input).
+func treeLengths(freqs []int64) []uint8 {
+	n := len(freqs)
+	nodes := make(hHeap, 0, n)
+	leaves := make([]*hNode, n)
+	for i, f := range freqs {
+		nd := &hNode{freq: f, sym: uint32(i)}
+		leaves[i] = nd
+		nodes = append(nodes, nd)
+	}
+	heap.Init(&nodes)
+	for nodes.Len() > 1 {
+		a := heap.Pop(&nodes).(*hNode)
+		b := heap.Pop(&nodes).(*hNode)
+		heap.Push(&nodes, &hNode{freq: a.freq + b.freq, sym: a.sym, left: a, right: b})
+	}
+	root := nodes[0]
+	lengths := make([]uint8, n)
+	// Iterative depth assignment.
+	type stackEntry struct {
+		n     *hNode
+		depth uint8
+	}
+	stack := []stackEntry{{root, 0}}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if e.n.left == nil && e.n.right == nil {
+			d := e.depth
+			if d == 0 {
+				d = 1 // single-leaf tree
+			}
+			lengths[e.n.sym] = d
+			continue
+		}
+		stack = append(stack, stackEntry{e.n.left, e.depth + 1}, stackEntry{e.n.right, e.depth + 1})
+	}
+	return lengths
+}
+
+// fromLengths assembles the canonical codebook from (symbol, length) pairs.
+func fromLengths(syms []uint32, lengths []uint8) (*Codebook, error) {
+	n := len(syms)
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		ia, ib := ord[a], ord[b]
+		if lengths[ia] != lengths[ib] {
+			return lengths[ia] < lengths[ib]
+		}
+		return syms[ia] < syms[ib]
+	})
+	cb := &Codebook{
+		symbols: make([]uint32, n),
+		lengths: make([]uint8, n),
+		codes:   make([]uint32, n),
+		index:   make(map[uint32]int, n),
+	}
+	for i, o := range ord {
+		cb.symbols[i] = syms[o]
+		cb.lengths[i] = lengths[o]
+	}
+	var code uint32
+	var prevLen uint8
+	for i := 0; i < n; i++ {
+		l := cb.lengths[i]
+		if l == 0 || l > MaxCodeLen {
+			return nil, fmt.Errorf("huffman: invalid code length %d", l)
+		}
+		if i == 0 {
+			code = 0
+		} else {
+			code = (code + 1) << (l - prevLen)
+		}
+		cb.codes[i] = code
+		prevLen = l
+		if _, dup := cb.index[cb.symbols[i]]; dup {
+			return nil, fmt.Errorf("huffman: duplicate symbol %d", cb.symbols[i])
+		}
+		cb.index[cb.symbols[i]] = i
+		// Kraft check: code must fit in l bits.
+		if l < 32 && code >= 1<<l {
+			return nil, errors.New("huffman: code lengths violate Kraft inequality")
+		}
+	}
+	cb.maxLen = cb.lengths[n-1]
+	// Decoding tables.
+	for l := uint8(1); l <= cb.maxLen; l++ {
+		cb.firstIndex[l] = -1
+	}
+	for i := 0; i < n; i++ {
+		l := cb.lengths[i]
+		if cb.firstIndex[l] == -1 {
+			cb.firstIndex[l] = i
+			cb.firstCode[l] = cb.codes[i]
+		}
+		cb.countLen[l]++
+	}
+	return cb, nil
+}
+
+// NumSymbols returns the alphabet size.
+func (cb *Codebook) NumSymbols() int { return len(cb.symbols) }
+
+// CodeLength returns the code length for sym, or ok=false if absent.
+func (cb *Codebook) CodeLength(sym uint32) (uint8, bool) {
+	i, ok := cb.index[sym]
+	if !ok {
+		return 0, false
+	}
+	return cb.lengths[i], true
+}
+
+// MeanBits computes the average code length under the given frequencies.
+func (cb *Codebook) MeanBits(freqs map[uint32]int64) float64 {
+	var bits, total int64
+	for s, f := range freqs {
+		if f <= 0 {
+			continue
+		}
+		l, ok := cb.CodeLength(s)
+		if !ok {
+			continue
+		}
+		bits += int64(l) * f
+		total += f
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(bits) / float64(total)
+}
+
+// Encode appends the codes for syms to w. Unknown symbols are an error.
+func (cb *Codebook) Encode(w *bitio.Writer, syms []uint32) error {
+	for _, s := range syms {
+		i, ok := cb.index[s]
+		if !ok {
+			return fmt.Errorf("huffman: symbol %d not in codebook", s)
+		}
+		w.WriteBits(uint64(cb.codes[i]), uint(cb.lengths[i]))
+	}
+	return nil
+}
+
+// Decode reads len(out) symbols from r using canonical decoding.
+func (cb *Codebook) Decode(r *bitio.Reader, out []uint32) error {
+	for i := range out {
+		var code uint32
+		var l uint8
+		for {
+			b, err := r.ReadBits(1)
+			if err != nil {
+				return fmt.Errorf("huffman: truncated stream at symbol %d: %w", i, err)
+			}
+			code = code<<1 | uint32(b)
+			l++
+			if l > cb.maxLen {
+				return fmt.Errorf("huffman: invalid code at symbol %d", i)
+			}
+			if cb.countLen[l] == 0 {
+				continue
+			}
+			offset := int64(code) - int64(cb.firstCode[l])
+			if offset >= 0 && offset < int64(cb.countLen[l]) {
+				out[i] = cb.symbols[cb.firstIndex[l]+int(offset)]
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Serialize emits the codebook: uvarint(count), then per canonical entry a
+// uvarint symbol delta (+1 from previous, first is absolute) and a length
+// byte. Symbols are re-sorted by value for tight deltas.
+func (cb *Codebook) Serialize() []byte {
+	n := len(cb.symbols)
+	type entry struct {
+		sym uint32
+		l   uint8
+	}
+	entries := make([]entry, n)
+	for i := range cb.symbols {
+		entries[i] = entry{cb.symbols[i], cb.lengths[i]}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].sym < entries[b].sym })
+	buf := make([]byte, 0, n*2+10)
+	var tmp [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(tmp[:], uint64(n))
+	buf = append(buf, tmp[:k]...)
+	prev := int64(-1)
+	for _, e := range entries {
+		delta := int64(e.sym) - prev
+		k := binary.PutUvarint(tmp[:], uint64(delta))
+		buf = append(buf, tmp[:k]...)
+		buf = append(buf, e.l)
+		prev = int64(e.sym)
+	}
+	return buf
+}
+
+// Parse reconstructs a codebook serialized by Serialize, returning the
+// number of bytes consumed.
+func Parse(data []byte) (*Codebook, int, error) {
+	n64, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, 0, errors.New("huffman: bad codebook count")
+	}
+	if n64 == 0 || n64 > 1<<28 {
+		return nil, 0, fmt.Errorf("huffman: unreasonable codebook size %d", n64)
+	}
+	pos := k
+	n := int(n64)
+	syms := make([]uint32, n)
+	lengths := make([]uint8, n)
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		d, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return nil, 0, errors.New("huffman: truncated codebook symbol")
+		}
+		pos += k
+		if pos >= len(data) {
+			return nil, 0, errors.New("huffman: truncated codebook length")
+		}
+		sym := prev + int64(d)
+		if sym < 0 || sym > int64(^uint32(0)) {
+			return nil, 0, errors.New("huffman: symbol out of range")
+		}
+		syms[i] = uint32(sym)
+		lengths[i] = data[pos]
+		pos++
+		prev = sym
+	}
+	cb, err := fromLengths(syms, lengths)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cb, pos, nil
+}
+
+// FreqsOf tallies symbol frequencies of a slice.
+func FreqsOf(syms []uint32) map[uint32]int64 {
+	m := make(map[uint32]int64)
+	for _, s := range syms {
+		m[s]++
+	}
+	return m
+}

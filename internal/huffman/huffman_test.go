@@ -1,0 +1,308 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rqm/internal/bitio"
+)
+
+func roundTrip(t *testing.T, syms []uint32) *Codebook {
+	t.Helper()
+	cb, err := Build(FreqsOf(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(len(syms))
+	if err := cb.Encode(w, syms); err != nil {
+		t.Fatal(err)
+	}
+	r := bitio.NewReader(w.Bytes())
+	out := make([]uint32, len(syms))
+	if err := cb.Decode(r, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range syms {
+		if out[i] != syms[i] {
+			t.Fatalf("symbol %d = %d, want %d", i, out[i], syms[i])
+		}
+	}
+	return cb
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	roundTrip(t, []uint32{1, 1, 1, 2, 2, 3, 7, 7, 7, 7, 7, 7})
+}
+
+func TestRoundTripSingleSymbol(t *testing.T) {
+	cb := roundTrip(t, []uint32{42, 42, 42, 42})
+	if l, ok := cb.CodeLength(42); !ok || l != 1 {
+		t.Fatalf("single-symbol code length = %d ok=%v", l, ok)
+	}
+}
+
+func TestRoundTripTwoSymbols(t *testing.T) {
+	roundTrip(t, []uint32{0, 1, 0, 0, 0, 1})
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	// Zipf-ish: zero dominates, like SZ quantization codes.
+	var syms []uint32
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.85:
+			syms = append(syms, 32768)
+		case r < 0.95:
+			syms = append(syms, 32769)
+		case r < 0.99:
+			syms = append(syms, 32767)
+		default:
+			syms = append(syms, uint32(32700+rng.Intn(140)))
+		}
+	}
+	cb := roundTrip(t, syms)
+	// The dominant symbol must get the shortest code.
+	lDom, _ := cb.CodeLength(32768)
+	lRare, ok := cb.CodeLength(32701)
+	if ok && lRare < lDom {
+		t.Fatalf("rare symbol shorter than dominant: %d < %d", lRare, lDom)
+	}
+}
+
+func TestBuildEmptyRejected(t *testing.T) {
+	if _, err := Build(map[uint32]int64{}); err == nil {
+		t.Fatal("empty frequency map accepted")
+	}
+	if _, err := Build(map[uint32]int64{5: 0}); err == nil {
+		t.Fatal("all-zero frequency map accepted")
+	}
+}
+
+func TestEncodeUnknownSymbol(t *testing.T) {
+	cb, _ := Build(map[uint32]int64{1: 5, 2: 5})
+	w := bitio.NewWriter(0)
+	if err := cb.Encode(w, []uint32{3}); err == nil {
+		t.Fatal("unknown symbol encoded")
+	}
+}
+
+func TestMeanBitsNearEntropy(t *testing.T) {
+	freqs := map[uint32]int64{0: 900, 1: 50, 2: 50}
+	cb, err := Build(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := cb.MeanBits(freqs)
+	// Entropy = -(0.9 log 0.9 + 2*0.05 log 0.05) ≈ 0.569; Huffman is within
+	// 1 bit of entropy and at least 1 bit per symbol here.
+	if mb < 0.569 || mb > 1.569 {
+		t.Fatalf("MeanBits = %v", mb)
+	}
+}
+
+func TestCodebookSerializeParse(t *testing.T) {
+	syms := []uint32{5, 5, 5, 1000, 1000, 70000, 3, 3, 3, 3}
+	cb, err := Build(FreqsOf(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := cb.Serialize()
+	cb2, n, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(blob) {
+		t.Fatalf("Parse consumed %d of %d bytes", n, len(blob))
+	}
+	// Encoding with cb and decoding with cb2 must agree.
+	w := bitio.NewWriter(0)
+	if err := cb.Encode(w, syms); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint32, len(syms))
+	if err := cb2.Decode(bitio.NewReader(w.Bytes()), out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range syms {
+		if out[i] != syms[i] {
+			t.Fatalf("parsed codebook decode mismatch at %d", i)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, _, err := Parse(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, _, err := Parse([]byte{200}); err == nil {
+		t.Fatal("truncated varint accepted")
+	}
+	if _, _, err := Parse([]byte{2, 1}); err == nil {
+		t.Fatal("truncated entries accepted")
+	}
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	syms := []uint32{1, 2, 3, 1, 2, 3, 1, 1, 1}
+	cb, _ := Build(FreqsOf(syms))
+	w := bitio.NewWriter(0)
+	if err := cb.Encode(w, syms); err != nil {
+		t.Fatal(err)
+	}
+	bytes := w.Bytes()
+	out := make([]uint32, len(syms)+64) // demand more symbols than encoded
+	if err := cb.Decode(bitio.NewReader(bytes), out); err == nil {
+		t.Fatal("decoding past end succeeded")
+	}
+}
+
+func TestLengthLimitedDegenerate(t *testing.T) {
+	// Fibonacci-like frequencies force deep trees; lengths must be clamped.
+	freqs := map[uint32]int64{}
+	a, b := int64(1), int64(1)
+	for i := uint32(0); i < 60; i++ {
+		freqs[i] = a
+		a, b = b, a+b
+		if a > 1<<40 {
+			break
+		}
+	}
+	cb, err := Build(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cb.symbols {
+		l, _ := cb.CodeLength(s)
+		if l > MaxCodeLen {
+			t.Fatalf("symbol %d has length %d > %d", s, l, MaxCodeLen)
+		}
+	}
+	// And the codebook must still round-trip data.
+	var syms []uint32
+	for s := range freqs {
+		syms = append(syms, s, s)
+	}
+	w := bitio.NewWriter(0)
+	if err := cb.Encode(w, syms); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint32, len(syms))
+	if err := cb.Decode(bitio.NewReader(w.Bytes()), out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary random symbol streams round-trip.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, lnRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(lnRaw)%500 + 1
+		alpha := rng.Intn(30) + 1
+		syms := make([]uint32, n)
+		for i := range syms {
+			// Geometric-ish distribution over a small alphabet.
+			v := uint32(0)
+			for v < uint32(alpha-1) && rng.Float64() < 0.5 {
+				v++
+			}
+			syms[i] = v * 7
+		}
+		cb, err := Build(FreqsOf(syms))
+		if err != nil {
+			return false
+		}
+		w := bitio.NewWriter(0)
+		if err := cb.Encode(w, syms); err != nil {
+			return false
+		}
+		out := make([]uint32, n)
+		if err := cb.Decode(bitio.NewReader(w.Bytes()), out); err != nil {
+			return false
+		}
+		for i := range syms {
+			if out[i] != syms[i] {
+				return false
+			}
+		}
+		// Serialized codebook must reconstruct and agree.
+		cb2, _, err := Parse(cb.Serialize())
+		if err != nil {
+			return false
+		}
+		out2 := make([]uint32, n)
+		if err := cb2.Decode(bitio.NewReader(w.Bytes()), out2); err != nil {
+			return false
+		}
+		for i := range syms {
+			if out2[i] != syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean code length is within 1 bit of the source entropy
+// (Huffman optimality bound), provided entropy >= 1 bit.
+func TestQuickNearEntropyBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		freqs := map[uint32]int64{}
+		n := rng.Intn(40) + 2
+		var total int64
+		for i := 0; i < n; i++ {
+			c := int64(rng.Intn(1000) + 1)
+			freqs[uint32(i)] = c
+			total += c
+		}
+		cb, err := Build(freqs)
+		if err != nil {
+			return false
+		}
+		var entropy float64
+		for _, c := range freqs {
+			p := float64(c) / float64(total)
+			entropy -= p * math.Log2(p)
+		}
+		mb := cb.MeanBits(freqs)
+		return mb >= entropy-1e-9 && mb <= entropy+1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	syms := make([]uint32, 1<<16)
+	for i := range syms {
+		if rng.Float64() < 0.8 {
+			syms[i] = 100
+		} else {
+			syms[i] = uint32(90 + rng.Intn(20))
+		}
+	}
+	cb, err := Build(FreqsOf(syms))
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]uint32, len(syms))
+	b.SetBytes(int64(len(syms) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := bitio.NewWriter(len(syms) / 2)
+		if err := cb.Encode(w, syms); err != nil {
+			b.Fatal(err)
+		}
+		if err := cb.Decode(bitio.NewReader(w.Bytes()), out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

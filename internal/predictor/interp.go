@@ -1,0 +1,167 @@
+package predictor
+
+import (
+	"rqm/internal/grid"
+	"rqm/internal/stats"
+)
+
+// interpPredictor implements SZ3-style multilevel interpolation: levels from
+// coarse to fine, each level sweeping every dimension and predicting points
+// at odd multiples of the level stride from already-known neighbors on the
+// twice-coarser grid. With cubic enabled, a 4-point spline is used where all
+// four neighbors exist.
+type interpPredictor struct {
+	cubic bool
+}
+
+func (p interpPredictor) Kind() Kind {
+	if p.cubic {
+		return InterpolationCubic
+	}
+	return Interpolation
+}
+
+func (p interpPredictor) Supports(rank int) bool { return rank >= 1 && rank <= 4 }
+
+// maxLevelFor returns the number of interpolation levels: smallest L with
+// 2^L >= max(dims).
+func maxLevelFor(dims []int) int {
+	maxDim := 1
+	for _, d := range dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	l := 0
+	for (1 << l) < maxDim {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}
+
+func (p interpPredictor) CompressWalk(dims []int, work []float64, visit Visit) ([]byte, error) {
+	if err := checkWalkArgs(p, dims, work); err != nil {
+		return nil, err
+	}
+	p.walk(dims, work, visit)
+	return nil, nil
+}
+
+func (p interpPredictor) DecompressWalk(dims []int, work []float64, aux []byte, visit Visit) error {
+	if err := checkWalkArgs(p, dims, work); err != nil {
+		return err
+	}
+	p.walk(dims, work, visit)
+	return nil
+}
+
+func (p interpPredictor) walk(dims []int, work []float64, visit Visit) {
+	// Anchor point: predicted as 0.
+	visit(0, 0)
+	st := strides(dims)
+	for level := maxLevelFor(dims); level >= 1; level-- {
+		s := 1 << (level - 1)
+		for d := range dims {
+			p.sweep(dims, st, work, d, s, func(idx int, pred float64) {
+				visit(idx, pred)
+			})
+		}
+	}
+}
+
+// sweep predicts all points whose coordinate along dim d is an odd multiple
+// of s, with coords along dims < d on the s-grid and dims > d on the 2s-grid.
+// fn receives the flat index and the interpolated prediction (reading from
+// work, which holds known values).
+func (p interpPredictor) sweep(dims, st []int, work []float64, d, s int, fn func(idx int, pred float64)) {
+	rank := len(dims)
+	if s >= dims[d] {
+		return // no odd multiple of s inside this dimension
+	}
+	// Odometer over the free dims.
+	coord := make([]int, rank)
+	steps := make([]int, rank)
+	for j := 0; j < rank; j++ {
+		if j < d {
+			steps[j] = s
+		} else {
+			steps[j] = 2 * s
+		}
+	}
+	stD := st[d]
+	dimD := dims[d]
+	for {
+		// Base offset for this line (coord[d] == 0 here).
+		base := 0
+		for j := 0; j < rank; j++ {
+			if j != d {
+				base += coord[j] * st[j]
+			}
+		}
+		for c := s; c < dimD; c += 2 * s {
+			idx := base + c*stD
+			a := work[idx-s*stD] // coord c-s always >= 0
+			var pred float64
+			hasB := c+s < dimD
+			if p.cubic && c-3*s >= 0 && c+3*s < dimD {
+				a3 := work[idx-3*s*stD]
+				b1 := work[idx+s*stD]
+				b3 := work[idx+3*s*stD]
+				pred = (-a3 + 9*a + 9*b1 - b3) / 16
+			} else if hasB {
+				pred = (a + work[idx+s*stD]) / 2
+			} else {
+				pred = a
+			}
+			fn(idx, pred)
+		}
+		// Advance the odometer over free dims.
+		j := rank - 1
+		for ; j >= 0; j-- {
+			if j == d {
+				continue
+			}
+			coord[j] += steps[j]
+			if coord[j] < dims[j] {
+				break
+			}
+			coord[j] = 0
+		}
+		if j < 0 {
+			return
+		}
+	}
+}
+
+// SampleErrors uses the paper's level-aware strategy: every sweep point is a
+// candidate and is sampled with uniform probability, which makes the number
+// of samples per level shrink by 2^-rank from fine to coarse exactly as the
+// level populations do. Predictions use original values (§III-C4).
+func (p interpPredictor) SampleErrors(f *grid.Field, rate float64, seed uint64) []float64 {
+	dims := f.Dims
+	st := strides(dims)
+	rng := stats.NewXorShift64(seed)
+	out := make([]float64, 0, sampleCap(f.Len(), rate))
+	for level := maxLevelFor(dims); level >= 1; level-- {
+		s := 1 << (level - 1)
+		for d := range dims {
+			p.sweep(dims, st, f.Data, d, s, func(idx int, pred float64) {
+				if rng.Float64() < rate {
+					out = append(out, pred-f.Data[idx])
+				}
+			})
+		}
+	}
+	if len(out) == 0 && f.Len() > 1 {
+		// Degenerate rate: fall back to one deterministic sample.
+		p.sweep(dims, st, f.Data, 0, 1, func(idx int, pred float64) {
+			if len(out) == 0 {
+				out = append(out, pred-f.Data[idx])
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package predictor
+
+import (
+	"math/bits"
+
+	"rqm/internal/grid"
+	"rqm/internal/stats"
+)
+
+// lorenzoPredictor implements the order-1 Lorenzo predictor for rank 1–4
+// (inclusion–exclusion over the 2^rank−1 backward neighbors, missing
+// neighbors contribute 0, as in SZ) and the order-2 variant for 1D streams.
+type lorenzoPredictor struct {
+	order int // 1 or 2
+}
+
+func (l lorenzoPredictor) Kind() Kind {
+	if l.order == 2 {
+		return Lorenzo2
+	}
+	return Lorenzo
+}
+
+func (l lorenzoPredictor) Supports(rank int) bool {
+	if l.order == 2 {
+		return rank == 1
+	}
+	return rank >= 1 && rank <= 4
+}
+
+func (l lorenzoPredictor) CompressWalk(dims []int, work []float64, visit Visit) ([]byte, error) {
+	if err := checkWalkArgs(l, dims, work); err != nil {
+		return nil, err
+	}
+	l.walk(dims, work, visit)
+	return nil, nil
+}
+
+func (l lorenzoPredictor) DecompressWalk(dims []int, work []float64, aux []byte, visit Visit) error {
+	if err := checkWalkArgs(l, dims, work); err != nil {
+		return err
+	}
+	l.walk(dims, work, visit)
+	return nil
+}
+
+func (l lorenzoPredictor) walk(dims []int, work []float64, visit Visit) {
+	switch {
+	case l.order == 2:
+		walkLorenzo2(dims[0], work, visit)
+	case len(dims) == 1:
+		walkLorenzo1D(dims[0], work, visit)
+	case len(dims) == 2:
+		walkLorenzo2D(dims, work, visit)
+	case len(dims) == 3:
+		walkLorenzo3D(dims, work, visit)
+	default:
+		walkLorenzoND(dims, work, visit)
+	}
+}
+
+func walkLorenzo1D(n int, work []float64, visit Visit) {
+	prev := 0.0
+	for i := 0; i < n; i++ {
+		visit(i, prev)
+		prev = work[i]
+	}
+}
+
+func walkLorenzo2(n int, work []float64, visit Visit) {
+	for i := 0; i < n; i++ {
+		var pred float64
+		switch {
+		case i >= 2:
+			pred = 2*work[i-1] - work[i-2]
+		case i == 1:
+			pred = work[0]
+		}
+		visit(i, pred)
+	}
+}
+
+func walkLorenzo2D(dims []int, work []float64, visit Visit) {
+	rows, cols := dims[0], dims[1]
+	for i := 0; i < rows; i++ {
+		row := i * cols
+		for j := 0; j < cols; j++ {
+			var a, b, c float64 // west, north, northwest
+			if j > 0 {
+				a = work[row+j-1]
+			}
+			if i > 0 {
+				b = work[row-cols+j]
+				if j > 0 {
+					c = work[row-cols+j-1]
+				}
+			}
+			visit(row+j, a+b-c)
+		}
+	}
+}
+
+func walkLorenzo3D(dims []int, work []float64, visit Visit) {
+	d0, d1, d2 := dims[0], dims[1], dims[2]
+	s0 := d1 * d2
+	for i := 0; i < d0; i++ {
+		for j := 0; j < d1; j++ {
+			base := i*s0 + j*d2
+			for k := 0; k < d2; k++ {
+				idx := base + k
+				var f100, f010, f001, f110, f101, f011, f111 float64
+				if i > 0 {
+					f100 = work[idx-s0]
+				}
+				if j > 0 {
+					f010 = work[idx-d2]
+				}
+				if k > 0 {
+					f001 = work[idx-1]
+				}
+				if i > 0 && j > 0 {
+					f110 = work[idx-s0-d2]
+				}
+				if i > 0 && k > 0 {
+					f101 = work[idx-s0-1]
+				}
+				if j > 0 && k > 0 {
+					f011 = work[idx-d2-1]
+				}
+				if i > 0 && j > 0 && k > 0 {
+					f111 = work[idx-s0-d2-1]
+				}
+				visit(idx, f100+f010+f001-f110-f101-f011+f111)
+			}
+		}
+	}
+}
+
+// walkLorenzoND is the generic inclusion–exclusion Lorenzo walk (used for 4D).
+func walkLorenzoND(dims []int, work []float64, visit Visit) {
+	rank := len(dims)
+	st := strides(dims)
+	n := totalLen(dims)
+	coord := make([]int, rank)
+	for idx := 0; idx < n; idx++ {
+		pred := lorenzoPredictND(work, coord, st, rank, idx)
+		visit(idx, pred)
+		for d := rank - 1; d >= 0; d-- {
+			coord[d]++
+			if coord[d] < dims[d] {
+				break
+			}
+			coord[d] = 0
+		}
+	}
+}
+
+func lorenzoPredictND(work []float64, coord, st []int, rank, idx int) float64 {
+	var pred float64
+	for mask := 1; mask < 1<<rank; mask++ {
+		off := idx
+		ok := true
+		for d := 0; d < rank; d++ {
+			if mask&(1<<d) != 0 {
+				if coord[d] == 0 {
+					ok = false
+					break
+				}
+				off -= st[d]
+			}
+		}
+		if !ok {
+			continue
+		}
+		if bits.OnesCount(uint(mask))%2 == 1 {
+			pred += work[off]
+		} else {
+			pred -= work[off]
+		}
+	}
+	return pred
+}
+
+// SampleErrors for Lorenzo: random point sampling; for each sampled point the
+// Lorenzo prediction is computed from *original* neighbor values (paper
+// §III-C1 and §III-C4). The very first point has no neighbors (prediction 0,
+// a giant outlier the compressor effectively stores raw), so it is excluded
+// from the error distribution.
+func (l lorenzoPredictor) SampleErrors(f *grid.Field, rate float64, seed uint64) []float64 {
+	n := f.Len()
+	idxs := stats.SampleIndices(n, rate, seed)
+	out := make([]float64, 0, len(idxs))
+	dims := f.Dims
+	rank := len(dims)
+	st := strides(dims)
+	coord := make([]int, rank)
+	for _, idx := range idxs {
+		if idx == 0 {
+			continue
+		}
+		rem := idx
+		for d := rank - 1; d >= 0; d-- {
+			coord[d] = rem % dims[d]
+			rem /= dims[d]
+		}
+		var pred float64
+		if l.order == 2 {
+			switch {
+			case idx >= 2:
+				pred = 2*f.Data[idx-1] - f.Data[idx-2]
+			case idx == 1:
+				pred = f.Data[0]
+			}
+		} else {
+			pred = lorenzoPredictND(f.Data, coord, st, rank, idx)
+		}
+		out = append(out, pred-f.Data[idx])
+	}
+	return out
+}

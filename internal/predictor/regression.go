@@ -1,0 +1,229 @@
+package predictor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"rqm/internal/grid"
+	"rqm/internal/stats"
+)
+
+// RegressionBlockEdge is the block edge used by the regression predictor,
+// matching SZ's 6x6(x6) blocks.
+const RegressionBlockEdge = 6
+
+// regressionPredictor fits an affine model b0 + Σ b_d·t_d per block (t_d is
+// the local coordinate). Coefficients are rounded to float32 and carried as
+// a side channel; both compression and decompression predict from the
+// rounded coefficients, so the error bound is preserved regardless of the
+// coefficient precision.
+type regressionPredictor struct{}
+
+func (regressionPredictor) Kind() Kind             { return Regression }
+func (regressionPredictor) Supports(rank int) bool { return rank >= 1 && rank <= 4 }
+
+// block mirrors grid.Block but is local to dims-based walks.
+type block struct {
+	origin []int
+	size   []int
+}
+
+func blocksOf(dims []int, edge int) []block {
+	rank := len(dims)
+	counts := make([]int, rank)
+	total := 1
+	for i, d := range dims {
+		counts[i] = (d + edge - 1) / edge
+		total *= counts[i]
+	}
+	out := make([]block, 0, total)
+	coord := make([]int, rank)
+	for {
+		b := block{origin: make([]int, rank), size: make([]int, rank)}
+		for i := range coord {
+			b.origin[i] = coord[i] * edge
+			sz := edge
+			if b.origin[i]+sz > dims[i] {
+				sz = dims[i] - b.origin[i]
+			}
+			b.size[i] = sz
+		}
+		out = append(out, b)
+		i := rank - 1
+		for ; i >= 0; i-- {
+			coord[i]++
+			if coord[i] < counts[i] {
+				break
+			}
+			coord[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return out
+}
+
+// forEachInBlock iterates the block in scan order, passing the flat index
+// and local coordinates (valid until return).
+func forEachInBlock(dims []int, st []int, b block, fn func(flat int, local []int)) {
+	rank := len(dims)
+	local := make([]int, rank)
+	for {
+		flat := 0
+		for i := range local {
+			flat += (b.origin[i] + local[i]) * st[i]
+		}
+		fn(flat, local)
+		i := rank - 1
+		for ; i >= 0; i-- {
+			local[i]++
+			if local[i] < b.size[i] {
+				break
+			}
+			local[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// fitBlock computes least-squares affine coefficients for the block from
+// `data`. On a full tensor grid the centered regressors are orthogonal, so
+// each slope is cov(t_d, f)/var(t_d).
+func fitBlock(dims, st []int, b block, data []float64) []float64 {
+	rank := len(dims)
+	n := 1
+	for _, s := range b.size {
+		n *= s
+	}
+	meanT := make([]float64, rank)
+	varT := make([]float64, rank)
+	for d := 0; d < rank; d++ {
+		m := float64(b.size[d])
+		meanT[d] = (m - 1) / 2
+		varT[d] = (m*m - 1) / 12
+	}
+	var sumF float64
+	covTF := make([]float64, rank)
+	forEachInBlock(dims, st, b, func(flat int, local []int) {
+		v := data[flat]
+		sumF += v
+		for d := 0; d < rank; d++ {
+			covTF[d] += (float64(local[d]) - meanT[d]) * v
+		}
+	})
+	meanF := sumF / float64(n)
+	coef := make([]float64, rank+1)
+	for d := 0; d < rank; d++ {
+		if varT[d] > 0 {
+			coef[d+1] = covTF[d] / (varT[d] * float64(n))
+		}
+	}
+	c0 := meanF
+	for d := 0; d < rank; d++ {
+		c0 -= coef[d+1] * meanT[d]
+	}
+	coef[0] = c0
+	return coef
+}
+
+// roundCoef rounds coefficients to float32 (the stored precision).
+func roundCoef(coef []float64) []float64 {
+	out := make([]float64, len(coef))
+	for i, c := range coef {
+		out[i] = float64(float32(c))
+	}
+	return out
+}
+
+func (p regressionPredictor) CompressWalk(dims []int, work []float64, visit Visit) ([]byte, error) {
+	if err := checkWalkArgs(p, dims, work); err != nil {
+		return nil, err
+	}
+	st := strides(dims)
+	bls := blocksOf(dims, RegressionBlockEdge)
+	aux := make([]byte, 0, len(bls)*(len(dims)+1)*4)
+	var scratch [4]byte
+	for _, b := range bls {
+		coef := roundCoef(fitBlock(dims, st, b, work))
+		for _, c := range coef {
+			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(float32(c)))
+			aux = append(aux, scratch[:]...)
+		}
+		forEachInBlock(dims, st, b, func(flat int, local []int) {
+			pred := coef[0]
+			for d := range local {
+				pred += coef[d+1] * float64(local[d])
+			}
+			visit(flat, pred)
+		})
+	}
+	return aux, nil
+}
+
+func (p regressionPredictor) DecompressWalk(dims []int, work []float64, aux []byte, visit Visit) error {
+	if err := checkWalkArgs(p, dims, work); err != nil {
+		return err
+	}
+	st := strides(dims)
+	bls := blocksOf(dims, RegressionBlockEdge)
+	rank := len(dims)
+	need := len(bls) * (rank + 1) * 4
+	if len(aux) != need {
+		return fmt.Errorf("predictor: regression aux has %d bytes, want %d", len(aux), need)
+	}
+	off := 0
+	coef := make([]float64, rank+1)
+	for _, b := range bls {
+		for i := range coef {
+			coef[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(aux[off:])))
+			off += 4
+		}
+		forEachInBlock(dims, st, b, func(flat int, local []int) {
+			pred := coef[0]
+			for d := range local {
+				pred += coef[d+1] * float64(local[d])
+			}
+			visit(flat, pred)
+		})
+	}
+	return nil
+}
+
+// AuxBitsPerValue reports the side-channel overhead of the regression
+// predictor in bits per value for a field shape; the ratio-quality model
+// adds it to the estimated bit-rate.
+func AuxBitsPerValue(dims []int) float64 {
+	bls := blocksOf(dims, RegressionBlockEdge)
+	total := totalLen(dims)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(bls)*(len(dims)+1)*32) / float64(total)
+}
+
+// SampleErrors samples whole blocks (paper §III-C3): a fraction `rate` of
+// blocks is selected, each is fitted on original values, and all residuals
+// in selected blocks are collected.
+func (p regressionPredictor) SampleErrors(f *grid.Field, rate float64, seed uint64) []float64 {
+	dims := f.Dims
+	st := strides(dims)
+	bls := blocksOf(dims, RegressionBlockEdge)
+	picked := stats.SampleIndices(len(bls), rate, seed)
+	out := make([]float64, 0, sampleCap(f.Len(), rate))
+	for _, bi := range picked {
+		b := bls[bi]
+		coef := roundCoef(fitBlock(dims, st, b, f.Data))
+		forEachInBlock(dims, st, b, func(flat int, local []int) {
+			pred := coef[0]
+			for d := range local {
+				pred += coef[d+1] * float64(local[d])
+			}
+			out = append(out, pred-f.Data[flat])
+		})
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"rqm/internal/grid"
+	"rqm/internal/stats"
+)
+
+func mkField(t *testing.T, vals []float64, dims ...int) *grid.Field {
+	t.Helper()
+	f, err := grid.FromData("f", grid.Float64, vals, dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestMSEAndPSNR(t *testing.T) {
+	a := mkField(t, []float64{0, 1, 2, 3}, 4)
+	b := mkField(t, []float64{0.1, 1.1, 1.9, 3}, 4)
+	mse, err := MSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.01 + 0.01 + 0.01 + 0) / 4
+	if math.Abs(mse-want) > 1e-12 {
+		t.Fatalf("MSE = %v, want %v", mse, want)
+	}
+	psnr, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPSNR := 20*math.Log10(3) - 10*math.Log10(want)
+	if math.Abs(psnr-wantPSNR) > 1e-9 {
+		t.Fatalf("PSNR = %v, want %v", psnr, wantPSNR)
+	}
+}
+
+func TestPSNRIdenticalInf(t *testing.T) {
+	a := mkField(t, []float64{1, 2, 3}, 3)
+	psnr, err := PSNR(a, a.Clone())
+	if err != nil || !math.IsInf(psnr, 1) {
+		t.Fatalf("PSNR identical = %v, %v", psnr, err)
+	}
+}
+
+func TestMSESizeMismatch(t *testing.T) {
+	a := mkField(t, []float64{1, 2, 3}, 3)
+	b := mkField(t, []float64{1, 2}, 2)
+	if _, err := MSE(a, b); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestGlobalSSIMIdentical(t *testing.T) {
+	a := mkField(t, []float64{1, 5, 2, 8, 3, 9}, 6)
+	s, err := GlobalSSIM(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("SSIM identical = %v", s)
+	}
+}
+
+func TestGlobalSSIMDecreasesWithNoise(t *testing.T) {
+	n := 4096
+	a := grid.MustNew("a", grid.Float64, n)
+	rng := stats.NewXorShift64(1)
+	for i := range a.Data {
+		a.Data[i] = math.Sin(float64(i) * 0.01)
+	}
+	prev := 1.0
+	for _, sigma := range []float64{0.01, 0.05, 0.2} {
+		b := a.Clone()
+		r2 := stats.NewXorShift64(2)
+		for i := range b.Data {
+			b.Data[i] += sigma * r2.NormFloat64()
+		}
+		s, err := GlobalSSIM(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s >= prev {
+			t.Fatalf("SSIM did not decrease with noise %v: %v >= %v", sigma, s, prev)
+		}
+		prev = s
+	}
+	_ = rng
+}
+
+func TestWindowedSSIMBounds(t *testing.T) {
+	a := grid.MustNew("a", grid.Float64, 32, 32)
+	rng := stats.NewXorShift64(3)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	b := a.Clone()
+	for i := range b.Data {
+		b.Data[i] += 0.05 * rng.NormFloat64()
+	}
+	s, err := WindowedSSIM(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 || s > 1 {
+		t.Fatalf("windowed SSIM = %v", s)
+	}
+	sIdent, _ := WindowedSSIM(a, a.Clone(), 8)
+	if math.Abs(sIdent-1) > 1e-12 {
+		t.Fatalf("windowed SSIM identical = %v", sIdent)
+	}
+}
+
+func TestSpectrumDistortionCleanVsNoisy(t *testing.T) {
+	a := grid.MustNew("a", grid.Float64, 32, 32)
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			a.Data[i*32+j] = math.Sin(2*math.Pi*3*float64(j)/32) + 0.5*math.Cos(2*math.Pi*5*float64(i)/32)
+		}
+	}
+	_, rmsSame, err := SpectrumDistortion(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmsSame > 1e-12 {
+		t.Fatalf("identical spectrum distortion = %v", rmsSame)
+	}
+	b := a.Clone()
+	rng := stats.NewXorShift64(4)
+	for i := range b.Data {
+		b.Data[i] += 0.3 * rng.NormFloat64()
+	}
+	_, rmsNoisy, err := SpectrumDistortion(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmsNoisy <= rmsSame {
+		t.Fatal("noise did not increase spectrum distortion")
+	}
+}
+
+func TestAccuracyOfEstimate(t *testing.T) {
+	// Perfect estimates → error rate 0.
+	if e := AccuracyOfEstimate([]float64{1, 2, 3}, []float64{1, 2, 3}); e > 1e-12 {
+		t.Fatalf("perfect estimate error = %v", e)
+	}
+	// A constant multiplicative bias has zero STD of ratios → error 0 (the
+	// paper's metric measures consistency, not bias).
+	if e := AccuracyOfEstimate([]float64{2, 4, 6}, []float64{1, 2, 3}); e > 1e-12 {
+		t.Fatalf("constant-bias error = %v", e)
+	}
+	// Scattered ratios → positive error below 1.
+	e := AccuracyOfEstimate([]float64{1, 2, 3, 4}, []float64{1.2, 1.7, 3.4, 3.7})
+	if e <= 0 || e >= 1 {
+		t.Fatalf("scattered error = %v", e)
+	}
+	// Zero estimates are skipped.
+	if e := AccuracyOfEstimate([]float64{1, 2}, []float64{0, 2}); e != 0 {
+		t.Fatalf("zero-handling error = %v", e)
+	}
+}

@@ -1,0 +1,304 @@
+package transform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rqm/internal/compressor"
+	"rqm/internal/core"
+	"rqm/internal/datagen"
+	"rqm/internal/grid"
+	"rqm/internal/predictor"
+	"rqm/internal/quality"
+	"rqm/internal/stats"
+)
+
+func TestHaar4RoundTrip(t *testing.T) {
+	f := func(a, b, c, d int32) bool {
+		p := []int64{int64(a), int64(b), int64(c), int64(d)}
+		want := append([]int64(nil), p...)
+		haar4Fwd(p, 1)
+		haar4Inv(p, 1)
+		for i := range p {
+			if p[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaar4Decorrelates(t *testing.T) {
+	// A constant line transforms to (c, 0, 0, 0).
+	p := []int64{7, 7, 7, 7}
+	haar4Fwd(p, 1)
+	if p[0] != 7 || p[1] != 0 || p[2] != 0 || p[3] != 0 {
+		t.Fatalf("constant line -> %v", p)
+	}
+	// A linear ramp concentrates energy in the low coefficients.
+	p = []int64{0, 10, 20, 30}
+	haar4Fwd(p, 1)
+	if abs64(p[0]) < abs64(p[3]) {
+		t.Fatalf("ramp energy not concentrated: %v", p)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestBlockTransformRoundTrip(t *testing.T) {
+	rng := stats.NewXorShift64(3)
+	for rank := 1; rank <= 4; rank++ {
+		n := 1 << (2 * rank)
+		buf := make([]int64, n)
+		want := make([]int64, n)
+		for i := range buf {
+			buf[i] = int64(rng.Intn(20001) - 10000)
+			want[i] = buf[i]
+		}
+		fwdBlock(buf, rank)
+		invBlock(buf, rank)
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("rank %d: block transform not invertible at %d", rank, i)
+			}
+		}
+	}
+}
+
+func TestCompressDecompressErrorBound(t *testing.T) {
+	for _, name := range []string{"cesm/TS", "miranda/vx", "hurricane/U"} {
+		f, err := datagen.GenerateField(name, 42, datagen.Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := f.ValueRange()
+		for _, rel := range []float64{1e-4, 1e-2} {
+			eb := rel * (hi - lo)
+			res, err := Compress(f, Options{ErrorBound: eb})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			dec, err := Decompress(res.Bytes)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := compressor.VerifyErrorBound(f, dec, compressor.ABS, eb); err != nil {
+				t.Fatalf("%s eb=%g: %v", name, eb, err)
+			}
+			if res.Stats.Ratio <= 1 {
+				t.Errorf("%s eb=%g: ratio %.2f", name, eb, res.Stats.Ratio)
+			}
+		}
+	}
+}
+
+func TestCompress4D(t *testing.T) {
+	f, err := datagen.GenerateField("exafel/raw", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.ValueRange()
+	eb := (hi - lo) * 1e-2
+	res, err := Compress(f, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(res.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.VerifyErrorBound(f, dec, compressor.ABS, eb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressValidation(t *testing.T) {
+	f := grid.MustNew("x", grid.Float32, 8)
+	if _, err := Compress(nil, Options{ErrorBound: 1}); err == nil {
+		t.Fatal("nil field accepted")
+	}
+	if _, err := Compress(f, Options{ErrorBound: 0}); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+	f.Data[0] = 1e300
+	if _, err := Compress(f, Options{ErrorBound: 1e-280}); err == nil {
+		t.Fatal("code overflow accepted")
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	if _, err := Decompress(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	f := grid.MustNew("x", grid.Float32, 16)
+	for i := range f.Data {
+		f.Data[i] = float64(i)
+	}
+	res, err := Compress(f, Options{ErrorBound: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(res.Bytes[:8]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	bad := append([]byte(nil), res.Bytes...)
+	bad[0] ^= 0xFF
+	if _, err := Decompress(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestPartialEdgeBlocks(t *testing.T) {
+	// 7x5: edge blocks are padded; the padding must not leak into output.
+	f := grid.MustNew("p", grid.Float64, 7, 5)
+	rng := stats.NewXorShift64(9)
+	for i := range f.Data {
+		f.Data[i] = 100 * rng.NormFloat64()
+	}
+	res, err := Compress(f, Options{ErrorBound: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(res.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressor.VerifyErrorBound(f, dec, compressor.ABS, 0.01); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickErrorBoundProperty(t *testing.T) {
+	f := func(seed uint64, ebExp uint8) bool {
+		rng := stats.NewXorShift64(seed)
+		dims := []int{5 + rng.Intn(12), 5 + rng.Intn(12)}
+		fld := grid.MustNew("q", grid.Float32, dims...)
+		for i := range fld.Data {
+			fld.Data[i] = 50 * rng.NormFloat64()
+		}
+		eb := math.Pow(10, -float64(ebExp%4)) // 1..1e-3
+		res, err := Compress(fld, Options{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(res.Bytes)
+		if err != nil {
+			return false
+		}
+		return compressor.VerifyErrorBound(fld, dec, compressor.ABS, eb) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelTracksTransformBitRate(t *testing.T) {
+	f, err := datagen.GenerateField("scale/PRES", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := NewProfile(f, 0.3, 7, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Kind != TransformKind {
+		t.Fatalf("profile kind = %v", prof.Kind)
+	}
+	lo, hi := f.ValueRange()
+	var meas, est []float64
+	for _, rel := range []float64{1e-4, 1e-3, 1e-2} {
+		eb := rel * (hi - lo)
+		res, err := Compress(f, Options{ErrorBound: eb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The measured payload uses class+extra-bits coding; compare the
+		// model's Huffman bit-rate against the payload bits per value.
+		meas = append(meas, float64(res.Stats.PayloadBits)/float64(f.Len()))
+		est = append(est, prof.EstimateAt(eb).HuffmanBitRate)
+	}
+	if errRate := quality.AccuracyOfEstimate(meas, est); errRate > 0.25 {
+		t.Errorf("transform model bit-rate error %.1f%% (meas %v, est %v)", errRate*100, meas, est)
+	}
+}
+
+func TestModelPSNRForTransform(t *testing.T) {
+	f, err := datagen.GenerateField("miranda/vx", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := NewProfile(f, 0.3, 7, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.ValueRange()
+	eb := (hi - lo) * 1e-3
+	res, err := Compress(f, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(res.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := quality.PSNR(f, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value-domain quantization gives a near-uniform error: the Eq. 10
+	// estimate should land within a few dB.
+	if math.Abs(psnr-prof.EstimateAt(eb).PSNRUniform) > 4 {
+		t.Errorf("PSNR measured %.2f vs modeled %.2f", psnr, prof.EstimateAt(eb).PSNRUniform)
+	}
+}
+
+func TestTransformVsPredictionTradeoffExists(t *testing.T) {
+	// Sanity for the codec-selection extension: both codecs produce valid,
+	// bounded output and the comparison is meaningful (ratios within a
+	// couple orders of magnitude of each other).
+	f, err := datagen.GenerateField("cesm/TS", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.ValueRange()
+	eb := (hi - lo) * 1e-3
+	tr, err := Compress(f, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, err := compressor.Compress(f, compressor.Options{
+		Predictor: predictor.Lorenzo, Mode: compressor.ABS, ErrorBound: eb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.Ratio < sz.Stats.Ratio/100 || tr.Stats.Ratio > sz.Stats.Ratio*100 {
+		t.Errorf("implausible ratio gap: transform %.2f vs prediction %.2f",
+			tr.Stats.Ratio, sz.Stats.Ratio)
+	}
+}
+
+func BenchmarkTransformCompress(b *testing.B) {
+	f, err := datagen.GenerateField("nyx/temperature", 1, datagen.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := f.ValueRange()
+	opts := Options{ErrorBound: (hi - lo) * 1e-3}
+	b.SetBytes(f.OriginalBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

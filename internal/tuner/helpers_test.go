@@ -1,0 +1,24 @@
+package tuner
+
+import (
+	"testing"
+
+	"rqm/internal/compressor"
+	"rqm/internal/datagen"
+	"rqm/internal/grid"
+)
+
+// fieldForBudget returns a small noisy field for budget-stress tests.
+func fieldForBudget(t *testing.T) *grid.Field {
+	t.Helper()
+	f, err := datagen.GenerateField("hacc/vx", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// compressorOptions returns default compressor options for tuner tests.
+func compressorOptions() compressor.Options {
+	return compressor.Options{Lossless: compressor.LosslessRLE}
+}

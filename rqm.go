@@ -1,0 +1,257 @@
+// Package rqm is a Go implementation of ratio-quality modeling for
+// prediction-based error-bounded lossy compression, reproducing "Improving
+// Prediction-Based Lossy Compression Dramatically via Ratio-Quality
+// Modeling" (Jin et al., ICDE 2022).
+//
+// The package bundles three layers:
+//
+//   - A complete SZ3-style lossy compressor (Lorenzo / multilevel
+//     interpolation / block regression predictors, linear-scaling
+//     quantization, canonical Huffman coding, and optional lossless
+//     backends) with guaranteed pointwise error bounds.
+//   - The paper's analytical ratio-quality model: after one cheap sampling
+//     pass, it estimates compression ratio and post-hoc quality (PSNR,
+//     SSIM, FFT spectra) for any error bound, and solves the inverse
+//     problems (error bound for a target bit-rate, ratio, or PSNR).
+//   - The three use-cases built on the model: predictor selection, memory
+//     compression with a target footprint, and in-situ per-partition
+//     error-bound optimization.
+//
+// Quick start:
+//
+//	field, _ := rqm.GenerateField("nyx/temperature", 42, rqm.ScaleSmall)
+//	profile, _ := rqm.NewProfile(field, rqm.Lorenzo, rqm.ModelOptions{})
+//	est := profile.EstimateAt(1e-3 * profile.Range) // no compression run
+//	fmt.Println(est.Ratio, est.PSNR)
+//
+//	res, _ := rqm.Compress(field, rqm.CompressOptions{
+//		Predictor: rqm.Lorenzo, Mode: rqm.ABS, ErrorBound: 1e-3 * profile.Range,
+//	})
+//	back, _ := rqm.Decompress(res.Bytes)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
+// reproduction results.
+package rqm
+
+import (
+	"rqm/internal/cluster"
+	"rqm/internal/compressor"
+	"rqm/internal/core"
+	"rqm/internal/datagen"
+	"rqm/internal/grid"
+	"rqm/internal/predictor"
+	"rqm/internal/quality"
+	"rqm/internal/transform"
+	"rqm/internal/tuner"
+)
+
+// Data model.
+type (
+	// Field is an N-dimensional scalar field (1–4D, row-major float64 with
+	// original-precision metadata).
+	Field = grid.Field
+	// Precision records the original storage width (Float32 or Float64).
+	Precision = grid.Precision
+	// Scale selects synthesized dataset sizes.
+	Scale = datagen.Scale
+	// Dataset groups the fields of one synthesized benchmark dataset.
+	Dataset = datagen.Dataset
+)
+
+// Precision and scale constants.
+const (
+	Float32 = grid.Float32
+	Float64 = grid.Float64
+
+	ScaleTiny   = datagen.Tiny
+	ScaleSmall  = datagen.Small
+	ScaleMedium = datagen.Medium
+)
+
+// Compressor configuration.
+type (
+	// PredictorKind selects the prediction scheme.
+	PredictorKind = predictor.Kind
+	// CompressOptions configures a compression run.
+	CompressOptions = compressor.Options
+	// CompressResult is the compressed container plus statistics.
+	CompressResult = compressor.Result
+	// CompressStats describes one compression run.
+	CompressStats = compressor.Stats
+	// ErrorMode interprets the error bound (ABS, REL, PWREL).
+	ErrorMode = compressor.ErrorMode
+	// LosslessKind selects the optional stage after Huffman coding.
+	LosslessKind = compressor.LosslessKind
+)
+
+// Predictor kinds.
+const (
+	Lorenzo            = predictor.Lorenzo
+	Lorenzo2           = predictor.Lorenzo2
+	Interpolation      = predictor.Interpolation
+	InterpolationCubic = predictor.InterpolationCubic
+	Regression         = predictor.Regression
+)
+
+// Error-bound modes.
+const (
+	ABS   = compressor.ABS
+	REL   = compressor.REL
+	PWREL = compressor.PWREL
+)
+
+// Lossless backends.
+const (
+	LosslessNone  = compressor.LosslessNone
+	LosslessRLE   = compressor.LosslessRLE
+	LosslessLZ77  = compressor.LosslessLZ77
+	LosslessFlate = compressor.LosslessFlate
+)
+
+// Ratio-quality model.
+type (
+	// ModelOptions tunes the analytical model (zero value = paper defaults).
+	ModelOptions = core.Options
+	// Profile is the one-time sampling product for a (field, predictor)
+	// pair; all estimates derive from it.
+	Profile = core.Profile
+	// Estimate is the model's output at one error bound.
+	Estimate = core.Estimate
+)
+
+// Use-cases.
+type (
+	// PredictorChoice is one candidate's modeled performance.
+	PredictorChoice = tuner.Choice
+	// MemoryPlan is the outcome of budgeted compression.
+	MemoryPlan = tuner.MemoryPlan
+	// PartitionAllocation is a per-partition error-bound assignment.
+	PartitionAllocation = tuner.PartitionAllocation
+	// RatePoint is one point of a rate-distortion sweep.
+	RatePoint = tuner.RatePoint
+	// ClusterConfig models the parallel dump machine.
+	ClusterConfig = cluster.Config
+	// DumpReport breaks a snapshot dump into optimization/compression/I-O.
+	DumpReport = cluster.DumpReport
+)
+
+// NewField allocates a zero-filled field.
+func NewField(name string, prec Precision, dims ...int) (*Field, error) {
+	return grid.New(name, prec, dims...)
+}
+
+// FieldFromData wraps an existing buffer as a field.
+func FieldFromData(name string, prec Precision, data []float64, dims ...int) (*Field, error) {
+	return grid.FromData(name, prec, data, dims...)
+}
+
+// DatasetNames lists the available SDRBench stand-ins (Table I).
+func DatasetNames() []string { return datagen.Names() }
+
+// GenerateDataset synthesizes a named dataset stand-in.
+func GenerateDataset(name string, seed uint64, sc Scale) (*Dataset, error) {
+	return datagen.Generate(name, seed, sc)
+}
+
+// GenerateField synthesizes a single field ("dataset/field" or "dataset").
+func GenerateField(path string, seed uint64, sc Scale) (*Field, error) {
+	return datagen.GenerateField(path, seed, sc)
+}
+
+// Compress runs the full prediction-based pipeline.
+func Compress(f *Field, opts CompressOptions) (*CompressResult, error) {
+	return compressor.Compress(f, opts)
+}
+
+// Decompress reconstructs a field from a compressed container.
+func Decompress(data []byte) (*Field, error) {
+	return compressor.Decompress(data)
+}
+
+// VerifyErrorBound checks that recon satisfies the bound against orig.
+func VerifyErrorBound(orig, recon *Field, mode ErrorMode, eb float64) error {
+	return compressor.VerifyErrorBound(orig, recon, mode, eb)
+}
+
+// NewProfile samples a field with a predictor and returns the model profile.
+func NewProfile(f *Field, kind PredictorKind, opts ModelOptions) (*Profile, error) {
+	return core.NewProfile(f, kind, opts)
+}
+
+// EstimateSpectrumRatio predicts per-shell power-spectrum distortion from a
+// compression-error variance (the FFT post-hoc analysis model).
+func EstimateSpectrumRatio(origSpectrum []float64, n int, errVar float64) []float64 {
+	return core.EstimateSpectrumRatio(origSpectrum, n, errVar)
+}
+
+// SelectPredictor profiles the candidates and ranks them by the model
+// (use-case A). The best choice is first.
+func SelectPredictor(f *Field, kinds []PredictorKind, absEB float64, opts ModelOptions) ([]PredictorChoice, error) {
+	return tuner.SelectPredictor(f, kinds, absEB, opts)
+}
+
+// CompressToBudget compresses into a byte budget with model-planned bounds
+// (use-case B).
+func CompressToBudget(f *Field, p *Profile, kind PredictorKind, budgetBytes int64,
+	headroom float64, strict bool, copts CompressOptions) (*MemoryPlan, error) {
+	return tuner.CompressToBudget(f, p, kind, budgetBytes, headroom, strict, copts)
+}
+
+// OptimizePartitionsForPSNR assigns per-partition error bounds meeting an
+// aggregate PSNR target with minimal bits (use-case C).
+func OptimizePartitionsForPSNR(profiles []*Profile, targetPSNR float64) ([]PartitionAllocation, error) {
+	return tuner.OptimizePartitionsForPSNR(profiles, targetPSNR)
+}
+
+// OptimizePartitionsForBitRate assigns per-partition error bounds meeting an
+// aggregate bit-rate budget with maximal quality (use-case C, dual form).
+func OptimizePartitionsForBitRate(profiles []*Profile, targetBits float64) ([]PartitionAllocation, error) {
+	return tuner.OptimizePartitionsForBitRate(profiles, targetBits)
+}
+
+// RateDistortion sweeps the model across relative error bounds.
+func RateDistortion(p *Profile, relLo, relHi float64, points int) []RatePoint {
+	return tuner.RateDistortion(p, relLo, relHi, points)
+}
+
+// PSNR measures peak signal-to-noise ratio between two fields (dB).
+func PSNR(a, b *Field) (float64, error) { return quality.PSNR(a, b) }
+
+// GlobalSSIM measures the whole-field structural similarity index.
+func GlobalSSIM(a, b *Field) (float64, error) { return quality.GlobalSSIM(a, b) }
+
+// WindowedSSIM measures mean SSIM over non-overlapping windows.
+func WindowedSSIM(a, b *Field, edge int) (float64, error) { return quality.WindowedSSIM(a, b, edge) }
+
+// MSE measures the mean squared error between two fields.
+func MSE(a, b *Field) (float64, error) { return quality.MSE(a, b) }
+
+// DefaultCluster returns the simulated 128-rank machine used by the
+// data-management experiments.
+func DefaultCluster() ClusterConfig { return cluster.DefaultBebop() }
+
+// Transform-based codec extension (the paper's future-work direction).
+type (
+	// TransformOptions configures the ZFP-style transform codec.
+	TransformOptions = transform.Options
+	// TransformResult is the transform codec's output.
+	TransformResult = transform.Result
+)
+
+// TransformCompress encodes a field with the transform-based codec
+// (value-domain quantization + integer block Haar + class entropy coding);
+// the absolute error bound is guaranteed.
+func TransformCompress(f *Field, opts TransformOptions) (*TransformResult, error) {
+	return transform.Compress(f, opts)
+}
+
+// TransformDecompress reconstructs a transform-codec container.
+func TransformDecompress(data []byte) (*Field, error) {
+	return transform.Decompress(data)
+}
+
+// TransformProfile extends the ratio-quality model to the transform codec:
+// the returned profile supports the same EstimateAt / inverse-solve API.
+func TransformProfile(f *Field, sampleRate float64, seed uint64, opts ModelOptions) (*Profile, error) {
+	return transform.NewProfile(f, sampleRate, seed, opts)
+}
