@@ -9,6 +9,7 @@
 package rqm_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -264,3 +265,108 @@ func BenchmarkEstimate(b *testing.B) {
 		p.EstimateAt(eb)
 	}
 }
+
+// Codec-abstraction overhead benches: the same workload through the legacy
+// direct entry point, through one registry-dispatched codec call, and
+// through Engine.CompressBatch at increasing worker counts. Comparing
+// ns/op (and MB/s) of the first three documents that the Codec interface,
+// registry lookup, and envelope sealing add no measurable hot-path overhead;
+// the batch series documents worker-pool scaling.
+
+func benchBatchFields(b *testing.B, n int) []*rqm.Field {
+	b.Helper()
+	fields := make([]*rqm.Field, n)
+	for i := range fields {
+		f, err := rqm.GenerateField("nyx/temperature", uint64(i+1), rqm.ScaleTiny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fields[i] = f
+	}
+	return fields
+}
+
+func batchBytes(fields []*rqm.Field) int64 {
+	var total int64
+	for _, f := range fields {
+		total += f.OriginalBytes()
+	}
+	return total
+}
+
+const benchBatchSize = 16
+
+// BenchmarkDirectCompressBatch is the baseline: the legacy direct function
+// on every field, sequentially, no interface, registry, or envelope.
+func BenchmarkDirectCompressBatch(b *testing.B) {
+	fields := benchBatchFields(b, benchBatchSize)
+	lo, hi := fields[0].ValueRange()
+	opts := rqm.CompressOptions{
+		Predictor: rqm.Lorenzo, Mode: rqm.ABS,
+		ErrorBound: (hi - lo) * 1e-3, Lossless: rqm.LosslessRLE,
+	}
+	b.SetBytes(batchBytes(fields))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fields {
+			if _, err := rqm.Compress(f, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCodecDispatchBatch is the same workload through the registry:
+// codec looked up by name, every call dispatched via the Codec interface and
+// sealed in the envelope, still sequential.
+func BenchmarkCodecDispatchBatch(b *testing.B) {
+	fields := benchBatchFields(b, benchBatchSize)
+	lo, hi := fields[0].ValueRange()
+	opts := rqm.CodecOptions{
+		Predictor: rqm.Lorenzo, Mode: rqm.ABS,
+		ErrorBound: (hi - lo) * 1e-3, Lossless: rqm.LosslessRLE,
+	}
+	b.SetBytes(batchBytes(fields))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := rqm.CodecByName(rqm.CodecPredictionName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range fields {
+			if _, err := rqm.CompressWith(c, f, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchEngineBatch(b *testing.B, workers int) {
+	fields := benchBatchFields(b, benchBatchSize)
+	lo, hi := fields[0].ValueRange()
+	eng, err := rqm.NewEngine(
+		rqm.WithPredictor(rqm.Lorenzo),
+		rqm.WithMode(rqm.ABS),
+		rqm.WithErrorBound((hi-lo)*1e-3),
+		rqm.WithLossless(rqm.LosslessRLE),
+		rqm.WithConcurrency(workers),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.SetBytes(batchBytes(fields))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CompressBatch(ctx, fields); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBatch1/4/8 run the registry-dispatched worker-pool path.
+// At 1 worker the comparison against BenchmarkCodecDispatchBatch isolates
+// the pool overhead; 4 and 8 document scaling.
+func BenchmarkEngineBatch1(b *testing.B) { benchEngineBatch(b, 1) }
+func BenchmarkEngineBatch4(b *testing.B) { benchEngineBatch(b, 4) }
+func BenchmarkEngineBatch8(b *testing.B) { benchEngineBatch(b, 8) }

@@ -1,9 +1,12 @@
-// Command rqc is the CLI front end of the prediction-based lossy
-// compressor.
+// Command rqc is the CLI front end of the error-bounded compressor family.
+// Codec selection goes through the registry, so every registered backend is
+// reachable with -codec; output containers are self-describing, so
+// decompress and inspect need no codec flag at all.
 //
 // Usage:
 //
-//	rqc compress   -in field.rqmf -out field.rqz -predictor lorenzo -mode rel -eb 1e-3 -lossless flate
+//	rqc compress   -in field.rqmf -out field.rqz -codec prediction -predictor lorenzo -mode rel -eb 1e-3 -lossless flate
+//	rqc compress   -in field.rqmf -out field.rqz -codec transform -mode abs -eb 1e-2
 //	rqc decompress -in field.rqz  -out field.rqmf
 //	rqc inspect    -in field.rqz
 //
@@ -15,11 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"rqm"
-	"rqm/internal/compressor"
 	"rqm/internal/grid"
-	"rqm/internal/predictor"
 )
 
 func main() {
@@ -45,74 +47,48 @@ func usage() {
 
 func cmdCompress(args []string) {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	codecNames := strings.Join(rqm.CodecNames(), "|")
 	var (
-		in       = fs.String("in", "", "input .rqmf field file")
-		out      = fs.String("out", "", "output compressed file")
-		codec    = fs.String("codec", "prediction", "prediction|transform")
-		predName = fs.String("predictor", "lorenzo", "lorenzo|lorenzo2|interpolation|interpolation-cubic|regression")
-		mode     = fs.String("mode", "rel", "abs|rel|pwrel")
-		eb       = fs.Float64("eb", 1e-3, "error bound (mode semantics)")
-		lossless = fs.String("lossless", "flate", "none|rle|lz77|flate")
-		verify   = fs.Bool("verify", false, "decompress and verify the bound")
+		in        = fs.String("in", "", "input .rqmf field file")
+		out       = fs.String("out", "", "output compressed file")
+		codecName = fs.String("codec", rqm.CodecPredictionName, codecNames)
+		predName  = fs.String("predictor", "lorenzo", "lorenzo|lorenzo2|interpolation|interpolation-cubic|regression")
+		mode      = fs.String("mode", "rel", "abs|rel|pwrel")
+		eb        = fs.Float64("eb", 1e-3, "error bound (mode semantics)")
+		lossless  = fs.String("lossless", "flate", "none|rle|lz77|flate")
+		verify    = fs.Bool("verify", false, "decompress and verify the bound")
 	)
 	must(fs.Parse(args))
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("compress: -in and -out are required"))
 	}
 	f := readField(*in)
-	if *codec == "transform" {
-		compressTransform(f, *in, *out, *mode, *eb, *verify)
-		return
-	}
-	kind, err := predictor.ParseKind(*predName)
+
+	kind, err := rqm.ParsePredictorKind(*predName)
 	must(err)
-	m, err := compressor.ParseErrorMode(*mode)
+	m, err := rqm.ParseErrorMode(*mode)
 	must(err)
-	ll, err := parseLossless(*lossless)
+	ll, err := rqm.ParseLosslessKind(*lossless)
 	must(err)
-	res, err := rqm.Compress(f, rqm.CompressOptions{
-		Predictor: kind, Mode: m, ErrorBound: *eb, Lossless: ll,
-	})
+	eng, err := rqm.NewEngine(
+		rqm.WithCodecName(*codecName),
+		rqm.WithPredictor(kind),
+		rqm.WithMode(m),
+		rqm.WithErrorBound(*eb),
+		rqm.WithLossless(ll),
+	)
+	must(err)
+
+	res, err := eng.Compress(f)
 	must(err)
 	must(os.WriteFile(*out, res.Bytes, 0o644))
 	st := res.Stats
-	fmt.Printf("compressed %s: %d -> %d bytes (ratio %.2fx, %.3f bits/value)\n",
-		*in, st.OriginalBytes, st.CompressedBytes, st.Ratio, st.BitRate)
-	fmt.Printf("  p0=%.4f unpredictable=%d huffman=%.3f bits/value\n",
-		st.P0, st.Unpredictable, st.BitRateHuffman)
-	fmt.Printf("  predict=%v encode=%v lossless=%v\n", st.PredictTime, st.EncodeTime, st.LosslessTime)
+	fmt.Printf("compressed %s (%s): %d -> %d bytes (ratio %.2fx, %.3f bits/value) in %v\n",
+		*in, st.Codec, st.OriginalBytes, st.CompressedBytes, st.Ratio, st.BitRate, st.EncodeTime)
 	if *verify {
-		dec, err := rqm.Decompress(res.Bytes)
+		dec, err := eng.Decompress(res.Bytes)
 		must(err)
 		must(rqm.VerifyErrorBound(f, dec, m, *eb))
-		psnr, err := rqm.PSNR(f, dec)
-		must(err)
-		fmt.Printf("  verified: bound holds, PSNR %.2f dB\n", psnr)
-	}
-}
-
-// compressTransform handles the transform-codec path (absolute and
-// value-range-relative bounds only).
-func compressTransform(f *grid.Field, in, out, mode string, eb float64, verify bool) {
-	abs := eb
-	switch mode {
-	case "abs":
-	case "rel":
-		lo, hi := f.ValueRange()
-		abs = eb * (hi - lo)
-	default:
-		fatal(fmt.Errorf("compress: transform codec supports -mode abs|rel, got %q", mode))
-	}
-	res, err := rqm.TransformCompress(f, rqm.TransformOptions{ErrorBound: abs})
-	must(err)
-	must(os.WriteFile(out, res.Bytes, 0o644))
-	st := res.Stats
-	fmt.Printf("compressed %s (transform): %d -> %d bytes (ratio %.2fx, %.3f bits/value)\n",
-		in, st.OriginalBytes, st.CompressedBytes, st.Ratio, st.BitRate)
-	if verify {
-		dec, err := rqm.TransformDecompress(res.Bytes)
-		must(err)
-		must(rqm.VerifyErrorBound(f, dec, rqm.ABS, abs))
 		psnr, err := rqm.PSNR(f, dec)
 		must(err)
 		fmt.Printf("  verified: bound holds, PSNR %.2f dB\n", psnr)
@@ -122,9 +98,8 @@ func compressTransform(f *grid.Field, in, out, mode string, eb float64, verify b
 func cmdDecompress(args []string) {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	var (
-		in    = fs.String("in", "", "input compressed file")
-		out   = fs.String("out", "", "output .rqmf field file")
-		codec = fs.String("codec", "prediction", "prediction|transform")
+		in  = fs.String("in", "", "input compressed file")
+		out = fs.String("out", "", "output .rqmf field file")
 	)
 	must(fs.Parse(args))
 	if *in == "" || *out == "" {
@@ -132,12 +107,8 @@ func cmdDecompress(args []string) {
 	}
 	blob, err := os.ReadFile(*in)
 	must(err)
-	var f *rqm.Field
-	if *codec == "transform" {
-		f, err = rqm.TransformDecompress(blob)
-	} else {
-		f, err = rqm.Decompress(blob)
-	}
+	// Containers are self-describing: routing picks the backend.
+	f, err := rqm.Decompress(blob)
 	must(err)
 	dst, err := os.Create(*out)
 	must(err)
@@ -152,17 +123,32 @@ func cmdDecompress(args []string) {
 func cmdInspect(args []string) {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	in := fs.String("in", "", "compressed file")
+	full := fs.Bool("full", false, "also decompress and report value statistics")
 	must(fs.Parse(args))
 	if *in == "" {
 		fatal(fmt.Errorf("inspect: -in is required"))
 	}
 	blob, err := os.ReadFile(*in)
 	must(err)
+	info, err := rqm.Inspect(blob)
+	must(err)
+	format := "envelope v" + fmt.Sprint(info.Version)
+	if info.Legacy {
+		format = "legacy native"
+	}
+	codecName := info.CodecName
+	if codecName == "" {
+		codecName = fmt.Sprintf("unregistered id %d", info.CodecID)
+	}
+	fmt.Printf("container: %d bytes, %s, codec %s (payload %d bytes)\n",
+		len(blob), format, codecName, info.PayloadBytes)
+	fmt.Printf("field: %q dims=%v precision=float%d\n", info.FieldName, info.Dims, info.Prec.Bits())
+	if !*full {
+		return
+	}
 	f, err := rqm.Decompress(blob)
 	must(err)
 	lo, hi := f.ValueRange()
-	fmt.Printf("container: %d bytes\n", len(blob))
-	fmt.Printf("field: %q dims=%v precision=float%d\n", f.Name, f.Dims, f.Prec.Bits())
 	fmt.Printf("values: %d, range [%g, %g]\n", f.Len(), lo, hi)
 	fmt.Printf("effective ratio vs original precision: %.2fx\n",
 		float64(f.OriginalBytes())/float64(len(blob)))
@@ -178,20 +164,6 @@ func readField(path string) *grid.Field {
 		f.Name = path
 	}
 	return f
-}
-
-func parseLossless(s string) (rqm.LosslessKind, error) {
-	switch s {
-	case "none":
-		return rqm.LosslessNone, nil
-	case "rle":
-		return rqm.LosslessRLE, nil
-	case "lz77":
-		return rqm.LosslessLZ77, nil
-	case "flate":
-		return rqm.LosslessFlate, nil
-	}
-	return 0, fmt.Errorf("unknown lossless backend %q", s)
 }
 
 func must(err error) {

@@ -1,10 +1,12 @@
 // Command rqmodel runs the ratio-quality model on a field file: it prints
 // the modeled rate-distortion table for an error-bound sweep, optionally
 // validates against real compression runs, and solves the inverse problems.
+// The model is codec-agnostic: -codec selects any registered backend.
 //
 // Usage:
 //
 //	rqmodel -in field.rqmf -predictor lorenzo
+//	rqmodel -in field.rqmf -codec transform
 //	rqmodel -in field.rqmf -target-psnr 60
 //	rqmodel -in field.rqmf -target-bitrate 2.5
 //	rqmodel -in field.rqmf -measure          # compare against real runs
@@ -14,17 +16,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"rqm"
 	"rqm/internal/grid"
-	"rqm/internal/predictor"
 )
 
 func main() {
 	var (
 		in            = flag.String("in", "", "input .rqmf field file")
-		predName      = flag.String("predictor", "lorenzo", "prediction scheme")
+		codecName     = flag.String("codec", rqm.CodecPredictionName, strings.Join(rqm.CodecNames(), "|"))
+		predName      = flag.String("predictor", "lorenzo", "prediction scheme (prediction codec)")
 		sampleRate    = flag.Float64("sample", 0.01, "model sampling rate")
 		seed          = flag.Uint64("seed", 42, "sampling seed")
 		measure       = flag.Bool("measure", false, "also run real compression for comparison")
@@ -45,13 +48,16 @@ func main() {
 	if f.Name == "" {
 		f.Name = *in
 	}
-	kind, err := predictor.ParseKind(*predName)
+	kind, err := rqm.ParsePredictorKind(*predName)
 	must(err)
 
-	prof, err := rqm.NewProfile(f, kind, rqm.ModelOptions{SampleRate: *sampleRate, Seed: *seed, UseLossless: true})
+	c, err := rqm.CodecByName(*codecName)
 	must(err)
-	fmt.Printf("profile: %s on %q (%d values, range %.6g, %d sampled errors, built in %v)\n",
-		kind, f.Name, prof.N, prof.Range, len(prof.Errors), prof.BuildTime)
+	copts := rqm.CodecOptions{Predictor: kind, Mode: rqm.ABS, Lossless: rqm.LosslessFlate}
+	prof, err := c.Profile(f, copts, rqm.ModelOptions{SampleRate: *sampleRate, Seed: *seed, UseLossless: true})
+	must(err)
+	fmt.Printf("profile: %s/%s on %q (%d values, range %.6g, %d sampled errors, built in %v)\n",
+		c.Name(), kind, f.Name, prof.N, prof.Range, len(prof.Errors), prof.BuildTime)
 
 	switch {
 	case *targetPSNR > 0:
@@ -73,11 +79,11 @@ func main() {
 		fmt.Printf("error bound for ratio %.1fx: %.6g (modeled ratio %.2fx, PSNR %.2f dB)\n",
 			*targetRatio, eb, est.Ratio, est.PSNR)
 	default:
-		sweep(prof, f, kind, *measure)
+		sweep(prof, f, c, copts, *measure)
 	}
 }
 
-func sweep(prof *rqm.Profile, f *rqm.Field, kind rqm.PredictorKind, measure bool) {
+func sweep(prof *rqm.Profile, f *rqm.Field, c rqm.Codec, copts rqm.CodecOptions, measure bool) {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	if measure {
 		fmt.Fprintln(tw, "relEB\tabsEB\test bits\test ratio\test PSNR\test SSIM\tmeas bits\tmeas ratio\tmeas PSNR")
@@ -92,9 +98,8 @@ func sweep(prof *rqm.Profile, f *rqm.Field, kind rqm.PredictorKind, measure bool
 				rel, eb, est.TotalBitRate, est.Ratio, est.PSNR, est.SSIM)
 			continue
 		}
-		res, err := rqm.Compress(f, rqm.CompressOptions{
-			Predictor: kind, Mode: rqm.ABS, ErrorBound: eb, Lossless: rqm.LosslessFlate,
-		})
+		copts.ErrorBound = eb
+		res, err := rqm.CompressWith(c, f, copts)
 		must(err)
 		dec, err := rqm.Decompress(res.Bytes)
 		must(err)

@@ -1,0 +1,95 @@
+package rqm
+
+import (
+	"rqm/internal/codec"
+	"rqm/internal/tuner"
+)
+
+// Codec abstraction: every compressor backend — built-in or third-party —
+// implements one interface and registers into one process-wide registry, and
+// every backend's output travels in one self-describing container envelope.
+type (
+	// Codec is one error-bounded compression backend
+	// (Compress / Decompress / Profile / Name / ID).
+	Codec = codec.Codec
+	// CodecID is a codec's stable wire identifier inside the envelope.
+	CodecID = codec.ID
+	// CodecOptions is the codec-agnostic compression configuration; fields a
+	// backend does not understand are ignored.
+	CodecOptions = codec.Options
+	// CodecResult is a sealed envelope container plus codec-agnostic
+	// statistics.
+	CodecResult = codec.Result
+	// CodecStats describes one codec run with sizes measured on the sealed
+	// container, comparable across backends.
+	CodecStats = codec.Stats
+	// ContainerInfo describes a container (codec, field shape, payload size)
+	// without decoding it.
+	ContainerInfo = codec.Info
+	// CodecChoice is one codec's modeled performance at a quality target.
+	CodecChoice = tuner.CodecChoice
+)
+
+// Built-in codec IDs and names.
+const (
+	CodecPrediction = codec.IDPrediction
+	CodecTransform  = codec.IDTransform
+
+	CodecPredictionName = codec.PredictionName
+	CodecTransformName  = codec.TransformName
+
+	// CodecFirstExternalID is the lowest wire ID RegisterCodec accepts;
+	// lower IDs are reserved for built-in backends.
+	CodecFirstExternalID = codec.FirstExternalID
+)
+
+// Typed container errors; match with errors.Is. Every Decompress/Inspect
+// parse failure wraps exactly one of these.
+var (
+	// ErrTruncated marks a container shorter than its header or payload
+	// declares.
+	ErrTruncated = codec.ErrTruncated
+	// ErrBadMagic marks data that is not any known container format.
+	ErrBadMagic = codec.ErrBadMagic
+	// ErrUnsupportedVersion marks an envelope version this build cannot read.
+	ErrUnsupportedVersion = codec.ErrUnsupportedVersion
+	// ErrUnknownCodec marks an envelope whose codec ID has no registration.
+	ErrUnknownCodec = codec.ErrUnknownCodec
+	// ErrCorrupt marks a structurally invalid container header.
+	ErrCorrupt = codec.ErrCorrupt
+)
+
+// RegisterCodec adds a backend to the process-wide registry, making it
+// reachable by Decompress routing, CodecByName/CodecByID, SelectCodec, and
+// the Engine. Registration fails when the name or wire ID is taken.
+func RegisterCodec(c Codec) error { return codec.Register(c) }
+
+// Codecs returns the registered codecs sorted by wire ID.
+func Codecs() []Codec { return codec.All() }
+
+// CodecNames returns the registered codec names sorted by wire ID.
+func CodecNames() []string { return codec.Names() }
+
+// CodecByName looks up a registered codec ("prediction", "transform", ...).
+func CodecByName(name string) (Codec, error) { return codec.ByName(name) }
+
+// CodecByID looks up a registered codec by wire ID.
+func CodecByID(id CodecID) (Codec, error) { return codec.ByID(id) }
+
+// CompressWith runs one codec on a field and seals the output in the
+// envelope; Decompress reads it back regardless of the backend.
+func CompressWith(c Codec, f *Field, opts CodecOptions) (*CodecResult, error) {
+	return codec.Compress(c, f, opts)
+}
+
+// Inspect describes any container — enveloped or legacy — without decoding
+// its payload.
+func Inspect(data []byte) (*ContainerInfo, error) { return codec.Inspect(data) }
+
+// SelectCodec ranks every registered codec at a PSNR target: one sampling
+// pass per backend, then the model solves each backend's error bound for the
+// target and orders candidates by modeled bit-rate (best ratio first). The
+// winner's Profile and ErrorBound are ready to compress with.
+func SelectCodec(f *Field, targetPSNR float64, copts CodecOptions, mopts ModelOptions) ([]CodecChoice, error) {
+	return tuner.SelectCodec(f, codec.All(), targetPSNR, copts, mopts)
+}

@@ -1,0 +1,167 @@
+package rqm_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"rqm"
+)
+
+// routingField builds the shared input for container-routing tests.
+func routingField(t testing.TB) *rqm.Field {
+	t.Helper()
+	f, err := rqm.GenerateField("cesm/TS", 42, rqm.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestDecompressRoutesAllContainerFormats is the dispatch table of the
+// unified container surface: rqm.Decompress must reconstruct new-envelope
+// containers from every built-in codec and the two legacy native formats,
+// with no codec hint from the caller.
+func TestDecompressRoutesAllContainerFormats(t *testing.T) {
+	f := routingField(t)
+	lo, hi := f.ValueRange()
+	eb := 1e-3 * (hi - lo)
+
+	cases := []struct {
+		name      string
+		make      func(t *testing.T) []byte
+		wantCodec rqm.CodecID
+		legacy    bool
+	}{
+		{
+			name: "envelope prediction",
+			make: func(t *testing.T) []byte {
+				eng, err := rqm.NewEngine(rqm.WithMode(rqm.ABS), rqm.WithErrorBound(eb))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := eng.Compress(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Bytes
+			},
+			wantCodec: rqm.CodecPrediction,
+		},
+		{
+			name: "envelope transform",
+			make: func(t *testing.T) []byte {
+				eng, err := rqm.NewEngine(rqm.WithCodecName(rqm.CodecTransformName),
+					rqm.WithMode(rqm.ABS), rqm.WithErrorBound(eb))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := eng.Compress(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Bytes
+			},
+			wantCodec: rqm.CodecTransform,
+		},
+		{
+			name: "legacy RQMC prediction",
+			make: func(t *testing.T) []byte {
+				res, err := rqm.Compress(f, rqm.CompressOptions{
+					Predictor: rqm.Lorenzo, Mode: rqm.ABS, ErrorBound: eb,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Bytes
+			},
+			wantCodec: rqm.CodecPrediction,
+			legacy:    true,
+		},
+		{
+			name: "legacy RQZF transform",
+			make: func(t *testing.T) []byte {
+				res, err := rqm.TransformCompress(f, rqm.TransformOptions{ErrorBound: eb})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Bytes
+			},
+			wantCodec: rqm.CodecTransform,
+			legacy:    true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			blob := tc.make(t)
+
+			info, err := rqm.Inspect(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.CodecID != tc.wantCodec {
+				t.Fatalf("routed to codec %d, want %d", info.CodecID, tc.wantCodec)
+			}
+			if info.Legacy != tc.legacy {
+				t.Fatalf("legacy = %v, want %v", info.Legacy, tc.legacy)
+			}
+			if info.FieldName != f.Name {
+				t.Fatalf("field name %q, want %q", info.FieldName, f.Name)
+			}
+
+			back, err := rqm.Decompress(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rqm.VerifyErrorBound(f, back, rqm.ABS, eb); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDecompressRejectsBadContainers checks that malformed inputs fail with
+// the typed container errors, not bare strings.
+func TestDecompressRejectsBadContainers(t *testing.T) {
+	f := routingField(t)
+	eng, err := rqm.NewEngine(rqm.WithMode(rqm.REL), rqm.WithErrorBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Compress(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := res.Bytes
+
+	corrupt := func(mutate func([]byte) []byte) []byte {
+		return mutate(append([]byte{}, sealed...))
+	}
+
+	cases := []struct {
+		name    string
+		blob    []byte
+		wantErr error
+	}{
+		{"empty", nil, rqm.ErrTruncated},
+		{"short magic", []byte{0x45, 0x43}, rqm.ErrTruncated},
+		{"unknown magic", []byte{0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0}, rqm.ErrBadMagic},
+		{"header cut mid-dims", corrupt(func(b []byte) []byte { return b[:10] }), rqm.ErrTruncated},
+		{"payload shorter than declared", corrupt(func(b []byte) []byte { return b[:len(b)-5] }), rqm.ErrTruncated},
+		{"future version", corrupt(func(b []byte) []byte { b[4] = 99; return b }), rqm.ErrUnsupportedVersion},
+		{"unregistered codec id", corrupt(func(b []byte) []byte { b[5] = 233; return b }), rqm.ErrUnknownCodec},
+		{"zero dimension", corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:], 0)
+			return b
+		}), rqm.ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := rqm.Decompress(tc.blob)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,291 @@
+package rqm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rqm/internal/codec"
+	"rqm/internal/core"
+	"rqm/internal/tuner"
+)
+
+// Engine is the serving-scale entry point of the package: one configured
+// (codec, options) pair behind a compressor-agnostic surface, with
+// context-aware worker-pool batch paths for multi-field datasets. A zero
+// Engine is not usable; build one with NewEngine. Engines are safe for
+// concurrent use — all configuration happens at construction.
+type Engine struct {
+	codec   Codec
+	copts   codec.Options
+	mopts   core.Options
+	workers int
+}
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine) error
+
+// WithCodec selects the backend (any registered or unregistered Codec).
+// Note that Decompress routing of *other* codecs' containers still requires
+// those codecs to be registered.
+func WithCodec(c Codec) EngineOption {
+	return func(e *Engine) error {
+		if c == nil {
+			return errors.New("rqm: WithCodec(nil)")
+		}
+		e.codec = c
+		return nil
+	}
+}
+
+// WithCodecName selects the backend by registered name
+// ("prediction", "transform", ...).
+func WithCodecName(name string) EngineOption {
+	return func(e *Engine) error {
+		c, err := codec.ByName(name)
+		if err != nil {
+			return err
+		}
+		e.codec = c
+		return nil
+	}
+}
+
+// WithErrorBound sets the error bound (in WithMode semantics).
+func WithErrorBound(eb float64) EngineOption {
+	return func(e *Engine) error {
+		if !(eb > 0) {
+			return fmt.Errorf("rqm: error bound must be positive, got %v", eb)
+		}
+		e.copts.ErrorBound = eb
+		return nil
+	}
+}
+
+// WithMode sets the error-bound interpretation (ABS, REL, PWREL).
+func WithMode(m ErrorMode) EngineOption {
+	return func(e *Engine) error {
+		e.copts.Mode = m
+		return nil
+	}
+}
+
+// WithPredictor sets the prediction scheme (prediction codec only).
+func WithPredictor(k PredictorKind) EngineOption {
+	return func(e *Engine) error {
+		e.copts.Predictor = k
+		return nil
+	}
+}
+
+// WithLossless sets the optional lossless stage (prediction codec only).
+func WithLossless(l LosslessKind) EngineOption {
+	return func(e *Engine) error {
+		e.copts.Lossless = l
+		return nil
+	}
+}
+
+// WithRadius overrides the quantizer radius (prediction codec only).
+func WithRadius(r int32) EngineOption {
+	return func(e *Engine) error {
+		e.copts.Radius = r
+		return nil
+	}
+}
+
+// WithConcurrency sets the batch worker count (default GOMAXPROCS).
+func WithConcurrency(n int) EngineOption {
+	return func(e *Engine) error {
+		if n < 1 {
+			return fmt.Errorf("rqm: concurrency must be at least 1, got %d", n)
+		}
+		e.workers = n
+		return nil
+	}
+}
+
+// WithModelOptions tunes the ratio-quality model used by Profile,
+// SelectCodec, and CompressToBudget.
+func WithModelOptions(mo ModelOptions) EngineOption {
+	return func(e *Engine) error {
+		e.mopts = mo
+		return nil
+	}
+}
+
+// NewEngine builds an Engine. Defaults: prediction codec, REL mode at 1e-3,
+// Lorenzo predictor, no lossless stage, GOMAXPROCS batch workers.
+func NewEngine(opts ...EngineOption) (*Engine, error) {
+	e := &Engine{
+		copts: codec.Options{Mode: REL, ErrorBound: 1e-3, Predictor: Lorenzo},
+	}
+	var err error
+	if e.codec, err = codec.ByID(codec.IDPrediction); err != nil {
+		return nil, err
+	}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Codec returns the configured backend.
+func (e *Engine) Codec() Codec { return e.codec }
+
+// Options returns the configured compression options.
+func (e *Engine) Options() CodecOptions { return e.copts }
+
+// Concurrency returns the effective batch worker count.
+func (e *Engine) Concurrency() int {
+	if e.workers > 0 {
+		return e.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Compress encodes one field into a sealed envelope container.
+func (e *Engine) Compress(f *Field) (*CodecResult, error) {
+	return codec.Compress(e.codec, f, e.copts)
+}
+
+// Decompress reconstructs a field from any container — produced by this
+// engine, another codec's engine, or the legacy function families — routing
+// by inspection. Containers carrying the engine's own codec ID decode even
+// when that codec is not registered; everything else resolves through the
+// registry.
+func (e *Engine) Decompress(data []byte) (*Field, error) {
+	info, payload, err := codec.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	if info.CodecID == e.codec.ID() {
+		return e.codec.Decompress(payload)
+	}
+	c, err := codec.ByID(info.CodecID)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decompress(payload)
+}
+
+// Profile builds the ratio-quality profile of f under the configured codec.
+func (e *Engine) Profile(f *Field) (*Profile, error) {
+	return e.codec.Profile(f, e.copts, e.mopts)
+}
+
+// CompressBatch compresses fields concurrently on the engine's worker pool.
+// The result slice is index-aligned with fields. On the first error (or
+// context cancellation) remaining work is abandoned and the partial results
+// are returned alongside the error; entries that did not finish are nil.
+func (e *Engine) CompressBatch(ctx context.Context, fields []*Field) ([]*CodecResult, error) {
+	out := make([]*CodecResult, len(fields))
+	err := e.runPool(ctx, len(fields), func(i int) error {
+		if fields[i] == nil {
+			return fmt.Errorf("rqm: batch field %d is nil", i)
+		}
+		res, err := codec.Compress(e.codec, fields[i], e.copts)
+		if err != nil {
+			return fmt.Errorf("rqm: batch field %d (%q): %w", i, fields[i].Name, err)
+		}
+		out[i] = res
+		return nil
+	})
+	return out, err
+}
+
+// DecompressBatch reconstructs containers concurrently, routing each blob to
+// its backend by inspection. Result semantics match CompressBatch.
+func (e *Engine) DecompressBatch(ctx context.Context, blobs [][]byte) ([]*Field, error) {
+	out := make([]*Field, len(blobs))
+	err := e.runPool(ctx, len(blobs), func(i int) error {
+		f, err := codec.Decompress(blobs[i])
+		if err != nil {
+			return fmt.Errorf("rqm: batch container %d: %w", i, err)
+		}
+		out[i] = f
+		return nil
+	})
+	return out, err
+}
+
+// CompressToBudget compresses f so the sealed container fits budgetBytes
+// (use-case B on the configured codec). p is the field's profile from
+// Engine.Profile — reuse it across calls to pay the sampling pass once; pass
+// nil to have one built for this call.
+func (e *Engine) CompressToBudget(f *Field, p *Profile, budgetBytes int64, headroom float64, strict bool) (*MemoryPlan, error) {
+	if p == nil {
+		var err error
+		if p, err = e.Profile(f); err != nil {
+			return nil, err
+		}
+	}
+	return tuner.CompressToBudget(f, p, e.codec, budgetBytes, headroom, strict, e.copts)
+}
+
+// SelectCodec ranks every registered codec for f at a PSNR target using the
+// engine's configuration (codec auto-selection in one call).
+func (e *Engine) SelectCodec(f *Field, targetPSNR float64) ([]CodecChoice, error) {
+	return tuner.SelectCodec(f, codec.All(), targetPSNR, e.copts, e.mopts)
+}
+
+// runPool runs work(0..n-1) on the worker pool, honoring ctx and stopping at
+// the first error.
+func (e *Engine) runPool(ctx context.Context, n int, work func(int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	workers := e.Concurrency()
+	if workers > n {
+		workers = n
+	}
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if poolCtx.Err() != nil {
+					continue // drain without working after cancellation
+				}
+				if err := work(i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-poolCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

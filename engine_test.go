@@ -1,0 +1,246 @@
+package rqm_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"rqm"
+)
+
+func batchFields(t testing.TB, n int) []*rqm.Field {
+	t.Helper()
+	ds, err := rqm.GenerateDataset("rtm", 42, rqm.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := ds.Fields
+	for len(fields) < n {
+		fields = append(fields, fields...)
+	}
+	return fields[:n]
+}
+
+func TestEngineOptionValidation(t *testing.T) {
+	if _, err := rqm.NewEngine(rqm.WithCodecName("no-such-codec")); !errors.Is(err, rqm.ErrUnknownCodec) {
+		t.Fatalf("unknown codec: %v", err)
+	}
+	if _, err := rqm.NewEngine(rqm.WithErrorBound(-1)); err == nil {
+		t.Fatal("negative bound accepted")
+	}
+	if _, err := rqm.NewEngine(rqm.WithConcurrency(0)); err == nil {
+		t.Fatal("zero concurrency accepted")
+	}
+	if _, err := rqm.NewEngine(rqm.WithCodec(nil)); err == nil {
+		t.Fatal("nil codec accepted")
+	}
+	eng, err := rqm.NewEngine(rqm.WithConcurrency(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Concurrency() != 3 {
+		t.Fatalf("concurrency = %d", eng.Concurrency())
+	}
+	if eng.Codec().Name() != rqm.CodecPredictionName {
+		t.Fatalf("default codec = %s", eng.Codec().Name())
+	}
+}
+
+func TestEngineBatchRoundTrip(t *testing.T) {
+	fields := batchFields(t, 6)
+	for _, codecName := range rqm.CodecNames() {
+		t.Run(codecName, func(t *testing.T) {
+			eng, err := rqm.NewEngine(
+				rqm.WithCodecName(codecName),
+				rqm.WithMode(rqm.REL),
+				rqm.WithErrorBound(1e-3),
+				rqm.WithConcurrency(4),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := eng.CompressBatch(context.Background(), fields)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs := make([][]byte, len(results))
+			for i, r := range results {
+				if r == nil {
+					t.Fatalf("result %d is nil", i)
+				}
+				if r.Stats.Codec != codecName {
+					t.Fatalf("result %d codec = %q", i, r.Stats.Codec)
+				}
+				blobs[i] = r.Bytes
+			}
+			back, err := eng.DecompressBatch(context.Background(), blobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, b := range back {
+				lo, hi := fields[i].ValueRange()
+				if err := rqm.VerifyErrorBound(fields[i], b, rqm.ABS, 1e-3*(hi-lo)); err != nil {
+					t.Fatalf("field %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineBatchEmptyAndError(t *testing.T) {
+	eng, err := rqm.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := eng.CompressBatch(context.Background(), nil); err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v, %d results", err, len(res))
+	}
+	fields := batchFields(t, 3)
+	fields[1] = nil
+	if _, err := eng.CompressBatch(context.Background(), fields); err == nil {
+		t.Fatal("nil field accepted")
+	} else if !strings.Contains(err.Error(), "field 1") {
+		t.Fatalf("error does not locate the failing item: %v", err)
+	}
+	// A bad blob in a decompress batch surfaces the typed error.
+	good, err := eng.Compress(fields[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.DecompressBatch(context.Background(), [][]byte{good.Bytes, []byte("bogus!!")})
+	if !errors.Is(err, rqm.ErrBadMagic) {
+		t.Fatalf("bad blob error: %v", err)
+	}
+}
+
+func TestEngineBatchHonorsCancellation(t *testing.T) {
+	eng, err := rqm.NewEngine(rqm.WithConcurrency(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = eng.CompressBatch(ctx, batchFields(t, 4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch: %v", err)
+	}
+}
+
+func TestEngineMixedCodecDecompressBatch(t *testing.T) {
+	// One engine decompresses containers produced by different codecs: the
+	// envelope routes each blob independently.
+	f := batchFields(t, 1)[0]
+	lo, hi := f.ValueRange()
+	eb := 1e-3 * (hi - lo)
+	var blobs [][]byte
+	for _, name := range rqm.CodecNames() {
+		eng, err := rqm.NewEngine(rqm.WithCodecName(name), rqm.WithMode(rqm.ABS), rqm.WithErrorBound(eb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Compress(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, res.Bytes)
+	}
+	// Legacy containers ride in the same batch.
+	legacy, err := rqm.Compress(f, rqm.CompressOptions{Predictor: rqm.Lorenzo, Mode: rqm.ABS, ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs = append(blobs, legacy.Bytes)
+
+	eng, err := rqm.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := eng.DecompressBatch(context.Background(), blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range back {
+		if err := rqm.VerifyErrorBound(f, b, rqm.ABS, eb); err != nil {
+			t.Fatalf("blob %d: %v", i, err)
+		}
+	}
+}
+
+// wrappedCodec is an external codec (unreserved ID, not registered) that
+// reuses the prediction backend's payload format.
+type wrappedCodec struct{ inner rqm.Codec }
+
+func (w wrappedCodec) Name() string    { return "wrapped" }
+func (w wrappedCodec) ID() rqm.CodecID { return rqm.CodecFirstExternalID + 13 }
+func (w wrappedCodec) Compress(f *rqm.Field, o rqm.CodecOptions) ([]byte, error) {
+	return w.inner.Compress(f, o)
+}
+func (w wrappedCodec) Decompress(p []byte) (*rqm.Field, error) { return w.inner.Decompress(p) }
+func (w wrappedCodec) Profile(f *rqm.Field, co rqm.CodecOptions, mo rqm.ModelOptions) (*rqm.Profile, error) {
+	return w.inner.Profile(f, co, mo)
+}
+
+// TestEngineDecompressesOwnUnregisteredCodec: an engine built around a codec
+// that is not in the registry still round-trips its own containers; only the
+// registry-routed package Decompress refuses them.
+func TestEngineDecompressesOwnUnregisteredCodec(t *testing.T) {
+	pred, err := rqm.CodecByName(rqm.CodecPredictionName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := rqm.NewEngine(rqm.WithCodec(wrappedCodec{pred}), rqm.WithMode(rqm.REL), rqm.WithErrorBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := batchFields(t, 1)[0]
+	res, err := eng.Compress(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Codec != "wrapped" {
+		t.Fatalf("stats codec = %q", res.Stats.Codec)
+	}
+	back, err := eng.Decompress(res.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := f.ValueRange()
+	if err := rqm.VerifyErrorBound(f, back, rqm.ABS, 1e-3*(hi-lo)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rqm.Decompress(res.Bytes); !errors.Is(err, rqm.ErrUnknownCodec) {
+		t.Fatalf("registry-routed decompress of unregistered codec: %v", err)
+	}
+}
+
+func TestEngineSelectCodecAndBudget(t *testing.T) {
+	f := batchFields(t, 1)[0]
+	eng, err := rqm.NewEngine(rqm.WithModelOptions(rqm.ModelOptions{SampleRate: 0.2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	choices, err := eng.SelectCodec(f, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != len(rqm.Codecs()) {
+		t.Fatalf("choices = %d, want %d", len(choices), len(rqm.Codecs()))
+	}
+	for i := 1; i < len(choices); i++ {
+		if choices[i].Estimate.TotalBitRate < choices[i-1].Estimate.TotalBitRate-1e-9 {
+			t.Fatal("choices not ranked by modeled bit-rate")
+		}
+	}
+
+	plan, err := eng.CompressToBudget(f, nil, f.OriginalBytes()/8, 0.2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Result.Stats.CompressedBytes > plan.BudgetBytes {
+		t.Fatal("budget plan overflowed in strict mode")
+	}
+	if _, err := rqm.Decompress(plan.Result.Bytes); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,8 @@
 // Codec comparison (the paper's future-work extension): the ratio-quality
-// model covers both the prediction-based pipeline and the transform-based
-// (ZFP-style) codec, so codec selection across families becomes a pair of
-// cheap estimates instead of two full compression runs.
+// model covers every registered codec through one interface, so cross-family
+// codec selection — "which backend gives the best ratio at my quality
+// target?" — is a pair of cheap sampling passes (rqm.SelectCodec) instead of
+// full compression runs per candidate.
 package main
 
 import (
@@ -18,14 +19,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("field %q (%v), oscillatory orbital data\n\n", field.Name, field.Dims)
+	fmt.Printf("field %q (%v), oscillatory orbital data\n", field.Name, field.Dims)
+	fmt.Printf("registered codecs: %v\n\n", rqm.CodecNames())
 
-	// One profile per codec family — sampling only, no compression.
-	predProf, err := rqm.NewProfile(field, rqm.Lorenzo, rqm.ModelOptions{})
+	// Codec auto-selection in one call: profile every registered backend,
+	// solve each one's bound for the PSNR target, rank by modeled bits.
+	const targetPSNR = 70.0
+	choices, err := rqm.SelectCodec(field, targetPSNR,
+		rqm.CodecOptions{Predictor: rqm.Lorenzo}, rqm.ModelOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	trProf, err := rqm.TransformProfile(field, 0.01, 42, rqm.ModelOptions{})
+	fmt.Printf("model's pick at %.0f dB: %s (%.3f bits/value at eb=%.4g)\n\n",
+		targetPSNR, choices[0].Codec.Name(), choices[0].Estimate.TotalBitRate, choices[0].ErrorBound)
+
+	// Per-bound comparison of the two built-in families, model vs measured.
+	pred, err := rqm.CodecByName(rqm.CodecPredictionName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	transf, err := rqm.CodecByName(rqm.CodecTransformName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	copts := rqm.CodecOptions{Predictor: rqm.Lorenzo, Mode: rqm.ABS}
+	predProf, err := pred.Profile(field, copts, rqm.ModelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trProf, err := transf.Profile(field, copts, rqm.ModelOptions{SampleRate: 0.01, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,29 +58,28 @@ func main() {
 	rels := []float64{1e-4, 1e-3, 1e-2}
 	for _, rel := range rels {
 		eb := rel * predProf.Range
-		pe := predProf.EstimateAt(eb).HuffmanBitRate
-		te := trProf.EstimateAt(eb).HuffmanBitRate
-		modelPick := "prediction"
+		pe := predProf.EstimateAt(eb).TotalBitRate
+		te := trProf.EstimateAt(eb).TotalBitRate
+		modelPick := pred.Name()
 		if te < pe {
-			modelPick = "transform"
+			modelPick = transf.Name()
 		}
 
-		// Verify with real runs.
-		pres, err := rqm.Compress(field, rqm.CompressOptions{
-			Predictor: rqm.Lorenzo, Mode: rqm.ABS, ErrorBound: eb,
-		})
+		// Verify with real runs through the unified surface.
+		copts.ErrorBound = eb
+		pres, err := rqm.CompressWith(pred, field, copts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tres, err := rqm.TransformCompress(field, rqm.TransformOptions{ErrorBound: eb})
+		tres, err := rqm.CompressWith(transf, field, copts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pm := pres.Stats.BitRateHuffman
-		tm := float64(tres.Stats.PayloadBits) / float64(field.Len())
-		measPick := "prediction"
+		pm := pres.Stats.BitRate
+		tm := tres.Stats.BitRate
+		measPick := pred.Name()
 		if tm < pm {
-			measPick = "transform"
+			measPick = transf.Name()
 		}
 		if measPick == modelPick {
 			agree++
@@ -71,18 +92,26 @@ func main() {
 	}
 	fmt.Printf("\nmodel agreed with measurement on %d/%d bounds\n", agree, len(rels))
 
-	// Both codecs guarantee the bound; show it once.
+	// Both codecs guarantee the bound and share one container surface:
+	// compress with the transform codec, decompress with the routed
+	// rqm.Decompress — no codec flag anywhere.
 	eb := 1e-3 * predProf.Range
-	tres, err := rqm.TransformCompress(field, rqm.TransformOptions{ErrorBound: eb})
+	copts.ErrorBound = eb
+	tres, err := rqm.CompressWith(transf, field, copts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	back, err := rqm.TransformDecompress(tres.Bytes)
+	info, err := rqm.Inspect(tres.Bytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := rqm.Decompress(tres.Bytes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := rqm.VerifyErrorBound(field, back, rqm.ABS, eb); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("transform codec bound verified at eb=%.4g (%d values)\n", eb, field.Len())
+	fmt.Printf("envelope routed to codec %q; bound verified at eb=%.4g (%d values)\n",
+		info.CodecName, eb, field.Len())
 }

@@ -1,7 +1,8 @@
 // Memory compression with a target footprint (paper use-case §IV-B): plan
 // an error bound so the compressed data fits an assigned memory budget,
 // targeting 80% of the budget to absorb model error, with strict
-// re-compression on the rare overflow.
+// re-compression on the rare overflow. The planning runs on the codec
+// interface, so the same call works for any registered backend.
 package main
 
 import (
@@ -16,7 +17,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	profile, err := rqm.NewProfile(field, rqm.Interpolation, rqm.ModelOptions{UseLossless: true})
+	eng, err := rqm.NewEngine(
+		rqm.WithPredictor(rqm.Interpolation),
+		rqm.WithLossless(rqm.LosslessFlate),
+		rqm.WithModelOptions(rqm.ModelOptions{UseLossless: true}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One sampling pass serves every budget below.
+	profile, err := eng.Profile(field)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,8 +36,7 @@ func main() {
 	// Emulate shrinking GPU memory budgets: 1/8, 1/16, 1/32 of original.
 	for _, frac := range []int64{8, 16, 32} {
 		budget := field.OriginalBytes() / frac
-		plan, err := rqm.CompressToBudget(field, profile, rqm.Interpolation, budget, 0.2, true,
-			rqm.CompressOptions{Lossless: rqm.LosslessFlate})
+		plan, err := eng.CompressToBudget(field, profile, budget, 0.2, true)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -30,11 +30,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	pred, err := rqm.CodecByName(rqm.CodecPredictionName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "rank\tpredictor\tmodel bits/value\tmodel PSNR\tmeasured bits/value")
 	for i, c := range choices {
 		// Validate each candidate with a real run.
-		res, err := rqm.Compress(field, rqm.CompressOptions{
+		res, err := rqm.CompressWith(pred, field, rqm.CodecOptions{
 			Predictor: c.Kind, Mode: rqm.ABS, ErrorBound: eb, Lossless: rqm.LosslessFlate,
 		})
 		if err != nil {

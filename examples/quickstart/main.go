@@ -1,6 +1,6 @@
-// Quickstart: compress a scientific field with an error bound, verify the
-// bound, and show that the ratio-quality model predicted the outcome
-// without running the compressor.
+// Quickstart: configure an Engine, compress a scientific field with an
+// error bound, verify the bound, and show that the ratio-quality model
+// predicted the outcome without running the compressor.
 package main
 
 import (
@@ -20,25 +20,37 @@ func main() {
 	lo, hi := field.ValueRange()
 	fmt.Printf("field %q: %v values, range [%.3g, %.3g]\n", field.Name, field.Dims, lo, hi)
 
+	// One Engine carries the full configuration: codec, bound, lossless
+	// stage. The prediction codec is the default.
+	eb := 1e-3 * (hi - lo)
+	eng, err := rqm.NewEngine(
+		rqm.WithPredictor(rqm.Lorenzo),
+		rqm.WithMode(rqm.ABS),
+		rqm.WithErrorBound(eb),
+		rqm.WithLossless(rqm.LosslessFlate),
+		rqm.WithModelOptions(rqm.ModelOptions{UseLossless: true}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Build the model profile: ONE cheap sampling pass (1% of the data).
-	profile, err := rqm.NewProfile(field, rqm.Lorenzo, rqm.ModelOptions{UseLossless: true})
+	profile, err := eng.Profile(field)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("profile built in %v from %d sampled prediction errors\n",
 		profile.BuildTime, len(profile.Errors))
 
-	// Ask the model about an error bound BEFORE compressing anything.
-	eb := 1e-3 * profile.Range
+	// Ask the model about the error bound BEFORE compressing anything.
 	est := profile.EstimateAt(eb)
 	fmt.Printf("\nmodel says (eb=%.4g):\n", eb)
 	fmt.Printf("  ratio %.2fx, %.3f bits/value, PSNR %.2f dB, SSIM %.4f\n",
 		est.Ratio, est.TotalBitRate, est.PSNR, est.SSIM)
 
-	// Now actually compress and compare.
-	res, err := rqm.Compress(field, rqm.CompressOptions{
-		Predictor: rqm.Lorenzo, Mode: rqm.ABS, ErrorBound: eb, Lossless: rqm.LosslessFlate,
-	})
+	// Now actually compress and compare. The output is a self-describing
+	// envelope container; rqm.Decompress routes it to the right codec.
+	res, err := eng.Compress(field)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nmeasured:\n")
+	fmt.Printf("\nmeasured (%s codec):\n", res.Stats.Codec)
 	fmt.Printf("  ratio %.2fx, %.3f bits/value, PSNR %.2f dB, SSIM %.4f\n",
 		res.Stats.Ratio, res.Stats.BitRate, psnr, ssim)
 	fmt.Printf("  error bound verified on all %d values\n", field.Len())

@@ -1,0 +1,3 @@
+module rqm
+
+go 1.24

@@ -1,0 +1,219 @@
+// Package codec defines the compressor-agnostic abstraction the ratio-quality
+// model is built around: a Codec interface every error-bounded backend
+// implements, a process-wide registry the built-in backends (prediction-based
+// and transform-based) register into, and a single self-describing container
+// envelope so any payload routes to the right backend by inspection (see
+// container.go). The tuner use-cases and the public rqm.Engine operate on
+// this interface only, so new codecs plug in behind one surface.
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rqm/internal/compressor"
+	"rqm/internal/core"
+	"rqm/internal/grid"
+	"rqm/internal/predictor"
+)
+
+// ID identifies a codec inside the container envelope. IDs are stable wire
+// values: never reuse or renumber a published ID.
+type ID uint8
+
+const (
+	// IDPrediction is the SZ3-style prediction-based codec.
+	IDPrediction ID = 1
+	// IDTransform is the ZFP-style transform-based codec.
+	IDTransform ID = 2
+	// FirstExternalID is the lowest ID open to third-party registrations;
+	// everything below is reserved for built-ins so future releases can add
+	// backends without colliding with archived containers.
+	FirstExternalID ID = 64
+)
+
+// Options is the codec-agnostic compression configuration. Fields a codec
+// does not understand are ignored (e.g. Predictor for the transform codec);
+// fields a codec cannot honor produce an error (e.g. PWREL mode for the
+// transform codec).
+type Options struct {
+	// Mode interprets ErrorBound (ABS, REL, PWREL).
+	Mode compressor.ErrorMode
+	// ErrorBound is the user bound in Mode semantics; must be positive.
+	ErrorBound float64
+	// Predictor selects the prediction scheme (prediction codec only).
+	Predictor predictor.Kind
+	// Lossless selects the optional stage after entropy coding
+	// (prediction codec only).
+	Lossless compressor.LosslessKind
+	// Radius overrides the quantizer radius (prediction codec only;
+	// 0 = default).
+	Radius int32
+}
+
+// Stats is the codec-agnostic description of one compression run. Sizes are
+// measured on the sealed envelope container, so they are comparable across
+// codecs and include all framing overhead.
+type Stats struct {
+	// Codec names the backend that produced the container.
+	Codec string
+	// N is the number of values.
+	N int
+	// OriginalBytes is the field size at its original precision.
+	OriginalBytes int64
+	// CompressedBytes is the sealed container size.
+	CompressedBytes int64
+	// BitRate is compressed bits per value.
+	BitRate float64
+	// Ratio is OriginalBytes over CompressedBytes.
+	Ratio float64
+	// EncodeTime is the wall time of the encode.
+	EncodeTime time.Duration
+}
+
+// Result is one sealed compression output.
+type Result struct {
+	// Bytes is the self-describing envelope container (decodable by
+	// Decompress regardless of which codec produced it).
+	Bytes []byte
+	// Stats describes the run.
+	Stats Stats
+}
+
+// Codec is one error-bounded compression backend. Compress and Decompress
+// deal in the codec's native payload; the package-level Compress/Decompress
+// functions seal payloads into (and route them out of) the shared envelope.
+type Codec interface {
+	// Name is the stable human-readable identifier used for CLI selection.
+	Name() string
+	// ID is the stable wire identifier used in the container envelope.
+	ID() ID
+	// Compress encodes f into the codec's native payload.
+	Compress(f *grid.Field, opts Options) (payload []byte, err error)
+	// Decompress reconstructs a field from a native payload.
+	Decompress(payload []byte) (*grid.Field, error)
+	// Profile builds a ratio-quality profile for f: the one-time sampling
+	// product all model estimates and inverse solves derive from. copts
+	// supplies codec configuration (e.g. the predictor to profile), mopts
+	// tunes the model itself (sampling rate, seed, ...).
+	Profile(f *grid.Field, copts Options, mopts core.Options) (*core.Profile, error)
+}
+
+var (
+	regMu     sync.RWMutex
+	regByID   = map[ID]Codec{}
+	regByName = map[string]Codec{}
+)
+
+// Register adds a codec to the process-wide registry. It fails when the name
+// or ID is already taken, so wire IDs stay unambiguous, and rejects IDs
+// below FirstExternalID, which are reserved for built-ins.
+func Register(c Codec) error {
+	if c != nil && c.ID() < FirstExternalID {
+		return fmt.Errorf("codec: id %d is reserved for built-ins (use %d or above)",
+			c.ID(), FirstExternalID)
+	}
+	return register(c)
+}
+
+// register is the floor-free path the built-ins use.
+func register(c Codec) error {
+	if c == nil {
+		return errors.New("codec: nil codec")
+	}
+	if c.Name() == "" {
+		return errors.New("codec: empty codec name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, ok := regByID[c.ID()]; ok {
+		return fmt.Errorf("codec: id %d already registered to %q", c.ID(), prev.Name())
+	}
+	if _, ok := regByName[c.Name()]; ok {
+		return fmt.Errorf("codec: name %q already registered", c.Name())
+	}
+	regByID[c.ID()] = c
+	regByName[c.Name()] = c
+	return nil
+}
+
+// ByID looks up a registered codec by wire ID.
+func ByID(id ID) (Codec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := regByID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownCodec, id)
+	}
+	return c, nil
+}
+
+// ByName looks up a registered codec by name.
+func ByName(name string) (Codec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := regByName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: name %q", ErrUnknownCodec, name)
+	}
+	return c, nil
+}
+
+// All returns the registered codecs sorted by ID.
+func All() []Codec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Codec, 0, len(regByID))
+	for _, c := range regByID {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Names returns the registered codec names sorted by ID.
+func Names() []string {
+	cs := All()
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// Compress runs c on f and seals the payload into the envelope container.
+func Compress(c Codec, f *grid.Field, opts Options) (*Result, error) {
+	if f == nil || f.Len() == 0 {
+		return nil, errors.New("codec: empty field")
+	}
+	start := time.Now()
+	payload, err := c.Compress(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := Seal(c.ID(), f, payload)
+	if err != nil {
+		return nil, err
+	}
+	st := Stats{
+		Codec:           c.Name(),
+		N:               f.Len(),
+		OriginalBytes:   f.OriginalBytes(),
+		CompressedBytes: int64(len(sealed)),
+		BitRate:         float64(len(sealed)) * 8 / float64(f.Len()),
+		Ratio:           float64(f.OriginalBytes()) / float64(len(sealed)),
+		EncodeTime:      time.Since(start),
+	}
+	return &Result{Bytes: sealed, Stats: st}, nil
+}
+
+func init() {
+	for _, c := range []Codec{predictionCodec{}, transformCodec{}} {
+		if err := register(c); err != nil {
+			panic(err)
+		}
+	}
+}

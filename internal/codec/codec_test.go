@@ -1,0 +1,173 @@
+package codec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rqm/internal/compressor"
+	"rqm/internal/core"
+	"rqm/internal/datagen"
+	"rqm/internal/grid"
+)
+
+func testField(t testing.TB) *grid.Field {
+	t.Helper()
+	f, err := datagen.GenerateField("cesm/TS", 42, datagen.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRegistryHasBuiltins(t *testing.T) {
+	all := All()
+	if len(all) < 2 {
+		t.Fatalf("registered codecs = %d, want at least the 2 built-ins", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].ID() <= all[i-1].ID() {
+			t.Fatal("All() not sorted by ID")
+		}
+	}
+	for _, want := range []struct {
+		id   ID
+		name string
+	}{{IDPrediction, PredictionName}, {IDTransform, TransformName}} {
+		byID, err := ByID(want.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName, err := ByName(want.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byID != byName {
+			t.Fatalf("ByID(%d) and ByName(%q) disagree", want.id, want.name)
+		}
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndUnknown(t *testing.T) {
+	// Public Register enforces the reserved-ID floor for built-in space...
+	if err := Register(predictionCodec{}); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("reserved built-in ID accepted: %v", err)
+	}
+	// ...and the floor-free internal path still rejects duplicates.
+	if err := register(predictionCodec{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := Register(nil); err == nil {
+		t.Fatal("nil codec accepted")
+	}
+	if _, err := ByID(ID(200)); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("ByID unknown: %v", err)
+	}
+	if _, err := ByName("no-such-codec"); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("ByName unknown: %v", err)
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	f := testField(t)
+	payload := []byte{1, 2, 3, 4, 5}
+	sealed, err := Seal(IDPrediction, f, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, got, err := Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CodecID != IDPrediction || info.CodecName != PredictionName || info.Legacy {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.FieldName != f.Name || len(info.Dims) != f.Rank() || info.Prec != f.Prec {
+		t.Fatalf("metadata mismatch: %+v vs field %q %v", info, f.Name, f.Dims)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mismatch: %v", got)
+	}
+}
+
+func TestCompressSealsAndStats(t *testing.T) {
+	f := testField(t)
+	for _, c := range All() {
+		res, err := Compress(c, f, Options{Mode: compressor.REL, ErrorBound: 1e-3})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if res.Stats.Codec != c.Name() || res.Stats.N != f.Len() {
+			t.Fatalf("%s stats: %+v", c.Name(), res.Stats)
+		}
+		if int64(len(res.Bytes)) != res.Stats.CompressedBytes {
+			t.Fatalf("%s: CompressedBytes %d != container %d", c.Name(), res.Stats.CompressedBytes, len(res.Bytes))
+		}
+		back, err := Decompress(res.Bytes)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		lo, hi := f.ValueRange()
+		if err := compressor.VerifyErrorBound(f, back, compressor.ABS, 1e-3*(hi-lo)); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestTransformCodecRejectsPWREL(t *testing.T) {
+	f := testField(t)
+	c, err := ByID(IDTransform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compress(c, f, Options{Mode: compressor.PWREL, ErrorBound: 1e-3}); err == nil {
+		t.Fatal("transform codec accepted PWREL")
+	}
+}
+
+func TestProfileThroughInterface(t *testing.T) {
+	f := testField(t)
+	mopts := core.Options{SampleRate: 0.2, Seed: 7}
+	for _, c := range All() {
+		p, err := c.Profile(f, Options{}, mopts)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		eb := p.Range * 1e-3
+		est := p.EstimateAt(eb)
+		if est.Ratio <= 1 || est.PSNR <= 0 {
+			t.Fatalf("%s estimate: ratio=%v psnr=%v", c.Name(), est.Ratio, est.PSNR)
+		}
+	}
+}
+
+func TestOpenEnvelopeErrors(t *testing.T) {
+	f := testField(t)
+	sealed, err := Seal(IDTransform, f, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("trailing garbage", func(t *testing.T) {
+		_, _, err := Open(append(append([]byte{}, sealed...), 0xAA))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("unregistered id", func(t *testing.T) {
+		bad, err := Seal(ID(250), f, []byte("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, _, err := Open(bad)
+		if err != nil {
+			t.Fatal(err) // Open succeeds; routing fails
+		}
+		if info.CodecName != "" {
+			t.Fatalf("unregistered ID resolved name %q", info.CodecName)
+		}
+		if _, err := Decompress(bad); !errors.Is(err, ErrUnknownCodec) {
+			t.Fatalf("Decompress: %v", err)
+		}
+	})
+}

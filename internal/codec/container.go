@@ -1,0 +1,293 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"rqm/internal/compressor"
+	"rqm/internal/grid"
+	"rqm/internal/transform"
+)
+
+// Typed container errors. Callers match them with errors.Is; every parse
+// failure wraps exactly one of these.
+var (
+	// ErrTruncated marks a container shorter than its header or payload
+	// declares.
+	ErrTruncated = errors.New("codec: truncated container")
+	// ErrBadMagic marks data that is not any known container format.
+	ErrBadMagic = errors.New("codec: bad container magic")
+	// ErrUnsupportedVersion marks an envelope version this build cannot read.
+	ErrUnsupportedVersion = errors.New("codec: unsupported envelope version")
+	// ErrUnknownCodec marks an envelope whose codec ID has no registration.
+	ErrUnknownCodec = errors.New("codec: unknown codec")
+	// ErrCorrupt marks a structurally invalid header (bad rank, dimension,
+	// or length field).
+	ErrCorrupt = errors.New("codec: corrupt container header")
+)
+
+// EnvelopeMagic is the little-endian magic of the unified envelope ("RQCE",
+// ratio-quality codec envelope).
+const EnvelopeMagic uint32 = 0x52514345
+
+// EnvelopeVersion is the current envelope layout version.
+const EnvelopeVersion = 1
+
+// maxEnvelopeName bounds the stored field name.
+const maxEnvelopeName = 65535
+
+// Info describes a container without decoding its payload.
+type Info struct {
+	// CodecID identifies the backend the payload belongs to.
+	CodecID ID
+	// CodecName is the registered name ("" when the ID is unregistered).
+	CodecName string
+	// Version is the envelope version (0 for legacy native containers).
+	Version uint8
+	// Legacy reports a pre-envelope native container (RQMC / RQZF).
+	Legacy bool
+	// FieldName is the stored field name.
+	FieldName string
+	// Prec is the original storage precision.
+	Prec grid.Precision
+	// Dims is the field shape.
+	Dims []int
+	// PayloadBytes is the native payload size inside the envelope (for
+	// legacy containers, the whole container).
+	PayloadBytes int
+}
+
+// Seal wraps a codec's native payload in the self-describing envelope:
+//
+//	offset  size      field
+//	0       4         magic "RQCE" (uint32 LE)
+//	4       1         envelope version
+//	5       1         codec ID
+//	6       1         precision
+//	7       1         rank r (1..4)
+//	8       8*r       dims (uint64 LE each)
+//	...     2+len     field name (uint16 LE length + bytes)
+//	...     8         payload length (uint64 LE)
+//	...     len       native codec payload
+func Seal(id ID, f *grid.Field, payload []byte) ([]byte, error) {
+	if f == nil || f.Rank() < 1 || f.Rank() > 4 {
+		return nil, fmt.Errorf("%w: field rank outside 1..4", ErrCorrupt)
+	}
+	name := []byte(f.Name)
+	if len(name) > maxEnvelopeName {
+		name = name[:maxEnvelopeName]
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(payload) + 64 + len(name))
+	w := func(v interface{}) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(EnvelopeMagic)
+	w(uint8(EnvelopeVersion))
+	w(uint8(id))
+	w(uint8(f.Prec))
+	w(uint8(f.Rank()))
+	for _, d := range f.Dims {
+		w(uint64(d))
+	}
+	w(uint16(len(name)))
+	buf.Write(name)
+	w(uint64(len(payload)))
+	buf.Write(payload)
+	return buf.Bytes(), nil
+}
+
+// Open inspects a container, returning its routing info and the native
+// payload. It accepts both the unified envelope and the two legacy native
+// formats (prediction "RQMC", transform "RQZF"), which stay decodable.
+func Open(data []byte) (*Info, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("%w: %d bytes, need at least a 4-byte magic", ErrTruncated, len(data))
+	}
+	switch binary.LittleEndian.Uint32(data) {
+	case EnvelopeMagic:
+		return openEnvelope(data)
+	case compressor.ContainerMagic:
+		info, err := legacyPredictionInfo(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return info, data, nil
+	case transform.ContainerMagic:
+		info, err := legacyTransformInfo(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return info, data, nil
+	}
+	return nil, nil, fmt.Errorf("%w: 0x%08x", ErrBadMagic, binary.LittleEndian.Uint32(data))
+}
+
+// Decompress routes any container — enveloped or legacy — to its backend by
+// inspection and reconstructs the field.
+func Decompress(data []byte) (*grid.Field, error) {
+	info, payload, err := Open(data)
+	if err != nil {
+		return nil, err
+	}
+	c, err := ByID(info.CodecID)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decompress(payload)
+}
+
+// Inspect returns container routing info without decoding the payload.
+func Inspect(data []byte) (*Info, error) {
+	info, _, err := Open(data)
+	return info, err
+}
+
+func openEnvelope(data []byte) (*Info, []byte, error) {
+	r := bytes.NewReader(data[4:])
+	var version, id, prec, rank uint8
+	if err := readLE(r, &version, &id, &prec, &rank); err != nil {
+		return nil, nil, err
+	}
+	if version != EnvelopeVersion {
+		return nil, nil, fmt.Errorf("%w: version %d, this build reads %d",
+			ErrUnsupportedVersion, version, EnvelopeVersion)
+	}
+	dims, err := readDims(r, rank)
+	if err != nil {
+		return nil, nil, err
+	}
+	name, err := readName(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	var payloadLen uint64
+	if err := readLE(r, &payloadLen); err != nil {
+		return nil, nil, err
+	}
+	if payloadLen > uint64(r.Len()) {
+		return nil, nil, fmt.Errorf("%w: payload declares %d bytes, %d remain",
+			ErrTruncated, payloadLen, r.Len())
+	}
+	if uint64(r.Len()) > payloadLen {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes after payload",
+			ErrCorrupt, uint64(r.Len())-payloadLen)
+	}
+	payload := data[len(data)-int(payloadLen):]
+	info := &Info{
+		CodecID:      ID(id),
+		Version:      version,
+		FieldName:    name,
+		Prec:         grid.Precision(prec),
+		Dims:         dims,
+		PayloadBytes: int(payloadLen),
+	}
+	if c, err := ByID(info.CodecID); err == nil {
+		info.CodecName = c.Name()
+	}
+	return info, payload, nil
+}
+
+// legacyPredictionInfo parses the header prefix of a native "RQMC" container
+// (magic, version, predictor, mode, lossless, radius, two float64 bounds,
+// precision, rank, dims, name).
+func legacyPredictionInfo(data []byte) (*Info, error) {
+	r := bytes.NewReader(data[4:])
+	var version, predKind, mode, lossless, prec, rank uint8
+	var radius int32
+	var userEB, absEB float64
+	if err := readLE(r, &version, &predKind, &mode, &lossless, &radius, &userEB, &absEB, &prec, &rank); err != nil {
+		return nil, err
+	}
+	dims, err := readDims(r, rank)
+	if err != nil {
+		return nil, err
+	}
+	name, err := readName(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Info{
+		CodecID:      IDPrediction,
+		CodecName:    PredictionName,
+		Legacy:       true,
+		FieldName:    name,
+		Prec:         grid.Precision(prec),
+		Dims:         dims,
+		PayloadBytes: len(data),
+	}, nil
+}
+
+// legacyTransformInfo parses the header prefix of a native "RQZF" container
+// (magic, error bound, precision, rank, dims, name).
+func legacyTransformInfo(data []byte) (*Info, error) {
+	r := bytes.NewReader(data[4:])
+	var eb float64
+	var prec, rank uint8
+	if err := readLE(r, &eb, &prec, &rank); err != nil {
+		return nil, err
+	}
+	dims, err := readDims(r, rank)
+	if err != nil {
+		return nil, err
+	}
+	name, err := readName(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Info{
+		CodecID:      IDTransform,
+		CodecName:    TransformName,
+		Legacy:       true,
+		FieldName:    name,
+		Prec:         grid.Precision(prec),
+		Dims:         dims,
+		PayloadBytes: len(data),
+	}, nil
+}
+
+// readDims validates the rank and reads that many uint64 dimensions.
+func readDims(r *bytes.Reader, rank uint8) ([]int, error) {
+	if rank < 1 || rank > 4 {
+		return nil, fmt.Errorf("%w: rank %d outside 1..4", ErrCorrupt, rank)
+	}
+	dims := make([]int, rank)
+	for i := range dims {
+		var d uint64
+		if err := readLE(r, &d); err != nil {
+			return nil, err
+		}
+		if d == 0 || d >= 1<<32 {
+			return nil, fmt.Errorf("%w: dimension %d", ErrCorrupt, d)
+		}
+		dims[i] = int(d)
+	}
+	return dims, nil
+}
+
+// readLE reads fixed-size values, mapping short reads to ErrTruncated.
+func readLE(r *bytes.Reader, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("%w: header ends mid-field", ErrTruncated)
+		}
+	}
+	return nil
+}
+
+// readName reads a uint16-prefixed name, mapping short reads to ErrTruncated.
+func readName(r *bytes.Reader) (string, error) {
+	var n uint16
+	if err := readLE(r, &n); err != nil {
+		return "", err
+	}
+	if int(n) > r.Len() {
+		return "", fmt.Errorf("%w: name declares %d bytes, %d remain", ErrTruncated, n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("%w: header ends mid-name", ErrTruncated)
+	}
+	return string(b), nil
+}

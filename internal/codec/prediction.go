@@ -1,0 +1,42 @@
+package codec
+
+import (
+	"rqm/internal/compressor"
+	"rqm/internal/core"
+	"rqm/internal/grid"
+)
+
+// PredictionName is the registered name of the prediction-based codec.
+const PredictionName = "prediction"
+
+// predictionCodec adapts the SZ3-style prediction pipeline to the Codec
+// interface. Its native payload is the "RQMC" container.
+type predictionCodec struct{}
+
+func (predictionCodec) Name() string { return PredictionName }
+func (predictionCodec) ID() ID       { return IDPrediction }
+
+func (predictionCodec) Compress(f *grid.Field, opts Options) ([]byte, error) {
+	res, err := compressor.Compress(f, compressor.Options{
+		Predictor:  opts.Predictor,
+		Mode:       opts.Mode,
+		ErrorBound: opts.ErrorBound,
+		Lossless:   opts.Lossless,
+		Radius:     opts.Radius,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Bytes, nil
+}
+
+func (predictionCodec) Decompress(payload []byte) (*grid.Field, error) {
+	return compressor.Decompress(payload)
+}
+
+func (predictionCodec) Profile(f *grid.Field, copts Options, mopts core.Options) (*core.Profile, error) {
+	if mopts.Radius == 0 {
+		mopts.Radius = copts.Radius // keep the model on the compression radius
+	}
+	return core.NewProfile(f, copts.Predictor, mopts)
+}

@@ -94,6 +94,16 @@ func (l LosslessKind) String() string {
 	return fmt.Sprintf("LosslessKind(%d)", int(l))
 }
 
+// ParseLosslessKind resolves a lossless-backend name.
+func ParseLosslessKind(s string) (LosslessKind, error) {
+	for _, l := range []LosslessKind{LosslessNone, LosslessRLE, LosslessLZ77, LosslessFlate} {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("compressor: unknown lossless backend %q", s)
+}
+
 // Options configures one compression run.
 type Options struct {
 	// Predictor selects the prediction scheme.
@@ -158,8 +168,12 @@ type Result struct {
 	Stats Stats
 }
 
+// ContainerMagic is the little-endian magic of the native prediction-codec
+// container ("RQMC"); the codec router uses it to recognize legacy payloads.
+const ContainerMagic uint32 = 0x52514d43
+
 const (
-	containerMagic   = 0x52514d43 // "RQMC"
+	containerMagic   = ContainerMagic
 	containerVersion = 1
 )
 

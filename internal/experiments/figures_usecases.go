@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"rqm/internal/codec"
 	"rqm/internal/compressor"
 	"rqm/internal/core"
 	"rqm/internal/datagen"
@@ -183,6 +184,10 @@ func Figure11(cfg Config, w io.Writer) ([]Figure11Group, error) {
 		return nil, err
 	}
 	rng := stats.NewXorShift64(cfg.Seed + 7)
+	predCodec, err := codec.ByID(codec.IDPrediction)
+	if err != nil {
+		return nil, err
+	}
 	var out []Figure11Group
 	tw := newTable(w)
 	row(tw, "group", "snapshot", "budget", "used", "used/budget", "overflow")
@@ -195,8 +200,8 @@ func Figure11(cfg Config, w io.Writer) ([]Figure11Group, error) {
 		// Random target ratio between 8x and 64x.
 		ratio := 8 * math.Pow(2, 3*rng.Float64())
 		budget := int64(float64(f.OriginalBytes()) / ratio)
-		plan, err := tuner.CompressToBudget(f, prof, predictor.Interpolation, budget, 0.2, false,
-			compressor.Options{Lossless: compressor.LosslessFlate})
+		plan, err := tuner.CompressToBudget(f, prof, predCodec, budget, 0.2, false,
+			codec.Options{Predictor: predictor.Interpolation, Lossless: compressor.LosslessFlate})
 		if err != nil {
 			return nil, err
 		}

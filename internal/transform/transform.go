@@ -64,7 +64,11 @@ type Result struct {
 	Stats Stats
 }
 
-const containerMagic = 0x52515A46 // "RQZF"
+// ContainerMagic is the little-endian magic of the native transform-codec
+// container ("RQZF"); the codec router uses it to recognize legacy payloads.
+const ContainerMagic uint32 = 0x52515A46
+
+const containerMagic = ContainerMagic
 
 // haar4Fwd applies the two-level integer S-transform to a 4-long line in
 // place: (v0..v3) → (ss, sd, d0, d1). Exactly invertible by haar4Inv.

@@ -3,6 +3,7 @@ package tuner
 import (
 	"testing"
 
+	"rqm/internal/codec"
 	"rqm/internal/compressor"
 	"rqm/internal/datagen"
 	"rqm/internal/grid"
@@ -18,7 +19,7 @@ func fieldForBudget(t *testing.T) *grid.Field {
 	return f
 }
 
-// compressorOptions returns default compressor options for tuner tests.
-func compressorOptions() compressor.Options {
-	return compressor.Options{Lossless: compressor.LosslessRLE}
+// codecOptions returns default codec options for tuner tests.
+func codecOptions() codec.Options {
+	return codec.Options{Lossless: compressor.LosslessRLE}
 }

@@ -87,7 +87,7 @@ func TestCompressToBudgetNonStrictReportsOverflow(t *testing.T) {
 	}
 	// An absurdly tight budget: headroom cannot save it, but the call must
 	// return with Overflowed set (or a fitting result) in one round.
-	plan, err := CompressToBudget(f, p, predictor.Lorenzo, 600, 0.2, false, compressorOptions())
+	plan, err := CompressToBudget(f, p, predCodec(t), 600, 0.2, false, codecOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,14 +3,22 @@
 // compression with a target footprint, and in-situ per-partition error-bound
 // optimization — plus the trial-and-error baselines the paper compares
 // against (the "traditional" offline approach and the in-situ TAE approach).
+//
+// Every use-case operates on the codec.Codec interface, so it works
+// identically for any registered backend: profiles come from Codec.Profile,
+// compression runs go through codec.Compress, and cross-backend selection
+// (SelectCodec) ranks all registered codecs at a quality target with one
+// call.
 package tuner
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
+	"rqm/internal/codec"
 	"rqm/internal/compressor"
 	"rqm/internal/core"
 	"rqm/internal/grid"
@@ -37,9 +45,13 @@ func SelectPredictor(f *grid.Field, kinds []predictor.Kind, absEB float64, opts 
 	if len(kinds) == 0 {
 		return nil, errors.New("tuner: no candidate predictors")
 	}
+	c, err := codec.ByID(codec.IDPrediction)
+	if err != nil {
+		return nil, err
+	}
 	choices := make([]Choice, 0, len(kinds))
 	for _, k := range kinds {
-		p, err := core.NewProfile(f, k, opts)
+		p, err := c.Profile(f, codec.Options{Predictor: k}, opts)
 		if err != nil {
 			return nil, fmt.Errorf("tuner: profiling %s: %w", k, err)
 		}
@@ -139,17 +151,18 @@ type MemoryPlan struct {
 	// Overflowed reports whether the final output still exceeds the budget
 	// (possible only in non-strict mode).
 	Overflowed bool
-	// Result is the final compression output.
-	Result *compressor.Result
+	// Result is the final sealed compression output.
+	Result *codec.Result
 }
 
-// CompressToBudget compresses f so its container fits budgetBytes. Following
-// the paper, the plan targets a bit-rate `headroom` (default 0.2) below the
-// budget to absorb model error; in strict mode, rare overflows trigger
-// re-compression with a tightened target until the output fits (or rounds
-// run out, which returns an error).
-func CompressToBudget(f *grid.Field, p *core.Profile, kind predictor.Kind,
-	budgetBytes int64, headroom float64, strict bool, copts compressor.Options) (*MemoryPlan, error) {
+// CompressToBudget compresses f with codec c so its sealed container fits
+// budgetBytes. Following the paper, the plan targets a bit-rate `headroom`
+// (default 0.2) below the budget to absorb model error; in strict mode, rare
+// overflows trigger re-compression with a tightened target until the output
+// fits (or rounds run out, which returns an error). The profile p must come
+// from the same codec (c.Profile).
+func CompressToBudget(f *grid.Field, p *core.Profile, c codec.Codec,
+	budgetBytes int64, headroom float64, strict bool, copts codec.Options) (*MemoryPlan, error) {
 	if budgetBytes <= 0 {
 		return nil, errors.New("tuner: budget must be positive")
 	}
@@ -169,8 +182,7 @@ func CompressToBudget(f *grid.Field, p *core.Profile, kind predictor.Kind,
 		plan.ErrorBound = eb
 		copts.Mode = compressor.ABS
 		copts.ErrorBound = eb
-		copts.Predictor = kind
-		res, err := compressor.Compress(f, copts)
+		res, err := codec.Compress(c, f, copts)
 		if err != nil {
 			return nil, err
 		}
@@ -410,9 +422,11 @@ type TAEOutcome struct {
 }
 
 // TAESelectErrorBound is the paper's baseline: compress, decompress, and
-// measure each candidate bound, then pick the largest bound whose measured
-// PSNR still meets the target. Every candidate costs a full pipeline run.
-func TAESelectErrorBound(f *grid.Field, kind predictor.Kind, candidates []float64, targetPSNR float64) (*TAEOutcome, error) {
+// measure each candidate bound with codec c, then pick the largest bound
+// whose measured PSNR still meets the target. Every candidate costs a full
+// pipeline run.
+func TAESelectErrorBound(f *grid.Field, c codec.Codec, copts codec.Options,
+	candidates []float64, targetPSNR float64) (*TAEOutcome, error) {
 	if len(candidates) == 0 {
 		return nil, errors.New("tuner: no candidate bounds")
 	}
@@ -420,13 +434,13 @@ func TAESelectErrorBound(f *grid.Field, kind predictor.Kind, candidates []float6
 	out := &TAEOutcome{ErrorBound: math.NaN(), PSNR: math.NaN()}
 	for _, eb := range candidates {
 		out.Trials++
-		res, err := compressor.Compress(f, compressor.Options{
-			Predictor: kind, Mode: compressor.ABS, ErrorBound: eb,
-		})
+		copts.Mode = compressor.ABS
+		copts.ErrorBound = eb
+		res, err := codec.Compress(c, f, copts)
 		if err != nil {
 			return nil, err
 		}
-		dec, err := compressor.Decompress(res.Bytes)
+		dec, err := codec.Decompress(res.Bytes)
 		if err != nil {
 			return nil, err
 		}
@@ -452,13 +466,17 @@ func TAESelectPredictor(f *grid.Field, kinds []predictor.Kind, absEB float64) (p
 	if len(kinds) == 0 {
 		return 0, nil, errors.New("tuner: no candidate predictors")
 	}
+	c, err := codec.ByID(codec.IDPrediction)
+	if err != nil {
+		return 0, nil, err
+	}
 	start := time.Now()
 	best := kinds[0]
 	bestRatio := -1.0
 	out := &TAEOutcome{ErrorBound: absEB, PSNR: math.NaN()}
 	for _, k := range kinds {
 		out.Trials++
-		res, err := compressor.Compress(f, compressor.Options{
+		res, err := codec.Compress(c, f, codec.Options{
 			Predictor: k, Mode: compressor.ABS, ErrorBound: absEB,
 		})
 		if err != nil {
@@ -471,4 +489,57 @@ func TAESelectPredictor(f *grid.Field, kinds []predictor.Kind, absEB float64) (p
 	}
 	out.Elapsed = time.Since(start)
 	return best, out, nil
+}
+
+// CodecChoice records one codec's modeled performance at a quality target.
+type CodecChoice struct {
+	// Codec is the candidate backend.
+	Codec codec.Codec
+	// Profile is its sampling profile (reusable for later estimates).
+	Profile *core.Profile
+	// ErrorBound is the solved absolute bound meeting the target.
+	ErrorBound float64
+	// Estimate is the model output at that bound.
+	Estimate core.Estimate
+}
+
+// SelectCodec ranks codecs by modeled compression at a PSNR target: each
+// candidate is profiled once, the bound meeting the target is solved on its
+// profile, and candidates are ordered by modeled bit-rate at that bound
+// (best ratio first). Candidates that cannot profile the field or reach the
+// target are skipped; an error is returned only when none qualifies. This is
+// the cross-backend auto-selection the compressor-agnostic model enables:
+// one sampling pass per codec, no trial compression.
+func SelectCodec(f *grid.Field, codecs []codec.Codec, targetPSNR float64,
+	copts codec.Options, mopts core.Options) ([]CodecChoice, error) {
+	if len(codecs) == 0 {
+		return nil, errors.New("tuner: no candidate codecs")
+	}
+	var choices []CodecChoice
+	var lastErr error
+	for _, c := range codecs {
+		p, err := c.Profile(f, copts, mopts)
+		if err != nil {
+			lastErr = fmt.Errorf("tuner: profiling codec %s: %w", c.Name(), err)
+			continue
+		}
+		eb, err := p.ErrorBoundForPSNR(targetPSNR)
+		if err != nil {
+			lastErr = fmt.Errorf("tuner: codec %s cannot reach %.1f dB: %w", c.Name(), targetPSNR, err)
+			continue
+		}
+		choices = append(choices, CodecChoice{
+			Codec: c, Profile: p, ErrorBound: eb, Estimate: p.EstimateAt(eb),
+		})
+	}
+	if len(choices) == 0 {
+		if lastErr == nil {
+			lastErr = errors.New("tuner: no codec qualified")
+		}
+		return nil, lastErr
+	}
+	sort.SliceStable(choices, func(i, j int) bool {
+		return choices[i].Estimate.TotalBitRate < choices[j].Estimate.TotalBitRate
+	})
+	return choices, nil
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"rqm/internal/codec"
 	"rqm/internal/compressor"
 	"rqm/internal/core"
 	"rqm/internal/datagen"
@@ -13,6 +14,15 @@ import (
 )
 
 var modelOpts = core.Options{SampleRate: 0.2, Seed: 3, UseLossless: true}
+
+func predCodec(t testing.TB) codec.Codec {
+	t.Helper()
+	c, err := codec.ByID(codec.IDPrediction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
 
 func field(t testing.TB, name string) *grid.Field {
 	t.Helper()
@@ -101,7 +111,8 @@ func TestCompressToBudgetFits(t *testing.T) {
 		t.Fatal(err)
 	}
 	budget := f.OriginalBytes() / 8 // demand 8x reduction
-	plan, err := CompressToBudget(f, p, predictor.Lorenzo, budget, 0.2, true, compressor.Options{})
+	plan, err := CompressToBudget(f, p, predCodec(t), budget, 0.2, true,
+		codec.Options{Predictor: predictor.Lorenzo})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,8 +122,8 @@ func TestCompressToBudgetFits(t *testing.T) {
 	if plan.TargetBitRate <= 0 || plan.ErrorBound <= 0 {
 		t.Fatalf("plan fields: %+v", plan)
 	}
-	// Verify the error bound still holds end to end.
-	dec, err := compressor.Decompress(plan.Result.Bytes)
+	// Verify the error bound still holds end to end (routed decompression).
+	dec, err := codec.Decompress(plan.Result.Bytes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +138,8 @@ func TestCompressToBudgetValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := CompressToBudget(f, p, predictor.Lorenzo, 0, 0.2, true, compressor.Options{}); err == nil {
+	if _, err := CompressToBudget(f, p, predCodec(t), 0, 0.2, true,
+		codec.Options{Predictor: predictor.Lorenzo}); err == nil {
 		t.Fatal("zero budget accepted")
 	}
 }
@@ -237,7 +249,7 @@ func TestTAESelectErrorBound(t *testing.T) {
 	lo, hi := f.ValueRange()
 	rng := hi - lo
 	candidates := []float64{rng * 1e-5, rng * 1e-4, rng * 1e-3, rng * 1e-2}
-	out, err := TAESelectErrorBound(f, predictor.Lorenzo, candidates, 60)
+	out, err := TAESelectErrorBound(f, predCodec(t), codec.Options{Predictor: predictor.Lorenzo}, candidates, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +283,8 @@ func TestTAESelectErrorBound(t *testing.T) {
 func TestTAESelectErrorBoundNoCandidateMeets(t *testing.T) {
 	f := field(t, "nyx/temperature")
 	lo, hi := f.ValueRange()
-	if _, err := TAESelectErrorBound(f, predictor.Lorenzo, []float64{(hi - lo) * 0.5}, 200); err == nil {
+	if _, err := TAESelectErrorBound(f, predCodec(t), codec.Options{Predictor: predictor.Lorenzo},
+		[]float64{(hi - lo) * 0.5}, 200); err == nil {
 		t.Fatal("unreachable target accepted")
 	}
 }
@@ -295,6 +308,46 @@ func TestTAESelectPredictor(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("best = %v not among candidates", best)
+	}
+}
+
+func TestSelectCodecRanksAllRegisteredBackends(t *testing.T) {
+	f := field(t, "nyx/temperature")
+	choices, err := SelectCodec(f, codec.All(), 60, codec.Options{Predictor: predictor.Lorenzo}, modelOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != len(codec.All()) {
+		t.Fatalf("choices = %d, registered codecs = %d", len(choices), len(codec.All()))
+	}
+	for i, c := range choices {
+		if c.ErrorBound <= 0 || c.Estimate.TotalBitRate <= 0 {
+			t.Fatalf("choice %d (%s): eb=%v bits=%v", i, c.Codec.Name(), c.ErrorBound, c.Estimate.TotalBitRate)
+		}
+		if i > 0 && c.Estimate.TotalBitRate < choices[i-1].Estimate.TotalBitRate-1e-9 {
+			t.Fatal("choices not sorted by modeled bit-rate")
+		}
+		// The winner must actually deliver a working round trip at its bound.
+		res, err := codec.Compress(c.Codec, f, codec.Options{
+			Predictor: predictor.Lorenzo, Mode: compressor.ABS, ErrorBound: c.ErrorBound,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := codec.Decompress(res.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := compressor.VerifyErrorBound(f, dec, compressor.ABS, c.ErrorBound); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSelectCodecEmpty(t *testing.T) {
+	f := field(t, "cesm/TS")
+	if _, err := SelectCodec(f, nil, 60, codec.Options{}, modelOpts); err == nil {
+		t.Fatal("empty codec list accepted")
 	}
 }
 

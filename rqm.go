@@ -17,24 +17,31 @@
 //     compression with a target footprint, and in-situ per-partition
 //     error-bound optimization.
 //
+// Every compressor backend sits behind one Codec interface and one
+// registry; compressed data travels in one self-describing container
+// envelope, so Decompress routes any payload — including legacy
+// pre-envelope containers — to the right backend by inspection. The Engine
+// is the configured entry point, with worker-pool batch paths for
+// multi-field datasets.
+//
 // Quick start:
 //
 //	field, _ := rqm.GenerateField("nyx/temperature", 42, rqm.ScaleSmall)
-//	profile, _ := rqm.NewProfile(field, rqm.Lorenzo, rqm.ModelOptions{})
+//	eng, _ := rqm.NewEngine(rqm.WithMode(rqm.REL), rqm.WithErrorBound(1e-3))
+//	profile, _ := eng.Profile(field)
 //	est := profile.EstimateAt(1e-3 * profile.Range) // no compression run
 //	fmt.Println(est.Ratio, est.PSNR)
 //
-//	res, _ := rqm.Compress(field, rqm.CompressOptions{
-//		Predictor: rqm.Lorenzo, Mode: rqm.ABS, ErrorBound: 1e-3 * profile.Range,
-//	})
-//	back, _ := rqm.Decompress(res.Bytes)
+//	res, _ := eng.Compress(field)
+//	back, _ := rqm.Decompress(res.Bytes) // routed by the container envelope
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the paper
-// reproduction results.
+// See DESIGN.md for the architecture, including the codec registry and the
+// container envelope byte layout.
 package rqm
 
 import (
 	"rqm/internal/cluster"
+	"rqm/internal/codec"
 	"rqm/internal/compressor"
 	"rqm/internal/core"
 	"rqm/internal/datagen"
@@ -158,20 +165,50 @@ func GenerateField(path string, seed uint64, sc Scale) (*Field, error) {
 	return datagen.GenerateField(path, seed, sc)
 }
 
-// Compress runs the full prediction-based pipeline.
+// Compress runs the full prediction-based pipeline, producing the codec's
+// native (pre-envelope) container.
+//
+// Deprecated: use NewEngine/Engine.Compress or CompressWith, which work for
+// every registered codec and seal the output in the self-describing
+// envelope. Decompress reads both formats.
 func Compress(f *Field, opts CompressOptions) (*CompressResult, error) {
 	return compressor.Compress(f, opts)
 }
 
-// Decompress reconstructs a field from a compressed container.
+// Decompress reconstructs a field from any compressed container, routing to
+// the producing codec by inspection: envelope containers dispatch on their
+// codec ID through the registry, and the legacy native prediction ("RQMC")
+// and transform ("RQZF") containers remain decodable. Parse failures wrap
+// the typed errors ErrTruncated, ErrBadMagic, ErrUnsupportedVersion,
+// ErrUnknownCodec, and ErrCorrupt.
 func Decompress(data []byte) (*Field, error) {
-	return compressor.Decompress(data)
+	return codec.Decompress(data)
 }
 
 // VerifyErrorBound checks that recon satisfies the bound against orig.
 func VerifyErrorBound(orig, recon *Field, mode ErrorMode, eb float64) error {
 	return compressor.VerifyErrorBound(orig, recon, mode, eb)
 }
+
+// ParseErrorMode resolves an error-mode name ("abs", "rel", "pwrel").
+func ParseErrorMode(s string) (ErrorMode, error) {
+	return compressor.ParseErrorMode(s)
+}
+
+// ParseLosslessKind resolves a lossless-backend name
+// ("none", "rle", "lz77", "flate").
+func ParseLosslessKind(s string) (LosslessKind, error) {
+	return compressor.ParseLosslessKind(s)
+}
+
+// ParsePredictorKind resolves a prediction-scheme name ("lorenzo",
+// "lorenzo2", "interpolation", "interpolation-cubic", "regression").
+func ParsePredictorKind(s string) (PredictorKind, error) {
+	return predictor.ParseKind(s)
+}
+
+// PredictorKinds lists all implemented prediction schemes.
+func PredictorKinds() []PredictorKind { return predictor.Kinds() }
 
 // NewProfile samples a field with a predictor and returns the model profile.
 func NewProfile(f *Field, kind PredictorKind, opts ModelOptions) (*Profile, error) {
@@ -191,10 +228,19 @@ func SelectPredictor(f *Field, kinds []PredictorKind, absEB float64, opts ModelO
 }
 
 // CompressToBudget compresses into a byte budget with model-planned bounds
-// (use-case B).
+// (use-case B) using the prediction codec.
+//
+// Deprecated: use Engine.CompressToBudget, which works for every registered
+// codec.
 func CompressToBudget(f *Field, p *Profile, kind PredictorKind, budgetBytes int64,
 	headroom float64, strict bool, copts CompressOptions) (*MemoryPlan, error) {
-	return tuner.CompressToBudget(f, p, kind, budgetBytes, headroom, strict, copts)
+	c, err := codec.ByID(codec.IDPrediction)
+	if err != nil {
+		return nil, err
+	}
+	return tuner.CompressToBudget(f, p, c, budgetBytes, headroom, strict, codec.Options{
+		Predictor: kind, Lossless: copts.Lossless, Radius: copts.Radius,
+	})
 }
 
 // OptimizePartitionsForPSNR assigns per-partition error bounds meeting an
@@ -240,18 +286,36 @@ type (
 
 // TransformCompress encodes a field with the transform-based codec
 // (value-domain quantization + integer block Haar + class entropy coding);
-// the absolute error bound is guaranteed.
+// the absolute error bound is guaranteed. Produces the codec's native
+// (pre-envelope) container.
+//
+// Deprecated: use NewEngine(WithCodecName(CodecTransformName)) or
+// CompressWith with the registered transform codec; Decompress reads both
+// formats.
 func TransformCompress(f *Field, opts TransformOptions) (*TransformResult, error) {
 	return transform.Compress(f, opts)
 }
 
 // TransformDecompress reconstructs a transform-codec container.
+//
+// Deprecated: Decompress routes transform containers (enveloped and legacy)
+// automatically.
 func TransformDecompress(data []byte) (*Field, error) {
 	return transform.Decompress(data)
 }
 
 // TransformProfile extends the ratio-quality model to the transform codec:
 // the returned profile supports the same EstimateAt / inverse-solve API.
+//
+// Deprecated: use the registered transform codec's Profile method (or
+// Engine.Profile with the transform codec), which takes the same
+// ModelOptions.
 func TransformProfile(f *Field, sampleRate float64, seed uint64, opts ModelOptions) (*Profile, error) {
-	return transform.NewProfile(f, sampleRate, seed, opts)
+	c, err := codec.ByID(codec.IDTransform)
+	if err != nil {
+		return nil, err
+	}
+	opts.SampleRate = sampleRate
+	opts.Seed = seed
+	return c.Profile(f, codec.Options{}, opts)
 }
