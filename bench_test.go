@@ -9,7 +9,9 @@
 package rqm_test
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"testing"
 
@@ -370,3 +372,108 @@ func benchEngineBatch(b *testing.B, workers int) {
 func BenchmarkEngineBatch1(b *testing.B) { benchEngineBatch(b, 1) }
 func BenchmarkEngineBatch4(b *testing.B) { benchEngineBatch(b, 4) }
 func BenchmarkEngineBatch8(b *testing.B) { benchEngineBatch(b, 8) }
+
+// ---------------------------------------------------------------------------
+// Streaming pipeline benchmarks: MB/s through the chunked writer/reader at
+// varying worker counts. SetBytes reports throughput, so the workers=N rows
+// read directly as the pipeline's scaling curve on a multi-core machine.
+
+// benchStreamField synthesizes one medium field reused by the stream benches.
+func benchStreamField(b *testing.B) *rqm.Field {
+	b.Helper()
+	f, err := rqm.GenerateField("nyx/temperature", 42, rqm.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+func benchStreamWriter(b *testing.B, workers int, opts ...rqm.StreamOption) {
+	f := benchStreamField(b)
+	lo, hi := f.ValueRange()
+	base := []rqm.StreamOption{
+		rqm.WithStreamShape(f.Prec, f.Dims...),
+		rqm.WithChunkSize(1 << 16),
+		rqm.WithStreamWorkers(workers),
+		rqm.WithStreamCompression(rqm.CodecOptions{
+			Predictor: rqm.Lorenzo, Mode: rqm.ABS, ErrorBound: (hi - lo) * 1e-3,
+		}),
+	}
+	b.SetBytes(int64(f.Len() * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := rqm.NewWriter(io.Discard, append(base, opts...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WriteValues(f.Data); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamWriter is the acceptance throughput curve: MB/s must scale
+// with the worker count on a multi-core runner.
+func BenchmarkStreamWriter(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchStreamWriter(b, workers)
+		})
+	}
+}
+
+// BenchmarkStreamWriterAdaptive prices the per-chunk model pass: the same
+// pipeline with the ratio-quality model solving every chunk's bound.
+func BenchmarkStreamWriterAdaptive(b *testing.B) {
+	benchStreamWriter(b, 4,
+		rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetPSNR: 60}),
+		rqm.WithStreamModel(rqm.ModelOptions{SampleRate: 0.01}))
+}
+
+// BenchmarkStreamReader measures the concurrent decode path.
+func BenchmarkStreamReader(b *testing.B) {
+	f := benchStreamField(b)
+	lo, hi := f.ValueRange()
+	var buf bytes.Buffer
+	w, err := rqm.NewWriter(&buf,
+		rqm.WithStreamShape(f.Prec, f.Dims...),
+		rqm.WithChunkSize(1<<16),
+		rqm.WithStreamCompression(rqm.CodecOptions{
+			Predictor: rqm.Lorenzo, Mode: rqm.ABS, ErrorBound: (hi - lo) * 1e-3,
+		}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.WriteValues(f.Data); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(f.Len() * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := rqm.NewReader(bytes.NewReader(data), rqm.WithStreamReaderWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, err := r.NextChunk(); err != nil {
+						if err == io.EOF {
+							break
+						}
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -3,10 +3,19 @@
 // reachable with -codec; output containers are self-describing, so
 // decompress and inspect need no codec flag at all.
 //
+// Large inputs flow through the chunked streaming pipeline: compress
+// switches to it automatically above -stream-threshold (or always with
+// -stream), splitting the file into chunks compressed concurrently by
+// -workers, so memory stays bounded however big the dataset is. With
+// -target-ratio or -target-psnr the ratio-quality model picks each chunk's
+// error bound adaptively to hit the global target. decompress and inspect
+// recognize chunked containers on their own.
+//
 // Usage:
 //
 //	rqc compress   -in field.rqmf -out field.rqz -codec prediction -predictor lorenzo -mode rel -eb 1e-3 -lossless flate
-//	rqc compress   -in field.rqmf -out field.rqz -codec transform -mode abs -eb 1e-2
+//	rqc compress   -in field.rqmf -out field.rqz -stream -workers 8 -chunk 262144
+//	rqc compress   -in field.rqmf -out field.rqz -stream -target-psnr 60
 //	rqc decompress -in field.rqz  -out field.rqmf
 //	rqc inspect    -in field.rqz
 //
@@ -15,8 +24,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -57,12 +68,19 @@ func cmdCompress(args []string) {
 		eb        = fs.Float64("eb", 1e-3, "error bound (mode semantics)")
 		lossless  = fs.String("lossless", "flate", "none|rle|lz77|flate")
 		verify    = fs.Bool("verify", false, "decompress and verify the bound")
+
+		streaming   = fs.Bool("stream", false, "force the chunked streaming pipeline")
+		threshold   = fs.Int64("stream-threshold", 64<<20, "stream files at least this many bytes (0 disables auto-streaming)")
+		chunk       = fs.Int("chunk", 0, "chunk size in values (0 = default 256Ki)")
+		workers     = fs.Int("workers", 0, "concurrent chunk compressors (0 = GOMAXPROCS)")
+		targetRatio = fs.Float64("target-ratio", 0, "adapt per-chunk bounds to this compression ratio (streaming)")
+		targetPSNR  = fs.Float64("target-psnr", 0, "adapt per-chunk bounds to this PSNR in dB (streaming)")
+		sampleRate  = fs.Float64("sample", 0, "model sampling rate for adaptive bounds (0 = default)")
 	)
 	must(fs.Parse(args))
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("compress: -in and -out are required"))
 	}
-	f := readField(*in)
 
 	kind, err := rqm.ParsePredictorKind(*predName)
 	must(err)
@@ -70,6 +88,27 @@ func cmdCompress(args []string) {
 	must(err)
 	ll, err := rqm.ParseLosslessKind(*lossless)
 	must(err)
+	copts := rqm.CodecOptions{
+		Predictor: kind, Mode: m, ErrorBound: *eb, Lossless: ll,
+	}
+
+	adaptive := *targetRatio > 0 || *targetPSNR > 0
+	useStream := *streaming || adaptive
+	if !useStream && *threshold > 0 {
+		if st, err := os.Stat(*in); err == nil && st.Size() >= *threshold {
+			useStream = true
+		}
+	}
+	if useStream {
+		compressStream(*in, *out, *codecName, copts, streamParams{
+			chunk: *chunk, workers: *workers,
+			targetRatio: *targetRatio, targetPSNR: *targetPSNR,
+			sampleRate: *sampleRate, verify: *verify,
+		})
+		return
+	}
+
+	f := readField(*in)
 	eng, err := rqm.NewEngine(
 		rqm.WithCodecName(*codecName),
 		rqm.WithPredictor(kind),
@@ -95,15 +134,113 @@ func cmdCompress(args []string) {
 	}
 }
 
+// streamParams carries the streaming-path knobs of cmdCompress.
+type streamParams struct {
+	chunk, workers          int
+	targetRatio, targetPSNR float64
+	sampleRate              float64
+	verify                  bool
+}
+
+// compressStream pipes a field file through the chunked pipeline: the
+// sample section streams straight from disk into the writer, so memory
+// stays O(workers × chunk) no matter the file size.
+func compressStream(in, out, codecName string, copts rqm.CodecOptions, p streamParams) {
+	src, err := os.Open(in)
+	must(err)
+	defer src.Close()
+	prec, dims, err := grid.ReadHeader(src)
+	must(err)
+
+	opts := []rqm.StreamOption{
+		rqm.WithStreamCodecName(codecName),
+		rqm.WithStreamCompression(copts),
+		rqm.WithStreamShape(prec, dims...),
+		rqm.WithStreamFieldName(in),
+	}
+	if p.chunk > 0 {
+		opts = append(opts, rqm.WithChunkSize(p.chunk))
+	}
+	if p.workers > 0 {
+		opts = append(opts, rqm.WithStreamWorkers(p.workers))
+	}
+	if p.targetRatio > 0 || p.targetPSNR > 0 {
+		opts = append(opts,
+			rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetRatio: p.targetRatio, TargetPSNR: p.targetPSNR}),
+			rqm.WithStreamModel(rqm.ModelOptions{SampleRate: p.sampleRate}))
+	}
+
+	dst, err := os.Create(out)
+	must(err)
+	bw := bufio.NewWriterSize(dst, 1<<20)
+	w, err := rqm.NewWriter(bw, opts...)
+	if err == nil {
+		_, err = io.Copy(w, bufio.NewReaderSize(src, 1<<20))
+	}
+	if err == nil {
+		err = w.Close()
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		// Never leave a truncated container behind: its valid signature
+		// would route a later decompress into a confusing mid-stream error.
+		os.Remove(out)
+	}
+	must(err)
+
+	st := w.Stats()
+	mbps := float64(st.BytesIn) / (1 << 20) / st.EncodeTime.Seconds()
+	fmt.Printf("streamed %s: %d -> %d bytes (ratio %.2fx, %d chunks) in %v (%.1f MB/s)\n",
+		in, st.BytesIn, st.BytesOut, st.Ratio, st.Chunks, st.EncodeTime, mbps)
+	if st.MinBound != st.MaxBound {
+		fmt.Printf("  per-chunk bounds: [%.6g, %.6g]\n", st.MinBound, st.MaxBound)
+	}
+	if p.verify {
+		verifyStream(in, out, copts, st.MaxBound)
+	}
+}
+
+// verifyStream re-reads both files and checks the loosest per-chunk bound
+// (or the user's pointwise-relative bound, which has no single absolute
+// equivalent to record).
+func verifyStream(in, out string, copts rqm.CodecOptions, maxBound float64) {
+	orig := readField(in)
+	blob, err := os.Open(out)
+	must(err)
+	defer blob.Close()
+	r, err := rqm.NewReader(bufio.NewReaderSize(blob, 1<<20))
+	must(err)
+	dec, err := r.ReadAll()
+	must(err)
+	if maxBound > 0 {
+		must(rqm.VerifyErrorBound(orig, dec, rqm.ABS, maxBound*(1+1e-12)))
+	} else {
+		must(rqm.VerifyErrorBound(orig, dec, copts.Mode, copts.ErrorBound))
+	}
+	psnr, err := rqm.PSNR(orig, dec)
+	must(err)
+	fmt.Printf("  verified: per-chunk bounds hold, PSNR %.2f dB\n", psnr)
+}
+
 func cmdDecompress(args []string) {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	var (
-		in  = fs.String("in", "", "input compressed file")
-		out = fs.String("out", "", "output .rqmf field file")
+		in      = fs.String("in", "", "input compressed file")
+		out     = fs.String("out", "", "output .rqmf field file")
+		workers = fs.Int("workers", 0, "concurrent chunk decompressors (0 = GOMAXPROCS)")
 	)
 	must(fs.Parse(args))
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("decompress: -in and -out are required"))
+	}
+	if chunked, _ := sniffChunked(*in); chunked {
+		decompressStream(*in, *out, *workers)
+		return
 	}
 	blob, err := os.ReadFile(*in)
 	must(err)
@@ -120,13 +257,74 @@ func cmdDecompress(args []string) {
 	fmt.Printf("decompressed %s -> %s (field %q, dims %v)\n", *in, *out, f.Name, f.Dims)
 }
 
+// decompressStream decodes a chunked container through the concurrent
+// reader. When the stream header carries the field shape, decoded samples
+// stream straight to the output file.
+func decompressStream(in, out string, workers int) {
+	src, err := os.Open(in)
+	must(err)
+	defer src.Close()
+	var ropts []rqm.StreamReaderOption
+	if workers > 0 {
+		ropts = append(ropts, rqm.WithStreamReaderWorkers(workers))
+	}
+	r, err := rqm.NewReader(bufio.NewReaderSize(src, 1<<20), ropts...)
+	must(err)
+	hdr := r.Header()
+
+	dst, err := os.Create(out)
+	must(err)
+	if len(hdr.Dims) > 0 {
+		// Shape known up front: stream samples directly to disk.
+		want := hdr.TotalFromDims()
+		bw := bufio.NewWriterSize(dst, 1<<20)
+		_, err = grid.WriteHeader(bw, hdr.Prec, hdr.Dims)
+		if err == nil {
+			_, err = io.Copy(bw, r)
+		}
+		if err == nil && r.Values() != want {
+			// The written header promised the shape; a mismatched stream
+			// would leave a corrupt field file behind.
+			err = fmt.Errorf("stream decodes to %d values, header shape %v declares %d",
+				r.Values(), hdr.Dims, want)
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if cerr := dst.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(out)
+		}
+		must(err)
+		fmt.Printf("decompressed %s -> %s (field %q, dims %v, %d values, streamed)\n",
+			in, out, hdr.Name, hdr.Dims, r.Values())
+		return
+	}
+	f, err := r.ReadAll()
+	if err == nil {
+		_, err = f.WriteTo(dst)
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	must(err)
+	fmt.Printf("decompressed %s -> %s (field %q, dims %v)\n", in, out, f.Name, f.Dims)
+}
+
 func cmdInspect(args []string) {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	in := fs.String("in", "", "compressed file")
 	full := fs.Bool("full", false, "also decompress and report value statistics")
+	chunks := fs.Bool("chunks", false, "list every chunk of a chunked container")
 	must(fs.Parse(args))
 	if *in == "" {
 		fatal(fmt.Errorf("inspect: -in is required"))
+	}
+	if chunked, _ := sniffChunked(*in); chunked {
+		inspectChunked(*in, *full, *chunks)
+		return
 	}
 	blob, err := os.ReadFile(*in)
 	must(err)
@@ -152,6 +350,75 @@ func cmdInspect(args []string) {
 	fmt.Printf("values: %d, range [%g, %g]\n", f.Len(), lo, hi)
 	fmt.Printf("effective ratio vs original precision: %.2fx\n",
 		float64(f.OriginalBytes())/float64(len(blob)))
+}
+
+// inspectChunked describes a chunked container through its trailer index —
+// no payload is decoded unless -full asks for value statistics.
+func inspectChunked(in string, full, listChunks bool) {
+	fh, err := os.Open(in)
+	must(err)
+	defer fh.Close()
+	size, _ := fh.Seek(0, io.SeekEnd)
+	idx, err := rqm.ReadStreamIndex(fh)
+	must(err)
+	h := idx.Header
+	codecName := fmt.Sprintf("unregistered id %d", h.CodecID)
+	if c, err := rqm.CodecByID(h.CodecID); err == nil {
+		codecName = c.Name()
+	}
+	fmt.Printf("container: %d bytes, chunked stream v2, codec %s\n", size, codecName)
+	fmt.Printf("field: %q dims=%v precision=float%d\n", h.Name, h.Dims, h.Prec.Bits())
+	fmt.Printf("chunks: %d x <=%d values (%d values total)\n",
+		len(idx.Entries), h.ChunkValues, idx.TotalValues)
+	loB, hiB := boundRange(idx.Entries)
+	if loB != hiB {
+		fmt.Printf("per-chunk bounds: [%.6g, %.6g]\n", loB, hiB)
+	} else if len(idx.Entries) > 0 {
+		fmt.Printf("error bound: %.6g (abs)\n", loB)
+	}
+	if listChunks {
+		for i, e := range idx.Entries {
+			fmt.Printf("  chunk %4d: offset %10d, %8d values, %8d bytes, bound %.6g\n",
+				i, e.Offset, e.Values, e.RecordBytes, e.AbsBound)
+		}
+	}
+	if full {
+		blob, err := os.ReadFile(in)
+		must(err)
+		f, err := rqm.Decompress(blob)
+		must(err)
+		lo, hi := f.ValueRange()
+		fmt.Printf("values: %d, range [%g, %g]\n", f.Len(), lo, hi)
+		fmt.Printf("effective ratio vs original precision: %.2fx\n",
+			float64(f.OriginalBytes())/float64(len(blob)))
+	}
+}
+
+// boundRange scans index entries for the min/max per-chunk bound.
+func boundRange(entries []rqm.StreamIndexEntry) (lo, hi float64) {
+	for i, e := range entries {
+		if i == 0 || e.AbsBound < lo {
+			lo = e.AbsBound
+		}
+		if e.AbsBound > hi {
+			hi = e.AbsBound
+		}
+	}
+	return lo, hi
+}
+
+// sniffChunked peeks at a file's first bytes for the chunked signature.
+func sniffChunked(path string) (bool, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer fh.Close()
+	head := make([]byte, 5)
+	if _, err := io.ReadFull(fh, head); err != nil {
+		return false, nil // too short to be chunked; let the normal path report
+	}
+	return rqm.IsChunkedContainer(head), nil
 }
 
 func readField(path string) *grid.Field {

@@ -10,6 +10,7 @@
 //	rqmodel -in field.rqmf -target-psnr 60
 //	rqmodel -in field.rqmf -target-bitrate 2.5
 //	rqmodel -in field.rqmf -measure          # compare against real runs
+//	rqmodel -in field.rqmf -target-psnr 60 -chunk-plan 262144  # streaming dry run
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		targetPSNR    = flag.Float64("target-psnr", 0, "solve error bound for this PSNR (dB)")
 		targetBitRate = flag.Float64("target-bitrate", 0, "solve error bound for this bit-rate")
 		targetRatio   = flag.Float64("target-ratio", 0, "solve error bound for this compression ratio")
+		chunkPlan     = flag.Int("chunk-plan", 0, "with a target: print the per-chunk bound plan the streaming pipeline would use, at this chunk size in values")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -54,6 +56,11 @@ func main() {
 	c, err := rqm.CodecByName(*codecName)
 	must(err)
 	copts := rqm.CodecOptions{Predictor: kind, Mode: rqm.ABS, Lossless: rqm.LosslessFlate}
+	if *chunkPlan > 0 {
+		planChunks(f, c, copts, *chunkPlan, *targetRatio, *targetPSNR,
+			rqm.ModelOptions{SampleRate: *sampleRate, Seed: *seed, UseLossless: true})
+		return
+	}
 	prof, err := c.Profile(f, copts, rqm.ModelOptions{SampleRate: *sampleRate, Seed: *seed, UseLossless: true})
 	must(err)
 	fmt.Printf("profile: %s/%s on %q (%d values, range %.6g, %d sampled errors, built in %v)\n",
@@ -108,6 +115,46 @@ func sweep(prof *rqm.Profile, f *rqm.Field, c rqm.Codec, copts rqm.CodecOptions,
 		fmt.Fprintf(tw, "%.0e\t%.4g\t%.3f\t%.2f\t%.2f\t%.4f\t%.3f\t%.2f\t%.2f\n",
 			rel, eb, est.TotalBitRate, est.Ratio, est.PSNR, est.SSIM,
 			res.Stats.BitRate, res.Stats.Ratio, psnr)
+	}
+	must(tw.Flush())
+}
+
+// planChunks is a dry run of the streaming pipeline's adaptive layer: it
+// splits the field into chunks, profiles each with the model, and prints
+// the per-chunk bound the AdaptiveBound policy would pick — all without
+// compressing a single byte.
+func planChunks(f *rqm.Field, c rqm.Codec, copts rqm.CodecOptions,
+	chunkValues int, targetRatio, targetPSNR float64, mopts rqm.ModelOptions) {
+	if targetRatio <= 1 && targetPSNR <= 0 {
+		must(fmt.Errorf("-chunk-plan needs -target-ratio or -target-psnr"))
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "chunk\tvalues\tabsEB\test bits\test ratio\test PSNR")
+	for i, off := 0, 0; off < f.Len(); i, off = i+1, off+chunkValues {
+		n := chunkValues
+		if off+n > f.Len() {
+			n = f.Len() - off
+		}
+		cf, err := rqm.FieldFromData(fmt.Sprintf("%s#%d", f.Name, i), f.Prec, f.Data[off:off+n], n)
+		must(err)
+		prof, err := c.Profile(cf, copts, mopts)
+		if err != nil {
+			fmt.Fprintf(tw, "%d\t%d\t(unprofilable: %v)\n", i, n, err)
+			continue
+		}
+		var eb float64
+		if targetRatio > 1 {
+			eb, err = prof.ErrorBoundForRatio(targetRatio)
+		} else {
+			eb, err = prof.ErrorBoundForPSNR(targetPSNR)
+		}
+		if err != nil {
+			fmt.Fprintf(tw, "%d\t%d\t(unsolvable: %v)\n", i, n, err)
+			continue
+		}
+		est := prof.EstimateAt(eb)
+		fmt.Fprintf(tw, "%d\t%d\t%.4g\t%.3f\t%.2f\t%.2f\n",
+			i, n, eb, est.TotalBitRate, est.Ratio, est.PSNR)
 	}
 	must(tw.Flush())
 }

@@ -1,0 +1,98 @@
+package rqm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rqm"
+)
+
+// fuzzSeedContainers builds one valid container of each format family plus
+// systematically truncated chunked containers — the seed corpus the parser
+// fuzzer mutates from. `go test` runs the seeds on every CI pass; `go test
+// -fuzz=FuzzDecompress` explores beyond them.
+func fuzzSeedContainers(f *testing.F) [][]byte {
+	f.Helper()
+	field, err := rqm.GenerateField("cesm/TS", 5, rqm.ScaleTiny)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seeds [][]byte
+
+	eng, err := rqm.NewEngine(rqm.WithMode(rqm.REL), rqm.WithErrorBound(1e-3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	res, err := eng.Compress(field)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, res.Bytes)
+
+	legacy, err := rqm.Compress(field, rqm.CompressOptions{Mode: rqm.REL, ErrorBound: 1e-3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, legacy.Bytes)
+
+	var buf bytes.Buffer
+	w, err := rqm.NewWriter(&buf,
+		rqm.WithStreamShape(field.Prec, field.Dims...),
+		rqm.WithChunkSize(2048))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteValues(field.Data); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	chunked := buf.Bytes()
+	seeds = append(seeds, chunked)
+
+	// Truncated chunked containers: every structurally interesting cut.
+	idx, err := rqm.ReadStreamIndex(bytes.NewReader(chunked))
+	if err != nil {
+		f.Fatal(err)
+	}
+	first := idx.Entries[0]
+	last := idx.Entries[len(idx.Entries)-1]
+	trailer := last.Offset + int64(last.RecordBytes)
+	for _, cut := range []int64{
+		0, 1, 4, 5, // inside the magic/version
+		first.Offset,             // header only
+		first.Offset + 3,         // mid chunk header
+		first.Offset + 30,        // mid payload
+		trailer,                  // chunks but no trailer
+		trailer + 7,              // mid index
+		int64(len(chunked)) - 12, // missing footer
+		int64(len(chunked)) - 1,  // missing last footer byte
+	} {
+		if cut >= 0 && cut <= int64(len(chunked)) {
+			seeds = append(seeds, chunked[:cut])
+		}
+	}
+	return seeds
+}
+
+// FuzzDecompress asserts the container parsers never panic: every input —
+// valid, truncated, or mutated — must come back as a field or an error.
+func FuzzDecompress(f *testing.F) {
+	for _, seed := range fuzzSeedContainers(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decompress and Inspect must return, not panic; errors are expected.
+		_, _ = rqm.Decompress(data)
+		_, _ = rqm.Inspect(data)
+		if r, err := rqm.NewReader(bytes.NewReader(data)); err == nil {
+			for i := 0; i < 1<<16; i++ {
+				if _, err := r.NextChunk(); err != nil {
+					break
+				}
+			}
+			_ = r.Close()
+		}
+	})
+}

@@ -145,6 +145,7 @@ func TestDecompressRejectsBadContainers(t *testing.T) {
 		wantErr error
 	}{
 		{"empty", nil, rqm.ErrTruncated},
+		{"single byte", []byte{0x45}, rqm.ErrTruncated},
 		{"short magic", []byte{0x45, 0x43}, rqm.ErrTruncated},
 		{"unknown magic", []byte{0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0}, rqm.ErrBadMagic},
 		{"header cut mid-dims", corrupt(func(b []byte) []byte { return b[:10] }), rqm.ErrTruncated},

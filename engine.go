@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
@@ -154,11 +155,14 @@ func (e *Engine) Compress(f *Field) (*CodecResult, error) {
 }
 
 // Decompress reconstructs a field from any container — produced by this
-// engine, another codec's engine, or the legacy function families — routing
-// by inspection. Containers carrying the engine's own codec ID decode even
-// when that codec is not registered; everything else resolves through the
-// registry.
+// engine, another codec's engine, the streaming writer, or the legacy
+// function families — routing by inspection. Containers carrying the
+// engine's own codec ID decode even when that codec is not registered;
+// everything else resolves through the registry.
 func (e *Engine) Decompress(data []byte) (*Field, error) {
+	if codec.IsChunked(data) {
+		return codec.DecompressChunkedWith(data, e.codec)
+	}
 	info, payload, err := codec.Open(data)
 	if err != nil {
 		return nil, err
@@ -225,6 +229,20 @@ func (e *Engine) CompressToBudget(f *Field, p *Profile, budgetBytes int64, headr
 		}
 	}
 	return tuner.CompressToBudget(f, p, e.codec, budgetBytes, headroom, strict, e.copts)
+}
+
+// NewStreamWriter starts a streaming compressor over w configured like this
+// engine: same codec, compression options, model options, and worker count.
+// Extra stream options (chunk size, shape, an AdaptiveBound policy, ...)
+// apply on top.
+func (e *Engine) NewStreamWriter(w io.Writer, extra ...StreamOption) (*StreamWriter, error) {
+	opts := []StreamOption{
+		WithStreamCodec(e.codec),
+		WithStreamCompression(e.copts),
+		WithStreamModel(e.mopts),
+		WithStreamWorkers(e.Concurrency()),
+	}
+	return NewWriter(w, append(opts, extra...)...)
 }
 
 // SelectCodec ranks every registered codec for f at a PSNR target using the

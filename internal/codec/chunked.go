@@ -1,0 +1,644 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"rqm/internal/grid"
+)
+
+// Chunked (envelope version 2) container: the streaming sibling of the
+// single-payload envelope. One stream header is followed by length-prefixed
+// chunk records — each carrying its own codec ID, absolute error bound, and
+// payload CRC — and a trailer index that makes every chunk addressable
+// without decoding its neighbors. The layout (all integers little-endian):
+//
+//	stream header
+//	  0      4    magic "RQCE" (uint32 LE, shared with v1)
+//	  4      1    envelope version = 2
+//	  5      1    default codec ID
+//	  6      1    precision (32|64)
+//	  7      1    rank r (0..4; 0 = shape unknown, stream is 1-D)
+//	  8      8*r  dims (uint64 LE each)
+//	  ...    2+n  field name (uint16 LE length + bytes)
+//	  ...    4    nominal chunk size in values (uint32 LE)
+//
+//	chunk record (repeated)
+//	  +0     1    record tag = 1
+//	  +1     1    codec ID
+//	  +2     8    absolute error bound used for this chunk (float64 LE)
+//	  +10    4    value count (uint32 LE)
+//	  +14    4    payload length (uint32 LE)
+//	  +18    4    CRC-32 (IEEE) of the payload
+//	  +22    len  native codec payload (a 1-D chunk field)
+//
+//	trailer
+//	  +0     1    record tag = 2
+//	  +1     4    chunk count (uint32 LE)
+//	  +5     24*c index entries {record offset u64, values u32,
+//	              record length u32, abs bound f64}
+//	  ...    8    total values (uint64 LE)
+//	  ...    4    CRC-32 (IEEE) of the trailer from its tag byte
+//
+//	footer
+//	  +0     8    trailer offset (uint64 LE, from container start)
+//	  +8     4    footer magic "RQCX"
+//
+// Sequential readers never seek: records are self-delimiting and the
+// trailer tag terminates the chunk sequence. Random-access readers seek to
+// the 12-byte footer, follow the trailer offset, and jump straight to any
+// chunk via its index entry.
+
+// ChunkedVersion is the envelope version byte of the chunked stream format.
+const ChunkedVersion = 2
+
+// FooterMagic terminates a chunked container ("RQCX" little-endian).
+const FooterMagic uint32 = 0x58435152
+
+// FooterSize is the byte length of the fixed footer.
+const FooterSize = 12
+
+// TagChunk and TagTrailer are the record tag bytes of the chunked format.
+const (
+	TagChunk   = 1
+	TagTrailer = 2
+)
+
+const (
+
+	// maxChunkValues / maxChunkPayload bound the per-chunk sizes a reader
+	// accepts, so corrupt length fields cannot drive huge allocations.
+	maxChunkValues  = 1 << 31
+	maxChunkPayload = 1 << 31
+
+	chunkHeadSize  = 22 // tag .. CRC, without the payload
+	indexEntrySize = 24
+)
+
+// ErrChecksum marks a chunk or trailer whose CRC does not match its bytes.
+var ErrChecksum = errors.New("codec: checksum mismatch")
+
+// StreamHeader describes a chunked container stream.
+type StreamHeader struct {
+	// CodecID is the stream's default codec (individual chunks may differ).
+	CodecID ID
+	// Prec is the original storage precision for ratio accounting.
+	Prec grid.Precision
+	// Dims is the logical field shape; nil when unknown (pure stream).
+	Dims []int
+	// Name is the stored field name.
+	Name string
+	// ChunkValues is the nominal chunk size in values.
+	ChunkValues int
+}
+
+// Chunk is one decoded chunk record (payload still compressed).
+type Chunk struct {
+	// CodecID names the backend that produced the payload.
+	CodecID ID
+	// AbsBound is the absolute error bound the chunk was compressed with
+	// (0 when the producing mode had no single absolute bound, e.g. PWREL).
+	AbsBound float64
+	// Values is the number of samples the payload decodes to.
+	Values int
+	// Payload is the codec's native compressed payload (a 1-D field).
+	Payload []byte
+}
+
+// IndexEntry locates one chunk record inside a chunked container.
+type IndexEntry struct {
+	// Offset is the byte offset of the record tag from the container start.
+	Offset int64
+	// Values is the chunk's decoded sample count.
+	Values int
+	// RecordBytes is the full record length including tag and payload.
+	RecordBytes int
+	// AbsBound is the chunk's absolute error bound.
+	AbsBound float64
+}
+
+// StreamIndex is the random-access directory of a chunked container.
+type StreamIndex struct {
+	// Header is the stream header.
+	Header StreamHeader
+	// Entries lists every chunk in stream order.
+	Entries []IndexEntry
+	// TotalValues is the decoded sample count of the whole stream.
+	TotalValues int64
+}
+
+// IsChunked reports whether data begins with a chunked (v2) stream header.
+func IsChunked(data []byte) bool {
+	return len(data) >= 5 &&
+		binary.LittleEndian.Uint32(data) == EnvelopeMagic &&
+		data[4] == ChunkedVersion
+}
+
+// WriteStreamHeader serializes h, returning the byte count written.
+func WriteStreamHeader(w io.Writer, h *StreamHeader) (int64, error) {
+	if len(h.Dims) > 4 {
+		return 0, fmt.Errorf("%w: rank %d outside 0..4", ErrCorrupt, len(h.Dims))
+	}
+	for _, d := range h.Dims {
+		if d <= 0 {
+			return 0, fmt.Errorf("%w: dimension %d", ErrCorrupt, d)
+		}
+	}
+	if h.ChunkValues < 1 || h.ChunkValues > maxChunkValues {
+		return 0, fmt.Errorf("%w: chunk size %d values", ErrCorrupt, h.ChunkValues)
+	}
+	name := []byte(h.Name)
+	if len(name) > maxEnvelopeName {
+		name = name[:maxEnvelopeName]
+	}
+	var buf bytes.Buffer
+	le := func(v interface{}) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	le(EnvelopeMagic)
+	le(uint8(ChunkedVersion))
+	le(uint8(h.CodecID))
+	le(uint8(h.Prec))
+	le(uint8(len(h.Dims)))
+	for _, d := range h.Dims {
+		le(uint64(d))
+	}
+	le(uint16(len(name)))
+	buf.Write(name)
+	le(uint32(h.ChunkValues))
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadStreamHeader parses a stream header, returning it and the byte count
+// consumed. Parse failures wrap the typed container errors.
+func ReadStreamHeader(r io.Reader) (*StreamHeader, int64, error) {
+	cr := &countReader{r: r}
+	var magic uint32
+	var version, id, prec, rank uint8
+	if err := readStream(cr, &magic, &version, &id, &prec, &rank); err != nil {
+		return nil, cr.n, err
+	}
+	if magic != EnvelopeMagic {
+		return nil, cr.n, fmt.Errorf("%w: 0x%08x", ErrBadMagic, magic)
+	}
+	if version != ChunkedVersion {
+		return nil, cr.n, fmt.Errorf("%w: version %d, chunked streams are version %d",
+			ErrUnsupportedVersion, version, ChunkedVersion)
+	}
+	if p := grid.Precision(prec); p != grid.Float32 && p != grid.Float64 {
+		return nil, cr.n, fmt.Errorf("%w: precision %d", ErrCorrupt, prec)
+	}
+	if rank > 4 {
+		return nil, cr.n, fmt.Errorf("%w: rank %d outside 0..4", ErrCorrupt, rank)
+	}
+	var dims []int
+	for i := 0; i < int(rank); i++ {
+		var d uint64
+		if err := readStream(cr, &d); err != nil {
+			return nil, cr.n, err
+		}
+		if d == 0 || d >= 1<<32 {
+			return nil, cr.n, fmt.Errorf("%w: dimension %d", ErrCorrupt, d)
+		}
+		dims = append(dims, int(d))
+	}
+	var nameLen uint16
+	if err := readStream(cr, &nameLen); err != nil {
+		return nil, cr.n, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(cr, name); err != nil {
+		return nil, cr.n, fmt.Errorf("%w: header ends mid-name", ErrTruncated)
+	}
+	var chunkValues uint32
+	if err := readStream(cr, &chunkValues); err != nil {
+		return nil, cr.n, err
+	}
+	if chunkValues == 0 {
+		return nil, cr.n, fmt.Errorf("%w: zero chunk size", ErrCorrupt)
+	}
+	return &StreamHeader{
+		CodecID:     ID(id),
+		Prec:        grid.Precision(prec),
+		Dims:        dims,
+		Name:        string(name),
+		ChunkValues: int(chunkValues),
+	}, cr.n, nil
+}
+
+// WriteChunk serializes one chunk record, returning the byte count written.
+func WriteChunk(w io.Writer, c *Chunk) (int64, error) {
+	if c.Values < 1 || c.Values > maxChunkValues {
+		return 0, fmt.Errorf("%w: chunk of %d values", ErrCorrupt, c.Values)
+	}
+	if len(c.Payload) == 0 || len(c.Payload) > maxChunkPayload {
+		return 0, fmt.Errorf("%w: chunk payload of %d bytes", ErrCorrupt, len(c.Payload))
+	}
+	head := make([]byte, chunkHeadSize)
+	head[0] = TagChunk
+	head[1] = uint8(c.CodecID)
+	binary.LittleEndian.PutUint64(head[2:], uint64(math.Float64bits(c.AbsBound)))
+	binary.LittleEndian.PutUint32(head[10:], uint32(c.Values))
+	binary.LittleEndian.PutUint32(head[14:], uint32(len(c.Payload)))
+	binary.LittleEndian.PutUint32(head[18:], crc32.ChecksumIEEE(c.Payload))
+	if n, err := w.Write(head); err != nil {
+		return int64(n), err
+	}
+	n, err := w.Write(c.Payload)
+	return int64(chunkHeadSize + n), err
+}
+
+// ReadChunkBody parses a chunk record after its tag byte, verifying the
+// payload CRC. Streaming readers call it once they have consumed a TagChunk
+// byte.
+func ReadChunkBody(r io.Reader) (*Chunk, error) {
+	head := make([]byte, chunkHeadSize-1)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("%w: chunk record ends mid-header", ErrTruncated)
+	}
+	c := &Chunk{
+		CodecID:  ID(head[0]),
+		AbsBound: math.Float64frombits(binary.LittleEndian.Uint64(head[1:])),
+		Values:   int(binary.LittleEndian.Uint32(head[9:])),
+	}
+	payloadLen := binary.LittleEndian.Uint32(head[13:])
+	wantCRC := binary.LittleEndian.Uint32(head[17:])
+	if c.Values < 1 {
+		return nil, fmt.Errorf("%w: chunk declares %d values", ErrCorrupt, c.Values)
+	}
+	if payloadLen == 0 || payloadLen > maxChunkPayload {
+		return nil, fmt.Errorf("%w: chunk declares %d payload bytes", ErrCorrupt, payloadLen)
+	}
+	// Grow the payload with the bytes actually read rather than trusting the
+	// declared length: a corrupt length field must not drive a huge
+	// allocation from a tiny input.
+	var pb bytes.Buffer
+	if payloadLen < 1<<20 {
+		pb.Grow(int(payloadLen))
+	}
+	if _, err := io.CopyN(&pb, r, int64(payloadLen)); err != nil {
+		return nil, fmt.Errorf("%w: chunk record ends mid-payload", ErrTruncated)
+	}
+	c.Payload = pb.Bytes()
+	if got := crc32.ChecksumIEEE(c.Payload); got != wantCRC {
+		return nil, fmt.Errorf("%w: chunk payload CRC 0x%08x, want 0x%08x", ErrChecksum, got, wantCRC)
+	}
+	return c, nil
+}
+
+// WriteTrailer serializes the trailer record and footer. trailerOffset is
+// the byte offset the trailer tag lands at (i.e. the bytes written so far).
+func WriteTrailer(w io.Writer, entries []IndexEntry, totalValues, trailerOffset int64) (int64, error) {
+	var buf bytes.Buffer
+	le := func(v interface{}) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	buf.WriteByte(TagTrailer)
+	le(uint32(len(entries)))
+	for _, e := range entries {
+		le(uint64(e.Offset))
+		le(uint32(e.Values))
+		le(uint32(e.RecordBytes))
+		le(math.Float64bits(e.AbsBound))
+	}
+	le(uint64(totalValues))
+	le(crc32.ChecksumIEEE(buf.Bytes()))
+	le(uint64(trailerOffset))
+	le(FooterMagic)
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadTrailerBody parses a trailer after its tag byte (CRC included, footer
+// excluded).
+func ReadTrailerBody(r io.Reader) ([]IndexEntry, int64, error) {
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{TagTrailer})
+	tr := io.TeeReader(r, crc)
+	var count uint32
+	if err := readStream(tr, &count); err != nil {
+		return nil, 0, err
+	}
+	// Cap the preallocation: a corrupt count must not drive a huge
+	// allocation from a tiny input. Honest containers beyond the cap still
+	// parse — the slice just grows with the bytes actually read.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	entries := make([]IndexEntry, 0, prealloc)
+	for i := uint32(0); i < count; i++ {
+		raw := make([]byte, indexEntrySize)
+		if _, err := io.ReadFull(tr, raw); err != nil {
+			return nil, 0, fmt.Errorf("%w: trailer ends mid-index", ErrTruncated)
+		}
+		entries = append(entries, IndexEntry{
+			Offset:      int64(binary.LittleEndian.Uint64(raw)),
+			Values:      int(binary.LittleEndian.Uint32(raw[8:])),
+			RecordBytes: int(binary.LittleEndian.Uint32(raw[12:])),
+			AbsBound:    math.Float64frombits(binary.LittleEndian.Uint64(raw[16:])),
+		})
+	}
+	var totalValues uint64
+	if err := readStream(tr, &totalValues); err != nil {
+		return nil, 0, err
+	}
+	want := crc.Sum32()
+	var gotCRC uint32
+	if err := readStream(r, &gotCRC); err != nil {
+		return nil, 0, err
+	}
+	if gotCRC != want {
+		return nil, 0, fmt.Errorf("%w: trailer CRC 0x%08x, want 0x%08x", ErrChecksum, gotCRC, want)
+	}
+	return entries, int64(totalValues), nil
+}
+
+// ReadFooter parses the 12-byte footer after the trailer CRC.
+func ReadFooter(r io.Reader) (trailerOffset int64, err error) {
+	var off uint64
+	var magic uint32
+	if err := readStream(r, &off, &magic); err != nil {
+		return 0, err
+	}
+	if magic != FooterMagic {
+		return 0, fmt.Errorf("%w: footer magic 0x%08x", ErrCorrupt, magic)
+	}
+	return int64(off), nil
+}
+
+// openChunked walks a chunked container's structure — header, record
+// headers, trailer, footer — without decoding or checksumming payloads, and
+// returns its Info. The returned payload is the whole container (chunked
+// streams have no single payload; DecompressChunked consumes them).
+func openChunked(data []byte) (*Info, []byte, error) {
+	br := bytes.NewReader(data)
+	h, _, err := ReadStreamHeader(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &Info{
+		CodecID:     h.CodecID,
+		Version:     ChunkedVersion,
+		Chunked:     true,
+		FieldName:   h.Name,
+		Prec:        h.Prec,
+		Dims:        h.Dims,
+		ChunkValues: h.ChunkValues,
+	}
+	if c, err := ByID(h.CodecID); err == nil {
+		info.CodecName = c.Name()
+	}
+	for {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: container ends without a trailer", ErrTruncated)
+		}
+		if tag == TagTrailer {
+			break
+		}
+		if tag != TagChunk {
+			return nil, nil, fmt.Errorf("%w: record tag %d", ErrCorrupt, tag)
+		}
+		head := make([]byte, chunkHeadSize-1)
+		if _, err := io.ReadFull(br, head); err != nil {
+			return nil, nil, fmt.Errorf("%w: chunk record ends mid-header", ErrTruncated)
+		}
+		values := int(binary.LittleEndian.Uint32(head[9:]))
+		payloadLen := int64(binary.LittleEndian.Uint32(head[13:]))
+		if values < 1 || payloadLen < 1 {
+			return nil, nil, fmt.Errorf("%w: chunk declares %d values, %d payload bytes",
+				ErrCorrupt, values, payloadLen)
+		}
+		if payloadLen > int64(br.Len()) {
+			return nil, nil, fmt.Errorf("%w: chunk payload declares %d bytes, %d remain",
+				ErrTruncated, payloadLen, br.Len())
+		}
+		if _, err := br.Seek(payloadLen, io.SeekCurrent); err != nil {
+			return nil, nil, fmt.Errorf("%w: chunk payload", ErrTruncated)
+		}
+		info.Chunks++
+		info.TotalValues += int64(values)
+		info.PayloadBytes += int(payloadLen)
+	}
+	entries, totalValues, err := ReadTrailerBody(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := ReadFooter(br); err != nil {
+		return nil, nil, err
+	}
+	if br.Len() != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes after footer", ErrCorrupt, br.Len())
+	}
+	if len(entries) != info.Chunks || totalValues != info.TotalValues {
+		return nil, nil, fmt.Errorf("%w: trailer indexes %d chunks / %d values, stream has %d / %d",
+			ErrCorrupt, len(entries), totalValues, info.Chunks, info.TotalValues)
+	}
+	return info, data, nil
+}
+
+// DecompressChunked reconstructs a field from a chunked container,
+// sequentially routing every chunk to its backend through the registry.
+// (internal/stream provides the concurrent pipeline over the same framing.)
+func DecompressChunked(data []byte) (*grid.Field, error) {
+	return DecompressChunkedWith(data, nil)
+}
+
+// DecompressChunkedWith is DecompressChunked with a fallback backend:
+// chunks whose codec ID matches fallback decode through it even when it is
+// not registered (the Engine's own-codec guarantee, extended to streams).
+func DecompressChunkedWith(data []byte, fallback Codec) (*grid.Field, error) {
+	br := bytes.NewReader(data)
+	h, _, err := ReadStreamHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	var vals []float64
+	if t := h.TotalFromDims(); t > 0 {
+		vals = make([]float64, 0, t)
+	}
+	chunks := 0
+	for {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: container ends without a trailer", ErrTruncated)
+		}
+		if tag == TagTrailer {
+			break
+		}
+		if tag != TagChunk {
+			return nil, fmt.Errorf("%w: record tag %d", ErrCorrupt, tag)
+		}
+		c, err := ReadChunkBody(br)
+		if err != nil {
+			return nil, err
+		}
+		chunkVals, err := decodeChunk(c, fallback)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, chunkVals...)
+		chunks++
+	}
+	entries, totalValues, err := ReadTrailerBody(br)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ReadFooter(br); err != nil {
+		return nil, err
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after footer", ErrCorrupt, br.Len())
+	}
+	if len(entries) != chunks || totalValues != int64(len(vals)) {
+		return nil, fmt.Errorf("%w: trailer indexes %d chunks / %d values, stream has %d / %d",
+			ErrCorrupt, len(entries), totalValues, chunks, len(vals))
+	}
+	return AssembleField(h, vals)
+}
+
+// DecodeChunk decompresses one chunk record's payload through the registry
+// and returns its samples.
+func DecodeChunk(c *Chunk) ([]float64, error) {
+	return decodeChunk(c, nil)
+}
+
+// decodeChunk resolves the chunk's backend — the fallback when its ID
+// matches, the registry otherwise — and decompresses the payload.
+func decodeChunk(c *Chunk, fallback Codec) ([]float64, error) {
+	backend := fallback
+	if backend == nil || backend.ID() != c.CodecID {
+		var err error
+		if backend, err = ByID(c.CodecID); err != nil {
+			return nil, err
+		}
+	}
+	f, err := backend.Decompress(c.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if f.Len() != c.Values {
+		return nil, fmt.Errorf("%w: chunk decodes to %d values, record declares %d",
+			ErrCorrupt, f.Len(), c.Values)
+	}
+	return f.Data, nil
+}
+
+// AssembleField shapes decoded stream samples into a field: the header's
+// dims when their product matches the sample count, 1-D otherwise.
+func AssembleField(h *StreamHeader, vals []float64) (*grid.Field, error) {
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("%w: stream holds no values", ErrCorrupt)
+	}
+	prec := h.Prec
+	if prec != grid.Float32 && prec != grid.Float64 {
+		prec = grid.Float64
+	}
+	if h.TotalFromDims() == int64(len(vals)) {
+		return grid.FromData(h.Name, prec, vals, h.Dims...)
+	}
+	return grid.FromData(h.Name, prec, vals, len(vals))
+}
+
+// TotalFromDims returns the sample count the header's shape implies, or 0
+// when the shape is unknown.
+func (h *StreamHeader) TotalFromDims() int64 { return ShapeValues(h.Dims) }
+
+// ShapeValues is the sample count a shape implies (0 = no/unknown shape).
+func ShapeValues(dims []int) int64 {
+	if len(dims) == 0 {
+		return 0
+	}
+	total := int64(1)
+	for _, d := range dims {
+		total *= int64(d)
+	}
+	return total
+}
+
+// LoadIndex reads the trailer index of a chunked container through its
+// footer: seek to the end, follow the trailer offset, parse the index. This
+// is the random-access entry point — with the index, ReadChunkAt decodes
+// any chunk without touching the rest of the stream.
+func LoadIndex(rs io.ReadSeeker) (*StreamIndex, error) {
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	h, _, err := ReadStreamHeader(rs)
+	if err != nil {
+		return nil, err
+	}
+	end, err := rs.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, err
+	}
+	if end < FooterSize {
+		return nil, fmt.Errorf("%w: %d bytes, need a %d-byte footer", ErrTruncated, end, FooterSize)
+	}
+	if _, err := rs.Seek(end-FooterSize, io.SeekStart); err != nil {
+		return nil, err
+	}
+	trailerOffset, err := ReadFooter(rs)
+	if err != nil {
+		return nil, err
+	}
+	if trailerOffset < 0 || trailerOffset >= end-FooterSize {
+		return nil, fmt.Errorf("%w: trailer offset %d outside container", ErrCorrupt, trailerOffset)
+	}
+	if _, err := rs.Seek(trailerOffset, io.SeekStart); err != nil {
+		return nil, err
+	}
+	tag := make([]byte, 1)
+	if _, err := io.ReadFull(rs, tag); err != nil {
+		return nil, fmt.Errorf("%w: trailer tag", ErrTruncated)
+	}
+	if tag[0] != TagTrailer {
+		return nil, fmt.Errorf("%w: trailer offset points at tag %d", ErrCorrupt, tag[0])
+	}
+	entries, totalValues, err := ReadTrailerBody(rs)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamIndex{Header: *h, Entries: entries, TotalValues: totalValues}, nil
+}
+
+// ReadChunkAt seeks to one indexed chunk record and parses it (payload CRC
+// verified). Pair with DecodeChunk for random-access decompression.
+func ReadChunkAt(rs io.ReadSeeker, e IndexEntry) (*Chunk, error) {
+	if _, err := rs.Seek(e.Offset, io.SeekStart); err != nil {
+		return nil, err
+	}
+	tag := make([]byte, 1)
+	if _, err := io.ReadFull(rs, tag); err != nil {
+		return nil, fmt.Errorf("%w: chunk tag", ErrTruncated)
+	}
+	if tag[0] != TagChunk {
+		return nil, fmt.Errorf("%w: index entry points at tag %d", ErrCorrupt, tag[0])
+	}
+	return ReadChunkBody(rs)
+}
+
+// countReader counts consumed bytes for offset accounting.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// readStream reads fixed-size values, mapping short reads to ErrTruncated.
+func readStream(r io.Reader, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("%w: stream ends mid-field", ErrTruncated)
+		}
+	}
+	return nil
+}

@@ -49,6 +49,14 @@ type Info struct {
 	Version uint8
 	// Legacy reports a pre-envelope native container (RQMC / RQZF).
 	Legacy bool
+	// Chunked reports a v2 chunked stream container.
+	Chunked bool
+	// Chunks counts the chunk records (chunked containers only).
+	Chunks int
+	// ChunkValues is the nominal chunk size in values (chunked only).
+	ChunkValues int
+	// TotalValues is the stream's decoded sample count (chunked only).
+	TotalValues int64
 	// FieldName is the stored field name.
 	FieldName string
 	// Prec is the original storage precision.
@@ -56,7 +64,8 @@ type Info struct {
 	// Dims is the field shape.
 	Dims []int
 	// PayloadBytes is the native payload size inside the envelope (for
-	// legacy containers, the whole container).
+	// legacy containers the whole container, for chunked containers the sum
+	// of the chunk payloads).
 	PayloadBytes int
 }
 
@@ -99,8 +108,10 @@ func Seal(id ID, f *grid.Field, payload []byte) ([]byte, error) {
 }
 
 // Open inspects a container, returning its routing info and the native
-// payload. It accepts both the unified envelope and the two legacy native
-// formats (prediction "RQMC", transform "RQZF"), which stay decodable.
+// payload. It accepts the unified envelope (v1), the chunked stream (v2,
+// for which the "payload" is the whole container — see DecompressChunked),
+// and the two legacy native formats (prediction "RQMC", transform "RQZF"),
+// which stay decodable.
 func Open(data []byte) (*Info, []byte, error) {
 	if len(data) < 4 {
 		return nil, nil, fmt.Errorf("%w: %d bytes, need at least a 4-byte magic", ErrTruncated, len(data))
@@ -124,9 +135,15 @@ func Open(data []byte) (*Info, []byte, error) {
 	return nil, nil, fmt.Errorf("%w: 0x%08x", ErrBadMagic, binary.LittleEndian.Uint32(data))
 }
 
-// Decompress routes any container — enveloped or legacy — to its backend by
-// inspection and reconstructs the field.
+// Decompress routes any container — enveloped, chunked, or legacy — to its
+// backend by inspection and reconstructs the field.
 func Decompress(data []byte) (*grid.Field, error) {
+	// Chunked containers route on their 5-byte prefix: DecompressChunked
+	// validates the full structure itself, so a prior Open walk would parse
+	// everything twice.
+	if IsChunked(data) {
+		return DecompressChunked(data)
+	}
 	info, payload, err := Open(data)
 	if err != nil {
 		return nil, err
@@ -150,9 +167,12 @@ func openEnvelope(data []byte) (*Info, []byte, error) {
 	if err := readLE(r, &version, &id, &prec, &rank); err != nil {
 		return nil, nil, err
 	}
+	if version == ChunkedVersion {
+		return openChunked(data)
+	}
 	if version != EnvelopeVersion {
-		return nil, nil, fmt.Errorf("%w: version %d, this build reads %d",
-			ErrUnsupportedVersion, version, EnvelopeVersion)
+		return nil, nil, fmt.Errorf("%w: version %d, this build reads %d and %d",
+			ErrUnsupportedVersion, version, EnvelopeVersion, ChunkedVersion)
 	}
 	dims, err := readDims(r, rank)
 	if err != nil {

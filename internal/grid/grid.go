@@ -238,17 +238,9 @@ const fieldMagic = 0x52514d46 // "RQMF"
 // the original precision (float32 values are stored as float32). Returns the
 // byte count written.
 func (f *Field) WriteTo(w io.Writer) (int64, error) {
-	var n int64
-	hdr := make([]uint64, 0, 2+len(f.Dims))
-	hdr = append(hdr, fieldMagic, uint64(f.Prec)<<8|uint64(len(f.Dims)))
-	for _, d := range f.Dims {
-		hdr = append(hdr, uint64(d))
-	}
-	for _, h := range hdr {
-		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
-			return n, err
-		}
-		n += 8
+	n, err := WriteHeader(w, f.Prec, f.Dims)
+	if err != nil {
+		return n, err
 	}
 	if f.Prec == Float32 {
 		buf := make([]float32, len(f.Data))
@@ -268,36 +260,69 @@ func (f *Field) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// ReadFrom deserializes a field written by WriteTo.
-func ReadFrom(r io.Reader) (*Field, error) {
+// ReadHeader parses a WriteTo header — magic, precision, shape — and leaves
+// r positioned at the first sample, so callers can stream the sample
+// section instead of materializing the field (the raw samples follow as
+// little-endian values in the returned precision).
+func ReadHeader(r io.Reader) (Precision, []int, error) {
 	var magic, meta uint64
 	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	if magic != fieldMagic {
-		return nil, fmt.Errorf("grid: bad magic %#x", magic)
+		return 0, nil, fmt.Errorf("grid: bad magic %#x", magic)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &meta); err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	prec := Precision(meta >> 8)
 	rank := int(meta & 0xFF)
 	if prec != Float32 && prec != Float64 {
-		return nil, fmt.Errorf("grid: bad precision %d", prec)
+		return 0, nil, fmt.Errorf("grid: bad precision %d", prec)
 	}
 	if rank < 1 || rank > 4 {
-		return nil, fmt.Errorf("grid: bad rank %d", rank)
+		return 0, nil, fmt.Errorf("grid: bad rank %d", rank)
 	}
 	dims := make([]int, rank)
 	for i := range dims {
 		var d uint64
 		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		if d == 0 || d > 1<<32 {
-			return nil, fmt.Errorf("grid: bad dimension %d", d)
+			return 0, nil, fmt.Errorf("grid: bad dimension %d", d)
 		}
 		dims[i] = int(d)
+	}
+	return prec, dims, nil
+}
+
+// WriteHeader writes the WriteTo header for a shape without its samples —
+// the streaming mirror of ReadHeader. Returns the byte count written.
+func WriteHeader(w io.Writer, prec Precision, dims []int) (int64, error) {
+	if len(dims) < 1 || len(dims) > 4 {
+		return 0, fmt.Errorf("grid: unsupported rank %d (want 1..4)", len(dims))
+	}
+	hdr := make([]uint64, 0, 2+len(dims))
+	hdr = append(hdr, fieldMagic, uint64(prec)<<8|uint64(len(dims)))
+	for _, d := range dims {
+		hdr = append(hdr, uint64(d))
+	}
+	var n int64
+	for _, h := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+			return n, err
+		}
+		n += 8
+	}
+	return n, nil
+}
+
+// ReadFrom deserializes a field written by WriteTo.
+func ReadFrom(r io.Reader) (*Field, error) {
+	prec, dims, err := ReadHeader(r)
+	if err != nil {
+		return nil, err
 	}
 	f, err := New("", prec, dims...)
 	if err != nil {

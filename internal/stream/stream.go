@@ -1,0 +1,183 @@
+// Package stream is the chunked, concurrent compression pipeline: a Writer
+// that splits a value stream into chunks, compresses them on a bounded
+// worker pool, and emits a chunked (v2) container in order, and a Reader
+// that decompresses such containers with the same overlap. Memory stays
+// O(workers × chunk size) on both sides regardless of stream length, and
+// throughput scales with cores because chunks compress independently.
+//
+// The adaptive layer is the paper's headline use case wired into the hot
+// path: with an AdaptiveBound policy, the Writer runs the ratio-quality
+// model's cheap sampling estimate on every chunk before compressing it and
+// solves for the per-chunk error bound that meets a global compression-ratio
+// or PSNR target (Jin et al., ICDE 2022, §V-C).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"rqm/internal/codec"
+	"rqm/internal/compressor"
+	"rqm/internal/core"
+	"rqm/internal/grid"
+)
+
+// DefaultChunkValues is the default chunk size (values per chunk): 256 Ki
+// values, i.e. 2 MiB of float64 input per in-flight chunk.
+const DefaultChunkValues = 1 << 18
+
+// ErrEmptyStream marks a structurally valid container holding zero values.
+var ErrEmptyStream = errors.New("stream: empty stream")
+
+// ErrClosed marks use of a Writer after Close.
+var ErrClosed = errors.New("stream: writer is closed")
+
+// config carries the resolved Writer configuration.
+type config struct {
+	codec       codec.Codec
+	copts       codec.Options
+	mopts       core.Options
+	adaptive    *AdaptiveBound
+	chunkValues int
+	workers     int
+	name        string
+	prec        grid.Precision
+	dims        []int
+}
+
+// Option configures a Writer.
+type Option func(*config) error
+
+// WithCodec selects the backend codec for every chunk.
+func WithCodec(c codec.Codec) Option {
+	return func(cfg *config) error {
+		if c == nil {
+			return errors.New("stream: WithCodec(nil)")
+		}
+		cfg.codec = c
+		return nil
+	}
+}
+
+// WithCodecName selects the backend codec by registered name.
+func WithCodecName(name string) Option {
+	return func(cfg *config) error {
+		c, err := codec.ByName(name)
+		if err != nil {
+			return err
+		}
+		cfg.codec = c
+		return nil
+	}
+}
+
+// WithCompression sets the codec options applied to every chunk (mode,
+// bound, predictor, lossless stage, radius). Under an AdaptiveBound policy
+// the mode and bound are overridden per chunk; the rest still applies.
+func WithCompression(o codec.Options) Option {
+	return func(cfg *config) error {
+		if o.ErrorBound < 0 {
+			return fmt.Errorf("stream: negative error bound %v", o.ErrorBound)
+		}
+		cfg.copts = o
+		return nil
+	}
+}
+
+// WithModel tunes the ratio-quality model the adaptive layer runs per chunk.
+func WithModel(o core.Options) Option {
+	return func(cfg *config) error {
+		cfg.mopts = o
+		return nil
+	}
+}
+
+// WithAdaptive installs a per-chunk error-bound policy: before compressing
+// each chunk, the writer profiles it with the ratio-quality model and solves
+// for the bound meeting the policy's target.
+func WithAdaptive(a AdaptiveBound) Option {
+	return func(cfg *config) error {
+		if err := a.validate(); err != nil {
+			return err
+		}
+		cfg.adaptive = &a
+		return nil
+	}
+}
+
+// WithChunkValues sets the chunk size in values (default DefaultChunkValues).
+func WithChunkValues(n int) Option {
+	return func(cfg *config) error {
+		if n < 1 {
+			return fmt.Errorf("stream: chunk size must be at least 1 value, got %d", n)
+		}
+		cfg.chunkValues = n
+		return nil
+	}
+}
+
+// WithWorkers sets the number of concurrent chunk compressors (default
+// GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(cfg *config) error {
+		if n < 1 {
+			return fmt.Errorf("stream: workers must be at least 1, got %d", n)
+		}
+		cfg.workers = n
+		return nil
+	}
+}
+
+// WithShape records the logical field shape and precision in the stream
+// header, so readers reassemble the original N-dimensional field. Without
+// it the stream decodes as 1-D float64. A declared shape is a contract:
+// Close fails if the written value count does not match it.
+func WithShape(prec grid.Precision, dims ...int) Option {
+	return func(cfg *config) error {
+		if prec != grid.Float32 && prec != grid.Float64 {
+			return fmt.Errorf("stream: unsupported precision %d", prec)
+		}
+		if len(dims) > 4 {
+			return fmt.Errorf("stream: rank %d outside 0..4", len(dims))
+		}
+		for _, d := range dims {
+			if d <= 0 {
+				return fmt.Errorf("stream: non-positive dimension %d", d)
+			}
+		}
+		cfg.prec = prec
+		cfg.dims = append([]int(nil), dims...)
+		return nil
+	}
+}
+
+// WithName records the field name in the stream header.
+func WithName(name string) Option {
+	return func(cfg *config) error {
+		cfg.name = name
+		return nil
+	}
+}
+
+// newConfig resolves options against defaults.
+func newConfig(opts []Option) (*config, error) {
+	cfg := &config{
+		chunkValues: DefaultChunkValues,
+		prec:        grid.Float64,
+	}
+	var err error
+	if cfg.codec, err = codec.ByID(codec.IDPrediction); err != nil {
+		return nil, err
+	}
+	cfg.copts = codec.Options{Mode: compressor.REL, ErrorBound: 1e-3} // the Engine default
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.workers == 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg, nil
+}

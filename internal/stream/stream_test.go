@@ -1,0 +1,483 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"sync"
+	"testing"
+
+	"rqm/internal/codec"
+	"rqm/internal/compressor"
+	"rqm/internal/core"
+	"rqm/internal/grid"
+)
+
+// waveValues synthesizes a mildly compressible test signal.
+func waveValues(n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		x := float64(i)
+		vals[i] = math.Sin(x/50) + 0.25*math.Sin(x/7) + 0.01*float64(i%13)
+	}
+	return vals
+}
+
+// roundTrip writes vals through a Writer and reads them back both ways.
+func roundTrip(t *testing.T, vals []float64, wopts []Option, ropts []ReaderOption) ([]float64, Stats) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, wopts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), ropts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	for {
+		chunk, err := r.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, chunk...)
+	}
+	// The sequential whole-buffer decode must agree bit for bit.
+	whole, err := codec.DecompressChunked(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(whole.Data) != len(got) {
+		t.Fatalf("pipeline decoded %d values, whole-buffer %d", len(got), len(whole.Data))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(whole.Data[i]) {
+			t.Fatalf("value %d: pipeline %x, whole-buffer %x",
+				i, math.Float64bits(got[i]), math.Float64bits(whole.Data[i]))
+		}
+	}
+	return got, w.Stats()
+}
+
+// TestWriterReaderRoundTrip drives the pipeline across chunk geometries and
+// worker counts; run under -race this is the pipeline's concurrency test.
+func TestWriterReaderRoundTrip(t *testing.T) {
+	cases := []struct {
+		name       string
+		n          int
+		chunk      int
+		workers    int
+		wantChunks int
+	}{
+		{"one chunk", 100, 256, 1, 1},
+		{"boundary exact", 512, 256, 2, 2},
+		{"partial tail", 1000, 256, 4, 4},
+		{"many small chunks", 3000, 64, 4, 47},
+		{"single worker", 1000, 128, 1, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vals := waveValues(tc.n)
+			got, st := roundTrip(t, vals,
+				[]Option{
+					WithChunkValues(tc.chunk),
+					WithWorkers(tc.workers),
+					WithCompression(codec.Options{Mode: compressor.ABS, ErrorBound: 1e-3}),
+				},
+				[]ReaderOption{WithReaderWorkers(tc.workers)})
+			if len(got) != tc.n {
+				t.Fatalf("decoded %d values, want %d", len(got), tc.n)
+			}
+			if st.Chunks != tc.wantChunks {
+				t.Fatalf("wrote %d chunks, want %d", st.Chunks, tc.wantChunks)
+			}
+			if st.Values != int64(tc.n) {
+				t.Fatalf("stats report %d values, want %d", st.Values, tc.n)
+			}
+			for i := range vals {
+				if d := got[i] - vals[i]; d > 1e-3 || d < -1e-3 {
+					t.Fatalf("value %d: |%g - %g| breaks the 1e-3 bound", i, got[i], vals[i])
+				}
+			}
+		})
+	}
+}
+
+// TestEmptyStream checks a zero-value stream produces a valid container
+// that reads back as empty.
+func TestEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithChunkValues(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Chunks != 0 || st.Values != 0 {
+		t.Fatalf("stats %+v, want empty", st)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NextChunk(); err != io.EOF {
+		t.Fatalf("NextChunk on empty stream: %v, want io.EOF", err)
+	}
+	r2, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.ReadAll(); !errors.Is(err, ErrEmptyStream) {
+		t.Fatalf("ReadAll on empty stream: %v, want ErrEmptyStream", err)
+	}
+}
+
+// TestByteInterfaces pipes raw sample bytes through Writer.Write and back
+// out Reader.Read, in both precisions, with deliberately misaligned writes.
+func TestByteInterfaces(t *testing.T) {
+	for _, prec := range []grid.Precision{grid.Float32, grid.Float64} {
+		vals := waveValues(500)
+		width := prec.Bits() / 8
+		raw := make([]byte, 0, len(vals)*width)
+		f, err := grid.FromData("bytes", prec, append([]float64(nil), vals...), len(vals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var enc bytes.Buffer
+		if _, err := f.WriteTo(&enc); err != nil {
+			t.Fatal(err)
+		}
+		raw = enc.Bytes()[8*2+8:] // skip the .rqmf header: magic, meta, one dim
+
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf,
+			WithShape(prec, len(vals)),
+			WithChunkValues(128),
+			WithCompression(codec.Options{Mode: compressor.ABS, ErrorBound: 1e-3}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Feed in awkward slices to exercise the partial-value carry.
+		for off := 0; off < len(raw); {
+			n := 13
+			if off+n > len(raw) {
+				n = len(raw) - off
+			}
+			if _, err := w.Write(raw[off : off+n]); err != nil {
+				t.Fatal(err)
+			}
+			off += n
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(raw) {
+			t.Fatalf("prec %d: read %d bytes, want %d", prec, len(out), len(raw))
+		}
+		// Decode and check the bound value-wise.
+		back, err := codec.DecompressChunked(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			ref := f.Data[i] // float32 storage already rounds the original
+			if d := back.Data[i] - ref; d > 1e-3 || d < -1e-3 {
+				t.Fatalf("prec %d value %d: |%g - %g| breaks the bound", prec, i, back.Data[i], ref)
+			}
+		}
+	}
+}
+
+// TestShapeCountMismatch checks Close enforces the WithShape contract: a
+// declared shape with a different written value count must fail rather
+// than emit a container whose header lies about its contents.
+func TestShapeCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithShape(grid.Float64, 32, 32), WithChunkValues(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(waveValues(1000)); err != nil { // shape wants 1024
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close accepted 1000 values against a 32x32 shape")
+	}
+}
+
+// TestTrailingPartialValue checks Close rejects a stream whose byte count
+// does not form whole values.
+func TestTrailingPartialValue(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithShape(grid.Float64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(make([]byte, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close accepted a trailing partial value")
+	}
+}
+
+// TestShapeRecovery checks the header shape reassembles the original field.
+func TestShapeRecovery(t *testing.T) {
+	dims := []int{6, 7, 8}
+	vals := waveValues(6 * 7 * 8)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf,
+		WithShape(grid.Float64, dims...), WithName("cube"), WithChunkValues(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "cube" || f.Rank() != 3 || f.Dims[0] != 6 || f.Dims[1] != 7 || f.Dims[2] != 8 {
+		t.Fatalf("reassembled %q %v, want cube [6 7 8]", f.Name, f.Dims)
+	}
+}
+
+// TestAdaptiveBoundPolicies checks both targets steer per-chunk bounds and
+// that chunk bounds actually vary across heterogeneous data.
+func TestAdaptiveBoundPolicies(t *testing.T) {
+	// Heterogeneous stream: quiet half then loud half.
+	n := 4096
+	vals := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		vals[i] = 0.001 * math.Sin(float64(i)/30)
+		vals[n+i] = 100*math.Sin(float64(i)/3) + float64(i%17)
+	}
+	mopts := core.Options{SampleRate: 0.2, Seed: 9}
+
+	t.Run("ratio target", func(t *testing.T) {
+		got, st := roundTrip(t, vals,
+			[]Option{
+				WithChunkValues(n), WithWorkers(2),
+				WithAdaptive(AdaptiveBound{TargetRatio: 8}),
+				WithModel(mopts),
+			}, nil)
+		if len(got) != len(vals) {
+			t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+		}
+		if st.MinBound == st.MaxBound {
+			t.Fatalf("adaptive bounds did not vary: [%g, %g]", st.MinBound, st.MaxBound)
+		}
+		if st.Ratio < 4 {
+			t.Fatalf("ratio %.2f nowhere near the target 8", st.Ratio)
+		}
+	})
+
+	t.Run("psnr target", func(t *testing.T) {
+		_, st := roundTrip(t, vals,
+			[]Option{
+				WithChunkValues(n), WithWorkers(2),
+				WithAdaptive(AdaptiveBound{TargetPSNR: 80}),
+				WithModel(mopts),
+			}, nil)
+		if st.MinBound == st.MaxBound {
+			t.Fatalf("adaptive bounds did not vary: [%g, %g]", st.MinBound, st.MaxBound)
+		}
+	})
+
+	t.Run("constant chunks fall back", func(t *testing.T) {
+		flat := make([]float64, 300)
+		got, _ := roundTrip(t, flat,
+			[]Option{
+				WithChunkValues(100),
+				WithAdaptive(AdaptiveBound{TargetRatio: 10}),
+			}, nil)
+		for i, v := range got {
+			if math.Abs(v) > 1e-6 {
+				t.Fatalf("constant stream value %d decoded to %g", i, v)
+			}
+		}
+	})
+}
+
+// TestAdaptiveBoundValidation checks malformed policies are rejected at
+// construction.
+func TestAdaptiveBoundValidation(t *testing.T) {
+	bad := []AdaptiveBound{
+		{},
+		{TargetRatio: 2, TargetPSNR: 60},
+		{TargetRatio: 0.5},
+		{TargetPSNR: -3},
+		{TargetRatio: 2, MinBound: 5, MaxBound: 1},
+		{TargetRatio: 2, MinBound: -1},
+	}
+	for i, a := range bad {
+		if _, err := NewWriter(io.Discard, WithAdaptive(a)); err == nil {
+			t.Fatalf("case %d: NewWriter accepted invalid policy %+v", i, a)
+		}
+	}
+}
+
+// TestWriterErrorPropagation checks a failing sink poisons the pipeline
+// without deadlocking and surfaces the error from Close.
+func TestWriterErrorPropagation(t *testing.T) {
+	w, err := NewWriter(&failAfter{limit: 50}, WithChunkValues(32), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := w.WriteValues(waveValues(10000))
+	cerr := w.Close()
+	if werr == nil && cerr == nil {
+		t.Fatal("pipeline swallowed the sink error")
+	}
+}
+
+// failAfter errors every write past a byte budget.
+type failAfter struct{ n, limit int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > f.limit {
+		return 0, errors.New("sink full")
+	}
+	return len(p), nil
+}
+
+// TestReaderEarlyClose abandons a stream mid-read; the feeder and workers
+// must exit without deadlock (the -race build also checks their shutdown).
+func TestReaderEarlyClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithChunkValues(64), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(waveValues(2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), WithReaderWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NextChunk(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentStreams runs several writer/reader pipelines at once; with
+// -race this shakes out shared-state races across Writer instances.
+func TestConcurrentStreams(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			vals := waveValues(1500 + 111*seed)
+			var buf bytes.Buffer
+			w, err := NewWriter(&buf, WithChunkValues(128), WithWorkers(2))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := w.WriteValues(vals); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := w.Close(); err != nil {
+				t.Error(err)
+				return
+			}
+			r, err := NewReader(bytes.NewReader(buf.Bytes()), WithReaderWorkers(2))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f, err := r.ReadAll()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if f.Len() != len(vals) {
+				t.Errorf("stream %d: decoded %d values, want %d", seed, f.Len(), len(vals))
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestReaderRejectsCorruptChunk checks mid-stream corruption surfaces as a
+// typed error from the pipeline reader, in order.
+func TestReaderRejectsCorruptChunk(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithChunkValues(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(waveValues(640)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := codec.LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	e := idx.Entries[5]
+	data[e.Offset+30] ^= 0xFF // flip a payload byte in chunk 5
+
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	good := 0
+	for {
+		_, err := r.NextChunk()
+		if err != nil {
+			sawErr = err
+			break
+		}
+		good++
+	}
+	if !errors.Is(sawErr, codec.ErrChecksum) {
+		t.Fatalf("corrupt chunk surfaced as %v, want ErrChecksum", sawErr)
+	}
+	if good != 5 {
+		t.Fatalf("decoded %d chunks before the corrupt one, want 5", good)
+	}
+}

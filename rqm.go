@@ -177,10 +177,11 @@ func Compress(f *Field, opts CompressOptions) (*CompressResult, error) {
 
 // Decompress reconstructs a field from any compressed container, routing to
 // the producing codec by inspection: envelope containers dispatch on their
-// codec ID through the registry, and the legacy native prediction ("RQMC")
+// codec ID through the registry, chunked stream containers (NewWriter
+// output) decode chunk by chunk, and the legacy native prediction ("RQMC")
 // and transform ("RQZF") containers remain decodable. Parse failures wrap
 // the typed errors ErrTruncated, ErrBadMagic, ErrUnsupportedVersion,
-// ErrUnknownCodec, and ErrCorrupt.
+// ErrUnknownCodec, ErrCorrupt, and ErrChecksum.
 func Decompress(data []byte) (*Field, error) {
 	return codec.Decompress(data)
 }

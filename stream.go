@@ -1,0 +1,137 @@
+package rqm
+
+import (
+	"io"
+
+	"rqm/internal/codec"
+	"rqm/internal/stream"
+)
+
+// Streaming: the chunked compression pipeline. NewWriter splits a value
+// stream into chunks, compresses them concurrently on a bounded worker
+// pool, and emits a self-describing chunked container (envelope v2) whose
+// trailer index makes every chunk randomly addressable; NewReader runs the
+// pipeline in reverse. Memory stays O(workers × chunk size) on both sides,
+// so arbitrarily large datasets stream through a fixed footprint, and
+// rqm.Decompress reads chunked containers like any other.
+//
+// Write side:
+//
+//	var buf bytes.Buffer
+//	w, _ := rqm.NewWriter(&buf,
+//	    rqm.WithStreamShape(rqm.Float64, 512, 512, 512),
+//	    rqm.WithStreamCompression(rqm.CodecOptions{Mode: rqm.REL, ErrorBound: 1e-3}),
+//	    rqm.WithStreamWorkers(8))
+//	_ = w.WriteValues(field.Data) // or io.Copy(w, rawSampleFile)
+//	_ = w.Close()                 // flush + trailer index
+//
+// Read side (either API):
+//
+//	r, _ := rqm.NewReader(&buf)
+//	back, _ := r.ReadAll()        // or chunk-at-a-time via r.NextChunk()
+//
+// Adaptive per-chunk tuning — the paper's ratio-quality model driving the
+// pipeline: each chunk is profiled with one cheap sampling pass and
+// compressed at the bound the model solves for a global target, so smooth
+// regions get loose bounds and complex regions tight ones:
+//
+//	w, _ := rqm.NewWriter(&buf,
+//	    rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetPSNR: 70}))
+type (
+	// StreamWriter is the chunked, concurrent compression writer.
+	StreamWriter = stream.Writer
+	// StreamReader is the chunked, concurrent decompression reader.
+	StreamReader = stream.Reader
+	// StreamOption configures NewWriter.
+	StreamOption = stream.Option
+	// StreamReaderOption configures NewReader.
+	StreamReaderOption = stream.ReaderOption
+	// StreamStats summarizes a finished stream write.
+	StreamStats = stream.Stats
+	// AdaptiveBound is the per-chunk error-bound policy for NewWriter: the
+	// ratio-quality model profiles every chunk and solves for the bound
+	// meeting a global ratio or PSNR target.
+	AdaptiveBound = stream.AdaptiveBound
+	// StreamHeader describes a chunked container stream.
+	StreamHeader = codec.StreamHeader
+	// StreamIndex is a chunked container's random-access directory.
+	StreamIndex = codec.StreamIndex
+	// StreamIndexEntry locates one chunk inside a chunked container.
+	StreamIndexEntry = codec.IndexEntry
+)
+
+// ErrEmptyStream marks a structurally valid chunked container holding zero
+// values.
+var ErrEmptyStream = stream.ErrEmptyStream
+
+// ErrChecksum marks a chunk or trailer whose CRC does not match its bytes.
+var ErrChecksum = codec.ErrChecksum
+
+// NewWriter starts a streaming compressor over w: values written through it
+// are chunked, compressed concurrently, and framed into a chunked container.
+// Close finalizes the container with its trailer index.
+func NewWriter(w io.Writer, opts ...StreamOption) (*StreamWriter, error) {
+	return stream.NewWriter(w, opts...)
+}
+
+// NewReader starts a streaming decompressor over a chunked container,
+// decoding chunks concurrently and handing them back in stream order.
+func NewReader(r io.Reader, opts ...StreamReaderOption) (*StreamReader, error) {
+	return stream.NewReader(r, opts...)
+}
+
+// WithStreamCodec selects the backend codec for every chunk.
+func WithStreamCodec(c Codec) StreamOption { return stream.WithCodec(c) }
+
+// WithStreamCodecName selects the backend codec by registered name.
+func WithStreamCodecName(name string) StreamOption { return stream.WithCodecName(name) }
+
+// WithStreamCompression sets the codec options applied to every chunk.
+func WithStreamCompression(o CodecOptions) StreamOption { return stream.WithCompression(o) }
+
+// WithStreamModel tunes the ratio-quality model behind WithAdaptiveBound.
+func WithStreamModel(o ModelOptions) StreamOption { return stream.WithModel(o) }
+
+// WithAdaptiveBound installs the per-chunk adaptive error-bound policy.
+func WithAdaptiveBound(a AdaptiveBound) StreamOption { return stream.WithAdaptive(a) }
+
+// WithChunkSize sets the chunk size in values (default 256 Ki).
+func WithChunkSize(values int) StreamOption { return stream.WithChunkValues(values) }
+
+// WithStreamWorkers sets the concurrent chunk-compressor count (default
+// GOMAXPROCS).
+func WithStreamWorkers(n int) StreamOption { return stream.WithWorkers(n) }
+
+// WithStreamShape records the logical field shape and precision in the
+// stream header so readers reassemble the original N-dimensional field.
+func WithStreamShape(prec Precision, dims ...int) StreamOption {
+	return stream.WithShape(prec, dims...)
+}
+
+// WithStreamFieldName records the field name in the stream header.
+func WithStreamFieldName(name string) StreamOption { return stream.WithName(name) }
+
+// WithStreamReaderWorkers sets the concurrent chunk-decompressor count
+// (default GOMAXPROCS).
+func WithStreamReaderWorkers(n int) StreamReaderOption { return stream.WithReaderWorkers(n) }
+
+// IsChunkedContainer reports whether data begins with a chunked stream
+// container signature (5 bytes suffice).
+func IsChunkedContainer(data []byte) bool { return codec.IsChunked(data) }
+
+// ReadStreamIndex loads a chunked container's trailer index through its
+// footer — the random-access entry point. With the index, ReadStreamChunk
+// decodes any chunk without touching the rest of the container.
+func ReadStreamIndex(rs io.ReadSeeker) (*StreamIndex, error) {
+	return codec.LoadIndex(rs)
+}
+
+// ReadStreamChunk random-accesses one indexed chunk: seek to its record,
+// verify the CRC, and decompress just that chunk's samples.
+func ReadStreamChunk(rs io.ReadSeeker, e StreamIndexEntry) ([]float64, error) {
+	c, err := codec.ReadChunkAt(rs, e)
+	if err != nil {
+		return nil, err
+	}
+	return codec.DecodeChunk(c)
+}

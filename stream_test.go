@@ -1,0 +1,316 @@
+package rqm_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"rqm"
+)
+
+// streamField builds the shared input for streaming tests.
+func streamField(t testing.TB) *rqm.Field {
+	t.Helper()
+	f, err := rqm.GenerateField("nyx/temperature", 11, rqm.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestStreamRoundTripAllCodecs is the acceptance gate for the streaming
+// subsystem: for every registered codec, a stream-written container must
+// decode identically (bit for bit) through the concurrent Reader and the
+// whole-buffer rqm.Decompress, and the per-chunk error bound must hold.
+func TestStreamRoundTripAllCodecs(t *testing.T) {
+	f := streamField(t)
+	lo, hi := f.ValueRange()
+	eb := 1e-3 * (hi - lo)
+
+	for _, c := range rqm.Codecs() {
+		t.Run(c.Name(), func(t *testing.T) {
+			var buf bytes.Buffer
+			w, err := rqm.NewWriter(&buf,
+				rqm.WithStreamCodec(c),
+				rqm.WithStreamShape(f.Prec, f.Dims...),
+				rqm.WithStreamFieldName(f.Name),
+				rqm.WithChunkSize(2048),
+				rqm.WithStreamWorkers(4),
+				rqm.WithStreamCompression(rqm.CodecOptions{Mode: rqm.ABS, ErrorBound: eb}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.WriteValues(f.Data); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			r, err := rqm.NewReader(bytes.NewReader(buf.Bytes()), rqm.WithStreamReaderWorkers(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed, err := r.ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			whole, err := rqm.Decompress(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if streamed.Len() != f.Len() || whole.Len() != f.Len() {
+				t.Fatalf("lengths: streamed %d, whole %d, want %d", streamed.Len(), whole.Len(), f.Len())
+			}
+			for i := range whole.Data {
+				if math.Float64bits(streamed.Data[i]) != math.Float64bits(whole.Data[i]) {
+					t.Fatalf("value %d: streaming decode %x, whole-buffer decode %x",
+						i, math.Float64bits(streamed.Data[i]), math.Float64bits(whole.Data[i]))
+				}
+			}
+			if err := rqm.VerifyErrorBound(f, streamed, rqm.ABS, eb*(1+1e-12)); err != nil {
+				t.Fatal(err)
+			}
+			if streamed.Name != f.Name || streamed.Rank() != f.Rank() {
+				t.Fatalf("metadata lost: %q %v, want %q %v", streamed.Name, streamed.Dims, f.Name, f.Dims)
+			}
+		})
+	}
+}
+
+// TestStreamRandomAccess decodes one chunk of a container through the
+// public index API without touching the rest.
+func TestStreamRandomAccess(t *testing.T) {
+	f := streamField(t)
+	var buf bytes.Buffer
+	w, err := rqm.NewWriter(&buf,
+		rqm.WithStreamShape(f.Prec, f.Dims...),
+		rqm.WithChunkSize(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(f.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idx, err := rqm.ReadStreamIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Entries) != w.Stats().Chunks || idx.TotalValues != int64(f.Len()) {
+		t.Fatalf("index %d entries / %d values, want %d / %d",
+			len(idx.Entries), idx.TotalValues, w.Stats().Chunks, f.Len())
+	}
+	whole, err := rqm.Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk 3 in isolation must match the same slice of the full decode.
+	e := idx.Entries[3]
+	vals, err := rqm.ReadStreamChunk(bytes.NewReader(buf.Bytes()), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := 0
+	for _, p := range idx.Entries[:3] {
+		start += p.Values
+	}
+	for i, v := range vals {
+		if math.Float64bits(v) != math.Float64bits(whole.Data[start+i]) {
+			t.Fatalf("random-access value %d differs from sequential decode", i)
+		}
+	}
+}
+
+// TestEngineStreamWriter checks the engine-configured streaming path and
+// that Engine.Decompress routes chunked containers.
+func TestEngineStreamWriter(t *testing.T) {
+	f := streamField(t)
+	eng, err := rqm.NewEngine(rqm.WithMode(rqm.REL), rqm.WithErrorBound(1e-3), rqm.WithConcurrency(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := eng.NewStreamWriter(&buf, rqm.WithChunkSize(4096), rqm.WithStreamShape(f.Prec, f.Dims...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteField(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := eng.Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != f.Len() {
+		t.Fatalf("engine decode %d values, want %d", back.Len(), f.Len())
+	}
+}
+
+// unregisteredCodec wraps a built-in under an unregistered wire ID.
+type unregisteredCodec struct{ rqm.Codec }
+
+func (u unregisteredCodec) ID() rqm.CodecID { return 99 }
+func (u unregisteredCodec) Name() string    { return "unregistered-test" }
+
+// TestEngineStreamOwnCodecFallback checks the engine's own-codec guarantee
+// extends to chunked streams: containers written by an engine's unregistered
+// codec decode through that engine, while registry-only routing fails typed.
+func TestEngineStreamOwnCodecFallback(t *testing.T) {
+	base, err := rqm.CodecByName(rqm.CodecPredictionName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := unregisteredCodec{base}
+	eng, err := rqm.NewEngine(rqm.WithCodec(custom), rqm.WithMode(rqm.REL), rqm.WithErrorBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := streamField(t)
+	var buf bytes.Buffer
+	w, err := eng.NewStreamWriter(&buf, rqm.WithChunkSize(4096), rqm.WithStreamShape(f.Prec, f.Dims...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteField(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := eng.Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatalf("engine could not decode its own codec's stream: %v", err)
+	}
+	if back.Len() != f.Len() {
+		t.Fatalf("decoded %d values, want %d", back.Len(), f.Len())
+	}
+	if _, err := rqm.Decompress(buf.Bytes()); !errors.Is(err, rqm.ErrUnknownCodec) {
+		t.Fatalf("registry routing of an unregistered codec: %v, want ErrUnknownCodec", err)
+	}
+}
+
+// TestStreamAdaptivePSNRTarget checks the headline use case end to end:
+// the model-driven per-chunk bounds deliver the PSNR target (within the
+// model's accuracy margin) without a single trial compression.
+func TestStreamAdaptivePSNRTarget(t *testing.T) {
+	f := streamField(t)
+	const target = 60.0
+	var buf bytes.Buffer
+	w, err := rqm.NewWriter(&buf,
+		rqm.WithStreamShape(f.Prec, f.Dims...),
+		rqm.WithChunkSize(4096),
+		rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetPSNR: target}),
+		rqm.WithStreamModel(rqm.ModelOptions{SampleRate: 0.1, Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(f.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rqm.Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := rqm.PSNR(f, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < target-3 {
+		t.Fatalf("adaptive stream PSNR %.2f dB misses the %g dB target", psnr, target)
+	}
+}
+
+// TestInspectChunkedContainer checks Inspect describes chunked containers
+// without decoding them.
+func TestInspectChunkedContainer(t *testing.T) {
+	f := streamField(t)
+	var buf bytes.Buffer
+	w, err := rqm.NewWriter(&buf,
+		rqm.WithStreamShape(f.Prec, f.Dims...),
+		rqm.WithStreamFieldName(f.Name),
+		rqm.WithChunkSize(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(f.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := rqm.Inspect(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Chunked || info.Version != 2 {
+		t.Fatalf("info %+v, want chunked v2", info)
+	}
+	if info.Chunks != w.Stats().Chunks || info.TotalValues != int64(f.Len()) {
+		t.Fatalf("info counts %d/%d, want %d/%d", info.Chunks, info.TotalValues, w.Stats().Chunks, f.Len())
+	}
+	if info.FieldName != f.Name || info.CodecName != rqm.CodecPredictionName {
+		t.Fatalf("info identity %q/%q, want %q/%q", info.FieldName, info.CodecName, f.Name, rqm.CodecPredictionName)
+	}
+}
+
+// TestDecompressRejectsTruncatedChunked extends the typed-error contract to
+// chunked containers at the public surface.
+func TestDecompressRejectsTruncatedChunked(t *testing.T) {
+	f := streamField(t)
+	var buf bytes.Buffer
+	w, err := rqm.NewWriter(&buf, rqm.WithStreamShape(f.Prec, f.Dims...), rqm.WithChunkSize(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(f.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cases := []struct {
+		name string
+		blob []byte
+		want error
+	}{
+		{"header only", data[:20], rqm.ErrTruncated},
+		{"mid-chunk", data[:len(data)/2], rqm.ErrTruncated},
+		{"missing footer", data[:len(data)-5], rqm.ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := rqm.Decompress(tc.blob); !errors.Is(err, tc.want) {
+				t.Fatalf("Decompress: %v, want %v", err, tc.want)
+			}
+			// The streaming reader must agree (the error may surface at
+			// construction or at first read).
+			r, err := rqm.NewReader(bytes.NewReader(tc.blob))
+			if err == nil {
+				for {
+					if _, err = r.NextChunk(); err != nil {
+						break
+					}
+				}
+				if err == io.EOF {
+					t.Fatal("streaming reader accepted a truncated container")
+				}
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("NewReader path: %v, want %v", err, tc.want)
+			}
+		})
+	}
+}

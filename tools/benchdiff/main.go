@@ -1,0 +1,220 @@
+// Command benchdiff gates benchmark regressions in CI: it parses `go test
+// -bench` output, reduces the -count=N samples of each benchmark to its
+// best observation (benchstat-style: the minimum ns/op, which is the least
+// noisy summary on shared runners), and compares against a checked-in JSON
+// baseline. A benchmark regressing by more than its threshold (default 20%)
+// fails the run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Engine|Stream' -benchtime=1x -count=5 . | tee bench.txt
+//	go run ./tools/benchdiff -baseline BENCH_BASELINE.json bench.txt
+//
+// Recalibrate the baseline (e.g. after an intentional change or on a new
+// runner generation) with:
+//
+//	go run ./tools/benchdiff -baseline BENCH_BASELINE.json -update bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the checked-in reference file.
+type Baseline struct {
+	// DefaultThreshold is the allowed fractional regression (e.g. 0.20)
+	// for benchmarks without their own threshold.
+	DefaultThreshold float64 `json:"default_threshold"`
+	// Benchmarks maps benchmark name (sub-benchmarks use their full
+	// slash-joined name, CPU suffix stripped) to its reference observation.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's reference numbers.
+type Entry struct {
+	// NsPerOp is the best (minimum) ns/op observed at calibration time.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is the best (maximum) MB/s, when the benchmark reports it.
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// Threshold overrides the default fractional regression allowance.
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkStreamWriter/workers=4-8   1   62896936 ns/op   112.53 MB/s   298 B/op ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.e+]+) ns/op(?:\s+([\d.e+]+) MB/s)?`)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
+		update       = flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+		threshold    = flag.Float64("threshold", 0.20, "default fractional regression allowance for -update")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file.json] [-update] bench-output.txt (or - for stdin)")
+		os.Exit(2)
+	}
+	samples, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines in %s", flag.Arg(0)))
+	}
+	if *update {
+		if err := writeBaseline(*baselinePath, samples, *threshold); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(samples), *baselinePath)
+		return
+	}
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := compare(base, samples); err != nil {
+		fatal(err)
+	}
+}
+
+// sample aggregates the repeated observations of one benchmark.
+type sample struct {
+	bestNs   float64 // minimum ns/op
+	bestMBPS float64 // maximum MB/s (0 when unreported)
+	count    int
+}
+
+// parseBench reads a -bench output file ("-" = stdin) into best-of samples.
+func parseBench(path string) (map[string]*sample, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	out := map[string]*sample{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		s := out[m[1]]
+		if s == nil {
+			s = &sample{bestNs: ns}
+			out[m[1]] = s
+		}
+		s.count++
+		if ns < s.bestNs {
+			s.bestNs = ns
+		}
+		if m[3] != "" {
+			if mbps, err := strconv.ParseFloat(m[3], 64); err == nil && mbps > s.bestMBPS {
+				s.bestMBPS = mbps
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// compare checks every baseline benchmark against the run, reporting all
+// regressions before failing.
+func compare(base *Baseline, samples map[string]*sample) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures int
+	for _, name := range names {
+		e := base.Benchmarks[name]
+		s, ok := samples[name]
+		if !ok {
+			fmt.Printf("FAIL %s: in baseline but missing from this run (renamed? update the baseline)\n", name)
+			failures++
+			continue
+		}
+		allowed := e.Threshold
+		if allowed == 0 {
+			allowed = base.DefaultThreshold
+		}
+		if allowed == 0 {
+			allowed = 0.20
+		}
+		// Prefer throughput when both sides have it; fall back to ns/op.
+		switch {
+		case e.MBPerS > 0 && s.bestMBPS > 0:
+			floor := e.MBPerS * (1 - allowed)
+			if s.bestMBPS < floor {
+				fmt.Printf("FAIL %s: %.2f MB/s, below %.2f (baseline %.2f - %d%%)\n",
+					name, s.bestMBPS, floor, e.MBPerS, int(allowed*100))
+				failures++
+			} else {
+				fmt.Printf("ok   %s: %.2f MB/s (baseline %.2f)\n", name, s.bestMBPS, e.MBPerS)
+			}
+		case e.NsPerOp > 0:
+			ceil := e.NsPerOp * (1 + allowed)
+			if s.bestNs > ceil {
+				fmt.Printf("FAIL %s: %.0f ns/op, above %.0f (baseline %.0f + %d%%)\n",
+					name, s.bestNs, ceil, e.NsPerOp, int(allowed*100))
+				failures++
+			} else {
+				fmt.Printf("ok   %s: %.0f ns/op (baseline %.0f)\n", name, s.bestNs, e.NsPerOp)
+			}
+		default:
+			fmt.Printf("ok   %s: baseline has no reference numbers, skipped\n", name)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond their threshold", failures)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within thresholds\n", len(names))
+	return nil
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, samples map[string]*sample, threshold float64) error {
+	b := Baseline{DefaultThreshold: threshold, Benchmarks: map[string]Entry{}}
+	for name, s := range samples {
+		b.Benchmarks[name] = Entry{NsPerOp: s.bestNs, MBPerS: s.bestMBPS}
+	}
+	raw, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

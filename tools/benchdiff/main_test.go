@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: rqm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStreamWriter/workers=1-8         	       1	  53169023 ns/op	 133.12 MB/s	29797144 B/op	   10052 allocs/op
+BenchmarkStreamWriter/workers=1-8         	       1	  51000000 ns/op	 140.00 MB/s	29797144 B/op	   10052 allocs/op
+BenchmarkStreamWriter/workers=4-8         	       1	  62896936 ns/op	 112.53 MB/s	29788816 B/op	   10052 allocs/op
+BenchmarkEngineBatch4-8                   	       2	  11000000 ns/op
+BenchmarkEngineBatch4-8                   	       2	  10500000 ns/op
+PASS
+ok  	rqm	13.804s
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBenchBestOf(t *testing.T) {
+	samples, err := parseBench(writeTemp(t, "bench.txt", benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := samples["BenchmarkStreamWriter/workers=1"]
+	if sw == nil || sw.count != 2 {
+		t.Fatalf("workers=1 sample %+v, want 2 observations", sw)
+	}
+	if sw.bestNs != 51000000 || sw.bestMBPS != 140 {
+		t.Fatalf("best-of reduction got ns=%v mbps=%v, want 51000000/140", sw.bestNs, sw.bestMBPS)
+	}
+	eb := samples["BenchmarkEngineBatch4"]
+	if eb == nil || eb.bestNs != 10500000 || eb.bestMBPS != 0 {
+		t.Fatalf("EngineBatch4 sample %+v, want ns=10500000 no MB/s", eb)
+	}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	samples, err := parseBench(writeTemp(t, "bench.txt", benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Baseline{
+		DefaultThreshold: 0.20,
+		Benchmarks: map[string]Entry{
+			// 140 MB/s observed vs 160 baseline: -12.5%, within 20%.
+			"BenchmarkStreamWriter/workers=1": {NsPerOp: 45000000, MBPerS: 160},
+			// 10.5ms observed vs 9ms baseline: +16.7%, within 20%.
+			"BenchmarkEngineBatch4": {NsPerOp: 9000000},
+		},
+	}
+	if err := compare(pass, samples); err != nil {
+		t.Fatalf("within-threshold run failed: %v", err)
+	}
+
+	failTooSlow := &Baseline{
+		DefaultThreshold: 0.20,
+		Benchmarks: map[string]Entry{
+			// 140 MB/s observed vs 200 baseline: -30%, beyond 20%.
+			"BenchmarkStreamWriter/workers=1": {NsPerOp: 40000000, MBPerS: 200},
+		},
+	}
+	if err := compare(failTooSlow, samples); err == nil {
+		t.Fatal("30% throughput regression passed the 20% gate")
+	}
+
+	perBench := &Baseline{
+		DefaultThreshold: 0.20,
+		Benchmarks: map[string]Entry{
+			// Same -30% regression, but this benchmark allows 40%.
+			"BenchmarkStreamWriter/workers=1": {NsPerOp: 40000000, MBPerS: 200, Threshold: 0.40},
+		},
+	}
+	if err := compare(perBench, samples); err != nil {
+		t.Fatalf("per-benchmark threshold override not honored: %v", err)
+	}
+
+	missing := &Baseline{
+		DefaultThreshold: 0.20,
+		Benchmarks:       map[string]Entry{"BenchmarkGone": {NsPerOp: 1}},
+	}
+	if err := compare(missing, samples); err == nil {
+		t.Fatal("baseline benchmark missing from the run passed the gate")
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	samples, err := parseBench(writeTemp(t, "bench.txt", benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeBaseline(path, samples, 0.20); err != nil {
+		t.Fatal(err)
+	}
+	base, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.DefaultThreshold != 0.20 || len(base.Benchmarks) != 3 {
+		t.Fatalf("baseline %+v, want 3 benchmarks at 0.20", base)
+	}
+	// A freshly written baseline must pass against its own run.
+	if err := compare(base, samples); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+}
