@@ -1,0 +1,341 @@
+// Package client is the Go client for the rqserved HTTP API (internal/
+// service): compression and decompression as streamed request/response
+// bodies, plus the profile-cache endpoints that answer ratio/quality
+// questions from one cheap sampling pass. The CLI's -remote mode is a thin
+// wrapper around this package.
+//
+//	c, _ := client.New("http://localhost:8080")
+//	info, _ := c.Profile(ctx, fieldFile, client.ProfileParams{})
+//	est, _ := c.Estimate(ctx, info.Profile, 1e-3, "rel") // O(1): no upload
+//
+// Failed requests return *APIError carrying the service's stable error code
+// ("bad_magic", "profile_not_found", "too_many_requests", ...).
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"rqm/internal/service"
+)
+
+// Re-exported response types: the service wire format is the contract.
+type (
+	// ProfileResponse is the /v1/profile answer (profile ID + RQ curve).
+	ProfileResponse = service.ProfileResponse
+	// EstimateResponse is the /v1/estimate answer.
+	EstimateResponse = service.EstimateResponse
+	// SolveResponse is the /v1/solve answer.
+	SolveResponse = service.SolveResponse
+	// HealthResponse is the /healthz answer.
+	HealthResponse = service.HealthResponse
+	// MetricsSnapshot is the /metrics answer.
+	MetricsSnapshot = service.MetricsSnapshot
+	// CurvePoint is one point of a profile's ratio-quality curve.
+	CurvePoint = service.CurvePoint
+)
+
+// APIError is a non-2xx response decoded from the service's JSON envelope.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the service's stable machine-matchable error code.
+	Code string
+	// Message is the human-oriented detail.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rqserved: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// Client talks to one rqserved endpoint. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts, proxies,
+// test transports).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the service at baseURL (e.g. "http://host:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: %q is not an absolute base URL", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// CompressParams scope one compress request; zero values defer to the
+// server's engine configuration.
+type CompressParams struct {
+	// Codec, Predictor, Mode, Lossless override the server's backend
+	// configuration by name ("prediction", "lorenzo", "abs", "flate", ...).
+	Codec, Predictor, Mode, Lossless string
+	// ErrorBound overrides the bound (Mode semantics); 0 = server default.
+	ErrorBound float64
+	// Stream forces the chunked streaming pipeline regardless of body size.
+	Stream bool
+	// ChunkValues sets the streaming chunk size in values (0 = default).
+	ChunkValues int
+	// TargetRatio / TargetPSNR switch to model-driven adaptive per-chunk
+	// bounds (streaming implied).
+	TargetRatio, TargetPSNR float64
+	// SampleRate overrides the model sampling rate behind adaptive bounds
+	// (0 = server default).
+	SampleRate float64
+	// HasValueRange declares the field's global value range [ValueLo,
+	// ValueHi] — required when streaming under a REL bound.
+	HasValueRange    bool
+	ValueLo, ValueHi float64
+}
+
+func (p CompressParams) query() url.Values {
+	q := url.Values{}
+	set := func(k, v string) {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	set("codec", p.Codec)
+	set("predictor", p.Predictor)
+	set("mode", p.Mode)
+	set("lossless", p.Lossless)
+	if p.ErrorBound > 0 {
+		q.Set("eb", strconv.FormatFloat(p.ErrorBound, 'g', -1, 64))
+	}
+	if p.Stream {
+		q.Set("stream", "1")
+	}
+	if p.ChunkValues > 0 {
+		q.Set("chunk", strconv.Itoa(p.ChunkValues))
+	}
+	if p.TargetRatio > 0 {
+		q.Set("target-ratio", strconv.FormatFloat(p.TargetRatio, 'g', -1, 64))
+	}
+	if p.TargetPSNR > 0 {
+		q.Set("target-psnr", strconv.FormatFloat(p.TargetPSNR, 'g', -1, 64))
+	}
+	if p.SampleRate > 0 {
+		q.Set("sample", strconv.FormatFloat(p.SampleRate, 'g', -1, 64))
+	}
+	if p.HasValueRange {
+		q.Set("value-range", strconv.FormatFloat(p.ValueLo, 'g', -1, 64)+","+
+			strconv.FormatFloat(p.ValueHi, 'g', -1, 64))
+	}
+	return q
+}
+
+// CompressInfo reports the statistics headers of a compress response.
+type CompressInfo struct {
+	// Codec names the backend that served the request ("" when streamed).
+	Codec string
+	// Ratio and BitRate are the sealed-container statistics ("" -> 0 when
+	// streamed: the stats are not known before the response body ends).
+	Ratio, BitRate float64
+	// Streamed reports whether the chunked pipeline served the request.
+	Streamed bool
+}
+
+// Compress sends a .rqmf field and streams the compressed container to out.
+func (c *Client) Compress(ctx context.Context, field io.Reader, out io.Writer, p CompressParams) (*CompressInfo, error) {
+	resp, err := c.post(ctx, "/v1/compress", p.query(), field)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	info := &CompressInfo{
+		Codec:    resp.Header.Get("X-RQM-Codec"),
+		Streamed: resp.Header.Get("X-RQM-Streamed") == "1",
+	}
+	info.Ratio, _ = strconv.ParseFloat(resp.Header.Get("X-RQM-Ratio"), 64)
+	info.BitRate, _ = strconv.ParseFloat(resp.Header.Get("X-RQM-Bit-Rate"), 64)
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		return nil, fmt.Errorf("client: reading compressed stream: %w", err)
+	}
+	return info, nil
+}
+
+// Decompress sends a container and streams the .rqmf field to out.
+func (c *Client) Decompress(ctx context.Context, container io.Reader, out io.Writer) error {
+	resp, err := c.post(ctx, "/v1/decompress", nil, container)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		return fmt.Errorf("client: reading decompressed stream: %w", err)
+	}
+	return nil
+}
+
+// ProfileParams scope one profile request.
+type ProfileParams struct {
+	// Codec and Predictor select the profiled configuration.
+	Codec, Predictor string
+	// SampleRate overrides the model sampling rate (0 = server default).
+	SampleRate float64
+	// Seed fixes the sampling seed (0 = server default).
+	Seed uint64
+}
+
+// Profile uploads a .rqmf field for one sampling pass (or a cache hit) and
+// returns the profile ID plus the modeled ratio-quality curve.
+func (c *Client) Profile(ctx context.Context, field io.Reader, p ProfileParams) (*ProfileResponse, error) {
+	q := url.Values{}
+	if p.Codec != "" {
+		q.Set("codec", p.Codec)
+	}
+	if p.Predictor != "" {
+		q.Set("predictor", p.Predictor)
+	}
+	if p.SampleRate > 0 {
+		q.Set("sample", strconv.FormatFloat(p.SampleRate, 'g', -1, 64))
+	}
+	if p.Seed > 0 {
+		q.Set("seed", strconv.FormatUint(p.Seed, 10))
+	}
+	resp, err := c.post(ctx, "/v1/profile", q, field)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var pr ProfileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("client: decoding profile response: %w", err)
+	}
+	return &pr, nil
+}
+
+// Estimate answers "what ratio/PSNR would error bound eb give" from the
+// cached profile — no field upload, no compression run. mode is "rel"
+// (default) or "abs".
+func (c *Client) Estimate(ctx context.Context, profileID string, eb float64, mode string) (*EstimateResponse, error) {
+	q := url.Values{}
+	q.Set("profile", profileID)
+	q.Set("eb", strconv.FormatFloat(eb, 'g', -1, 64))
+	if mode != "" {
+		q.Set("mode", mode)
+	}
+	resp, err := c.get(ctx, "/v1/estimate", q)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var er EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		return nil, fmt.Errorf("client: decoding estimate response: %w", err)
+	}
+	return &er, nil
+}
+
+// SolveTarget names one inverse problem for Solve.
+type SolveTarget struct {
+	// Kind is "ratio", "psnr", or "bitrate".
+	Kind string
+	// Value is the target in Kind units.
+	Value float64
+}
+
+// Solve inverts the model on the cached profile: the error bound meeting
+// the target, plus the modeled outcome at that bound.
+func (c *Client) Solve(ctx context.Context, profileID string, target SolveTarget) (*SolveResponse, error) {
+	q := url.Values{}
+	q.Set("profile", profileID)
+	q.Set("target-"+target.Kind, strconv.FormatFloat(target.Value, 'g', -1, 64))
+	resp, err := c.get(ctx, "/v1/solve", q)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var sr SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("client: decoding solve response: %w", err)
+	}
+	return &sr, nil
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	resp, err := c.get(ctx, "/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return nil, fmt.Errorf("client: decoding health response: %w", err)
+	}
+	return &hr, nil
+}
+
+// Metrics fetches the service counters.
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	resp, err := c.get(ctx, "/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var ms MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&ms); err != nil {
+		return nil, fmt.Errorf("client: decoding metrics response: %w", err)
+	}
+	return &ms, nil
+}
+
+// post issues a POST with body and returns the response, mapping non-2xx
+// statuses to *APIError.
+func (c *Client) post(ctx context.Context, path string, q url.Values, body io.Reader) (*http.Response, error) {
+	return c.do(ctx, http.MethodPost, path, q, body)
+}
+
+func (c *Client) get(ctx context.Context, path string, q url.Values) (*http.Response, error) {
+	return c.do(ctx, http.MethodGet, path, q, nil)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, body io.Reader) (*http.Response, error) {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 == 2 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	apiErr := &APIError{Status: resp.StatusCode, Code: "unknown", Message: resp.Status}
+	var envelope service.ErrorBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&envelope); err == nil &&
+		envelope.Error.Code != "" {
+		apiErr.Code = envelope.Error.Code
+		apiErr.Message = envelope.Error.Message
+	}
+	return nil, apiErr
+}

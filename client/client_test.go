@@ -1,0 +1,164 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rqm"
+	"rqm/internal/service"
+)
+
+// newClientServer stands up an in-process service and a client against it.
+func newClientServer(t *testing.T) *Client {
+	t.Helper()
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// fieldBytes synthesizes one .rqmf payload.
+func fieldBytes(t *testing.T) (*rqm.Field, []byte) {
+	t.Helper()
+	g, err := rqm.GenerateField("nyx/temperature", 5, rqm.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rqm.FieldFromData("client-test", rqm.Float64, g.Data, g.Dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return f, buf.Bytes()
+}
+
+// TestClientEndToEnd drives every client method against a live service:
+// health, compress/decompress round trip, profile -> estimate -> solve.
+func TestClientEndToEnd(t *testing.T) {
+	c := newClientServer(t)
+	ctx := context.Background()
+	f, body := fieldBytes(t)
+
+	if h, err := c.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("health: %+v, %v", h, err)
+	}
+
+	var container bytes.Buffer
+	info, err := c.Compress(ctx, bytes.NewReader(body), &container, CompressParams{
+		Mode: "abs", ErrorBound: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Codec == "" || !(info.Ratio > 0) {
+		t.Fatalf("compress info %+v", info)
+	}
+	var fieldOut bytes.Buffer
+	if err := c.Decompress(ctx, bytes.NewReader(container.Bytes()), &fieldOut); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rqm.Decompress(container.Bytes())
+	if err != nil {
+		t.Fatalf("served container does not decode locally: %v", err)
+	}
+	if got.Len() != f.Len() {
+		t.Fatalf("container decodes to %d values, want %d", got.Len(), f.Len())
+	}
+
+	pr, err := c.Profile(ctx, bytes.NewReader(body), ProfileParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Profile == "" || pr.Cached || len(pr.Curve) == 0 {
+		t.Fatalf("profile %+v", pr)
+	}
+	est, err := c.Estimate(ctx, pr.Profile, 1e-3, "rel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(est.Ratio > 1) {
+		t.Fatalf("estimate %+v", est)
+	}
+	sol, err := c.Solve(ctx, pr.Profile, SolveTarget{Kind: "psnr", Value: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Target != "psnr" || !(sol.AbsEB > 0) {
+		t.Fatalf("solve %+v", sol)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil || m.ProfileBuilds != 1 {
+		t.Fatalf("metrics %+v, %v (want exactly 1 sampling pass)", m, err)
+	}
+}
+
+// TestClientAPIError checks non-2xx responses surface as *APIError with the
+// service's stable code.
+func TestClientAPIError(t *testing.T) {
+	c := newClientServer(t)
+	ctx := context.Background()
+
+	var out bytes.Buffer
+	_, err := c.Compress(ctx, strings.NewReader("not a field"), &out, CompressParams{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "bad_field" || apiErr.Status != 422 {
+		t.Fatalf("garbage compress: %v, want *APIError{422 bad_field}", err)
+	}
+	if _, err := c.Estimate(ctx, "feedfacedeadbeef", 1e-3, ""); err == nil {
+		t.Fatal("estimate on an unknown profile succeeded")
+	} else if !errors.As(err, &apiErr) || apiErr.Code != "profile_not_found" {
+		t.Fatalf("unknown profile: %v, want profile_not_found", err)
+	}
+}
+
+// TestClientBadBaseURL pins constructor validation.
+func TestClientBadBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "/relative/only"} {
+		if _, err := New(bad); err == nil {
+			t.Fatalf("New(%q) accepted", bad)
+		}
+	}
+}
+
+// TestClientOptionsAndObservability covers the HTTP-client override and the
+// health/metrics accessors under a custom transport.
+func TestClientOptionsAndObservability(t *testing.T) {
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL+"/", WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health %+v, %v", h, err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil || m.Requests < 1 {
+		t.Fatalf("metrics %+v, %v", m, err)
+	}
+	// APIError formats with status and code.
+	e := &APIError{Status: 429, Code: "too_many_requests", Message: "slow down"}
+	if got := e.Error(); !strings.Contains(got, "429") || !strings.Contains(got, "too_many_requests") {
+		t.Fatalf("APIError.Error() = %q", got)
+	}
+}

@@ -16,8 +16,13 @@
 //	rqc compress   -in field.rqmf -out field.rqz -codec prediction -predictor lorenzo -mode rel -eb 1e-3 -lossless flate
 //	rqc compress   -in field.rqmf -out field.rqz -stream -workers 8 -chunk 262144
 //	rqc compress   -in field.rqmf -out field.rqz -stream -target-psnr 60
-//	rqc decompress -in field.rqz  -out field.rqmf
+//	rqc compress   -in field.rqmf -out field.rqz -remote http://localhost:8080
+//	rqc decompress -in field.rqz  -out field.rqmf [-remote http://localhost:8080]
 //	rqc inspect    -in field.rqz
+//
+// With -remote the CLI becomes a thin client of a rqserved instance: the
+// field streams up, the container streams back, and all codec flags travel
+// as request-scoped options.
 //
 // compress prints the run statistics; with -verify it also decompresses and
 // checks the error bound end to end.
@@ -25,13 +30,18 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
 	"rqm"
+	"rqm/client"
 	"rqm/internal/grid"
 )
 
@@ -76,10 +86,20 @@ func cmdCompress(args []string) {
 		targetRatio = fs.Float64("target-ratio", 0, "adapt per-chunk bounds to this compression ratio (streaming)")
 		targetPSNR  = fs.Float64("target-psnr", 0, "adapt per-chunk bounds to this PSNR in dB (streaming)")
 		sampleRate  = fs.Float64("sample", 0, "model sampling rate for adaptive bounds (0 = default)")
+		remote      = fs.String("remote", "", "route through a rqserved instance at this base URL")
 	)
 	must(fs.Parse(args))
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("compress: -in and -out are required"))
+	}
+	if *remote != "" {
+		compressRemote(*remote, *in, *out, remoteParams{
+			codec: *codecName, predictor: *predName, mode: *mode, eb: *eb, lossless: *lossless,
+			stream: *streaming, threshold: *threshold, chunk: *chunk,
+			targetRatio: *targetRatio, targetPSNR: *targetPSNR,
+			sampleRate: *sampleRate, verify: *verify,
+		})
+		return
 	}
 
 	kind, err := rqm.ParsePredictorKind(*predName)
@@ -158,13 +178,21 @@ func compressStream(in, out, codecName string, copts rqm.CodecOptions, p streamP
 		rqm.WithStreamShape(prec, dims...),
 		rqm.WithStreamFieldName(in),
 	}
+	adaptive := p.targetRatio > 0 || p.targetPSNR > 0
+	if copts.Mode == rqm.REL && !adaptive {
+		// A REL bound resolves against the whole field's value range, not
+		// each chunk's; one extra O(1)-memory pass over the file pins it to
+		// the same range whole-buffer compression would use.
+		lo, hi := scanValueRange(in)
+		opts = append(opts, rqm.WithStreamValueRange(lo, hi))
+	}
 	if p.chunk > 0 {
 		opts = append(opts, rqm.WithChunkSize(p.chunk))
 	}
 	if p.workers > 0 {
 		opts = append(opts, rqm.WithStreamWorkers(p.workers))
 	}
-	if p.targetRatio > 0 || p.targetPSNR > 0 {
+	if adaptive {
 		opts = append(opts,
 			rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetRatio: p.targetRatio, TargetPSNR: p.targetPSNR}),
 			rqm.WithStreamModel(rqm.ModelOptions{SampleRate: p.sampleRate}))
@@ -233,10 +261,15 @@ func cmdDecompress(args []string) {
 		in      = fs.String("in", "", "input compressed file")
 		out     = fs.String("out", "", "output .rqmf field file")
 		workers = fs.Int("workers", 0, "concurrent chunk decompressors (0 = GOMAXPROCS)")
+		remote  = fs.String("remote", "", "route through a rqserved instance at this base URL")
 	)
 	must(fs.Parse(args))
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("decompress: -in and -out are required"))
+	}
+	if *remote != "" {
+		decompressRemote(*remote, *in, *out)
+		return
 	}
 	if chunked, _ := sniffChunked(*in); chunked {
 		decompressStream(*in, *out, *workers)
@@ -419,6 +452,172 @@ func sniffChunked(path string) (bool, error) {
 		return false, nil // too short to be chunked; let the normal path report
 	}
 	return rqm.IsChunkedContainer(head), nil
+}
+
+// remoteParams carries the compress flags routed to a rqserved instance.
+type remoteParams struct {
+	codec, predictor, mode, lossless string
+	eb                               float64
+	stream                           bool
+	threshold                        int64
+	chunk                            int
+	targetRatio, targetPSNR          float64
+	sampleRate                       float64
+	verify                           bool
+}
+
+// compressRemote ships the field file to a rqserved instance and streams the
+// container back — the CLI as a thin client.
+func compressRemote(base, in, out string, p remoteParams) {
+	c, err := client.New(base)
+	must(err)
+	params := client.CompressParams{
+		Codec: p.codec, Predictor: p.predictor, Mode: p.mode, Lossless: p.lossless,
+		ErrorBound: p.eb, ChunkValues: p.chunk,
+		TargetRatio: p.targetRatio, TargetPSNR: p.targetPSNR,
+		SampleRate: p.sampleRate,
+	}
+	// The request body streams from disk with no declared length, so the
+	// server cannot size-detect: decide streaming here, mirroring the local
+	// threshold rule.
+	params.Stream = p.stream
+	if !params.Stream && p.threshold > 0 {
+		if st, err := os.Stat(in); err == nil && st.Size() >= p.threshold {
+			params.Stream = true
+		}
+	}
+	adaptive := p.targetRatio > 0 || p.targetPSNR > 0
+	if params.Stream && !adaptive && strings.EqualFold(p.mode, "rel") {
+		// Streamed REL needs the stream-global range; scan it locally.
+		params.HasValueRange = true
+		params.ValueLo, params.ValueHi = scanValueRange(in)
+	}
+
+	src, err := os.Open(in)
+	must(err)
+	defer src.Close()
+	dst, err := os.Create(out)
+	must(err)
+	bw := bufio.NewWriterSize(dst, 1<<20)
+	info, err := c.Compress(context.Background(), bufio.NewReaderSize(src, 1<<20), bw, params)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(out)
+	}
+	must(err)
+	st, _ := os.Stat(out)
+	if info.Streamed {
+		fmt.Printf("remote-compressed %s -> %s (%d bytes, streamed via %s)\n", in, out, st.Size(), base)
+	} else {
+		fmt.Printf("remote-compressed %s -> %s (%d bytes, codec %s, ratio %.2fx) via %s\n",
+			in, out, st.Size(), info.Codec, info.Ratio, base)
+	}
+	if p.verify {
+		verifyRemoteOutput(in, out, p)
+	}
+}
+
+// verifyRemoteOutput re-reads both files and checks the served container
+// locally — the same end-to-end guarantee -verify gives the local paths.
+func verifyRemoteOutput(in, out string, p remoteParams) {
+	orig := readField(in)
+	blob, err := os.ReadFile(out)
+	must(err)
+	dec, err := rqm.Decompress(blob)
+	must(err)
+	adaptive := p.targetRatio > 0 || p.targetPSNR > 0
+	if adaptive {
+		// Adaptive runs have no single user bound; hold the container to the
+		// loosest per-chunk bound it recorded.
+		idx, err := rqm.ReadStreamIndex(bytes.NewReader(blob))
+		must(err)
+		if _, maxB := boundRange(idx.Entries); maxB > 0 {
+			must(rqm.VerifyErrorBound(orig, dec, rqm.ABS, maxB*(1+1e-12)))
+		}
+	} else {
+		m, err := rqm.ParseErrorMode(p.mode)
+		must(err)
+		must(rqm.VerifyErrorBound(orig, dec, m, p.eb))
+	}
+	psnr, err := rqm.PSNR(orig, dec)
+	must(err)
+	fmt.Printf("  verified: bound holds, PSNR %.2f dB\n", psnr)
+}
+
+// decompressRemote streams a container to a rqserved instance and the field
+// back to disk.
+func decompressRemote(base, in, out string) {
+	c, err := client.New(base)
+	must(err)
+	src, err := os.Open(in)
+	must(err)
+	defer src.Close()
+	dst, err := os.Create(out)
+	must(err)
+	bw := bufio.NewWriterSize(dst, 1<<20)
+	err = c.Decompress(context.Background(), bufio.NewReaderSize(src, 1<<20), bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(out)
+	}
+	must(err)
+	st, _ := os.Stat(out)
+	fmt.Printf("remote-decompressed %s -> %s (%d bytes) via %s\n", in, out, st.Size(), base)
+}
+
+// scanValueRange streams a field file once to find its global value range
+// without materializing the samples — the pre-pass that lets streamed REL
+// compression enforce the same absolute bound as whole-buffer REL.
+func scanValueRange(path string) (lo, hi float64) {
+	fh, err := os.Open(path)
+	must(err)
+	defer fh.Close()
+	prec, _, err := grid.ReadHeader(fh)
+	must(err)
+	width := prec.Bits() / 8
+	br := bufio.NewReaderSize(fh, 1<<20)
+	buf := make([]byte, 4096*width)
+	lo, hi = math.Inf(1), math.Inf(-1)
+	rem := 0
+	for {
+		n, rerr := br.Read(buf[rem:])
+		total := rem + n
+		full := total / width * width
+		for off := 0; off < full; off += width {
+			var v float64
+			if prec == grid.Float32 {
+				v = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
+			} else {
+				v = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		copy(buf, buf[full:total])
+		rem = total - full
+		if rerr == io.EOF {
+			break
+		}
+		must(rerr)
+	}
+	if lo > hi { // empty field file
+		lo, hi = 0, 0
+	}
+	return lo, hi
 }
 
 func readField(path string) *grid.Field {

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rqm"
+)
+
+// TestScanValueRange checks the streaming pre-pass finds the same global
+// range an in-memory scan does, in both precisions.
+func TestScanValueRange(t *testing.T) {
+	for _, prec := range []rqm.Precision{rqm.Float32, rqm.Float64} {
+		vals := []float64{3, -7.5, 0.25, 1024, -0.125, 511.5}
+		f, err := rqm.FieldFromData("scan", prec, vals, len(vals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "scan.rqmf")
+		fh, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteTo(fh); err != nil {
+			t.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := scanValueRange(path)
+		if lo != -7.5 || hi != 1024 {
+			t.Fatalf("prec %d: scanned range [%g, %g], want [-7.5, 1024]", prec.Bits(), lo, hi)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command rqserved serves the ratio-quality engine over HTTP: compression,
+// decompression, and profile-cached model queries (estimate/solve answered
+// in O(sample) from one sampling pass, no compression run). See
+// internal/service for the endpoint contract and rqm/client (or
+// `rqc -remote`) for the client side.
+//
+// Usage:
+//
+//	rqserved -addr :8080
+//	rqserved -addr :8080 -codec prediction -predictor lorenzo -mode rel -eb 1e-3 \
+//	         -max-inflight 32 -cache 256 -stream-threshold 67108864
+//
+// The server drains in-flight requests on SIGINT/SIGTERM (graceful
+// shutdown, 15 s budget).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rqm"
+	"rqm/internal/service"
+)
+
+func main() {
+	codecNames := strings.Join(rqm.CodecNames(), "|")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		codecName = flag.String("codec", rqm.CodecPredictionName, codecNames)
+		predName  = flag.String("predictor", "lorenzo", "lorenzo|lorenzo2|interpolation|interpolation-cubic|regression")
+		mode      = flag.String("mode", "rel", "abs|rel|pwrel (default error-bound mode)")
+		eb        = flag.Float64("eb", 1e-3, "default error bound (mode semantics)")
+		lossless  = flag.String("lossless", "none", "none|rle|lz77|flate")
+		workers   = flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+		inflight  = flag.Int("max-inflight", 0, "concurrent heavy requests before 429 (0 = 4x workers)")
+		cacheSize = flag.Int("cache", 128, "profile LRU cache entries")
+		threshold = flag.Int64("stream-threshold", service.DefaultStreamThreshold,
+			"compress bodies at least this many bytes stream chunked (<0 disables)")
+		sample = flag.Float64("sample", 0, "model sampling rate for profiles (0 = paper default 1%)")
+	)
+	flag.Parse()
+
+	eng, err := buildEngine(*codecName, *predName, *mode, *eb, *lossless, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := service.New(service.Config{
+		Engine:           eng,
+		Model:            rqm.ModelOptions{SampleRate: *sample},
+		MaxInflight:      *inflight,
+		ProfileCacheSize: *cacheSize,
+		StreamThreshold:  *threshold,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("rqserved: listening on %s (codec %s, %s %g, cache %d profiles)",
+		*addr, eng.Codec().Name(), *mode, *eb, *cacheSize)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("rqserved: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("rqserved: stopped")
+}
+
+// buildEngine resolves the flag set into a configured engine.
+func buildEngine(codecName, predName, mode string, eb float64, lossless string, workers int) (*rqm.Engine, error) {
+	kind, err := rqm.ParsePredictorKind(predName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := rqm.ParseErrorMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	ll, err := rqm.ParseLosslessKind(lossless)
+	if err != nil {
+		return nil, err
+	}
+	opts := []rqm.EngineOption{
+		rqm.WithCodecName(codecName),
+		rqm.WithPredictor(kind),
+		rqm.WithMode(m),
+		rqm.WithErrorBound(eb),
+		rqm.WithLossless(ll),
+	}
+	if workers > 0 {
+		opts = append(opts, rqm.WithConcurrency(workers))
+	}
+	return rqm.NewEngine(opts...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rqserved:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"rqm"
+)
+
+// TestBuildEngine pins the flag-to-engine resolution, including failures.
+func TestBuildEngine(t *testing.T) {
+	eng, err := buildEngine(rqm.CodecPredictionName, "lorenzo", "rel", 1e-3, "flate", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Codec().Name() != rqm.CodecPredictionName || eng.Concurrency() != 2 {
+		t.Fatalf("engine %s x%d, want prediction x2", eng.Codec().Name(), eng.Concurrency())
+	}
+	if o := eng.Options(); o.Mode != rqm.REL || o.ErrorBound != 1e-3 || o.Lossless != rqm.LosslessFlate {
+		t.Fatalf("options %+v", o)
+	}
+
+	bad := []struct{ codec, pred, mode, lossless string }{
+		{"no-such-codec", "lorenzo", "rel", "none"},
+		{rqm.CodecPredictionName, "no-such-predictor", "rel", "none"},
+		{rqm.CodecPredictionName, "lorenzo", "sideways", "none"},
+		{rqm.CodecPredictionName, "lorenzo", "rel", "no-such-lossless"},
+	}
+	for _, tc := range bad {
+		if _, err := buildEngine(tc.codec, tc.pred, tc.mode, 1e-3, tc.lossless, 0); err == nil {
+			t.Fatalf("buildEngine(%+v) accepted", tc)
+		}
+	}
+	if _, err := buildEngine(rqm.CodecPredictionName, "lorenzo", "rel", -1, "none", 0); err == nil {
+		t.Fatal("negative error bound accepted")
+	}
+}

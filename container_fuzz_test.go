@@ -35,9 +35,11 @@ func fuzzSeedContainers(f *testing.F) [][]byte {
 	}
 	seeds = append(seeds, legacy.Bytes)
 
+	lo, hi := field.ValueRange()
 	var buf bytes.Buffer
 	w, err := rqm.NewWriter(&buf,
 		rqm.WithStreamShape(field.Prec, field.Dims...),
+		rqm.WithStreamValueRange(lo, hi),
 		rqm.WithChunkSize(2048))
 	if err != nil {
 		f.Fatal(err)

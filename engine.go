@@ -234,7 +234,10 @@ func (e *Engine) CompressToBudget(f *Field, p *Profile, budgetBytes int64, headr
 // NewStreamWriter starts a streaming compressor over w configured like this
 // engine: same codec, compression options, model options, and worker count.
 // Extra stream options (chunk size, shape, an AdaptiveBound policy, ...)
-// apply on top.
+// apply on top. A REL-mode engine must also declare the stream-global value
+// range (WithStreamValueRange) or go through NewFieldStreamWriter, which
+// resolves it from the field; otherwise NewWriter fails with
+// ErrStreamNeedsValueRange.
 func (e *Engine) NewStreamWriter(w io.Writer, extra ...StreamOption) (*StreamWriter, error) {
 	opts := []StreamOption{
 		WithStreamCodec(e.codec),
@@ -243,6 +246,24 @@ func (e *Engine) NewStreamWriter(w io.Writer, extra ...StreamOption) (*StreamWri
 		WithStreamWorkers(e.Concurrency()),
 	}
 	return NewWriter(w, append(opts, extra...)...)
+}
+
+// NewFieldStreamWriter starts a streaming compressor over w for one known
+// field: the field's shape, name, and value range are recorded up front, so
+// a REL-mode engine resolves its bound once against the whole field's range
+// — the same absolute guarantee whole-buffer REL compression enforces. The
+// caller still streams the samples (WriteField/WriteValues) and must Close.
+func (e *Engine) NewFieldStreamWriter(w io.Writer, f *Field, extra ...StreamOption) (*StreamWriter, error) {
+	if f == nil {
+		return nil, errors.New("rqm: nil field")
+	}
+	lo, hi := f.ValueRange()
+	opts := []StreamOption{
+		WithStreamShape(f.Prec, f.Dims...),
+		WithStreamFieldName(f.Name),
+		WithStreamValueRange(lo, hi),
+	}
+	return e.NewStreamWriter(w, append(opts, extra...)...)
 }
 
 // SelectCodec ranks every registered codec for f at a PSNR target using the

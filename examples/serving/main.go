@@ -1,0 +1,85 @@
+// Example serving: the profile-cached compression service end to end — an
+// in-process rqserved instance, the Go client, and the "profile once, ask
+// forever" pattern: one sampling pass buys unlimited O(sample) ratio/PSNR
+// answers and inverse solves, no compression runs.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"rqm"
+	"rqm/client"
+	"rqm/internal/service"
+)
+
+func main() {
+	// A real deployment runs `rqserved -addr :8080`; the example hosts the
+	// same handler in-process.
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	c, err := client.New(srv.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	field, err := rqm.GenerateField("nyx/temperature", 42, rqm.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var body bytes.Buffer
+	if _, err := field.WriteTo(&body); err != nil {
+		log.Fatal(err)
+	}
+
+	// One upload, one sampling pass: the profile is now cached server-side.
+	prof, err := c.Profile(ctx, bytes.NewReader(body.Bytes()), client.ProfileParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %q: id %s, %d values, sampling pass %.2f ms\n",
+		field.Name, prof.Profile, prof.N, prof.BuildMs)
+
+	// Every question below is answered from the cache — no upload, no
+	// compression run.
+	for _, rel := range []float64{1e-4, 1e-3, 1e-2} {
+		est, err := c.Estimate(ctx, prof.Profile, rel, "rel")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  eb %g (rel): ratio %6.2fx  PSNR %6.2f dB  SSIM %.5f\n",
+			rel, est.Ratio, est.PSNR, est.SSIM)
+	}
+	sol, err := c.Solve(ctx, prof.Profile, client.SolveTarget{Kind: "psnr", Value: 70})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  70 dB target: eb %.6g (abs) -> modeled ratio %.2fx\n", sol.AbsEB, sol.Ratio)
+
+	// Compress at the solved bound through the same service.
+	var container bytes.Buffer
+	info, err := c.Compress(ctx, bytes.NewReader(body.Bytes()), &container, client.CompressParams{
+		Mode: "abs", ErrorBound: sol.AbsEB,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed at the solved bound: %d -> %d bytes (server-reported %.2fx, codec %s)\n",
+		body.Len(), container.Len(), info.Ratio, info.Codec)
+
+	// The cache hit is visible in the service metrics.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics: %d requests, %d sampling pass(es), %d cache answers (estimates+solves)\n",
+		m.Requests, m.ProfileBuilds, m.Estimates+m.Solves)
+}

@@ -28,21 +28,27 @@ func MSE(a, b *grid.Field) (float64, error) {
 
 // PSNR returns the peak signal-to-noise ratio in dB, using the value range
 // of the reference field a as the peak (the convention used by SZ and the
-// paper). Identical fields return +Inf.
+// paper). Identical fields return +Inf. A constant reference has zero range,
+// so the peak falls back to max(|lo|, |hi|) — the field's magnitude — and to
+// 1.0 when the reference is all zeros, keeping the score sensitive to the
+// distortion instead of collapsing every comparison to 0 dB.
 func PSNR(a, b *grid.Field) (float64, error) {
 	mse, err := MSE(a, b)
 	if err != nil {
 		return 0, err
 	}
-	lo, hi := a.ValueRange()
-	rng := hi - lo
 	if mse == 0 {
 		return math.Inf(1), nil
 	}
-	if rng == 0 {
-		return 0, nil
+	lo, hi := a.ValueRange()
+	peak := hi - lo
+	if peak == 0 {
+		peak = math.Max(math.Abs(lo), math.Abs(hi))
+		if peak == 0 {
+			peak = 1
+		}
 	}
-	return 20*math.Log10(rng) - 10*math.Log10(mse), nil
+	return 20*math.Log10(peak) - 10*math.Log10(mse), nil
 }
 
 // ssimConstants returns the standard C1=(K1·L)², C2=(K2·L)² stabilizers for

@@ -46,6 +46,58 @@ func TestPSNRIdenticalInf(t *testing.T) {
 	}
 }
 
+// TestPSNRConstantReference pins the constant-reference fallback: a zero
+// value range must not collapse every distortion to 0 dB. The peak falls
+// back to the field magnitude (then 1.0 for all-zero references), so a tiny
+// error scores far above a huge one.
+func TestPSNRConstantReference(t *testing.T) {
+	const level = 1e6
+	ref := mkField(t, []float64{level, level, level, level}, 4)
+
+	// Offsets of 0.25 are exactly representable next to 1e6, so the MSE
+	// below is exact.
+	tiny := mkField(t, []float64{level + 0.25, level, level - 0.25, level}, 4)
+	huge := mkField(t, []float64{0, 2 * level, 0, 2 * level}, 4)
+
+	psnrTiny, err := PSNR(ref, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnrHuge, err := PSNR(ref, huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak = max(|lo|, |hi|) = 1e6; MSE(tiny) = 0.03125, MSE(huge) = 1e12.
+	wantTiny := 20*math.Log10(level) - 10*math.Log10(0.03125)
+	if math.Abs(psnrTiny-wantTiny) > 1e-9 {
+		t.Fatalf("constant-ref tiny-error PSNR = %v, want %v", psnrTiny, wantTiny)
+	}
+	wantHuge := 20*math.Log10(level) - 10*math.Log10(1e12)
+	if math.Abs(psnrHuge-wantHuge) > 1e-9 {
+		t.Fatalf("constant-ref huge-error PSNR = %v, want %v", psnrHuge, wantHuge)
+	}
+	if psnrTiny <= psnrHuge {
+		t.Fatalf("tiny error %v dB not above huge error %v dB", psnrTiny, psnrHuge)
+	}
+
+	// All-zero reference: peak falls back to 1.0.
+	zero := mkField(t, []float64{0, 0, 0}, 3)
+	off := mkField(t, []float64{1e-3, 0, -1e-3}, 3)
+	psnrZero, err := PSNR(zero, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantZero := -10 * math.Log10(2e-6/3)
+	if math.Abs(psnrZero-wantZero) > 1e-9 {
+		t.Fatalf("zero-ref PSNR = %v, want %v", psnrZero, wantZero)
+	}
+
+	// Identical constant fields still score +Inf.
+	if psnr, err := PSNR(ref, ref.Clone()); err != nil || !math.IsInf(psnr, 1) {
+		t.Fatalf("identical constant PSNR = %v, %v", psnr, err)
+	}
+}
+
 func TestMSESizeMismatch(t *testing.T) {
 	a := mkField(t, []float64{1, 2, 3}, 3)
 	b := mkField(t, []float64{1, 2}, 2)

@@ -1,0 +1,891 @@
+// Package service is the HTTP serving layer over the ratio-quality engine:
+// one process exposing compression, decompression, and — the paper's core
+// asset — O(sample)-time ratio/quality answers from a profile cache. A field
+// is profiled once (one cheap sampling pass, POST /v1/profile); every
+// subsequent estimate and inverse solve is served from the cached profile
+// with no compression run and no re-sampling, the "predict before you
+// compress" pattern at serving scale.
+//
+// Endpoints:
+//
+//	POST /v1/compress    .rqmf field body -> sealed container (query/header
+//	                     scoped codec options; bodies above the stream
+//	                     threshold flow through the chunked pipeline)
+//	POST /v1/decompress  container body -> .rqmf field (chunked containers
+//	                     stream; routing is self-describing)
+//	POST /v1/profile     .rqmf field body -> profile ID + ratio-quality curve
+//	                     (LRU-cached by content hash)
+//	GET  /v1/estimate    ?profile=ID&eb=..&mode=abs|rel -> model estimate
+//	GET  /v1/solve       ?profile=ID&target-ratio|target-psnr|target-bitrate
+//	GET  /healthz        liveness
+//	GET  /metrics        counters (requests, cache hits, inflight, ...)
+//
+// Heavy endpoints (compress, decompress, profile) are admission-controlled
+// by a permit semaphore: past MaxInflight concurrent requests the service
+// answers 429 instead of queueing unboundedly. Estimate and solve are cheap
+// and always admitted. Failures return a typed JSON error envelope; the
+// container error taxonomy maps onto stable codes (see errors.go).
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"rqm"
+	"rqm/internal/grid"
+)
+
+// DefaultStreamThreshold is the request-body size at which compress switches
+// to the chunked streaming pipeline (64 MiB, matching the rqc CLI).
+const DefaultStreamThreshold = 64 << 20
+
+// maxBufferedBody caps bodies the non-streaming handlers materialize, so a
+// single oversized upload cannot exhaust memory (1 GiB).
+const maxBufferedBody = 1 << 30
+
+// Config assembles a Service.
+type Config struct {
+	// Engine is the configured compression engine requests derive from
+	// (nil = rqm.NewEngine defaults: prediction codec, REL 1e-3).
+	Engine *rqm.Engine
+	// Model tunes the ratio-quality model behind /v1/profile.
+	Model rqm.ModelOptions
+	// MaxInflight bounds concurrently admitted heavy requests
+	// (0 = 4 x engine concurrency).
+	MaxInflight int
+	// ProfileCacheSize bounds the LRU profile cache entries (0 = 128).
+	ProfileCacheSize int
+	// StreamThreshold is the compress body size that triggers the chunked
+	// streaming pipeline (0 = DefaultStreamThreshold, < 0 disables).
+	StreamThreshold int64
+}
+
+// Service is the HTTP handler set. Construct with New; a Service is safe for
+// concurrent use.
+type Service struct {
+	eng       *rqm.Engine
+	model     rqm.ModelOptions
+	cache     *profileCache
+	sem       chan struct{}
+	threshold int64
+	mux       *http.ServeMux
+	start     time.Time
+
+	reqTotal      atomic.Int64
+	errTotal      atomic.Int64
+	rejected      atomic.Int64
+	profileBuilds atomic.Int64
+	profileHits   atomic.Int64
+	evictions     atomic.Int64
+	estimates     atomic.Int64
+	solves        atomic.Int64
+	compresses    atomic.Int64
+	decompresses  atomic.Int64
+}
+
+// New builds a Service from cfg.
+func New(cfg Config) (*Service, error) {
+	eng := cfg.Engine
+	if eng == nil {
+		var err error
+		if eng, err = rqm.NewEngine(); err != nil {
+			return nil, err
+		}
+	}
+	inflight := cfg.MaxInflight
+	if inflight == 0 {
+		inflight = 4 * eng.Concurrency()
+	}
+	if inflight < 1 {
+		inflight = 1
+	}
+	cacheSize := cfg.ProfileCacheSize
+	if cacheSize == 0 {
+		cacheSize = 128
+	}
+	threshold := cfg.StreamThreshold
+	if threshold == 0 {
+		threshold = DefaultStreamThreshold
+	}
+	s := &Service{
+		eng:       eng,
+		model:     cfg.Model,
+		cache:     newProfileCache(cacheSize),
+		sem:       make(chan struct{}, inflight),
+		threshold: threshold,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+	}
+	s.mux.Handle("/healthz", s.handle(http.MethodGet, false, s.handleHealthz))
+	s.mux.Handle("/metrics", s.handle(http.MethodGet, false, s.handleMetrics))
+	s.mux.Handle("/v1/compress", s.handle(http.MethodPost, true, s.handleCompress))
+	s.mux.Handle("/v1/decompress", s.handle(http.MethodPost, true, s.handleDecompress))
+	s.mux.Handle("/v1/profile", s.handle(http.MethodPost, true, s.handleProfile))
+	s.mux.Handle("/v1/estimate", s.handle(http.MethodGet, false, s.handleEstimate))
+	s.mux.Handle("/v1/solve", s.handle(http.MethodGet, false, s.handleSolve))
+	return s, nil
+}
+
+// ServeHTTP dispatches to the endpoint handlers.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// FlushProfiles empties the profile cache (operational hook; benchmarks use
+// it to force the cold path).
+func (s *Service) FlushProfiles() { s.cache.purge() }
+
+// handle wraps one endpoint: method gate, admission control for heavy
+// endpoints, request accounting, and error-envelope rendering.
+func (s *Service) handle(method string, heavy bool, fn func(http.ResponseWriter, *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reqTotal.Add(1)
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			s.errTotal.Add(1)
+			writeError(w, errf(http.StatusMethodNotAllowed, "method_not_allowed",
+				"%s only accepts %s", r.URL.Path, method))
+			return
+		}
+		if heavy {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.rejected.Add(1)
+				s.errTotal.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, errf(http.StatusTooManyRequests, "too_many_requests",
+					"service at its %d-request concurrency limit", cap(s.sem)))
+				return
+			}
+		}
+		if err := fn(w, r); err != nil {
+			s.errTotal.Add(1)
+			writeError(w, err)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped options
+
+// param reads a request-scoped option from the query string, falling back to
+// the X-RQM-<name> header.
+func param(q url.Values, h http.Header, name string) string {
+	if v := q.Get(name); v != "" {
+		return v
+	}
+	return h.Get("X-RQM-" + name)
+}
+
+// engineFor derives the engine serving one request: the base engine unless
+// codec options appear in the query/headers, in which case a request-scoped
+// engine is built from the base configuration plus the overrides.
+func (s *Service) engineFor(q url.Values, h http.Header) (*rqm.Engine, error) {
+	names := []string{"codec", "predictor", "mode", "eb", "lossless"}
+	override := false
+	for _, n := range names {
+		if param(q, h, n) != "" {
+			override = true
+			break
+		}
+	}
+	if !override {
+		return s.eng, nil
+	}
+	base := s.eng.Options()
+	opts := []rqm.EngineOption{
+		rqm.WithCodec(s.eng.Codec()),
+		rqm.WithMode(base.Mode),
+		rqm.WithErrorBound(base.ErrorBound),
+		rqm.WithPredictor(base.Predictor),
+		rqm.WithLossless(base.Lossless),
+		rqm.WithRadius(base.Radius),
+		rqm.WithConcurrency(s.eng.Concurrency()),
+		rqm.WithModelOptions(s.model),
+	}
+	if v := param(q, h, "codec"); v != "" {
+		opts = append(opts, rqm.WithCodecName(v))
+	}
+	if v := param(q, h, "predictor"); v != "" {
+		k, err := rqm.ParsePredictorKind(v)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad_param", "predictor: %v", err)
+		}
+		opts = append(opts, rqm.WithPredictor(k))
+	}
+	if v := param(q, h, "mode"); v != "" {
+		m, err := rqm.ParseErrorMode(v)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad_param", "mode: %v", err)
+		}
+		opts = append(opts, rqm.WithMode(m))
+	}
+	if v := param(q, h, "eb"); v != "" {
+		eb, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(eb > 0) {
+			return nil, errf(http.StatusBadRequest, "bad_param", "eb: %q is not a positive number", v)
+		}
+		opts = append(opts, rqm.WithErrorBound(eb))
+	}
+	if v := param(q, h, "lossless"); v != "" {
+		l, err := rqm.ParseLosslessKind(v)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad_param", "lossless: %v", err)
+		}
+		opts = append(opts, rqm.WithLossless(l))
+	}
+	eng, err := rqm.NewEngine(opts...)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "bad_param", "%v", err)
+	}
+	return eng, nil
+}
+
+// floatParam parses an optional positive float parameter.
+func floatParam(q url.Values, h http.Header, name string) (float64, bool, error) {
+	v := param(q, h, name)
+	if v == "" {
+		return 0, false, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, false, errf(http.StatusBadRequest, "bad_param", "%s: %q is not a number", name, v)
+	}
+	return f, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Health and metrics
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status        string   `json:"status"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Codec         string   `json:"codec"`
+	Codecs        []string `json:"codecs"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, http.StatusOK, &HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Codec:         s.eng.Codec().Name(),
+		Codecs:        rqm.CodecNames(),
+	})
+}
+
+// MetricsSnapshot is the /metrics body: monotonic counters plus gauges.
+type MetricsSnapshot struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Requests       int64   `json:"requests"`
+	Errors         int64   `json:"errors"`
+	Rejected       int64   `json:"rejected"`
+	Inflight       int     `json:"inflight"`
+	MaxInflight    int     `json:"max_inflight"`
+	Compresses     int64   `json:"compresses"`
+	Decompresses   int64   `json:"decompresses"`
+	ProfileBuilds  int64   `json:"profile_builds"`
+	ProfileHits    int64   `json:"profile_hits"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	Estimates      int64   `json:"estimates"`
+	Solves         int64   `json:"solves"`
+}
+
+// Snapshot captures the current metrics (also served at /metrics).
+func (s *Service) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Requests:       s.reqTotal.Load(),
+		Errors:         s.errTotal.Load(),
+		Rejected:       s.rejected.Load(),
+		Inflight:       len(s.sem),
+		MaxInflight:    cap(s.sem),
+		Compresses:     s.compresses.Load(),
+		Decompresses:   s.decompresses.Load(),
+		ProfileBuilds:  s.profileBuilds.Load(),
+		ProfileHits:    s.profileHits.Load(),
+		CacheEntries:   s.cache.len(),
+		CacheEvictions: s.evictions.Load(),
+		Estimates:      s.estimates.Load(),
+		Solves:         s.solves.Load(),
+	}
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// ---------------------------------------------------------------------------
+// Compress / decompress
+
+func (s *Service) handleCompress(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	eng, err := s.engineFor(q, r.Header)
+	if err != nil {
+		return err
+	}
+	s.compresses.Add(1)
+
+	targetRatio, _, err := floatParam(q, r.Header, "target-ratio")
+	if err != nil {
+		return err
+	}
+	targetPSNR, _, err := floatParam(q, r.Header, "target-psnr")
+	if err != nil {
+		return err
+	}
+	adaptive := targetRatio > 0 || targetPSNR > 0
+	streaming := adaptive || param(q, r.Header, "stream") == "1" ||
+		(s.threshold > 0 && r.ContentLength >= s.threshold)
+	if streaming {
+		return s.compressStream(w, r, eng, targetRatio, targetPSNR)
+	}
+
+	f, err := readFieldBody(r.Body)
+	if err != nil {
+		return err
+	}
+	res, err := eng.Compress(f)
+	if err != nil {
+		return errf(http.StatusUnprocessableEntity, "compress_failed", "%v", err)
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-RQM-Codec", res.Stats.Codec)
+	h.Set("X-RQM-Ratio", strconv.FormatFloat(res.Stats.Ratio, 'g', 6, 64))
+	h.Set("X-RQM-Bit-Rate", strconv.FormatFloat(res.Stats.BitRate, 'g', 6, 64))
+	h.Set("Content-Length", strconv.Itoa(len(res.Bytes)))
+	_, err = w.Write(res.Bytes)
+	return ignoreWriteErr(err)
+}
+
+// compressStream pipes the request body through the chunked pipeline
+// straight into the response. All validation happens before the first
+// response byte; a failure after that aborts the connection, which a client
+// observes as a truncated (typed-error) container.
+func (s *Service) compressStream(w http.ResponseWriter, r *http.Request, eng *rqm.Engine, targetRatio, targetPSNR float64) error {
+	q := r.URL.Query()
+	br := bufio.NewReaderSize(r.Body, 1<<20)
+	prec, dims, err := grid.ReadHeader(br)
+	if err != nil {
+		return errf(http.StatusUnprocessableEntity, "bad_field", "field header: %v", err)
+	}
+	opts := []rqm.StreamOption{
+		rqm.WithStreamShape(prec, dims...),
+		rqm.WithStreamFieldName(param(q, r.Header, "name")),
+	}
+	if v := param(q, r.Header, "chunk"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return errf(http.StatusBadRequest, "bad_param", "chunk: %q is not a positive integer", v)
+		}
+		opts = append(opts, rqm.WithChunkSize(n))
+	}
+	adaptive := targetRatio > 0 || targetPSNR > 0
+	if adaptive {
+		model := s.model
+		if v, ok, err := floatParam(q, r.Header, "sample"); err != nil {
+			return err
+		} else if ok {
+			if v <= 0 || v > 1 {
+				return errf(http.StatusBadRequest, "bad_param", "sample: %g is outside (0, 1]", v)
+			}
+			model.SampleRate = v
+		}
+		opts = append(opts,
+			rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetRatio: targetRatio, TargetPSNR: targetPSNR}),
+			rqm.WithStreamModel(model))
+	} else if eng.Options().Mode == rqm.REL {
+		// Streamed REL needs the stream-global range: the server never sees
+		// the whole field at once, so the client must declare it.
+		lo, hi, err := parseRangeParam(q, r.Header)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, rqm.WithStreamValueRange(lo, hi))
+	}
+	// Compressing is read-while-write: chunks stream out while the body
+	// streams in, so the connection must be full-duplex (without it the
+	// server closes the request body at the first response write).
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+		return errf(http.StatusNotImplemented, "no_full_duplex",
+			"connection cannot stream: %v", err)
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-RQM-Streamed", "1")
+	sw, err := eng.NewStreamWriter(w, opts...) // writes the stream header: status commits here
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(sw, br); err != nil {
+		sw.Close() // stop the pipeline goroutines before abandoning w
+		panic(http.ErrAbortHandler)
+	}
+	if err := sw.Close(); err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	return nil
+}
+
+// parseRangeParam reads value-range=lo,hi.
+func parseRangeParam(q url.Values, h http.Header) (lo, hi float64, err error) {
+	v := param(q, h, "value-range")
+	if v == "" {
+		return 0, 0, errf(http.StatusBadRequest, "rel_needs_value_range",
+			"streamed REL compression needs value-range=lo,hi (or use mode=abs)")
+	}
+	parts := strings.SplitN(v, ",", 2)
+	if len(parts) != 2 {
+		return 0, 0, errf(http.StatusBadRequest, "bad_param", "value-range: want lo,hi, got %q", v)
+	}
+	if lo, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err == nil {
+		hi, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	}
+	if err != nil || hi < lo {
+		return 0, 0, errf(http.StatusBadRequest, "bad_param", "value-range: %q is not a valid lo,hi pair", v)
+	}
+	return lo, hi, nil
+}
+
+func (s *Service) handleDecompress(w http.ResponseWriter, r *http.Request) error {
+	s.decompresses.Add(1)
+	br := bufio.NewReaderSize(r.Body, 1<<20)
+	head, err := br.Peek(5)
+	if err != nil {
+		return errf(http.StatusUnprocessableEntity, "truncated",
+			"body holds %d bytes, not a container", len(head))
+	}
+	if rqm.IsChunkedContainer(head) {
+		return s.decompressStream(w, br)
+	}
+	body, err := readBufferedBody(br)
+	if err != nil {
+		return err
+	}
+	f, err := rqm.Decompress(body)
+	if err != nil {
+		return err // typed container error -> 422 envelope
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-RQM-Field", f.Name)
+	_, err = f.WriteTo(w)
+	return ignoreWriteErr(err)
+}
+
+// decompressStream streams a chunked container back out as a .rqmf field
+// without materializing it — when the stream header carries the shape.
+func (s *Service) decompressStream(w http.ResponseWriter, br *bufio.Reader) error {
+	sr, err := rqm.NewReader(br)
+	if err != nil {
+		return err
+	}
+	// The reader stops exactly at the container footer, which under a
+	// chunked request body leaves the trailing encoding unread; with
+	// full-duplex enabled the server will not clean that up safely, so
+	// drain to EOF before returning.
+	defer func() { _, _ = io.Copy(io.Discard, br) }()
+	// Decompressing streams read-while-write too: see compressStream.
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+		return errf(http.StatusNotImplemented, "no_full_duplex",
+			"connection cannot stream: %v", err)
+	}
+	hdr := sr.Header()
+	if len(hdr.Dims) == 0 {
+		// Shape unknown: materialize and emit as 1-D.
+		f, err := sr.ReadAll()
+		if err != nil {
+			return err
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-RQM-Field", f.Name)
+		_, err = f.WriteTo(w)
+		return ignoreWriteErr(err)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-RQM-Field", hdr.Name)
+	w.Header().Set("X-RQM-Streamed", "1")
+	if _, err := grid.WriteHeader(w, hdr.Prec, hdr.Dims); err != nil {
+		return ignoreWriteErr(err)
+	}
+	if _, err := io.Copy(w, sr); err != nil {
+		panic(http.ErrAbortHandler) // mid-stream failure: truncate, don't lie
+	}
+	if sr.Values() != hdr.TotalFromDims() {
+		panic(http.ErrAbortHandler)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Profile / estimate / solve
+
+// CurvePoint is one sampled point of a profile's ratio-quality curve.
+type CurvePoint struct {
+	RelEB   float64 `json:"rel_eb"`
+	AbsEB   float64 `json:"abs_eb"`
+	Ratio   Float   `json:"ratio"`
+	BitRate float64 `json:"bit_rate"`
+	PSNR    Float   `json:"psnr"`
+	SSIM    Float   `json:"ssim"`
+}
+
+// ProfileResponse is the /v1/profile body.
+type ProfileResponse struct {
+	Profile   string       `json:"profile"`
+	Cached    bool         `json:"cached"`
+	Codec     string       `json:"codec"`
+	Predictor string       `json:"predictor"`
+	N         int          `json:"n"`
+	Range     float64      `json:"range"`
+	BuildMs   float64      `json:"build_ms"`
+	Curve     []CurvePoint `json:"curve"`
+}
+
+// curvePoints samples the ratio-quality curve over relative bounds
+// 1e-6..1e-1 (log-spaced), the span the paper's evaluation sweeps.
+const curvePoints = 21
+
+func profileCurve(p *rqm.Profile) []CurvePoint {
+	if p.Range <= 0 {
+		// A constant field has no relative-bound axis to sweep.
+		return nil
+	}
+	out := make([]CurvePoint, 0, curvePoints)
+	for i := 0; i < curvePoints; i++ {
+		t := float64(i) / float64(curvePoints-1)
+		rel := math.Pow(10, -6+5*t) // 1e-6 -> 1e-1
+		est := p.EstimateAt(rel * p.Range)
+		out = append(out, CurvePoint{
+			RelEB:   rel,
+			AbsEB:   est.AbsErrorBound,
+			Ratio:   Float(est.Ratio),
+			BitRate: est.TotalBitRate,
+			PSNR:    Float(est.PSNR),
+			SSIM:    Float(est.SSIM),
+		})
+	}
+	return out
+}
+
+func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	eng, err := s.engineFor(q, r.Header)
+	if err != nil {
+		return err
+	}
+	body, err := readBufferedBody(r.Body)
+	if err != nil {
+		return err
+	}
+	sample, hasSample, err := floatParam(q, r.Header, "sample")
+	if err != nil {
+		return err
+	}
+	if hasSample && (sample <= 0 || sample > 1) {
+		return errf(http.StatusBadRequest, "bad_param", "sample: %g is outside (0, 1]", sample)
+	}
+	var seed uint64
+	if v := param(q, r.Header, "seed"); v != "" {
+		if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return errf(http.StatusBadRequest, "bad_param", "seed: %q is not an unsigned integer", v)
+		}
+	}
+	id := profileKey(body, eng, sample, seed)
+	if cp, ok := s.cache.get(id); ok {
+		s.profileHits.Add(1)
+		return writeJSON(w, http.StatusOK, profileResponse(cp, true))
+	}
+
+	f, err := readFieldBody(bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	mopts := s.model
+	if sample > 0 {
+		mopts.SampleRate = sample
+	}
+	if seed > 0 {
+		mopts.Seed = seed
+	}
+	// Profiles always run on a request-scoped clone so the service's model
+	// options (and any sample/seed overrides) actually reach the sampling
+	// pass — the base engine carries its own, unrelated model options.
+	o := eng.Options()
+	peng, err := rqm.NewEngine(
+		rqm.WithCodec(eng.Codec()),
+		rqm.WithMode(o.Mode),
+		rqm.WithErrorBound(o.ErrorBound),
+		rqm.WithPredictor(o.Predictor),
+		rqm.WithLossless(o.Lossless),
+		rqm.WithRadius(o.Radius),
+		rqm.WithConcurrency(eng.Concurrency()),
+		rqm.WithModelOptions(mopts),
+	)
+	if err != nil {
+		return errf(http.StatusBadRequest, "bad_param", "%v", err)
+	}
+	start := time.Now()
+	p, err := peng.Profile(f)
+	if err != nil {
+		return errf(http.StatusUnprocessableEntity, "profile_failed", "%v", err)
+	}
+	s.profileBuilds.Add(1)
+	cp := &cachedProfile{
+		ID:        id,
+		Codec:     eng.Codec().Name(),
+		Predictor: eng.Options().Predictor.String(),
+		N:         p.N,
+		Range:     p.Range,
+		OrigBits:  p.OrigBits,
+		Profile:   p,
+		BuildTime: time.Since(start),
+		CreatedAt: time.Now(),
+	}
+	s.evictions.Add(int64(s.cache.put(cp)))
+	return writeJSON(w, http.StatusOK, profileResponse(cp, false))
+}
+
+func profileResponse(cp *cachedProfile, cached bool) *ProfileResponse {
+	return &ProfileResponse{
+		Profile:   cp.ID,
+		Cached:    cached,
+		Codec:     cp.Codec,
+		Predictor: cp.Predictor,
+		N:         cp.N,
+		Range:     cp.Range,
+		BuildMs:   float64(cp.BuildTime.Microseconds()) / 1e3,
+		Curve:     profileCurve(cp.Profile),
+	}
+}
+
+// profileKey content-addresses a profile: the field bytes plus every option
+// that changes the sampling product or the modeled curve (predictor,
+// lossless stage, quantizer radius, sampling rate, seed, codec). Identical
+// uploads under identical options always map to the same ID; any option
+// that changes the answer changes the ID.
+func profileKey(body []byte, eng *rqm.Engine, sample float64, seed uint64) string {
+	h := sha256.New()
+	h.Write(body)
+	o := eng.Options()
+	var meta [40]byte
+	binary.LittleEndian.PutUint64(meta[0:], uint64(o.Predictor))
+	binary.LittleEndian.PutUint64(meta[8:], uint64(o.Lossless))
+	binary.LittleEndian.PutUint64(meta[16:], uint64(uint32(o.Radius)))
+	binary.LittleEndian.PutUint64(meta[24:], math.Float64bits(sample))
+	binary.LittleEndian.PutUint64(meta[32:], seed)
+	h.Write(meta[:])
+	io.WriteString(h, eng.Codec().Name())
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// EstimateResponse is the /v1/estimate body: the model's answer at one
+// bound, straight from the cached profile — no compression run.
+type EstimateResponse struct {
+	Profile string  `json:"profile"`
+	AbsEB   float64 `json:"abs_eb"`
+	RelEB   float64 `json:"rel_eb"`
+	Ratio   Float   `json:"ratio"`
+	BitRate float64 `json:"bit_rate"`
+	PSNR    Float   `json:"psnr"`
+	SSIM    Float   `json:"ssim"`
+	P0      float64 `json:"p0"`
+}
+
+func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	cp, err := s.lookupProfile(q, r.Header)
+	if err != nil {
+		return err
+	}
+	eb, ok, err := floatParam(q, r.Header, "eb")
+	if err != nil {
+		return err
+	}
+	if !ok || !(eb > 0) {
+		return errf(http.StatusBadRequest, "bad_param", "estimate needs a positive eb parameter")
+	}
+	abs := eb
+	if mode := param(q, r.Header, "mode"); mode == "" || strings.EqualFold(mode, "rel") {
+		if cp.Range <= 0 {
+			return errf(http.StatusBadRequest, "bad_param",
+				"profile %s has zero value range (constant field); use mode=abs", cp.ID)
+		}
+		abs = eb * cp.Range // REL is the default, matching the engine default
+	} else if !strings.EqualFold(mode, "abs") {
+		return errf(http.StatusBadRequest, "bad_param", "mode: want abs or rel, got %q", mode)
+	}
+	s.estimates.Add(1)
+	est := cp.Profile.EstimateAt(abs)
+	return writeJSON(w, http.StatusOK, &EstimateResponse{
+		Profile: cp.ID,
+		AbsEB:   abs,
+		RelEB:   relOf(abs, cp.Range),
+		Ratio:   Float(est.Ratio),
+		BitRate: est.TotalBitRate,
+		PSNR:    Float(est.PSNR),
+		SSIM:    Float(est.SSIM),
+		P0:      est.P0,
+	})
+}
+
+// SolveResponse is the /v1/solve body: the inverse problem's error bound and
+// the modeled outcome at that bound.
+type SolveResponse struct {
+	Profile  string  `json:"profile"`
+	Target   string  `json:"target"`
+	TargetAt float64 `json:"target_value"`
+	AbsEB    float64 `json:"abs_eb"`
+	RelEB    float64 `json:"rel_eb"`
+	Ratio    Float   `json:"ratio"`
+	BitRate  float64 `json:"bit_rate"`
+	PSNR     Float   `json:"psnr"`
+	SSIM     Float   `json:"ssim"`
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	cp, err := s.lookupProfile(q, r.Header)
+	if err != nil {
+		return err
+	}
+	type target struct {
+		name  string
+		val   float64
+		solve func(float64) (float64, error)
+	}
+	var targets []target
+	for _, t := range []struct {
+		name  string
+		solve func(float64) (float64, error)
+	}{
+		{"target-ratio", cp.Profile.ErrorBoundForRatio},
+		{"target-psnr", cp.Profile.ErrorBoundForPSNR},
+		{"target-bitrate", cp.Profile.ErrorBoundForBitRate},
+	} {
+		v, ok, err := floatParam(q, r.Header, t.name)
+		if err != nil {
+			return err
+		}
+		if ok {
+			targets = append(targets, target{t.name, v, t.solve})
+		}
+	}
+	if len(targets) != 1 {
+		return errf(http.StatusBadRequest, "bad_param",
+			"solve needs exactly one of target-ratio, target-psnr, target-bitrate (got %d)", len(targets))
+	}
+	s.solves.Add(1)
+	tg := targets[0]
+	abs, err := tg.solve(tg.val)
+	if err != nil {
+		return errf(http.StatusBadRequest, "unsolvable", "%v", err)
+	}
+	est := cp.Profile.EstimateAt(abs)
+	return writeJSON(w, http.StatusOK, &SolveResponse{
+		Profile:  cp.ID,
+		Target:   strings.TrimPrefix(tg.name, "target-"),
+		TargetAt: tg.val,
+		AbsEB:    abs,
+		RelEB:    relOf(abs, cp.Range),
+		Ratio:    Float(est.Ratio),
+		BitRate:  est.TotalBitRate,
+		PSNR:     Float(est.PSNR),
+		SSIM:     Float(est.SSIM),
+	})
+}
+
+// lookupProfile resolves the profile query parameter against the cache.
+func (s *Service) lookupProfile(q url.Values, h http.Header) (*cachedProfile, error) {
+	id := param(q, h, "profile")
+	if id == "" {
+		return nil, errf(http.StatusBadRequest, "bad_param", "missing profile parameter")
+	}
+	cp, ok := s.cache.get(id)
+	if !ok {
+		return nil, errf(http.StatusNotFound, "profile_not_found",
+			"profile %q is not cached (it may have been evicted): re-POST /v1/profile", id)
+	}
+	return cp, nil
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+// readBufferedBody materializes a request body up to maxBufferedBody,
+// answering 413 — not a misleading truncation error — beyond the cap.
+func readBufferedBody(r io.Reader) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r, maxBufferedBody+1))
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "read_failed", "%v", err)
+	}
+	if len(body) > maxBufferedBody {
+		return nil, errf(http.StatusRequestEntityTooLarge, "payload_too_large",
+			"body exceeds the %d-byte buffered limit; use the streaming path", maxBufferedBody)
+	}
+	return body, nil
+}
+
+// readFieldBody parses a .rqmf field from a request body.
+func readFieldBody(r io.Reader) (*rqm.Field, error) {
+	f, err := grid.ReadFrom(io.LimitReader(r, maxBufferedBody))
+	if err != nil {
+		return nil, errf(http.StatusUnprocessableEntity, "bad_field",
+			"body is not a .rqmf field: %v", err)
+	}
+	return f, nil
+}
+
+// relOf is abs/range, guarded for constant fields.
+func relOf(abs, rng float64) float64 {
+	if rng <= 0 {
+		return 0
+	}
+	return abs / rng
+}
+
+// Float is a JSON number that serializes non-finite values as null: JSON
+// has no Inf/NaN, and a perfectly reconstructable field's modeled PSNR is
+// legitimately +Inf. Decoding null leaves the field at zero.
+type Float float64
+
+// MarshalJSON emits null for non-finite values.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// writeJSON renders one success body. Encoding happens into a buffer first,
+// so a marshalling failure surfaces as a typed 500 instead of a committed
+// 200 with a broken body.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return errf(http.StatusInternalServerError, "internal", "encoding response: %v", err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, err = w.Write(append(data, '\n'))
+	return ignoreWriteErr(err)
+}
+
+// ignoreWriteErr swallows errors that occur while writing a response body:
+// the status is already committed, so the only observable effect is the
+// client's own disconnect.
+func ignoreWriteErr(error) error { return nil }

@@ -1,0 +1,902 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"rqm"
+)
+
+// testField synthesizes the shared request payload. The field is rewrapped
+// at float64 precision so the .rqmf response serialization is exact and
+// error-bound assertions are not polluted by float32 rounding.
+func testField(t testing.TB) (*rqm.Field, []byte) {
+	t.Helper()
+	g, err := rqm.GenerateField("nyx/temperature", 7, rqm.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rqm.FieldFromData("svc-test", rqm.Float64, g.Data, g.Dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return f, buf.Bytes()
+}
+
+// newTestServer builds a service and an httptest server around it.
+func newTestServer(t testing.TB, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+// decodeErrorBody parses the JSON error envelope.
+func decodeErrorBody(t *testing.T, resp *http.Response) ErrorBody {
+	t.Helper()
+	var body ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error body is not the JSON envelope: %v", err)
+	}
+	if body.Error.Code == "" {
+		t.Fatal("error envelope has an empty code")
+	}
+	return body
+}
+
+// TestCompressDecompressRoundTrip drives the whole-buffer HTTP path end to
+// end: field in, container out, field back, bound verified.
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	f, body := testField(t)
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/v1/compress?mode=abs&eb=0.01", "application/octet-stream",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-RQM-Codec") == "" || resp.Header.Get("X-RQM-Ratio") == "" {
+		t.Fatalf("compress response misses stats headers: %v", resp.Header)
+	}
+	container, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The container is a normal sealed envelope, decodable offline too.
+	if _, err := rqm.Decompress(container); err != nil {
+		t.Fatalf("served container does not decode locally: %v", err)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/decompress", "application/octet-stream",
+		bytes.NewReader(container))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress status %d", resp.StatusCode)
+	}
+	fieldBytes, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFieldBody(bytes.NewReader(fieldBytes))
+	if err != nil {
+		t.Fatalf("decompress response is not a field: %v", err)
+	}
+	if got.Len() != f.Len() {
+		t.Fatalf("round trip returned %d values, want %d", got.Len(), f.Len())
+	}
+	if err := rqm.VerifyErrorBound(f, got, rqm.ABS, 0.01*(1+1e-9)); err != nil {
+		t.Fatalf("round trip broke the request-scoped bound: %v", err)
+	}
+}
+
+// TestCompressStreamingREL checks the streaming path end to end, including
+// the REL contract: without a declared value range the server refuses, with
+// one it enforces the stream-global bound.
+func TestCompressStreamingREL(t *testing.T) {
+	f, body := testField(t)
+	_, ts := newTestServer(t, Config{})
+
+	// REL + streaming without a range: explicit 400, not a guessed bound.
+	resp, err := http.Post(ts.URL+"/v1/compress?stream=1", "application/octet-stream",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("streamed REL without range: status %d, want 400", resp.StatusCode)
+	}
+	if eb := decodeErrorBody(t, resp); eb.Error.Code != "rel_needs_value_range" {
+		t.Fatalf("error code %q, want rel_needs_value_range", eb.Error.Code)
+	}
+	resp.Body.Close()
+
+	// With the range declared the stream compresses and decompresses.
+	lo, hi := f.ValueRange()
+	q := url.Values{}
+	q.Set("stream", "1")
+	q.Set("chunk", "2048")
+	q.Set("value-range", fmt.Sprintf("%g,%g", lo, hi))
+	resp, err = http.Post(ts.URL+"/v1/compress?"+q.Encode(), "application/octet-stream",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed compress status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-RQM-Streamed") != "1" {
+		t.Fatal("streamed compress did not mark X-RQM-Streamed")
+	}
+	container, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rqm.IsChunkedContainer(container) {
+		t.Fatal("streamed compress did not produce a chunked container")
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/decompress", "application/octet-stream",
+		bytes.NewReader(container))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed decompress status %d", resp.StatusCode)
+	}
+	fieldBytes, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFieldBody(bytes.NewReader(fieldBytes))
+	if err != nil {
+		t.Fatalf("streamed decompress response is not a field: %v", err)
+	}
+	// The enforced bound is the stream-global REL resolution.
+	wantAbs := 1e-3 * (hi - lo)
+	if err := rqm.VerifyErrorBound(f, got, rqm.ABS, wantAbs*(1+1e-9)); err != nil {
+		t.Fatalf("streamed REL bound: %v", err)
+	}
+}
+
+// TestProfileEstimateCacheHit is the tentpole's acceptance path: one
+// sampling pass, then unlimited estimates and solves from cache — including
+// a repeated profile POST, which must not sample again.
+func TestProfileEstimateCacheHit(t *testing.T) {
+	_, body := testField(t)
+	svc, ts := newTestServer(t, Config{})
+
+	post := func() ProfileResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/profile", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("profile status %d", resp.StatusCode)
+		}
+		var pr ProfileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+
+	first := post()
+	if first.Cached || first.Profile == "" || len(first.Curve) != curvePoints {
+		t.Fatalf("first profile: %+v", first)
+	}
+	second := post()
+	if !second.Cached || second.Profile != first.Profile {
+		t.Fatalf("second profile: cached=%v id=%q, want hit on %q", second.Cached, second.Profile, first.Profile)
+	}
+	if builds := svc.Snapshot().ProfileBuilds; builds != 1 {
+		t.Fatalf("%d sampling passes after a repeated POST, want exactly 1", builds)
+	}
+
+	// Estimates are served from the cache: no further sampling passes.
+	resp, err := http.Get(ts.URL + "/v1/estimate?profile=" + first.Profile + "&eb=1e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status %d", resp.StatusCode)
+	}
+	var est EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	if !(est.Ratio > 1) || !(est.PSNR > 0) {
+		t.Fatalf("estimate %+v is not a plausible model answer", est)
+	}
+
+	// Solve the inverse problem from the same cached profile.
+	resp, err = http.Get(ts.URL + "/v1/solve?profile=" + first.Profile + "&target-psnr=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	var sol SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Target != "psnr" || !(sol.AbsEB > 0) {
+		t.Fatalf("solve %+v", sol)
+	}
+	if math.Abs(float64(sol.PSNR)-60) > 6 {
+		t.Fatalf("solved bound models %.1f dB, target 60", sol.PSNR)
+	}
+
+	if snap := svc.Snapshot(); snap.ProfileBuilds != 1 || snap.ProfileHits != 1 ||
+		snap.Estimates != 1 || snap.Solves != 1 {
+		t.Fatalf("metrics %+v, want 1 build / 1 hit / 1 estimate / 1 solve", snap)
+	}
+}
+
+// TestMalformedBodies checks every body-parsing endpoint returns the typed
+// JSON envelope, with container errors mapped to their taxonomy codes.
+func TestMalformedBodies(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	garbage := strings.NewReader("this is not a field or container")
+
+	cases := []struct {
+		path   string
+		body   io.Reader
+		status int
+		code   string
+	}{
+		{"/v1/compress", strings.NewReader("junk body"), http.StatusUnprocessableEntity, "bad_field"},
+		{"/v1/profile", garbage, http.StatusUnprocessableEntity, "bad_field"},
+		{"/v1/decompress", strings.NewReader("completely bogus container bytes"), http.StatusUnprocessableEntity, "bad_magic"},
+		{"/v1/decompress", strings.NewReader("x"), http.StatusUnprocessableEntity, "truncated"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.path, "application/octet-stream", tc.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d", tc.path, resp.StatusCode, tc.status)
+		}
+		if eb := decodeErrorBody(t, resp); eb.Error.Code != tc.code {
+			t.Fatalf("%s: code %q, want %q", tc.path, eb.Error.Code, tc.code)
+		}
+		resp.Body.Close()
+	}
+
+	// Bad query parameters are 400s.
+	resp, err := http.Post(ts.URL+"/v1/compress?mode=sideways", "application/octet-stream",
+		strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad mode: status %d, want 400", resp.StatusCode)
+	}
+	if eb := decodeErrorBody(t, resp); eb.Error.Code != "bad_param" {
+		t.Fatalf("bad mode: code %q, want bad_param", eb.Error.Code)
+	}
+	resp.Body.Close()
+
+	// Unknown profile IDs are 404s.
+	resp, err = http.Get(ts.URL + "/v1/estimate?profile=feedfacedeadbeef&eb=1e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown profile: status %d, want 404", resp.StatusCode)
+	}
+	if eb := decodeErrorBody(t, resp); eb.Error.Code != "profile_not_found" {
+		t.Fatalf("unknown profile: code %q, want profile_not_found", eb.Error.Code)
+	}
+	resp.Body.Close()
+
+	// Wrong method on a POST endpoint.
+	resp, err = http.Get(ts.URL + "/v1/compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET compress: status %d, want 405", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestConcurrencyLimit429 saturates the admission semaphore and checks the
+// overflow request gets the typed 429 with Retry-After, while cheap
+// endpoints stay admitted.
+func TestConcurrencyLimit429(t *testing.T) {
+	_, body := testField(t)
+	svc, ts := newTestServer(t, Config{MaxInflight: 1})
+
+	// Hold the only permit, as an in-flight heavy request would.
+	svc.sem <- struct{}{}
+	resp, err := http.Post(ts.URL+"/v1/profile", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated service: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if eb := decodeErrorBody(t, resp); eb.Error.Code != "too_many_requests" {
+		t.Fatalf("429 code %q, want too_many_requests", eb.Error.Code)
+	}
+	resp.Body.Close()
+
+	// Cheap endpoints bypass admission control.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under saturation: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	<-svc.sem
+
+	// With the permit released the same request is admitted.
+	resp, err = http.Post(ts.URL+"/v1/profile", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("released service: status %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if rej := svc.Snapshot().Rejected; rej != 1 {
+		t.Fatalf("rejected counter %d, want 1", rej)
+	}
+}
+
+// TestCacheEviction checks the LRU bound holds and evicted profiles 404.
+func TestCacheEviction(t *testing.T) {
+	svc, ts := newTestServer(t, Config{ProfileCacheSize: 1})
+
+	var ids []string
+	for seed := uint64(1); seed <= 2; seed++ {
+		f, err := rqm.GenerateField("nyx/temperature", seed, rqm.ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := f.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/profile", "application/octet-stream", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pr ProfileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ids = append(ids, pr.Profile)
+	}
+	if svc.cache.len() != 1 {
+		t.Fatalf("cache holds %d entries, capacity 1", svc.cache.len())
+	}
+	resp, err := http.Get(ts.URL + "/v1/estimate?profile=" + ids[0] + "&eb=1e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted profile: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if resp, err = http.Get(ts.URL + "/v1/estimate?profile=" + ids[1] + "&eb=1e-3"); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resident profile: status %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if ev := svc.Snapshot().CacheEvictions; ev != 1 {
+		t.Fatalf("eviction counter %d, want 1", ev)
+	}
+}
+
+// TestMetricsAndHealth sanity-checks the observability endpoints.
+func TestMetricsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || len(h.Codecs) == 0 {
+		t.Fatalf("health %+v", h)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Requests < 1 || m.MaxInflight < 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+// TestAdaptiveCompressTarget drives the model-guided streaming path over
+// HTTP: target-psnr switches to per-chunk adaptive bounds with no range
+// needed, and the reconstruction lands near the target.
+func TestAdaptiveCompressTarget(t *testing.T) {
+	f, body := testField(t)
+	_, ts := newTestServer(t, Config{Model: rqm.ModelOptions{SampleRate: 0.1, Seed: 3}})
+
+	resp, err := http.Post(ts.URL+"/v1/compress?target-psnr=60&chunk=4096", "application/octet-stream",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adaptive compress status %d", resp.StatusCode)
+	}
+	container, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := rqm.Decompress(container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := rqm.PSNR(f, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 57 {
+		t.Fatalf("adaptive PSNR %.2f dB misses the 60 dB target", psnr)
+	}
+}
+
+// TestEstimateAbsModeAndFlush covers abs-mode estimates and the operational
+// cache flush: flushed profiles answer 404 afterwards.
+func TestEstimateAbsModeAndFlush(t *testing.T) {
+	_, body := testField(t)
+	svc, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/v1/profile", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr ProfileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/v1/estimate?profile=" + pr.Profile + "&eb=0.5&mode=abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if est.AbsEB != 0.5 {
+		t.Fatalf("abs-mode estimate used bound %g, want 0.5", est.AbsEB)
+	}
+
+	svc.FlushProfiles()
+	resp, err = http.Get(ts.URL + "/v1/estimate?profile=" + pr.Profile + "&eb=0.5&mode=abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("flushed profile: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestProfileOptionsChangeIdentity pins the content-addressing contract:
+// the same field under different profile-relevant options is a different
+// cache entry, not a false hit.
+func TestProfileOptionsChangeIdentity(t *testing.T) {
+	_, body := testField(t)
+	svc, ts := newTestServer(t, Config{})
+
+	post := func(query string) ProfileResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/profile"+query, "application/octet-stream",
+			bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("profile%s status %d", query, resp.StatusCode)
+		}
+		var pr ProfileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	base := post("")
+	interp := post("?predictor=interpolation&sample=0.05&seed=9")
+	if interp.Profile == base.Profile {
+		t.Fatal("different predictor/sampling produced the same profile ID")
+	}
+	if interp.Predictor != "interpolation" {
+		t.Fatalf("profiled predictor %q, want interpolation", interp.Predictor)
+	}
+	if builds := svc.Snapshot().ProfileBuilds; builds != 2 {
+		t.Fatalf("%d sampling passes, want 2", builds)
+	}
+}
+
+// TestDecompressShapelessStream covers the ReadAll fallback: a chunked
+// container with no recorded shape still decompresses (as 1-D).
+func TestDecompressShapelessStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	vals := make([]float64, 3000)
+	for i := range vals {
+		vals[i] = float64(i % 97)
+	}
+	var container bytes.Buffer
+	w, err := rqm.NewWriter(&container,
+		rqm.WithChunkSize(1024),
+		rqm.WithStreamCompression(rqm.CodecOptions{Mode: rqm.ABS, ErrorBound: 0.01}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/decompress", "application/octet-stream",
+		bytes.NewReader(container.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shapeless decompress status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFieldBody(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != len(vals) || f.Rank() != 1 {
+		t.Fatalf("shapeless stream decoded as %d values rank %d", f.Len(), f.Rank())
+	}
+}
+
+// TestSolveVariants covers the remaining inverse problems and the
+// exactly-one-target contract.
+func TestSolveVariants(t *testing.T) {
+	_, body := testField(t)
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/profile", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr ProfileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	for _, tc := range []struct{ query, target string }{
+		{"target-ratio=8", "ratio"},
+		{"target-bitrate=4", "bitrate"},
+	} {
+		resp, err := http.Get(ts.URL + "/v1/solve?profile=" + pr.Profile + "&" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %s: status %d", tc.query, resp.StatusCode)
+		}
+		var sol SolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sol); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if sol.Target != tc.target || !(sol.AbsEB > 0) {
+			t.Fatalf("solve %s: %+v", tc.query, sol)
+		}
+	}
+	// Zero targets and two targets are both bad requests.
+	for _, query := range []string{"", "&target-ratio=8&target-psnr=60"} {
+		resp, err := http.Get(ts.URL + "/v1/solve?profile=" + pr.Profile + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("solve with targets %q: status %d, want 400", query, resp.StatusCode)
+		}
+		if eb := decodeErrorBody(t, resp); eb.Error.Code != "bad_param" {
+			t.Fatalf("solve with targets %q: code %q", query, eb.Error.Code)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestCorruptContainerMapsChecksum checks a bit-flipped container surfaces
+// the checksum taxonomy code through the HTTP envelope.
+func TestCorruptContainerMapsChecksum(t *testing.T) {
+	_, body := testField(t)
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/compress?mode=abs&eb=0.01&stream=1&chunk=2048",
+		"application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	container, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	container[len(container)/2] ^= 0xFF // flip a payload byte
+
+	resp, err = http.Post(ts.URL+"/v1/decompress", "application/octet-stream",
+		bytes.NewReader(container))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The corruption may surface before the first response byte (422 with
+	// the typed code) — anything else means the error envelope got lost.
+	if resp.StatusCode == http.StatusUnprocessableEntity {
+		if eb := decodeErrorBody(t, resp); eb.Error.Code != "checksum_mismatch" && eb.Error.Code != "corrupt" {
+			t.Fatalf("corrupt container code %q", eb.Error.Code)
+		}
+	} else if resp.StatusCode == http.StatusOK {
+		if _, err := io.ReadAll(resp.Body); err == nil {
+			t.Fatal("corrupt container round-tripped cleanly")
+		}
+	} else {
+		t.Fatalf("corrupt container status %d", resp.StatusCode)
+	}
+}
+
+// TestBadValueRangeParams covers the lo,hi parser's rejection paths.
+func TestBadValueRangeParams(t *testing.T) {
+	_, body := testField(t)
+	_, ts := newTestServer(t, Config{})
+	for _, vr := range []string{"5", "a,b", "9,1"} {
+		q := url.Values{}
+		q.Set("stream", "1")
+		q.Set("value-range", vr)
+		resp, err := http.Post(ts.URL+"/v1/compress?"+q.Encode(), "application/octet-stream",
+			bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("value-range %q: status %d, want 400", vr, resp.StatusCode)
+		}
+		if eb := decodeErrorBody(t, resp); eb.Error.Code != "bad_param" {
+			t.Fatalf("value-range %q: code %q", vr, eb.Error.Code)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestRequestScopedLossless exercises the lossless/codec override parsing.
+func TestRequestScopedLossless(t *testing.T) {
+	_, body := testField(t)
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/compress?mode=abs&eb=0.5&lossless=flate&codec=prediction",
+		"application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lossless override status %d", resp.StatusCode)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown names map to bad_param, not 500.
+	resp, err = http.Post(ts.URL+"/v1/compress?lossless=zpaq", "application/octet-stream",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown lossless: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestProfileNonFiniteCurveIsValidJSON pins the JSON contract on degenerate
+// fields: a step field's sampled prediction errors are all exactly zero, so
+// the modeled PSNR is +Inf — the response must still be decodable JSON
+// (null for non-finite numbers), not a committed 200 with a broken body.
+func TestProfileNonFiniteCurveIsValidJSON(t *testing.T) {
+	vals := make([]float64, 4096)
+	for i := range vals {
+		if i >= len(vals)/2 {
+			vals[i] = 1
+		}
+	}
+	f, err := rqm.FieldFromData("step", rqm.Float64, vals, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if _, err := f.WriteTo(&body); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/profile", "application/octet-stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step-field profile status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("profile response has an empty body")
+	}
+	var pr ProfileResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatalf("profile response is not valid JSON: %v\n%s", err, raw)
+	}
+	if pr.Profile == "" || len(pr.Curve) != curvePoints {
+		t.Fatalf("degenerate profile %+v", pr)
+	}
+}
+
+// TestProfileLosslessChangesIdentity pins the cache key against the
+// lossless override, which changes the modeled curve: same field, different
+// lossless stage, different profile ID — never a false hit.
+func TestProfileLosslessChangesIdentity(t *testing.T) {
+	_, body := testField(t)
+	_, ts := newTestServer(t, Config{})
+	post := func(query string) ProfileResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/profile"+query, "application/octet-stream",
+			bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var pr ProfileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	plain := post("")
+	flate := post("?lossless=flate")
+	if flate.Profile == plain.Profile {
+		t.Fatal("lossless override collided with the default profile ID")
+	}
+	if flate.Cached {
+		t.Fatal("lossless override reported a (false) cache hit")
+	}
+}
+
+// TestConstantFieldProfile pins the degenerate-profile contract end to end:
+// a constant field profiles (Range 0, no curve), rel-mode estimates are an
+// explicit 400 instead of all-zero answers, abs-mode still works, and
+// out-of-range sample parameters reject up front.
+func TestConstantFieldProfile(t *testing.T) {
+	vals := make([]float64, 2048)
+	for i := range vals {
+		vals[i] = 1e6
+	}
+	f, err := rqm.FieldFromData("flat", rqm.Float64, vals, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if _, err := f.WriteTo(&body); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/profile", "application/octet-stream",
+		bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr ProfileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pr.Range != 0 || len(pr.Curve) != 0 {
+		t.Fatalf("constant-field profile %+v, want zero range and no curve", pr)
+	}
+
+	// rel estimate: explicit 400, not ratio-0/PSNR-0 nonsense.
+	resp, err = http.Get(ts.URL + "/v1/estimate?profile=" + pr.Profile + "&eb=1e-3&mode=rel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("rel estimate on constant profile: status %d, want 400", resp.StatusCode)
+	}
+	if eb := decodeErrorBody(t, resp); eb.Error.Code != "bad_param" {
+		t.Fatalf("rel estimate on constant profile: code %q", eb.Error.Code)
+	}
+	resp.Body.Close()
+
+	// abs estimate still answers.
+	resp, err = http.Get(ts.URL + "/v1/estimate?profile=" + pr.Profile + "&eb=0.5&mode=abs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("abs estimate on constant profile: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// sample outside (0, 1] rejects before any sampling pass.
+	resp, err = http.Post(ts.URL+"/v1/profile?sample=1.5", "application/octet-stream",
+		bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sample=1.5: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// seed must be an unsigned integer.
+	resp, err = http.Post(ts.URL+"/v1/profile?seed=-3", "application/octet-stream",
+		bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("seed=-3: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -15,6 +15,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 
 	"rqm/internal/codec"
@@ -33,6 +34,15 @@ var ErrEmptyStream = errors.New("stream: empty stream")
 // ErrClosed marks use of a Writer after Close.
 var ErrClosed = errors.New("stream: writer is closed")
 
+// ErrNeedValueRange marks a REL-mode Writer built without a stream-global
+// value range. A relative bound is defined against the *whole field's* range;
+// resolving it against each chunk's local range would silently give every
+// chunk a different absolute guarantee than whole-buffer REL compression.
+// Callers that know the field resolve it up front (Engine.NewFieldStreamWriter);
+// raw byte-stream writers declare the range with WithValueRange.
+var ErrNeedValueRange = errors.New(
+	"stream: REL error bound needs a stream-global value range: declare it with WithValueRange or use ABS mode")
+
 // config carries the resolved Writer configuration.
 type config struct {
 	codec       codec.Codec
@@ -44,6 +54,9 @@ type config struct {
 	name        string
 	prec        grid.Precision
 	dims        []int
+
+	rangeSet         bool
+	rangeLo, rangeHi float64
 }
 
 // Option configures a Writer.
@@ -160,6 +173,25 @@ func WithName(name string) Option {
 	}
 }
 
+// WithValueRange declares the stream-global value range [lo, hi] that a REL
+// error bound resolves against — once, for the whole stream — so streamed and
+// whole-buffer REL compression of the same field enforce the same absolute
+// bound. Required for REL mode (see ErrNeedValueRange); ignored by ABS and
+// PWREL, which need no range.
+func WithValueRange(lo, hi float64) Option {
+	return func(cfg *config) error {
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return fmt.Errorf("stream: value range [%v, %v] is not finite", lo, hi)
+		}
+		if hi < lo {
+			return fmt.Errorf("stream: inverted value range [%v, %v]", lo, hi)
+		}
+		cfg.rangeSet = true
+		cfg.rangeLo, cfg.rangeHi = lo, hi
+		return nil
+	}
+}
+
 // newConfig resolves options against defaults.
 func newConfig(opts []Option) (*config, error) {
 	cfg := &config{
@@ -178,6 +210,23 @@ func newConfig(opts []Option) (*config, error) {
 	}
 	if cfg.workers == 0 {
 		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	// Resolve a REL bound once against the stream-global range. Chunk-local
+	// resolution would change the bound's meaning per chunk (and degenerate
+	// to the raw relative bound on constant chunks). An AdaptiveBound policy
+	// replaces mode and bound per chunk, so it needs no range.
+	if cfg.copts.Mode == compressor.REL && cfg.adaptive == nil {
+		if !cfg.rangeSet {
+			return nil, ErrNeedValueRange
+		}
+		abs := cfg.copts.ErrorBound * (cfg.rangeHi - cfg.rangeLo)
+		if abs <= 0 {
+			// Declared-constant range: match whole-buffer REL semantics,
+			// where any positive bound works on a constant field.
+			abs = cfg.copts.ErrorBound
+		}
+		cfg.copts.Mode = compressor.ABS
+		cfg.copts.ErrorBound = abs
 	}
 	return cfg, nil
 }

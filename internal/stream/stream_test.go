@@ -118,7 +118,7 @@ func TestWriterReaderRoundTrip(t *testing.T) {
 // that reads back as empty.
 func TestEmptyStream(t *testing.T) {
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, WithChunkValues(64))
+	w, err := NewWriter(&buf, WithChunkValues(64), WithValueRange(0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestByteInterfaces(t *testing.T) {
 // than emit a container whose header lies about its contents.
 func TestShapeCountMismatch(t *testing.T) {
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, WithShape(grid.Float64, 32, 32), WithChunkValues(100))
+	w, err := NewWriter(&buf, WithShape(grid.Float64, 32, 32), WithChunkValues(100), WithValueRange(-2, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestShapeCountMismatch(t *testing.T) {
 // does not form whole values.
 func TestTrailingPartialValue(t *testing.T) {
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, WithShape(grid.Float64))
+	w, err := NewWriter(&buf, WithShape(grid.Float64), WithValueRange(-2, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,8 @@ func TestShapeRecovery(t *testing.T) {
 	vals := waveValues(6 * 7 * 8)
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf,
-		WithShape(grid.Float64, dims...), WithName("cube"), WithChunkValues(100))
+		WithShape(grid.Float64, dims...), WithName("cube"), WithChunkValues(100),
+		WithValueRange(-2, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +350,7 @@ func TestAdaptiveBoundValidation(t *testing.T) {
 // TestWriterErrorPropagation checks a failing sink poisons the pipeline
 // without deadlocking and surfaces the error from Close.
 func TestWriterErrorPropagation(t *testing.T) {
-	w, err := NewWriter(&failAfter{limit: 50}, WithChunkValues(32), WithWorkers(2))
+	w, err := NewWriter(&failAfter{limit: 50}, WithChunkValues(32), WithWorkers(2), WithValueRange(-2, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func (f *failAfter) Write(p []byte) (int, error) {
 // must exit without deadlock (the -race build also checks their shutdown).
 func TestReaderEarlyClose(t *testing.T) {
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, WithChunkValues(64), WithWorkers(2))
+	w, err := NewWriter(&buf, WithChunkValues(64), WithWorkers(2), WithValueRange(-2, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +408,7 @@ func TestConcurrentStreams(t *testing.T) {
 			defer wg.Done()
 			vals := waveValues(1500 + 111*seed)
 			var buf bytes.Buffer
-			w, err := NewWriter(&buf, WithChunkValues(128), WithWorkers(2))
+			w, err := NewWriter(&buf, WithChunkValues(128), WithWorkers(2), WithValueRange(-2, 2))
 			if err != nil {
 				t.Error(err)
 				return
@@ -442,7 +443,7 @@ func TestConcurrentStreams(t *testing.T) {
 // typed error from the pipeline reader, in order.
 func TestReaderRejectsCorruptChunk(t *testing.T) {
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, WithChunkValues(64))
+	w, err := NewWriter(&buf, WithChunkValues(64), WithValueRange(-2, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -479,5 +480,118 @@ func TestReaderRejectsCorruptChunk(t *testing.T) {
 	}
 	if good != 5 {
 		t.Fatalf("decoded %d chunks before the corrupt one, want 5", good)
+	}
+}
+
+// TestRELWithoutRangeFails pins the explicit-error contract: a REL-mode
+// writer with no declared stream-global range must fail at construction
+// instead of silently resolving the bound against each chunk's local range.
+func TestRELWithoutRangeFails(t *testing.T) {
+	if _, err := NewWriter(io.Discard, WithChunkValues(64)); !errors.Is(err, ErrNeedValueRange) {
+		t.Fatalf("default REL writer without a range: %v, want ErrNeedValueRange", err)
+	}
+	// An adaptive policy replaces mode and bound per chunk, so it needs none.
+	if _, err := NewWriter(io.Discard, WithAdaptive(AdaptiveBound{TargetPSNR: 60})); err != nil {
+		t.Fatalf("adaptive writer rejected without a range: %v", err)
+	}
+	// And ABS mode never needed one.
+	if _, err := NewWriter(io.Discard,
+		WithCompression(codec.Options{Mode: compressor.ABS, ErrorBound: 1e-3})); err != nil {
+		t.Fatalf("ABS writer rejected without a range: %v", err)
+	}
+}
+
+// TestConstantChunkRecordsEnforcedBound covers the chunk-header bound of a
+// constant chunk inside a REL stream: the header must record the enforced
+// stream-global absolute bound (eb x global range), not the raw relative
+// bound — for a chunk of constant 1e6 values those differ by nine orders of
+// magnitude.
+func TestConstantChunkRecordsEnforcedBound(t *testing.T) {
+	const chunk = 256
+	vals := make([]float64, 2*chunk)
+	for i := 0; i < chunk; i++ {
+		vals[i] = 1e6                  // constant chunk, local range 0
+		vals[chunk+i] = float64(4 * i) // varying chunk, local range 1020
+	}
+	const relEB = 1e-3
+	lo, hi := 0.0, 1e6 // stream-global range
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf,
+		WithChunkValues(chunk),
+		WithValueRange(lo, hi),
+		WithCompression(codec.Options{Mode: compressor.REL, ErrorBound: relEB}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := codec.LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Entries) != 2 {
+		t.Fatalf("wrote %d chunks, want 2", len(idx.Entries))
+	}
+	want := relEB * (hi - lo)
+	for i, e := range idx.Entries {
+		if e.AbsBound != want {
+			t.Fatalf("chunk %d header bound %g, want the enforced %g", i, e.AbsBound, want)
+		}
+	}
+	if st := w.Stats(); st.MinBound != want || st.MaxBound != want {
+		t.Fatalf("stats bounds [%g, %g], want [%g, %g]", st.MinBound, st.MaxBound, want, want)
+	}
+	// The reconstruction must actually satisfy the recorded bound.
+	f, err := codec.DecompressChunked(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if d := math.Abs(f.Data[i] - vals[i]); d > want*(1+1e-12) {
+			t.Fatalf("value %d: |%g - %g| breaks the recorded bound %g", i, f.Data[i], vals[i], want)
+		}
+	}
+}
+
+// TestZeroLengthStreamRoundTrip round-trips a stream holding zero values
+// through both the value and the byte interfaces: the container must stay
+// structurally valid (indexable, zero entries) and read back as empty.
+func TestZeroLengthStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithChunkValues(64), WithValueRange(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(nil); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := w.Write(nil); n != 0 || err != nil {
+		t.Fatalf("Write(nil) = %d, %v", n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := codec.LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Entries) != 0 || idx.TotalValues != 0 {
+		t.Fatalf("index %d entries / %d values, want empty", len(idx.Entries), idx.TotalValues)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The byte interface drains cleanly: io.Copy sees immediate EOF.
+	n, err := io.Copy(io.Discard, r)
+	if n != 0 || err != nil {
+		t.Fatalf("io.Copy on empty stream = %d bytes, %v", n, err)
+	}
+	if r.Values() != 0 {
+		t.Fatalf("reader consumed %d values from an empty stream", r.Values())
 	}
 }

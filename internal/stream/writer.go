@@ -232,25 +232,20 @@ func (w *Writer) compressChunk(vals []float64) (*codec.Chunk, error) {
 	}
 	return &codec.Chunk{
 		CodecID:  w.cfg.codec.ID(),
-		AbsBound: resolveAbsBound(f, copts),
+		AbsBound: resolveAbsBound(copts),
 		Values:   len(vals),
 		Payload:  payload,
 	}, nil
 }
 
 // resolveAbsBound maps the chunk's (mode, bound) to the absolute bound
-// recorded in the chunk header; PWREL has no single absolute bound and
-// records 0.
-func resolveAbsBound(f *grid.Field, copts codec.Options) float64 {
-	switch copts.Mode {
-	case compressor.ABS:
+// recorded in the chunk header. REL never reaches the chunk level — the
+// config resolves it once against the stream-global value range — so an ABS
+// bound here is exactly the bound the codec enforced on this chunk, constant
+// chunks included; PWREL has no single absolute bound and records 0.
+func resolveAbsBound(copts codec.Options) float64 {
+	if copts.Mode == compressor.ABS {
 		return copts.ErrorBound
-	case compressor.REL:
-		lo, hi := f.ValueRange()
-		if abs := copts.ErrorBound * (hi - lo); abs > 0 {
-			return abs
-		}
-		return copts.ErrorBound // constant chunk
 	}
 	return 0
 }

@@ -21,9 +21,17 @@ import (
 //	w, _ := rqm.NewWriter(&buf,
 //	    rqm.WithStreamShape(rqm.Float64, 512, 512, 512),
 //	    rqm.WithStreamCompression(rqm.CodecOptions{Mode: rqm.REL, ErrorBound: 1e-3}),
+//	    rqm.WithStreamValueRange(lo, hi), // REL resolves once, stream-globally
 //	    rqm.WithStreamWorkers(8))
 //	_ = w.WriteValues(field.Data) // or io.Copy(w, rawSampleFile)
 //	_ = w.Close()                 // flush + trailer index
+//
+// A REL bound is defined against the whole field's value range, so the
+// writer refuses to guess it from chunk-local ranges: REL mode requires the
+// stream-global range, either declared with WithStreamValueRange as above or
+// resolved from a known field via Engine.NewFieldStreamWriter
+// (ErrStreamNeedsValueRange otherwise). Streamed and whole-buffer REL
+// compression of the same field therefore enforce the same absolute bound.
 //
 // Read side (either API):
 //
@@ -66,6 +74,10 @@ var ErrEmptyStream = stream.ErrEmptyStream
 
 // ErrChecksum marks a chunk or trailer whose CRC does not match its bytes.
 var ErrChecksum = codec.ErrChecksum
+
+// ErrStreamNeedsValueRange marks a REL-mode NewWriter without a declared
+// stream-global value range (see WithStreamValueRange).
+var ErrStreamNeedsValueRange = stream.ErrNeedValueRange
 
 // NewWriter starts a streaming compressor over w: values written through it
 // are chunked, compressed concurrently, and framed into a chunked container.
@@ -110,6 +122,12 @@ func WithStreamShape(prec Precision, dims ...int) StreamOption {
 
 // WithStreamFieldName records the field name in the stream header.
 func WithStreamFieldName(name string) StreamOption { return stream.WithName(name) }
+
+// WithStreamValueRange declares the stream-global value range a REL error
+// bound resolves against — once, for the whole stream — so streamed and
+// whole-buffer REL compression enforce the same absolute bound. Required for
+// REL mode; ignored by ABS and PWREL.
+func WithStreamValueRange(lo, hi float64) StreamOption { return stream.WithValueRange(lo, hi) }
 
 // WithStreamReaderWorkers sets the concurrent chunk-decompressor count
 // (default GOMAXPROCS).

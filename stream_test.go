@@ -84,9 +84,11 @@ func TestStreamRoundTripAllCodecs(t *testing.T) {
 // public index API without touching the rest.
 func TestStreamRandomAccess(t *testing.T) {
 	f := streamField(t)
+	lo, hi := f.ValueRange()
 	var buf bytes.Buffer
 	w, err := rqm.NewWriter(&buf,
 		rqm.WithStreamShape(f.Prec, f.Dims...),
+		rqm.WithStreamValueRange(lo, hi),
 		rqm.WithChunkSize(2048))
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +138,7 @@ func TestEngineStreamWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	w, err := eng.NewStreamWriter(&buf, rqm.WithChunkSize(4096), rqm.WithStreamShape(f.Prec, f.Dims...))
+	w, err := eng.NewFieldStreamWriter(&buf, f, rqm.WithChunkSize(4096))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,6 +154,11 @@ func TestEngineStreamWriter(t *testing.T) {
 	}
 	if back.Len() != f.Len() {
 		t.Fatalf("engine decode %d values, want %d", back.Len(), f.Len())
+	}
+	// A REL-mode engine cannot stream without a resolved range: the raw
+	// NewStreamWriter path must fail explicitly rather than guess.
+	if _, err := eng.NewStreamWriter(io.Discard); !errors.Is(err, rqm.ErrStreamNeedsValueRange) {
+		t.Fatalf("REL NewStreamWriter without range: %v, want ErrStreamNeedsValueRange", err)
 	}
 }
 
@@ -176,7 +183,7 @@ func TestEngineStreamOwnCodecFallback(t *testing.T) {
 	}
 	f := streamField(t)
 	var buf bytes.Buffer
-	w, err := eng.NewStreamWriter(&buf, rqm.WithChunkSize(4096), rqm.WithStreamShape(f.Prec, f.Dims...))
+	w, err := eng.NewFieldStreamWriter(&buf, f, rqm.WithChunkSize(4096))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,10 +243,12 @@ func TestStreamAdaptivePSNRTarget(t *testing.T) {
 // without decoding them.
 func TestInspectChunkedContainer(t *testing.T) {
 	f := streamField(t)
+	lo, hi := f.ValueRange()
 	var buf bytes.Buffer
 	w, err := rqm.NewWriter(&buf,
 		rqm.WithStreamShape(f.Prec, f.Dims...),
 		rqm.WithStreamFieldName(f.Name),
+		rqm.WithStreamValueRange(lo, hi),
 		rqm.WithChunkSize(4096))
 	if err != nil {
 		t.Fatal(err)
@@ -269,8 +278,10 @@ func TestInspectChunkedContainer(t *testing.T) {
 // chunked containers at the public surface.
 func TestDecompressRejectsTruncatedChunked(t *testing.T) {
 	f := streamField(t)
+	lo, hi := f.ValueRange()
 	var buf bytes.Buffer
-	w, err := rqm.NewWriter(&buf, rqm.WithStreamShape(f.Prec, f.Dims...), rqm.WithChunkSize(2048))
+	w, err := rqm.NewWriter(&buf, rqm.WithStreamShape(f.Prec, f.Dims...),
+		rqm.WithStreamValueRange(lo, hi), rqm.WithChunkSize(2048))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,5 +323,101 @@ func TestDecompressRejectsTruncatedChunked(t *testing.T) {
 				t.Fatalf("NewReader path: %v, want %v", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestStreamRELMatchesWholeBuffer is the acceptance test for the REL
+// streaming semantics: streamed and whole-buffer REL compression of the same
+// field must enforce the same maximum absolute error, resolved once from the
+// global value range — even when individual chunks span wildly different
+// local ranges (which the old chunk-local resolution turned into different
+// per-chunk guarantees).
+func TestStreamRELMatchesWholeBuffer(t *testing.T) {
+	// Four chunk-sized regions with local ranges of ~2, ~1000, 0 (constant),
+	// and 16: chunk-local REL resolution would have recorded four different
+	// absolute bounds for the same user setting.
+	const chunk = 2048
+	vals := make([]float64, 4*chunk)
+	for i := 0; i < chunk; i++ {
+		x := float64(i)
+		vals[i] = math.Sin(x / 40)
+		vals[chunk+i] = 500 * math.Cos(x/60)
+		vals[2*chunk+i] = 42
+		vals[3*chunk+i] = float64(i % 17)
+	}
+	f, err := rqm.FieldFromData("rel-equivalence", rqm.Float64, vals, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const relEB = 1e-3
+	lo, hi := f.ValueRange()
+	wantAbs := relEB * (hi - lo)
+
+	eng, err := rqm.NewEngine(rqm.WithMode(rqm.REL), rqm.WithErrorBound(relEB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := eng.NewFieldStreamWriter(&buf, f, rqm.WithChunkSize(chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteField(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every chunk header records the stream-global absolute bound.
+	idx, err := rqm.ReadStreamIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Entries) != 4 {
+		t.Fatalf("wrote %d chunks, want 4", len(idx.Entries))
+	}
+	for i, e := range idx.Entries {
+		if e.AbsBound != wantAbs {
+			t.Fatalf("chunk %d bound %g, want the global %g", i, e.AbsBound, wantAbs)
+		}
+	}
+
+	// Both reconstructions satisfy the same absolute bound...
+	streamed, err := rqm.Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Compress(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := eng.Decompress(res.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := func(recon *rqm.Field) float64 {
+		var m float64
+		for i := range vals {
+			if d := math.Abs(recon.Data[i] - vals[i]); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	slack := wantAbs * (1 + 1e-12)
+	streamedErr, wholeErr := maxErr(streamed), maxErr(whole)
+	if streamedErr > slack {
+		t.Fatalf("streamed max error %g exceeds the global REL bound %g", streamedErr, wantAbs)
+	}
+	if wholeErr > slack {
+		t.Fatalf("whole-buffer max error %g exceeds the global REL bound %g", wholeErr, wantAbs)
+	}
+	// ... and rqm.VerifyErrorBound agrees both enforce REL at the field level.
+	if err := rqm.VerifyErrorBound(f, streamed, rqm.REL, relEB); err != nil {
+		t.Fatalf("streamed REL verification: %v", err)
+	}
+	if err := rqm.VerifyErrorBound(f, whole, rqm.REL, relEB); err != nil {
+		t.Fatalf("whole-buffer REL verification: %v", err)
 	}
 }
