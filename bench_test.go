@@ -214,6 +214,7 @@ func BenchmarkCompressPipeline(b *testing.B) {
 		ErrorBound: (hi - lo) * 1e-3, Lossless: rqm.LosslessRLE,
 	}
 	b.SetBytes(f.OriginalBytes())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rqm.Compress(f, opts); err != nil {
@@ -233,6 +234,7 @@ func BenchmarkDecompressPipeline(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(f.OriginalBytes())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rqm.Decompress(res.Bytes); err != nil {
@@ -246,6 +248,7 @@ func BenchmarkDecompressPipeline(b *testing.B) {
 func BenchmarkProfileBuild(b *testing.B) {
 	f := benchField(b)
 	b.SetBytes(f.OriginalBytes())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rqm.NewProfile(f, rqm.Lorenzo, rqm.ModelOptions{}); err != nil {
@@ -262,6 +265,7 @@ func BenchmarkEstimate(b *testing.B) {
 		b.Fatal(err)
 	}
 	eb := p.Range * 1e-4
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.EstimateAt(eb)
@@ -308,6 +312,7 @@ func BenchmarkDirectCompressBatch(b *testing.B) {
 		ErrorBound: (hi - lo) * 1e-3, Lossless: rqm.LosslessRLE,
 	}
 	b.SetBytes(batchBytes(fields))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, f := range fields {
@@ -329,6 +334,7 @@ func BenchmarkCodecDispatchBatch(b *testing.B) {
 		ErrorBound: (hi - lo) * 1e-3, Lossless: rqm.LosslessRLE,
 	}
 	b.SetBytes(batchBytes(fields))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c, err := rqm.CodecByName(rqm.CodecPredictionName)
@@ -358,6 +364,7 @@ func benchEngineBatch(b *testing.B, workers int) {
 	}
 	ctx := context.Background()
 	b.SetBytes(batchBytes(fields))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.CompressBatch(ctx, fields); err != nil {

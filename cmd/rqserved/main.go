@@ -45,9 +45,15 @@ func main() {
 		cacheSize = flag.Int("cache", 128, "profile LRU cache entries")
 		threshold = flag.Int64("stream-threshold", service.DefaultStreamThreshold,
 			"compress bodies at least this many bytes stream chunked (<0 disables)")
-		sample = flag.Float64("sample", 0, "model sampling rate for profiles (0 = paper default 1%)")
+		sample    = flag.Float64("sample", 0, "model sampling rate for profiles (0 = paper default 1%)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	eng, err := buildEngine(*codecName, *predName, *mode, *eb, *lossless, *workers)
 	if err != nil {

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"log"
+	"net/http"
+	"net/http/pprof"
+)
+
+// servePprof exposes the runtime profiling endpoints on their own listener,
+// opt-in via -pprof-addr and kept off the service port so profiles are never
+// reachable through the public API surface. Serving-load investigations
+// (like the one behind the fused-kernel rework) grab CPU/heap profiles with:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
+//	go tool pprof http://localhost:6060/debug/pprof/heap
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("rqserved: pprof on http://%s/debug/pprof/", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("rqserved: pprof server: %v", err)
+	}
+}

@@ -166,6 +166,25 @@ func (r *Reader) Peek(width uint) (v uint64, ok bool) {
 	return r.cur << (width - r.n) & ((1 << width) - 1), true
 }
 
+// PeekBits returns the next `width` bits without consuming them, zero-padded
+// on the right when fewer remain, and reports how many real bits are
+// available (avail < width only at the end of the stream). Unlike Peek, the
+// caller can tell exactly how many of the returned bits are real, which lets
+// table-driven decoders reject matches that would extend into the padding.
+func (r *Reader) PeekBits(width uint) (v uint64, avail uint) {
+	if width == 0 || width > 57 {
+		panic(fmt.Sprintf("bitio: PeekBits width %d out of range", width))
+	}
+	r.fill(width) // best effort
+	if r.n >= width {
+		return r.cur >> (r.n - width) & ((1 << width) - 1), width
+	}
+	if r.n == 0 {
+		return 0, 0
+	}
+	return r.cur << (width - r.n) & ((1 << width) - 1), r.n
+}
+
 // Skip consumes `width` bits previously examined with Peek. It is the
 // caller's responsibility not to skip past the padded end of stream.
 func (r *Reader) Skip(width uint) error {

@@ -115,6 +115,31 @@ func TestPeekAtEndZeroPads(t *testing.T) {
 	}
 }
 
+func TestPeekBitsReportsAvail(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b101, 3)
+	r := NewReader(w.Bytes())
+	// One byte in the buffer (3 real bits + 5 pad): mid-stream, avail ==
+	// width; past the last byte, avail is what remains, zero-padded right.
+	v, avail := r.PeekBits(6)
+	if avail != 6 || v != 0b101000 {
+		t.Fatalf("PeekBits(6) = %06b avail=%d, want 101000 avail=6", v, avail)
+	}
+	if err := r.Skip(6); err != nil {
+		t.Fatal(err)
+	}
+	v, avail = r.PeekBits(6)
+	if avail != 2 || v != 0 {
+		t.Fatalf("PeekBits(6) near end = %06b avail=%d, want 0 avail=2", v, avail)
+	}
+	if err := r.Skip(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, avail = r.PeekBits(6); avail != 0 {
+		t.Fatalf("PeekBits past end reports avail=%d, want 0", avail)
+	}
+}
+
 func TestResetReuse(t *testing.T) {
 	w := NewWriter(0)
 	w.WriteBits(0xFF, 8)

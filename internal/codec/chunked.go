@@ -256,9 +256,25 @@ func WriteChunk(w io.Writer, c *Chunk) (int64, error) {
 // payload CRC. Streaming readers call it once they have consumed a TagChunk
 // byte.
 func ReadChunkBody(r io.Reader) (*Chunk, error) {
+	c, wantCRC, err := ReadChunkBodyUnverified(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyChunk(c, wantCRC); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ReadChunkBodyUnverified parses a chunk record after its tag byte WITHOUT
+// checksumming the payload, returning the declared CRC for the caller to
+// verify with VerifyChunk. The concurrent stream reader uses this split to
+// keep its serial feeder goroutine I/O-only: the CRC pass (and the decode)
+// runs on the worker pool instead of serializing every chunk.
+func ReadChunkBodyUnverified(r io.Reader) (*Chunk, uint32, error) {
 	head := make([]byte, chunkHeadSize-1)
 	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, fmt.Errorf("%w: chunk record ends mid-header", ErrTruncated)
+		return nil, 0, fmt.Errorf("%w: chunk record ends mid-header", ErrTruncated)
 	}
 	c := &Chunk{
 		CodecID:  ID(head[0]),
@@ -268,10 +284,10 @@ func ReadChunkBody(r io.Reader) (*Chunk, error) {
 	payloadLen := binary.LittleEndian.Uint32(head[13:])
 	wantCRC := binary.LittleEndian.Uint32(head[17:])
 	if c.Values < 1 {
-		return nil, fmt.Errorf("%w: chunk declares %d values", ErrCorrupt, c.Values)
+		return nil, 0, fmt.Errorf("%w: chunk declares %d values", ErrCorrupt, c.Values)
 	}
 	if payloadLen == 0 || payloadLen > maxChunkPayload {
-		return nil, fmt.Errorf("%w: chunk declares %d payload bytes", ErrCorrupt, payloadLen)
+		return nil, 0, fmt.Errorf("%w: chunk declares %d payload bytes", ErrCorrupt, payloadLen)
 	}
 	// Grow the payload with the bytes actually read rather than trusting the
 	// declared length: a corrupt length field must not drive a huge
@@ -281,13 +297,18 @@ func ReadChunkBody(r io.Reader) (*Chunk, error) {
 		pb.Grow(int(payloadLen))
 	}
 	if _, err := io.CopyN(&pb, r, int64(payloadLen)); err != nil {
-		return nil, fmt.Errorf("%w: chunk record ends mid-payload", ErrTruncated)
+		return nil, 0, fmt.Errorf("%w: chunk record ends mid-payload", ErrTruncated)
 	}
 	c.Payload = pb.Bytes()
+	return c, wantCRC, nil
+}
+
+// VerifyChunk checks a chunk payload against the CRC its record declared.
+func VerifyChunk(c *Chunk, wantCRC uint32) error {
 	if got := crc32.ChecksumIEEE(c.Payload); got != wantCRC {
-		return nil, fmt.Errorf("%w: chunk payload CRC 0x%08x, want 0x%08x", ErrChecksum, got, wantCRC)
+		return fmt.Errorf("%w: chunk payload CRC 0x%08x, want 0x%08x", ErrChecksum, got, wantCRC)
 	}
-	return c, nil
+	return nil
 }
 
 // WriteTrailer serializes the trailer record and footer. trailerOffset is

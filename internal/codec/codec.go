@@ -91,7 +91,10 @@ type Codec interface {
 	Name() string
 	// ID is the stable wire identifier used in the container envelope.
 	ID() ID
-	// Compress encodes f into the codec's native payload.
+	// Compress encodes f into the codec's native payload. Implementations
+	// must not retain or alias f.Data after returning: callers (the stream
+	// writer's chunk pipeline in particular) recycle the field's buffer as
+	// soon as Compress returns.
 	Compress(f *grid.Field, opts Options) (payload []byte, err error)
 	// Decompress reconstructs a field from a native payload.
 	Decompress(payload []byte) (*grid.Field, error)

@@ -1,0 +1,112 @@
+package compressor
+
+import (
+	"sync"
+
+	"rqm/internal/bitio"
+)
+
+// arena is the pooled per-compression scratch set: every buffer the hot path
+// needs — the reconstruction work slice, the symbol stream, the dense
+// code-frequency counters, the Huffman encode LUT, the PWREL bitmaps, and
+// the payload bit writer — lives here, so steady-state compression under
+// serving load allocates only what escapes into the output container.
+//
+// Ownership rules (see DESIGN.md §7):
+//   - Compress/Decompress acquire an arena on entry and release it before
+//     returning; nothing reachable from a Result or a returned Field may
+//     alias arena memory (work on the decompress side is allocated fresh
+//     because it escapes as Field.Data).
+//   - counts is kept all-zero between uses. Whoever increments an entry
+//     appends its index to touched exactly once; release() zeroes only the
+//     touched entries, so cleanup is O(distinct symbols), not O(radius).
+//   - encLUT is never cleared: stale entries are harmless because the
+//     encoder only reads entries for symbols present in the codebook it
+//     just built (the huffman.EncodeLUT contract).
+type arena struct {
+	work    []float64
+	syms    []uint32
+	unpred  []float64
+	counts  []int64
+	touched []uint32
+	encLUT  []uint64
+	signs   []byte
+	zeros   []byte
+	bw      *bitio.Writer
+}
+
+var arenaPool = sync.Pool{New: func() interface{} { return &arena{} }}
+
+func getArena() *arena { return arenaPool.Get().(*arena) }
+
+// release restores the arena invariants (zero counts, empty touched) and
+// returns it to the pool.
+func (a *arena) release() {
+	for _, s := range a.touched {
+		a.counts[s] = 0
+	}
+	a.touched = a.touched[:0]
+	a.unpred = a.unpred[:0]
+	if a.bw != nil {
+		a.bw.Reset()
+	}
+	arenaPool.Put(a)
+}
+
+// f64 returns a length-n float64 scratch slice, reusing capacity.
+func (a *arena) f64(n int) []float64 {
+	if cap(a.work) < n {
+		a.work = make([]float64, n)
+	}
+	a.work = a.work[:n]
+	return a.work
+}
+
+// u32 returns a length-n uint32 scratch slice, reusing capacity.
+func (a *arena) u32(n int) []uint32 {
+	if cap(a.syms) < n {
+		a.syms = make([]uint32, n)
+	}
+	a.syms = a.syms[:n]
+	return a.syms
+}
+
+// freqTables returns the dense counter and encode-LUT slices sized for n
+// symbol values. Fresh counter memory is zero by construction; reused
+// counter memory is zero by the release() invariant.
+func (a *arena) freqTables(n int) (counts []int64, encLUT []uint64) {
+	if cap(a.counts) < n {
+		a.counts = make([]int64, n)
+	}
+	a.counts = a.counts[:n]
+	if cap(a.encLUT) < n {
+		a.encLUT = make([]uint64, n)
+	}
+	a.encLUT = a.encLUT[:n]
+	return a.counts, a.encLUT
+}
+
+// bitmaps returns the two length-n PWREL bitmap slices, zeroed.
+func (a *arena) bitmaps(n int) (signs, zeros []byte) {
+	if cap(a.signs) < n {
+		a.signs = make([]byte, n)
+		a.zeros = make([]byte, n)
+	} else {
+		a.signs = a.signs[:n]
+		a.zeros = a.zeros[:n]
+		for i := range a.signs {
+			a.signs[i] = 0
+			a.zeros[i] = 0
+		}
+	}
+	return a.signs, a.zeros
+}
+
+// bitWriter returns the pooled payload writer, reset.
+func (a *arena) bitWriter() *bitio.Writer {
+	if a.bw == nil {
+		a.bw = bitio.NewWriter(0)
+	}
+	a.bw.Reset()
+	return a.bw
+}

@@ -181,6 +181,15 @@ const (
 // an unpredictable (exactly stored) sample.
 func reservedSymbol(radius int32) uint32 { return uint32(2*radius) + 1 }
 
+// useFusedKernels gates the fused batch kernels; tests flip it to prove the
+// fused and generic paths emit byte-identical containers.
+var useFusedKernels = true
+
+// denseCompressRadiusLimit bounds the dense counts/encode-LUT scratch
+// (2*radius+2 entries each): radii beyond 2^20 take the sparse map-based
+// path instead of allocating gigabytes of pooled arena per compression.
+const denseCompressRadiusLimit = 1 << 20
+
 // Compress runs the full pipeline on f.
 func Compress(f *grid.Field, opts Options) (*Result, error) {
 	if f == nil || f.Len() == 0 {
@@ -201,8 +210,11 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		radius = quantizer.DefaultRadius
 	}
 
+	a := getArena()
+	defer a.release()
+
 	// Resolve the absolute bound and transform the data if needed.
-	work := make([]float64, f.Len())
+	work := a.f64(f.Len())
 	copy(work, f.Data)
 	absEB := opts.ErrorBound
 	var signs, zeros []byte // PWREL bitmaps (1 byte per value pre-RLE)
@@ -216,8 +228,7 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		}
 	case PWREL:
 		absEB = math.Log2(1 + opts.ErrorBound)
-		signs = make([]byte, f.Len())
-		zeros = make([]byte, f.Len())
+		signs, zeros = a.bitmaps(f.Len())
 		minLog := math.Inf(1)
 		for _, v := range work {
 			if v != 0 {
@@ -245,42 +256,95 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("compressor: unknown error mode %d", int(opts.Mode))
 	}
 
+	// Resolve the quantizer early: it validates the bound/radius pair, and
+	// the sparse (large-radius) path quantizes through it directly.
 	qz, err := quantizer.New(absEB, radius)
 	if err != nil {
 		return nil, err
 	}
 
+	// The dense counts/LUT tables are sized 2*radius+2; past the guard an
+	// absurd-but-valid radius would allocate gigabytes of scratch (and pin
+	// it in the pool), so large radii take the sparse map-based path — the
+	// pre-kernel algorithm, byte-identical output.
+	dense := radius <= denseCompressRadiusLimit
+
 	tPredict := time.Now()
-	syms := make([]uint32, 0, f.Len())
-	var unpred []float64
 	resSym := reservedSymbol(radius)
-	hist := stats.NewCodeHistogram()
-	aux, err := pred.CompressWalk(f.Dims, work, func(idx int, p float64) {
-		code, recon, ok := qz.Quantize(work[idx], p)
-		if !ok {
-			syms = append(syms, resSym)
-			unpred = append(unpred, work[idx])
-			// work[idx] keeps the exact value.
-			return
+	var aux []byte
+	var syms []uint32
+	var unpred []float64
+	var freqs map[uint32]int64
+	var counts []int64
+	var encLUT []uint64
+	var k *encodeKernel
+	if dense {
+		counts, encLUT = a.freqTables(int(resSym) + 1)
+		k = &encodeKernel{
+			work:    work,
+			syms:    a.u32(f.Len()),
+			unpred:  a.unpred,
+			counts:  counts,
+			touched: a.touched,
+			eb:      absEB,
+			twoEB:   2 * absEB,
+			radF:    float64(radius),
+			radius:  radius,
+			resSym:  resSym,
 		}
-		syms = append(syms, uint32(code)+uint32(radius))
-		hist.Add(code, 1)
-		work[idx] = recon
-	})
-	if err != nil {
-		return nil, err
+		if useFusedKernels && fusedCompress(opts.Predictor, f.Dims, k) {
+			// fused path: predict+quantize+emit ran in one pass, no aux.
+		} else {
+			aux, err = pred.CompressWalk(f.Dims, work, k.emit)
+			if err != nil {
+				return nil, err
+			}
+		}
+		syms, unpred = k.syms, k.unpred
+		a.unpred, a.touched = k.unpred, k.touched // hand grown slices back to the arena
+		// The dense counts double as the Huffman frequency table; only the
+		// touched entries exist, so the map handed to Build stays tiny.
+		freqs = make(map[uint32]int64, len(k.touched))
+		for _, s := range k.touched {
+			freqs[s] = counts[s]
+		}
+	} else {
+		freqs = make(map[uint32]int64)
+		syms = a.u32(f.Len())[:0]
+		aux, err = pred.CompressWalk(f.Dims, work, func(idx int, p float64) {
+			code, recon, ok := qz.Quantize(work[idx], p)
+			if !ok {
+				syms = append(syms, resSym)
+				freqs[resSym]++
+				unpred = append(unpred, work[idx])
+				// work[idx] keeps the exact value.
+				return
+			}
+			s := uint32(code) + uint32(radius)
+			syms = append(syms, s)
+			freqs[s]++
+			work[idx] = recon
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	predictTime := time.Since(tPredict)
 
 	tEncode := time.Now()
-	freqs := huffman.FreqsOf(syms)
 	cb, err := huffman.Build(freqs)
 	if err != nil {
 		return nil, err
 	}
 	codebook := cb.Serialize()
-	bw := bitio.NewWriter(len(syms) / 2)
-	if err := cb.Encode(bw, syms); err != nil {
+	bw := a.bitWriter()
+	if dense {
+		cb.FillLUT(encLUT)
+		err = cb.EncodeLUT(bw, syms, encLUT)
+	} else {
+		err = cb.Encode(bw, syms)
+	}
+	if err != nil {
 		return nil, err
 	}
 	huffBits := bw.Bits()
@@ -303,6 +367,15 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 
 	out := assembleContainer(f, opts, radius, absEB, aux, unpred, signsEnc, zerosEnc, codebook, finalPayload, len(payload))
 
+	// Rebuild the code histogram (unpredictable excluded) from the symbol
+	// frequencies for the Stats consumers; it is small — one entry per
+	// distinct code — and escapes with the Result.
+	hist := stats.NewCodeHistogram()
+	for s, n := range freqs {
+		if s != resSym {
+			hist.Add(int32(s)-radius, n)
+		}
+	}
 	p0, _ := hist.TopP()
 	if hist.Total == 0 {
 		p0 = 0
@@ -383,66 +456,173 @@ func undoLossless(kind LosslessKind, data []byte, rawLen int) ([]byte, error) {
 	return nil, fmt.Errorf("compressor: unknown lossless kind %d", int(kind))
 }
 
-// assembleContainer lays out the self-describing byte stream.
+// assembleContainer lays out the self-describing byte stream in one
+// exact-size allocation (the only large allocation a steady-state compress
+// makes; everything else comes from the arena).
 func assembleContainer(f *grid.Field, opts Options, radius int32, absEB float64,
 	aux []byte, unpred []float64, signsEnc, zerosEnc, codebook, payload []byte, rawPayloadLen int) []byte {
 
-	var buf bytes.Buffer
-	w := func(v interface{}) { _ = binary.Write(&buf, binary.LittleEndian, v) }
-	w(uint32(containerMagic))
-	w(uint8(containerVersion))
-	w(uint8(opts.Predictor))
-	w(uint8(opts.Mode))
-	w(uint8(opts.Lossless))
-	w(radius)
-	w(opts.ErrorBound)
-	w(absEB)
-	w(uint8(f.Prec))
-	w(uint8(f.Rank()))
-	for _, d := range f.Dims {
-		w(uint64(d))
-	}
 	name := []byte(f.Name)
 	if len(name) > 65535 {
 		name = name[:65535]
 	}
-	w(uint16(len(name)))
-	buf.Write(name)
-	w(uint32(len(unpred)))
-	for _, v := range unpred {
-		w(v)
+	size := 4 + 1 + 1 + 1 + 1 + 4 + 8 + 8 + 1 + 1 + // fixed header
+		8*f.Rank() + 2 + len(name) +
+		4 + 8*len(unpred) +
+		4 + len(aux) + 4 + len(signsEnc) + 4 + len(zerosEnc) +
+		4 + len(codebook) + 4 + 4 + len(payload)
+	out := make([]byte, 0, size)
+	le := binary.LittleEndian
+	var s8 [8]byte
+	p32 := func(v uint32) { le.PutUint32(s8[:4], v); out = append(out, s8[:4]...) }
+	p64 := func(v uint64) { le.PutUint64(s8[:], v); out = append(out, s8[:]...) }
+
+	p32(containerMagic)
+	out = append(out, containerVersion, uint8(opts.Predictor), uint8(opts.Mode), uint8(opts.Lossless))
+	p32(uint32(radius))
+	p64(math.Float64bits(opts.ErrorBound))
+	p64(math.Float64bits(absEB))
+	out = append(out, uint8(f.Prec), uint8(f.Rank()))
+	for _, d := range f.Dims {
+		p64(uint64(d))
 	}
-	w(uint32(len(aux)))
-	buf.Write(aux)
-	w(uint32(len(signsEnc)))
-	buf.Write(signsEnc)
-	w(uint32(len(zerosEnc)))
-	buf.Write(zerosEnc)
-	w(uint32(len(codebook)))
-	buf.Write(codebook)
-	w(uint32(rawPayloadLen))
-	w(uint32(len(payload)))
-	buf.Write(payload)
-	return buf.Bytes()
+	le.PutUint16(s8[:2], uint16(len(name)))
+	out = append(out, s8[:2]...)
+	out = append(out, name...)
+	p32(uint32(len(unpred)))
+	for _, v := range unpred {
+		p64(math.Float64bits(v))
+	}
+	p32(uint32(len(aux)))
+	out = append(out, aux...)
+	p32(uint32(len(signsEnc)))
+	out = append(out, signsEnc...)
+	p32(uint32(len(zerosEnc)))
+	out = append(out, zerosEnc...)
+	p32(uint32(len(codebook)))
+	out = append(out, codebook...)
+	p32(uint32(rawPayloadLen))
+	p32(uint32(len(payload)))
+	out = append(out, payload...)
+	return out
+}
+
+// cursor is a bounds-checked zero-copy reader over a container byte slice:
+// blobs come back as subslices of the input, never copies.
+type cursor struct {
+	data []byte
+	pos  int
+}
+
+var errTruncatedContainer = errors.New("compressor: truncated container")
+
+func (c *cursor) take(n int) ([]byte, error) {
+	if n < 0 || len(c.data)-c.pos < n {
+		return nil, errTruncatedContainer
+	}
+	b := c.data[c.pos : c.pos+n : c.pos+n]
+	c.pos += n
+	return b, nil
+}
+
+func (c *cursor) u8() (uint8, error) {
+	b, err := c.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	b, err := c.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	b, err := c.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (c *cursor) f64() (float64, error) {
+	v, err := c.u64()
+	return math.Float64frombits(v), err
+}
+
+// blob reads a uint32 length prefix and returns that many bytes, zero-copy.
+func (c *cursor) blob() ([]byte, error) {
+	l, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	b, err := c.take(int(l))
+	if err != nil {
+		return nil, errors.New("compressor: blob length exceeds container")
+	}
+	return b, nil
 }
 
 // Decompress reconstructs a field from a container produced by Compress.
+// The parse is zero-copy: aux, bitmaps, codebook, and payload are read as
+// subslices of data, so the only large allocation is the returned field's
+// value slice (the symbol scratch comes from the arena pool).
 func Decompress(data []byte) (*grid.Field, error) {
-	r := bytes.NewReader(data)
-	rd := func(v interface{}) error { return binary.Read(r, binary.LittleEndian, v) }
-	var magic uint32
-	if err := rd(&magic); err != nil || magic != containerMagic {
+	c := &cursor{data: data}
+	magic, err := c.u32()
+	if err != nil || magic != containerMagic {
 		return nil, errors.New("compressor: bad magic")
 	}
-	var version, predKind, mode, lossless, prec, rank uint8
-	var radius int32
-	var userEB, absEB float64
-	if err := firstErr(rd(&version), rd(&predKind), rd(&mode), rd(&lossless),
-		rd(&radius), rd(&userEB), rd(&absEB), rd(&prec), rd(&rank)); err != nil {
+	version, err := c.u8()
+	if err != nil {
 		return nil, err
 	}
 	if version != containerVersion {
 		return nil, fmt.Errorf("compressor: unsupported version %d", version)
+	}
+	predKind, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	mode, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	lossless, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	radiusU, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	radius := int32(radiusU)
+	if _, err := c.f64(); err != nil { // user error bound, unused on decode
+		return nil, err
+	}
+	absEB, err := c.f64()
+	if err != nil {
+		return nil, err
+	}
+	prec, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	rank, err := c.u8()
+	if err != nil {
+		return nil, err
 	}
 	if rank < 1 || rank > 4 {
 		return nil, fmt.Errorf("compressor: bad rank %d", rank)
@@ -450,59 +630,68 @@ func Decompress(data []byte) (*grid.Field, error) {
 	dims := make([]int, rank)
 	n := 1
 	for i := range dims {
-		var d uint64
-		if err := rd(&d); err != nil {
+		d, err := c.u64()
+		if err != nil {
 			return nil, err
 		}
 		if d == 0 || d > 1<<32 {
 			return nil, fmt.Errorf("compressor: bad dimension %d", d)
 		}
+		if uint64(n) > uint64(math.MaxInt/8)/d {
+			return nil, errors.New("compressor: dimension product overflows")
+		}
 		dims[i] = int(d)
 		n *= dims[i]
 	}
-	var nameLen uint16
-	if err := rd(&nameLen); err != nil {
+	nameLen, err := c.u16()
+	if err != nil {
 		return nil, err
 	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(r, name); err != nil {
+	name, err := c.take(int(nameLen))
+	if err != nil {
 		return nil, err
 	}
-	var unpredCount uint32
-	if err := rd(&unpredCount); err != nil {
+	unpredCount, err := c.u32()
+	if err != nil {
 		return nil, err
 	}
 	if int(unpredCount) > n {
 		return nil, errors.New("compressor: unpredictable count exceeds field size")
 	}
+	unpredRaw, err := c.take(8 * int(unpredCount))
+	if err != nil {
+		return nil, err
+	}
 	unpred := make([]float64, unpredCount)
 	for i := range unpred {
-		if err := rd(&unpred[i]); err != nil {
-			return nil, err
-		}
+		unpred[i] = math.Float64frombits(binary.LittleEndian.Uint64(unpredRaw[8*i:]))
 	}
-	aux, err := readBlob(r)
+	aux, err := c.blob()
 	if err != nil {
 		return nil, err
 	}
-	signsEnc, err := readBlob(r)
+	signsEnc, err := c.blob()
 	if err != nil {
 		return nil, err
 	}
-	zerosEnc, err := readBlob(r)
+	zerosEnc, err := c.blob()
 	if err != nil {
 		return nil, err
 	}
-	codebookBytes, err := readBlob(r)
+	codebookBytes, err := c.blob()
 	if err != nil {
 		return nil, err
 	}
-	var rawPayloadLen, payloadLen uint32
-	if err := firstErr(rd(&rawPayloadLen), rd(&payloadLen)); err != nil {
+	rawPayloadLen, err := c.u32()
+	if err != nil {
 		return nil, err
 	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payloadLen, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := c.take(int(payloadLen))
+	if err != nil {
 		return nil, err
 	}
 
@@ -514,7 +703,9 @@ func Decompress(data []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	syms := make([]uint32, n)
+	a := getArena()
+	defer a.release()
+	syms := a.u32(n)
 	if err := cb.Decode(bitio.NewReader(rawPayload), syms); err != nil {
 		return nil, err
 	}
@@ -523,42 +714,33 @@ func Decompress(data []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	qz, err := quantizer.New(absEB, radius)
-	if err != nil {
+	if _, err := quantizer.New(absEB, radius); err != nil {
 		return nil, err
 	}
-	resSym := reservedSymbol(radius)
+	// work escapes as the returned field's data, so it is allocated fresh
+	// rather than pooled.
 	work := make([]float64, n)
-	symPos := 0
-	unpredPos := 0
-	var walkErr error
-	err = pred.DecompressWalk(dims, work, aux, func(idx int, p float64) {
-		if walkErr != nil {
-			return
-		}
-		s := syms[symPos]
-		symPos++
-		if s == resSym {
-			if unpredPos >= len(unpred) {
-				walkErr = errors.New("compressor: unpredictable stream exhausted")
-				return
-			}
-			work[idx] = unpred[unpredPos]
-			unpredPos++
-			return
-		}
-		code := int64(s) - int64(radius)
-		if code < -int64(radius) || code > int64(radius) {
-			walkErr = fmt.Errorf("compressor: symbol %d out of range", s)
-			return
-		}
-		work[idx] = qz.Reconstruct(p, int32(code))
-	})
-	if err == nil {
-		err = walkErr
+	k := &decodeKernel{
+		syms:   syms,
+		work:   work,
+		unpred: unpred,
+		twoEB:  2 * absEB,
+		radius: radius,
+		resSym: reservedSymbol(radius),
 	}
-	if err != nil {
-		return nil, err
+	if useFusedKernels && len(aux) == 0 && fusedDecompress(predictor.Kind(predKind), dims, k) {
+		// fused path ran; sticky error checked below.
+	} else {
+		if !pred.Supports(int(rank)) {
+			return nil, fmt.Errorf("compressor: predictor %s does not support rank %d",
+				predictor.Kind(predKind), rank)
+		}
+		if err := pred.DecompressWalk(dims, work, aux, k.emit); err != nil {
+			return nil, err
+		}
+	}
+	if k.err != nil {
+		return nil, k.err
 	}
 
 	if ErrorMode(mode) == PWREL {
@@ -590,30 +772,6 @@ func Decompress(data []byte) (*grid.Field, error) {
 		return nil, err
 	}
 	return out, nil
-}
-
-func readBlob(r *bytes.Reader) ([]byte, error) {
-	var l uint32
-	if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
-		return nil, err
-	}
-	if int(l) > r.Len() {
-		return nil, errors.New("compressor: blob length exceeds container")
-	}
-	b := make([]byte, l)
-	if _, err := io.ReadFull(r, b); err != nil {
-		return nil, err
-	}
-	return b, nil
-}
-
-func firstErr(errs ...error) error {
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
 }
 
 // VerifyErrorBound checks that recon satisfies the bound against orig.

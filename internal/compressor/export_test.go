@@ -1,0 +1,10 @@
+package compressor
+
+// SetFusedKernels flips the fused-kernel gate for equivalence tests and
+// returns a restore function. Tests that compare the fused and generic
+// paths must not run in parallel with each other.
+func SetFusedKernels(on bool) (restore func()) {
+	prev := useFusedKernels
+	useFusedKernels = on
+	return func() { useFusedKernels = prev }
+}

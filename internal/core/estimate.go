@@ -2,10 +2,36 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"rqm/internal/quantizer"
 	"rqm/internal/stats"
 )
+
+// codeCounter is the pooled dense scratch histogramAt accumulates into: one
+// counter per code in [-radius, radius], touched-list cleanup, so an
+// EstimateAt sweep (the inverse solver calls it dozens of times per solve)
+// never pays a map assignment per sampled error. counts is all-zero between
+// uses; release zeroes only the touched entries.
+type codeCounter struct {
+	counts  []int64
+	touched []int32
+}
+
+var counterPool = sync.Pool{New: func() interface{} { return &codeCounter{} }}
+
+// denseRadiusLimit bounds the dense path: beyond it (radius > 2^20) the
+// map-based histogram is used directly, so absurd radii cannot drive a huge
+// scratch allocation.
+const denseRadiusLimit = 1 << 20
+
+func (cc *codeCounter) release() {
+	for _, i := range cc.touched {
+		cc.counts[i] = 0
+	}
+	cc.touched = cc.touched[:0]
+	counterPool.Put(cc)
+}
 
 // Estimate is the model's prediction of compression ratio and post-hoc
 // quality at one absolute error bound.
@@ -53,13 +79,38 @@ func (p *Profile) histogramAt(eb float64) (h *stats.CodeHistogram, unpredShare f
 	h = stats.NewCodeHistogram()
 	radius := p.opts.Radius
 	var unpred int64
-	for _, e := range p.Errors {
-		c := quantizer.CodeFor(e, eb)
-		if c > radius || c < -radius {
-			unpred++
-			continue
+	if radius <= denseRadiusLimit {
+		cc := counterPool.Get().(*codeCounter)
+		span := 2*int(radius) + 1
+		if cap(cc.counts) < span {
+			cc.counts = make([]int64, span)
 		}
-		h.Add(c, 1)
+		cc.counts = cc.counts[:span]
+		for _, e := range p.Errors {
+			c := quantizer.CodeFor(e, eb)
+			if c > radius || c < -radius {
+				unpred++
+				continue
+			}
+			i := c + radius
+			if cc.counts[i] == 0 {
+				cc.touched = append(cc.touched, i)
+			}
+			cc.counts[i]++
+		}
+		for _, i := range cc.touched {
+			h.Add(i-radius, cc.counts[i])
+		}
+		cc.release()
+	} else {
+		for _, e := range p.Errors {
+			c := quantizer.CodeFor(e, eb)
+			if c > radius || c < -radius {
+				unpred++
+				continue
+			}
+			h.Add(c, 1)
+		}
 	}
 	total := int64(len(p.Errors))
 	if h.Total == 0 {

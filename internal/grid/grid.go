@@ -41,20 +41,31 @@ type Field struct {
 	Prec Precision
 }
 
-// New allocates a zero-filled field with the given shape.
-func New(name string, prec Precision, dims ...int) (*Field, error) {
+// shapeLen validates a shape (rank 1..4, positive dims, overflow-guarded
+// product) and returns its sample count — the single source of the shape
+// rules shared by New and FromData.
+func shapeLen(dims []int) (int, error) {
 	if len(dims) < 1 || len(dims) > 4 {
-		return nil, fmt.Errorf("grid: unsupported rank %d (want 1..4)", len(dims))
+		return 0, fmt.Errorf("grid: unsupported rank %d (want 1..4)", len(dims))
 	}
 	n := 1
 	for _, d := range dims {
 		if d <= 0 {
-			return nil, fmt.Errorf("grid: non-positive dimension %d", d)
+			return 0, fmt.Errorf("grid: non-positive dimension %d", d)
 		}
 		if n > math.MaxInt/d {
-			return nil, errors.New("grid: dimension product overflows")
+			return 0, errors.New("grid: dimension product overflows")
 		}
 		n *= d
+	}
+	return n, nil
+}
+
+// New allocates a zero-filled field with the given shape.
+func New(name string, prec Precision, dims ...int) (*Field, error) {
+	n, err := shapeLen(dims)
+	if err != nil {
+		return nil, err
 	}
 	return &Field{
 		Name: name,
@@ -74,17 +85,22 @@ func MustNew(name string, prec Precision, dims ...int) *Field {
 	return f
 }
 
-// FromData wraps an existing buffer; len(data) must match the shape product.
+// FromData wraps an existing buffer (no copy, no throwaway allocation);
+// len(data) must match the shape product.
 func FromData(name string, prec Precision, data []float64, dims ...int) (*Field, error) {
-	f, err := New(name, prec, dims...)
+	n, err := shapeLen(dims)
 	if err != nil {
 		return nil, err
 	}
-	if len(data) != len(f.Data) {
-		return nil, fmt.Errorf("grid: data length %d does not match shape %v (%d)", len(data), dims, len(f.Data))
+	if len(data) != n {
+		return nil, fmt.Errorf("grid: data length %d does not match shape %v (%d)", len(data), dims, n)
 	}
-	f.Data = data
-	return f, nil
+	return &Field{
+		Name: name,
+		Dims: append([]int(nil), dims...),
+		Data: data,
+		Prec: prec,
+	}, nil
 }
 
 // Len returns the total number of samples.

@@ -6,11 +6,10 @@
 package huffman
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"rqm/internal/bitio"
 )
@@ -18,6 +17,12 @@ import (
 // MaxCodeLen bounds code lengths; frequencies are flattened until the bound
 // holds, which keeps every code within a single bitio read.
 const MaxCodeLen = 32
+
+// decodeTableBits bounds the one-shot decode acceleration table: codes up to
+// this many bits long resolve with a single table lookup instead of the
+// bit-by-bit canonical walk. Quantization codes concentrate around zero, so
+// in practice almost every symbol decodes through the table.
+const decodeTableBits = 11
 
 // Codebook holds canonical codes for a symbol set.
 type Codebook struct {
@@ -32,31 +37,24 @@ type Codebook struct {
 	firstIndex [MaxCodeLen + 2]int
 	countLen   [MaxCodeLen + 2]int
 	maxLen     uint8
+	// dtab is the one-shot decode table over tabBits-wide prefixes: entry
+	// length<<16 | canonical index, 0 = no code of length <= tabBits here.
+	// Canonical order puts short codes first and Kraft bounds their count by
+	// 1<<tabBits, so the index always fits in 16 bits.
+	dtab    []uint32
+	tabBits uint
+	// maxSym is the largest symbol value (the dense-LUT sizing bound).
+	maxSym uint32
 }
 
+// hNode is one Huffman tree node in the flat arena treeLengths builds:
+// leaves first, internal nodes appended as merges happen. Children are arena
+// indices (-1 for leaves), so tree construction makes exactly two
+// allocations instead of one per symbol.
 type hNode struct {
 	freq        int64
 	sym         uint32
-	left, right *hNode
-}
-
-type hHeap []*hNode
-
-func (h hHeap) Len() int { return len(h) }
-func (h hHeap) Less(i, j int) bool {
-	if h[i].freq != h[j].freq {
-		return h[i].freq < h[j].freq
-	}
-	return h[i].sym < h[j].sym // deterministic tie-break
-}
-func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
-func (h *hHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	left, right int32
 }
 
 // Build constructs a canonical codebook from symbol frequencies. Zero-count
@@ -75,7 +73,12 @@ func Build(freqs map[uint32]int64) (*Codebook, error) {
 	if len(items) == 0 {
 		return nil, errors.New("huffman: no symbols with positive frequency")
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i].sym < items[j].sym })
+	slices.SortFunc(items, func(a, b sf) int {
+		if a.sym < b.sym {
+			return -1
+		}
+		return 1
+	})
 	if len(items) == 1 {
 		return fromLengths([]uint32{items[0].sym}, []uint8{1})
 	}
@@ -108,42 +111,89 @@ func Build(freqs map[uint32]int64) (*Codebook, error) {
 }
 
 // treeLengths builds a Huffman tree over (freq, sym) and returns code
-// lengths per item (indexed like the input).
+// lengths per item (indexed like the input). The index heap replicates
+// container/heap's sift order exactly (down picks the right child only on a
+// strict win), so the tree — and therefore every emitted container — is
+// bit-identical to the pointer-heap implementation it replaced.
 func treeLengths(freqs []int64) []uint8 {
 	n := len(freqs)
-	nodes := make(hHeap, 0, n)
-	leaves := make([]*hNode, n)
+	nodes := make([]hNode, n, 2*n-1)
 	for i, f := range freqs {
-		nd := &hNode{freq: f, sym: uint32(i)}
-		leaves[i] = nd
-		nodes = append(nodes, nd)
+		nodes[i] = hNode{freq: f, sym: uint32(i), left: -1, right: -1}
 	}
-	heap.Init(&nodes)
-	for nodes.Len() > 1 {
-		a := heap.Pop(&nodes).(*hNode)
-		b := heap.Pop(&nodes).(*hNode)
-		heap.Push(&nodes, &hNode{freq: a.freq + b.freq, sym: a.sym, left: a, right: b})
+	h := make([]int32, n, 2*n-1)
+	for i := range h {
+		h[i] = int32(i)
 	}
-	root := nodes[0]
+	less := func(a, b int32) bool {
+		if nodes[a].freq != nodes[b].freq {
+			return nodes[a].freq < nodes[b].freq
+		}
+		return nodes[a].sym < nodes[b].sym // deterministic tie-break
+	}
+	down := func(i0 int) {
+		i := i0
+		for {
+			j1 := 2*i + 1
+			if j1 >= len(h) {
+				break
+			}
+			j := j1
+			if j2 := j1 + 1; j2 < len(h) && less(h[j2], h[j1]) {
+				j = j2
+			}
+			if !less(h[j], h[i]) {
+				break
+			}
+			h[i], h[j] = h[j], h[i]
+			i = j
+		}
+	}
+	up := func(j int) {
+		for j > 0 {
+			i := (j - 1) / 2
+			if !less(h[j], h[i]) {
+				break
+			}
+			h[i], h[j] = h[j], h[i]
+			j = i
+		}
+	}
+	pop := func() int32 {
+		last := len(h) - 1
+		h[0], h[last] = h[last], h[0]
+		x := h[last]
+		h = h[:last]
+		down(0)
+		return x
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	for len(h) > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, hNode{freq: nodes[a].freq + nodes[b].freq, sym: nodes[a].sym, left: a, right: b})
+		h = append(h, int32(len(nodes)-1))
+		up(len(h) - 1)
+	}
+	root := h[0]
 	lengths := make([]uint8, n)
-	// Iterative depth assignment.
-	type stackEntry struct {
-		n     *hNode
-		depth uint8
-	}
-	stack := []stackEntry{{root, 0}}
+	// Iterative depth assignment over (index, depth) packed into one int64.
+	stack := make([]int64, 0, 64)
+	stack = append(stack, int64(root)<<8)
 	for len(stack) > 0 {
 		e := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if e.n.left == nil && e.n.right == nil {
-			d := e.depth
-			if d == 0 {
-				d = 1 // single-leaf tree
+		nd, depth := &nodes[e>>8], uint8(e&0xff)
+		if nd.left < 0 {
+			if depth == 0 {
+				depth = 1 // single-leaf tree
 			}
-			lengths[e.n.sym] = d
+			lengths[nd.sym] = depth
 			continue
 		}
-		stack = append(stack, stackEntry{e.n.left, e.depth + 1}, stackEntry{e.n.right, e.depth + 1})
+		stack = append(stack, int64(nd.left)<<8|int64(depth+1), int64(nd.right)<<8|int64(depth+1))
 	}
 	return lengths
 }
@@ -155,12 +205,14 @@ func fromLengths(syms []uint32, lengths []uint8) (*Codebook, error) {
 	for i := range ord {
 		ord[i] = i
 	}
-	sort.Slice(ord, func(a, b int) bool {
-		ia, ib := ord[a], ord[b]
+	slices.SortFunc(ord, func(ia, ib int) int {
 		if lengths[ia] != lengths[ib] {
-			return lengths[ia] < lengths[ib]
+			return int(lengths[ia]) - int(lengths[ib])
 		}
-		return syms[ia] < syms[ib]
+		if syms[ia] < syms[ib] {
+			return -1
+		}
+		return 1
 	})
 	cb := &Codebook{
 		symbols: make([]uint32, n),
@@ -207,8 +259,36 @@ func fromLengths(syms []uint32, lengths []uint8) (*Codebook, error) {
 			cb.firstCode[l] = cb.codes[i]
 		}
 		cb.countLen[l]++
+		if cb.symbols[i] > cb.maxSym {
+			cb.maxSym = cb.symbols[i]
+		}
 	}
+	cb.buildDecodeTable()
 	return cb, nil
+}
+
+// buildDecodeTable fills the one-shot prefix table. Symbols are in canonical
+// order (length ascending), so the fill stops at the first code longer than
+// tabBits; prefixes not covered keep entry 0 and fall back to the canonical
+// walk.
+func (cb *Codebook) buildDecodeTable() {
+	tb := uint(cb.maxLen)
+	if tb > decodeTableBits {
+		tb = decodeTableBits
+	}
+	cb.tabBits = tb
+	cb.dtab = make([]uint32, 1<<tb)
+	for i, l := range cb.lengths {
+		if uint(l) > tb {
+			break
+		}
+		span := uint(1) << (tb - uint(l))
+		base := cb.codes[i] << (tb - uint(l))
+		e := uint32(l)<<16 | uint32(i)
+		for j := uint(0); j < span; j++ {
+			cb.dtab[base+uint32(j)] = e
+		}
+	}
 }
 
 // NumSymbols returns the alphabet size.
@@ -255,9 +335,23 @@ func (cb *Codebook) Encode(w *bitio.Writer, syms []uint32) error {
 	return nil
 }
 
-// Decode reads len(out) symbols from r using canonical decoding.
+// Decode reads len(out) symbols from r using canonical decoding. Codes up to
+// decodeTableBits long resolve with one table lookup; longer codes (and the
+// padded stream tail, where a table match could otherwise extend into
+// zero-padding) fall back to the bit-by-bit canonical walk, which reports
+// truncation exactly as before.
 func (cb *Codebook) Decode(r *bitio.Reader, out []uint32) error {
+	tb := cb.tabBits
 	for i := range out {
+		if v, avail := r.PeekBits(tb); avail > 0 {
+			if e := cb.dtab[v]; e != 0 {
+				if l := uint(e >> 16); l <= avail {
+					_ = r.Skip(l)
+					out[i] = cb.symbols[e&0xffff]
+					continue
+				}
+			}
+		}
 		var code uint32
 		var l uint8
 		for {
@@ -283,6 +377,36 @@ func (cb *Codebook) Decode(r *bitio.Reader, out []uint32) error {
 	return nil
 }
 
+// MaxSymbol returns the largest symbol value in the codebook; a dense encode
+// LUT must have at least MaxSymbol()+1 entries.
+func (cb *Codebook) MaxSymbol() uint32 { return cb.maxSym }
+
+// FillLUT writes each codebook symbol's packed code (code<<8 | length) into
+// lut[sym]. len(lut) must exceed MaxSymbol(). Entries for symbols outside
+// the codebook are left untouched, so a pooled scratch slice need not be
+// cleared between uses — but see the EncodeLUT contract.
+func (cb *Codebook) FillLUT(lut []uint64) {
+	for i, s := range cb.symbols {
+		lut[s] = uint64(cb.codes[i])<<8 | uint64(cb.lengths[i])
+	}
+}
+
+// EncodeLUT is Encode through a dense scratch LUT previously filled with
+// FillLUT, replacing the per-symbol map lookup with an array index. The
+// caller must guarantee every symbol of syms is in the codebook (stale LUT
+// entries are not detected); the compressor hot path satisfies this by
+// building the codebook from the same symbol stream it encodes.
+func (cb *Codebook) EncodeLUT(w *bitio.Writer, syms []uint32, lut []uint64) error {
+	for _, s := range syms {
+		if int64(s) >= int64(len(lut)) {
+			return fmt.Errorf("huffman: symbol %d outside LUT of %d entries", s, len(lut))
+		}
+		e := lut[s]
+		w.WriteBits(e>>8, uint(e&0xff))
+	}
+	return nil
+}
+
 // Serialize emits the codebook: uvarint(count), then per canonical entry a
 // uvarint symbol delta (+1 from previous, first is absolute) and a length
 // byte. Symbols are re-sorted by value for tight deltas.
@@ -296,7 +420,12 @@ func (cb *Codebook) Serialize() []byte {
 	for i := range cb.symbols {
 		entries[i] = entry{cb.symbols[i], cb.lengths[i]}
 	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].sym < entries[b].sym })
+	slices.SortFunc(entries, func(a, b entry) int {
+		if a.sym < b.sym {
+			return -1
+		}
+		return 1
+	})
 	buf := make([]byte, 0, n*2+10)
 	var tmp [binary.MaxVarintLen64]byte
 	k := binary.PutUvarint(tmp[:], uint64(n))

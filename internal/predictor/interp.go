@@ -140,6 +140,12 @@ func (p interpPredictor) sweep(dims, st []int, work []float64, d, s int, fn func
 // candidate and is sampled with uniform probability, which makes the number
 // of samples per level shrink by 2^-rank from fine to coarse exactly as the
 // level populations do. Predictions use original values (§III-C4).
+//
+// The pass is O(sample): sweep positions are enumerated cheaply and the
+// interpolation arithmetic runs only for the points the RNG actually picks.
+// The RNG is consumed once per sweep point in sweep order — exactly as the
+// previous compute-then-discard implementation did — so the sampled set
+// (and therefore every model profile) is unchanged.
 func (p interpPredictor) SampleErrors(f *grid.Field, rate float64, seed uint64) []float64 {
 	dims := f.Dims
 	st := strides(dims)
@@ -148,11 +154,7 @@ func (p interpPredictor) SampleErrors(f *grid.Field, rate float64, seed uint64) 
 	for level := maxLevelFor(dims); level >= 1; level-- {
 		s := 1 << (level - 1)
 		for d := range dims {
-			p.sweep(dims, st, f.Data, d, s, func(idx int, pred float64) {
-				if rng.Float64() < rate {
-					out = append(out, pred-f.Data[idx])
-				}
-			})
+			out = p.sweepSampled(dims, st, f.Data, d, s, rng, rate, out)
 		}
 	}
 	if len(out) == 0 && f.Len() > 1 {
@@ -164,4 +166,67 @@ func (p interpPredictor) SampleErrors(f *grid.Field, rate float64, seed uint64) 
 		})
 	}
 	return out
+}
+
+// sweepSampled walks the same positions as sweep but computes the
+// interpolation only for sampled points, appending (pred − original) to out.
+func (p interpPredictor) sweepSampled(dims, st []int, work []float64, d, s int,
+	rng *stats.XorShift64, rate float64, out []float64) []float64 {
+	rank := len(dims)
+	if s >= dims[d] {
+		return out
+	}
+	coord := make([]int, rank)
+	steps := make([]int, rank)
+	for j := 0; j < rank; j++ {
+		if j < d {
+			steps[j] = s
+		} else {
+			steps[j] = 2 * s
+		}
+	}
+	stD := st[d]
+	dimD := dims[d]
+	for {
+		base := 0
+		for j := 0; j < rank; j++ {
+			if j != d {
+				base += coord[j] * st[j]
+			}
+		}
+		for c := s; c < dimD; c += 2 * s {
+			if rng.Float64() >= rate {
+				continue
+			}
+			idx := base + c*stD
+			a := work[idx-s*stD]
+			var pred float64
+			hasB := c+s < dimD
+			if p.cubic && c-3*s >= 0 && c+3*s < dimD {
+				a3 := work[idx-3*s*stD]
+				b1 := work[idx+s*stD]
+				b3 := work[idx+3*s*stD]
+				pred = (-a3 + 9*a + 9*b1 - b3) / 16
+			} else if hasB {
+				pred = (a + work[idx+s*stD]) / 2
+			} else {
+				pred = a
+			}
+			out = append(out, pred-work[idx])
+		}
+		j := rank - 1
+		for ; j >= 0; j-- {
+			if j == d {
+				continue
+			}
+			coord[j] += steps[j]
+			if coord[j] < dims[j] {
+				break
+			}
+			coord[j] = 0
+		}
+		if j < 0 {
+			return out
+		}
+	}
 }

@@ -496,8 +496,13 @@ func (s *Service) decompressStream(w http.ResponseWriter, br *bufio.Reader) erro
 	// The reader stops exactly at the container footer, which under a
 	// chunked request body leaves the trailing encoding unread; with
 	// full-duplex enabled the server will not clean that up safely, so
-	// drain to EOF before returning.
-	defer func() { _, _ = io.Copy(io.Discard, br) }()
+	// drain to EOF before returning. Close first — it blocks until the
+	// reader's feeder goroutine has stopped touching br, so the drain (which
+	// also runs during the abort-handler panic unwind) never races it.
+	defer func() {
+		_ = sr.Close()
+		_, _ = io.Copy(io.Discard, br)
+	}()
 	// Decompressing streams read-while-write too: see compressStream.
 	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
 		return errf(http.StatusNotImplemented, "no_full_duplex",

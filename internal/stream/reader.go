@@ -39,9 +39,10 @@ type Reader struct {
 	hdr     codec.StreamHeader
 	workers int
 
-	pending chan chan decResult // per-chunk result slots, in stream order
-	done    chan struct{}
-	once    sync.Once
+	pending  chan chan decResult // per-chunk result slots, in stream order
+	done     chan struct{}
+	feedDone chan struct{}
+	once     sync.Once
 
 	cur     []float64 // decoded chunk being drained by Read
 	curByte []byte    // serialized remainder for Read
@@ -57,6 +58,7 @@ type decResult struct {
 
 type decJob struct {
 	chunk *codec.Chunk
+	crc   uint32
 	res   chan decResult
 }
 
@@ -68,8 +70,9 @@ func NewReader(src io.Reader, opts ...ReaderOption) (*Reader, error) {
 		return nil, err
 	}
 	r := &Reader{
-		hdr:  *hdr,
-		done: make(chan struct{}),
+		hdr:      *hdr,
+		done:     make(chan struct{}),
+		feedDone: make(chan struct{}),
 	}
 	for _, opt := range opts {
 		if err := opt(r); err != nil {
@@ -88,16 +91,24 @@ func NewReader(src io.Reader, opts ...ReaderOption) (*Reader, error) {
 func (r *Reader) Header() codec.StreamHeader { return r.hdr }
 
 // feed parses records sequentially, dispatching chunk payloads to the
-// decode pool and validating the trailer at the end of the stream.
+// decode pool and validating the trailer at the end of the stream. The
+// feeder is deliberately I/O-only: payload checksumming and decoding both
+// happen on the workers, so the serial section of the pipeline is just
+// reading bytes and parsing 21-byte record heads.
 func (r *Reader) feed(src io.Reader) {
+	defer close(r.feedDone)
 	defer close(r.pending)
-	jobs := make(chan decJob)
+	jobs := make(chan decJob, r.workers)
 	var wg sync.WaitGroup
 	for i := 0; i < r.workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if err := codec.VerifyChunk(j.chunk, j.crc); err != nil {
+					j.res <- decResult{err: err}
+					continue
+				}
 				vals, err := codec.DecodeChunk(j.chunk)
 				j.res <- decResult{vals: vals, err: err}
 			}
@@ -116,7 +127,7 @@ func (r *Reader) feed(src io.Reader) {
 		}
 		switch tag[0] {
 		case codec.TagChunk:
-			c, err := codec.ReadChunkBody(src)
+			c, crc, err := codec.ReadChunkBodyUnverified(src)
 			if err != nil {
 				r.emitErr(err)
 				return
@@ -128,7 +139,7 @@ func (r *Reader) feed(src io.Reader) {
 				return
 			}
 			select {
-			case jobs <- decJob{chunk: c, res: res}:
+			case jobs <- decJob{chunk: c, crc: crc, res: res}:
 			case <-r.done:
 				return
 			}
@@ -248,8 +259,12 @@ func (r *Reader) ReadAll() (*grid.Field, error) {
 func (r *Reader) Values() int64 { return r.values }
 
 // Close abandons the pipeline early; reading past EOF or an error closes
-// the Reader implicitly.
+// the Reader implicitly. Close blocks until the feeder goroutine has
+// stopped touching the source reader, so once it returns the caller owns
+// the source exclusively again (the serving layer relies on this to drain
+// request bodies safely).
 func (r *Reader) Close() error {
 	r.once.Do(func() { close(r.done) })
+	<-r.feedDone
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"rqm/internal/codec"
@@ -480,6 +481,65 @@ func TestReaderRejectsCorruptChunk(t *testing.T) {
 	}
 	if good != 5 {
 		t.Fatalf("decoded %d chunks before the corrupt one, want 5", good)
+	}
+}
+
+// trackingReader flags Reads that happen after the owner reclaims the
+// source — the exclusive-ownership contract Reader.Close guarantees.
+type trackingReader struct {
+	r         io.Reader
+	reclaimed atomic.Bool
+	violated  atomic.Bool
+}
+
+func (tr *trackingReader) Read(p []byte) (int, error) {
+	if tr.reclaimed.Load() {
+		tr.violated.Store(true)
+	}
+	return tr.r.Read(p)
+}
+
+// TestCloseReclaimsSource pins Reader.Close's ownership guarantee: after
+// Close returns — including the implicit Close on a mid-stream error — the
+// feeder goroutine must never touch the source again, because the serving
+// layer immediately drains the request body it wrapped. CRC failures are
+// the interesting case: they are detected on the worker pool, so the feeder
+// is still parsing ahead when the consumer sees the error.
+func TestCloseReclaimsSource(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithChunkValues(64), WithValueRange(-2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(waveValues(640)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := codec.LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	data[idx.Entries[2].Offset+30] ^= 0xFF
+
+	tr := &trackingReader{r: bytes.NewReader(data)}
+	r, err := NewReader(tr, WithReaderWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := r.NextChunk(); err != nil {
+			break // ErrChecksum from chunk 2; NextChunk closes implicitly
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr.reclaimed.Store(true)
+	if tr.violated.Load() {
+		t.Fatal("feeder read from the source after Close returned")
 	}
 }
 

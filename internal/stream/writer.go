@@ -47,8 +47,9 @@ type Writer struct {
 	dst   *countWriter
 	start time.Time
 
-	buf []float64 // accumulating chunk
-	rem []byte    // partial value carried between Write calls
+	buf     []float64 // accumulating chunk
+	rem     []byte    // partial value carried between Write calls
+	bufPool sync.Pool // recycled chunk buffers ([]float64 with chunk capacity)
 
 	order chan chan result // per-chunk result slots, in input order
 	jobs  chan job
@@ -92,8 +93,12 @@ func NewWriter(w io.Writer, opts ...Option) (*Writer, error) {
 		start:   time.Now(),
 		buf:     make([]float64, 0, cfg.chunkValues),
 		order:   make(chan chan result, cfg.workers+2),
-		jobs:    make(chan job),
+		jobs:    make(chan job, cfg.workers),
 		seqDone: make(chan struct{}),
+	}
+	sw.bufPool.New = func() interface{} {
+		b := make([]float64, 0, cfg.chunkValues)
+		return &b
 	}
 	hdr := &codec.StreamHeader{
 		CodecID:     cfg.codec.ID(),
@@ -192,10 +197,13 @@ func (w *Writer) WriteField(f *grid.Field) error {
 
 // dispatch hands the accumulated chunk to the pool. The order channel's
 // capacity is the pipeline's chunk-in-flight budget, so this blocks (and
-// back-pressures the producer) when the pool is saturated.
+// back-pressures the producer) when the pool is saturated. Chunk buffers are
+// recycled: the producer draws the next accumulation buffer from bufPool and
+// workers return finished buffers to it, so a steady-state stream reuses the
+// same workers+2 buffers however long it runs.
 func (w *Writer) dispatch() {
 	vals := w.buf
-	w.buf = make([]float64, 0, w.cfg.chunkValues)
+	w.buf = (*w.bufPool.Get().(*[]float64))[:0]
 	res := make(chan result, 1)
 	w.order <- res
 	w.jobs <- job{vals: vals, res: res}
@@ -210,6 +218,10 @@ func (w *Writer) worker() {
 			continue
 		}
 		c, err := w.compressChunk(j.vals)
+		// The compressor copies the chunk into its own work buffer and the
+		// payload never aliases vals, so the buffer can be recycled now.
+		vals := j.vals[:0]
+		w.bufPool.Put(&vals)
 		j.res <- result{chunk: c, err: err}
 	}
 }

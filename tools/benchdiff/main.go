@@ -26,6 +26,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Baseline is the checked-in reference file.
@@ -44,24 +45,32 @@ type Entry struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// MBPerS is the best (maximum) MB/s, when the benchmark reports it.
 	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// AllocsPerOp is the best (minimum) allocs/op, when the benchmark runs
+	// with -benchmem; it gets its own gate so the zero-allocation hot path
+	// cannot silently regress even while staying within the time threshold.
+	// A pointer so a genuine 0 allocs/op baseline round-trips through JSON
+	// (omitempty would drop it and silently disable the gate); nil means the
+	// calibration run had no -benchmem data.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Threshold overrides the default fractional regression allowance.
 	Threshold float64 `json:"threshold,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
-//	BenchmarkStreamWriter/workers=4-8   1   62896936 ns/op   112.53 MB/s   298 B/op ...
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.e+]+) ns/op(?:\s+([\d.e+]+) MB/s)?`)
+//	BenchmarkStreamWriter/workers=4-8   1   62896936 ns/op   112.53 MB/s   298 B/op   5 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.e+]+) ns/op(?:\s+([\d.e+]+) MB/s)?(?:\s+[\d.e+]+ B/op)?(?:\s+([\d.e+]+) allocs/op)?`)
 
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
 		update       = flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
 		threshold    = flag.Float64("threshold", 0.20, "default fractional regression allowance for -update")
+		summaryPath  = flag.String("summary", "", "also write a markdown comparison table to this file (CI job summary)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file.json] [-update] bench-output.txt (or - for stdin)")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file.json] [-update] [-summary out.md] bench-output.txt (or - for stdin)")
 		os.Exit(2)
 	}
 	samples, err := parseBench(flag.Arg(0))
@@ -82,6 +91,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *summaryPath != "" {
+		if err := writeSummary(*summaryPath, base, samples); err != nil {
+			fatal(err)
+		}
+	}
 	if err := compare(base, samples); err != nil {
 		fatal(err)
 	}
@@ -89,9 +103,10 @@ func main() {
 
 // sample aggregates the repeated observations of one benchmark.
 type sample struct {
-	bestNs   float64 // minimum ns/op
-	bestMBPS float64 // maximum MB/s (0 when unreported)
-	count    int
+	bestNs     float64 // minimum ns/op
+	bestMBPS   float64 // maximum MB/s (0 when unreported)
+	bestAllocs float64 // minimum allocs/op (-1 when unreported)
+	count      int
 }
 
 // parseBench reads a -bench output file ("-" = stdin) into best-of samples.
@@ -119,7 +134,7 @@ func parseBench(path string) (map[string]*sample, error) {
 		}
 		s := out[m[1]]
 		if s == nil {
-			s = &sample{bestNs: ns}
+			s = &sample{bestNs: ns, bestAllocs: -1}
 			out[m[1]] = s
 		}
 		s.count++
@@ -129,6 +144,13 @@ func parseBench(path string) (map[string]*sample, error) {
 		if m[3] != "" {
 			if mbps, err := strconv.ParseFloat(m[3], 64); err == nil && mbps > s.bestMBPS {
 				s.bestMBPS = mbps
+			}
+		}
+		if m[4] != "" {
+			if allocs, err := strconv.ParseFloat(m[4], 64); err == nil {
+				if s.bestAllocs < 0 || allocs < s.bestAllocs {
+					s.bestAllocs = allocs
+				}
 			}
 		}
 	}
@@ -182,6 +204,20 @@ func compare(base *Baseline, samples map[string]*sample) error {
 		default:
 			fmt.Printf("ok   %s: baseline has no reference numbers, skipped\n", name)
 		}
+		// Allocations gate on top of the time gate, when both sides report
+		// them. Runs without -benchmem simply skip it. A 0 allocs/op
+		// baseline gates too: its ceiling is 0, so any allocation fails.
+		if e.AllocsPerOp != nil && s.bestAllocs >= 0 {
+			base := *e.AllocsPerOp
+			ceil := base * (1 + allowed)
+			if s.bestAllocs > ceil {
+				fmt.Printf("FAIL %s: %.0f allocs/op, above %.0f (baseline %.0f + %d%%)\n",
+					name, s.bestAllocs, ceil, base, int(allowed*100))
+				failures++
+			} else {
+				fmt.Printf("ok   %s: %.0f allocs/op (baseline %.0f)\n", name, s.bestAllocs, base)
+			}
+		}
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond their threshold", failures)
@@ -205,13 +241,63 @@ func readBaseline(path string) (*Baseline, error) {
 func writeBaseline(path string, samples map[string]*sample, threshold float64) error {
 	b := Baseline{DefaultThreshold: threshold, Benchmarks: map[string]Entry{}}
 	for name, s := range samples {
-		b.Benchmarks[name] = Entry{NsPerOp: s.bestNs, MBPerS: s.bestMBPS}
+		e := Entry{NsPerOp: s.bestNs, MBPerS: s.bestMBPS}
+		if s.bestAllocs >= 0 {
+			allocs := s.bestAllocs
+			e.AllocsPerOp = &allocs
+		}
+		b.Benchmarks[name] = e
 	}
 	raw, err := json.MarshalIndent(&b, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// writeSummary renders the baseline-vs-run comparison as a markdown table —
+// the before/after MB/s and allocs/op view the CI job summary shows.
+func writeSummary(path string, base *Baseline, samples map[string]*sample) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("### Benchmark comparison (best of run vs committed baseline)\n\n")
+	sb.WriteString("| benchmark | base MB/s | run MB/s | base ns/op | run ns/op | base allocs/op | run allocs/op |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+	num := func(v float64, format string) string {
+		if v <= 0 {
+			return "—"
+		}
+		return fmt.Sprintf(format, v)
+	}
+	baseAllocs := func(e Entry) string {
+		if e.AllocsPerOp == nil {
+			return "—"
+		}
+		return fmt.Sprintf("%.0f", *e.AllocsPerOp)
+	}
+	for _, name := range names {
+		e := base.Benchmarks[name]
+		s, ok := samples[name]
+		if !ok {
+			fmt.Fprintf(&sb, "| %s | %s | missing | %s | missing | %s | missing |\n",
+				name, num(e.MBPerS, "%.2f"), num(e.NsPerOp, "%.0f"), baseAllocs(e))
+			continue
+		}
+		runAllocs := "—"
+		if s.bestAllocs >= 0 {
+			runAllocs = fmt.Sprintf("%.0f", s.bestAllocs)
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			name,
+			num(e.MBPerS, "%.2f"), num(s.bestMBPS, "%.2f"),
+			num(e.NsPerOp, "%.0f"), num(s.bestNs, "%.0f"),
+			baseAllocs(e), runAllocs)
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }
 
 func fatal(err error) {

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -18,6 +20,9 @@ BenchmarkEngineBatch4-8                   	       2	  10500000 ns/op
 PASS
 ok  	rqm	13.804s
 `
+
+// fp builds the *float64 baseline fields.
+func fp(v float64) *float64 { return &v }
 
 func writeTemp(t *testing.T, name, content string) string {
 	t.Helper()
@@ -92,6 +97,113 @@ func TestCompareThresholds(t *testing.T) {
 	}
 	if err := compare(missing, samples); err == nil {
 		t.Fatal("baseline benchmark missing from the run passed the gate")
+	}
+}
+
+func TestParseBenchAllocs(t *testing.T) {
+	samples, err := parseBench(writeTemp(t, "bench.txt", benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := samples["BenchmarkStreamWriter/workers=1"]
+	if sw == nil || sw.bestAllocs != 10052 {
+		t.Fatalf("workers=1 sample %+v, want 10052 allocs/op", sw)
+	}
+	// EngineBatch4 ran without -benchmem: allocs must stay unreported.
+	if eb := samples["BenchmarkEngineBatch4"]; eb == nil || eb.bestAllocs != -1 {
+		t.Fatalf("EngineBatch4 sample %+v, want allocs unreported (-1)", eb)
+	}
+}
+
+func TestCompareAllocsGate(t *testing.T) {
+	samples, err := parseBench(writeTemp(t, "bench.txt", benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Baseline{
+		DefaultThreshold: 0.20,
+		Benchmarks: map[string]Entry{
+			// 10052 allocs observed vs 9000 baseline: +11.7%, within 20%.
+			"BenchmarkStreamWriter/workers=1": {NsPerOp: 51000000, MBPerS: 140, AllocsPerOp: fp(9000)},
+		},
+	}
+	if err := compare(pass, samples); err != nil {
+		t.Fatalf("within-threshold allocs failed: %v", err)
+	}
+	fail := &Baseline{
+		DefaultThreshold: 0.20,
+		Benchmarks: map[string]Entry{
+			// 10052 allocs observed vs 5000 baseline: +100%, beyond 20% —
+			// must fail even though time and throughput are fine.
+			"BenchmarkStreamWriter/workers=1": {NsPerOp: 51000000, MBPerS: 140, AllocsPerOp: fp(5000)},
+		},
+	}
+	if err := compare(fail, samples); err == nil {
+		t.Fatal("2x allocation regression passed the 20% gate")
+	}
+	// A baseline without allocs must not gate a -benchmem run, and vice
+	// versa: EngineBatch4 has no allocs on either side here.
+	noAllocs := &Baseline{
+		DefaultThreshold: 0.20,
+		Benchmarks:       map[string]Entry{"BenchmarkEngineBatch4": {NsPerOp: 10000000}},
+	}
+	if err := compare(noAllocs, samples); err != nil {
+		t.Fatalf("allocs-free comparison failed: %v", err)
+	}
+	// A true zero-allocation baseline must survive the JSON round trip and
+	// still gate: any allocation at all is a regression from 0.
+	zero := &Baseline{
+		DefaultThreshold: 0.20,
+		Benchmarks: map[string]Entry{
+			"BenchmarkStreamWriter/workers=1": {NsPerOp: 51000000, MBPerS: 140, AllocsPerOp: fp(0)},
+		},
+	}
+	enc, err := json.Marshal(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := readBaseline(writeTemp(t, "zero.json", string(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := back.Benchmarks["BenchmarkStreamWriter/workers=1"]
+	if e.AllocsPerOp == nil || *e.AllocsPerOp != 0 {
+		t.Fatalf("0 allocs/op baseline did not round-trip: %+v", e)
+	}
+	if err := compare(back, samples); err == nil {
+		t.Fatal("10052 allocs/op passed a 0 allocs/op baseline")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	samples, err := parseBench(writeTemp(t, "bench.txt", benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &Baseline{
+		DefaultThreshold: 0.20,
+		Benchmarks: map[string]Entry{
+			"BenchmarkStreamWriter/workers=1": {NsPerOp: 45000000, MBPerS: 160, AllocsPerOp: fp(9000)},
+			"BenchmarkGone":                   {NsPerOp: 12345},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "summary.md")
+	if err := writeSummary(path, base, samples); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(raw)
+	for _, want := range []string{
+		"| BenchmarkStreamWriter/workers=1 | 160.00 | 140.00 |",
+		"10052",
+		"| BenchmarkGone | — | missing |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("summary missing %q:\n%s", want, md)
+		}
 	}
 }
 
