@@ -15,12 +15,15 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"rqm/internal/service"
 )
@@ -55,10 +58,21 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("rqserved: %s (%d %s)", e.Message, e.Status, e.Code)
 }
 
+// DefaultRetryAttempts and DefaultRetryBase configure the built-in 429
+// retry policy for idempotent (GET) requests: up to 3 total attempts with
+// jittered exponential backoff starting around DefaultRetryBase.
+const (
+	DefaultRetryAttempts = 3
+	DefaultRetryBase     = 100 * time.Millisecond
+)
+
 // Client talks to one rqserved endpoint. Safe for concurrent use.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	retryAttempts int
+	retryBase     time.Duration
 }
 
 // Option configures a Client.
@@ -70,13 +84,36 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithRetry tunes the 429 retry policy for idempotent (GET) requests:
+// attempts is the total try count (1 disables retries), base the first
+// backoff delay. Only the service's typed admission-control rejection
+// (HTTP 429, code "too_many_requests") is retried — and never for POST or
+// DELETE, whose effects must not be replayed blindly.
+func WithRetry(attempts int, base time.Duration) Option {
+	return func(c *Client) {
+		if attempts < 1 {
+			attempts = 1
+		}
+		if base <= 0 {
+			base = DefaultRetryBase
+		}
+		c.retryAttempts = attempts
+		c.retryBase = base
+	}
+}
+
 // New builds a client for the service at baseURL (e.g. "http://host:8080").
 func New(baseURL string, opts ...Option) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil || u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("client: %q is not an absolute base URL", baseURL)
 	}
-	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: http.DefaultClient}
+	c := &Client{
+		base:          strings.TrimRight(u.String(), "/"),
+		hc:            http.DefaultClient,
+		retryAttempts: DefaultRetryAttempts,
+		retryBase:     DefaultRetryBase,
+	}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -311,6 +348,59 @@ func (c *Client) get(ctx context.Context, path string, q url.Values) (*http.Resp
 }
 
 func (c *Client) do(ctx context.Context, method, path string, q url.Values, body io.Reader) (*http.Response, error) {
+	// Idempotent requests (GETs carry no body and cause no server-side
+	// effect) retry the service's typed admission rejection with jittered
+	// exponential backoff: a 429 means "momentarily full", not "broken".
+	attempts := 1
+	if method == http.MethodGet {
+		attempts = c.retryAttempts
+	}
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			if err := c.backoff(ctx, try); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.doOnce(ctx, method, path, q, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// maxRetryBackoff caps one backoff sleep: past it, exponential growth buys
+// nothing (and unchecked doubling would eventually overflow time.Duration).
+const maxRetryBackoff = 30 * time.Second
+
+// backoff sleeps the jittered exponential delay for retry number try,
+// honoring context cancellation.
+func (c *Client) backoff(ctx context.Context, try int) error {
+	d := c.retryBase
+	for i := 1; i < try && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d))) // 0.5x..1.5x jitter
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, q url.Values, body io.Reader) (*http.Response, error) {
 	u := c.base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()

@@ -1,0 +1,192 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"strconv"
+
+	"rqm/internal/service"
+)
+
+// Dataset archive methods: the client side of the /v1/datasets endpoints.
+// A put uploads a .rqmf field for profiled, chunked storage; slice reads
+// pull element ranges that the server decompresses from only the covering
+// chunks; recompaction asks the server to re-solve the dataset's cached
+// ratio-quality model for a new target — a no-op round trip when the model
+// says the target is already met.
+
+// Re-exported dataset response types (the service wire format is the
+// contract).
+type (
+	// DatasetInfo summarizes one stored dataset.
+	DatasetInfo = service.DatasetInfo
+	// RecompactResponse reports one recompaction decision.
+	RecompactResponse = service.RecompactResponse
+)
+
+// PutDatasetParams scope one dataset put; zero values defer to the server's
+// engine configuration.
+type PutDatasetParams struct {
+	// Codec, Predictor, Mode, Lossless override the server's backend
+	// configuration by name; Mode must be "abs" or "rel" for datasets.
+	Codec, Predictor, Mode, Lossless string
+	// ErrorBound overrides the bound (Mode semantics); 0 = server default.
+	ErrorBound float64
+	// ChunkValues sets the container chunk size in values (0 = default).
+	ChunkValues int
+	// SampleRate and Seed configure the cached profile's sampling pass.
+	SampleRate float64
+	Seed       uint64
+}
+
+func (p PutDatasetParams) query() url.Values {
+	q := url.Values{}
+	set := func(k, v string) {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	set("codec", p.Codec)
+	set("predictor", p.Predictor)
+	set("mode", p.Mode)
+	set("lossless", p.Lossless)
+	if p.ErrorBound > 0 {
+		q.Set("eb", strconv.FormatFloat(p.ErrorBound, 'g', -1, 64))
+	}
+	if p.ChunkValues > 0 {
+		q.Set("chunk", strconv.Itoa(p.ChunkValues))
+	}
+	if p.SampleRate > 0 {
+		q.Set("sample", strconv.FormatFloat(p.SampleRate, 'g', -1, 64))
+	}
+	if p.Seed > 0 {
+		q.Set("seed", strconv.FormatUint(p.Seed, 10))
+	}
+	return q
+}
+
+func datasetPath(name string) string { return "/v1/datasets/" + url.PathEscape(name) }
+
+// PutDataset uploads a .rqmf field for persistent storage under name,
+// replacing any previous dataset of that name.
+func (c *Client) PutDataset(ctx context.Context, name string, field io.Reader, p PutDatasetParams) (*DatasetInfo, error) {
+	resp, err := c.post(ctx, datasetPath(name), p.query(), field)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var info DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("client: decoding dataset response: %w", err)
+	}
+	return &info, nil
+}
+
+// GetDataset streams the stored dataset back as a decompressed .rqmf field.
+func (c *Client) GetDataset(ctx context.Context, name string, out io.Writer) error {
+	resp, err := c.get(ctx, datasetPath(name), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		return fmt.Errorf("client: reading dataset stream: %w", err)
+	}
+	return nil
+}
+
+// GetDatasetContainer streams the stored dataset's compressed container
+// verbatim — with its trailer index, the bytes are random-accessible via
+// rqm.ReadStreamIndex/ReadStreamChunk without another round trip.
+func (c *Client) GetDatasetContainer(ctx context.Context, name string, out io.Writer) error {
+	q := url.Values{}
+	q.Set("raw", "1")
+	resp, err := c.get(ctx, datasetPath(name), q)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		return fmt.Errorf("client: reading container stream: %w", err)
+	}
+	return nil
+}
+
+// StatDataset fetches one dataset's manifest summary without any payload.
+func (c *Client) StatDataset(ctx context.Context, name string) (*DatasetInfo, error) {
+	q := url.Values{}
+	q.Set("manifest", "1")
+	resp, err := c.get(ctx, datasetPath(name), q)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var info DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("client: decoding dataset manifest: %w", err)
+	}
+	return &info, nil
+}
+
+// ListDatasets fetches the summaries of every stored dataset.
+func (c *Client) ListDatasets(ctx context.Context) ([]DatasetInfo, error) {
+	resp, err := c.get(ctx, "/v1/datasets", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var lr service.ListDatasetsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return nil, fmt.Errorf("client: decoding dataset list: %w", err)
+	}
+	return lr.Datasets, nil
+}
+
+// DeleteDataset removes a stored dataset.
+func (c *Client) DeleteDataset(ctx context.Context, name string) error {
+	resp, err := c.do(ctx, "DELETE", datasetPath(name), nil, nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// SliceDataset streams elements [off, off+n) of a stored dataset as a 1-D
+// .rqmf field. The server decompresses only the chunks covering the range.
+func (c *Client) SliceDataset(ctx context.Context, name string, off, n int64, out io.Writer) error {
+	q := url.Values{}
+	q.Set("off", strconv.FormatInt(off, 10))
+	q.Set("len", strconv.FormatInt(n, 10))
+	resp, err := c.get(ctx, datasetPath(name)+"/slice", q)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		return fmt.Errorf("client: reading slice stream: %w", err)
+	}
+	return nil
+}
+
+// RecompactDataset asks the server to recompact a dataset toward a target
+// ("ratio" or "psnr" Kind). The server answers from the dataset's cached
+// ratio-quality profile and skips the rewrite when the target is already
+// met — inspect Skipped/Reason on the response.
+func (c *Client) RecompactDataset(ctx context.Context, name string, target SolveTarget) (*RecompactResponse, error) {
+	q := url.Values{}
+	q.Set("target-"+target.Kind, strconv.FormatFloat(target.Value, 'g', -1, 64))
+	resp, err := c.post(ctx, datasetPath(name)+"/recompact", q, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var rr RecompactResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("client: decoding recompact response: %w", err)
+	}
+	return &rr, nil
+}

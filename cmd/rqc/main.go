@@ -24,6 +24,20 @@
 // field streams up, the container streams back, and all codec flags travel
 // as request-scoped options.
 //
+// Against a rqserved instance started with -store-dir, the dataset
+// subcommands manage the persistent archive:
+//
+//	rqc put       -remote URL -name nyx -in field.rqmf [-mode rel -eb 1e-3 -chunk N]
+//	rqc get       -remote URL -name nyx -out field.rqmf [-off 1000 -len 500] [-raw]
+//	rqc ls        -remote URL
+//	rqc rm        -remote URL -name nyx
+//	rqc recompact -remote URL -name nyx -target-ratio 40 | -target-psnr 60
+//
+// put profiles the field once server-side and stores the container with its
+// cached ratio-quality profile; get -off/-len slice-reads only the covering
+// chunks; recompact re-solves the cached model for the target and skips the
+// rewrite when the model says it is already met.
+//
 // compress prints the run statistics; with -verify it also decompresses and
 // checks the error bound end to end.
 package main
@@ -56,13 +70,23 @@ func main() {
 		cmdDecompress(os.Args[2:])
 	case "inspect":
 		cmdInspect(os.Args[2:])
+	case "put":
+		cmdPut(os.Args[2:])
+	case "get":
+		cmdGet(os.Args[2:])
+	case "ls":
+		cmdLs(os.Args[2:])
+	case "rm":
+		cmdRm(os.Args[2:])
+	case "recompact":
+		cmdRecompact(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rqc compress|decompress|inspect [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rqc compress|decompress|inspect|put|get|ls|rm|recompact [flags]")
 	os.Exit(2)
 }
 
@@ -573,6 +597,167 @@ func decompressRemote(base, in, out string) {
 	must(err)
 	st, _ := os.Stat(out)
 	fmt.Printf("remote-decompressed %s -> %s (%d bytes) via %s\n", in, out, st.Size(), base)
+}
+
+// ---------------------------------------------------------------------------
+// Dataset archive subcommands (remote only)
+
+// storeClient builds the client for the dataset subcommands, which have no
+// local mode: the archive lives behind a rqserved -store-dir instance.
+func storeClient(base string) *client.Client {
+	if base == "" {
+		fatal(fmt.Errorf("dataset commands need -remote URL (a rqserved instance with -store-dir)"))
+	}
+	c, err := client.New(base)
+	must(err)
+	return c
+}
+
+func cmdPut(args []string) {
+	fs := flag.NewFlagSet("put", flag.ExitOnError)
+	codecNames := strings.Join(rqm.CodecNames(), "|")
+	var (
+		remote    = fs.String("remote", "", "rqserved base URL (required)")
+		name      = fs.String("name", "", "dataset name (required)")
+		in        = fs.String("in", "", "input .rqmf field file (required)")
+		codecName = fs.String("codec", "", codecNames+" (empty = server default)")
+		predName  = fs.String("predictor", "", "prediction scheme (empty = server default)")
+		mode      = fs.String("mode", "", "abs|rel (empty = server default)")
+		eb        = fs.Float64("eb", 0, "error bound, mode semantics (0 = server default)")
+		lossless  = fs.String("lossless", "", "none|rle|lz77|flate (empty = server default)")
+		chunk     = fs.Int("chunk", 0, "chunk size in values (0 = default)")
+		sample    = fs.Float64("sample", 0, "profile sampling rate (0 = server default)")
+		seed      = fs.Uint64("seed", 0, "profile sampling seed (0 = server default)")
+	)
+	must(fs.Parse(args))
+	if *name == "" || *in == "" {
+		fatal(fmt.Errorf("put: -name and -in are required"))
+	}
+	c := storeClient(*remote)
+	src, err := os.Open(*in)
+	must(err)
+	defer src.Close()
+	info, err := c.PutDataset(context.Background(), *name, bufio.NewReaderSize(src, 1<<20),
+		client.PutDatasetParams{
+			Codec: *codecName, Predictor: *predName, Mode: *mode, Lossless: *lossless,
+			ErrorBound: *eb, ChunkValues: *chunk, SampleRate: *sample, Seed: *seed,
+		})
+	must(err)
+	fmt.Printf("put %s: %d values in %d chunks, %d -> %d bytes (ratio %.2fx, %s %g, est PSNR %.2f dB)\n",
+		info.Name, info.TotalValues, info.Chunks, info.OriginalBytes, info.ContainerBytes,
+		info.Ratio, info.Mode, info.ErrorBound, float64(info.EstPSNR))
+}
+
+func cmdGet(args []string) {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	var (
+		remote = fs.String("remote", "", "rqserved base URL (required)")
+		name   = fs.String("name", "", "dataset name (required)")
+		out    = fs.String("out", "", "output file (required)")
+		off    = fs.Int64("off", 0, "slice start element (with -len)")
+		length = fs.Int64("len", 0, "slice length in elements (0 = whole dataset)")
+		raw    = fs.Bool("raw", false, "fetch the compressed container instead of the field")
+	)
+	must(fs.Parse(args))
+	if *name == "" || *out == "" {
+		fatal(fmt.Errorf("get: -name and -out are required"))
+	}
+	if *raw && *length > 0 {
+		fatal(fmt.Errorf("get: -raw and -len are mutually exclusive"))
+	}
+	c := storeClient(*remote)
+	dst, err := os.Create(*out)
+	must(err)
+	bw := bufio.NewWriterSize(dst, 1<<20)
+	switch {
+	case *length > 0:
+		err = c.SliceDataset(context.Background(), *name, *off, *length, bw)
+	case *raw:
+		err = c.GetDatasetContainer(context.Background(), *name, bw)
+	default:
+		err = c.GetDataset(context.Background(), *name, bw)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(*out)
+	}
+	must(err)
+	st, _ := os.Stat(*out)
+	if *length > 0 {
+		fmt.Printf("got %s[%d:%d] -> %s (%d bytes)\n", *name, *off, *off+*length, *out, st.Size())
+	} else {
+		fmt.Printf("got %s -> %s (%d bytes)\n", *name, *out, st.Size())
+	}
+}
+
+func cmdLs(args []string) {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	remote := fs.String("remote", "", "rqserved base URL (required)")
+	must(fs.Parse(args))
+	c := storeClient(*remote)
+	infos, err := c.ListDatasets(context.Background())
+	must(err)
+	if len(infos) == 0 {
+		fmt.Println("no datasets")
+		return
+	}
+	fmt.Printf("%-24s %-14s %10s %12s %8s %6s %s\n",
+		"NAME", "DIMS", "VALUES", "BYTES", "RATIO", "GEN", "BOUND")
+	for _, d := range infos {
+		fmt.Printf("%-24s %-14s %10d %12d %7.2fx %6d %s %g\n",
+			d.Name, fmt.Sprint(d.Dims), d.TotalValues, d.ContainerBytes, d.Ratio,
+			d.Generation, d.Mode, d.ErrorBound)
+	}
+}
+
+func cmdRm(args []string) {
+	fs := flag.NewFlagSet("rm", flag.ExitOnError)
+	var (
+		remote = fs.String("remote", "", "rqserved base URL (required)")
+		name   = fs.String("name", "", "dataset name (required)")
+	)
+	must(fs.Parse(args))
+	if *name == "" {
+		fatal(fmt.Errorf("rm: -name is required"))
+	}
+	c := storeClient(*remote)
+	must(c.DeleteDataset(context.Background(), *name))
+	fmt.Printf("removed %s\n", *name)
+}
+
+func cmdRecompact(args []string) {
+	fs := flag.NewFlagSet("recompact", flag.ExitOnError)
+	var (
+		remote      = fs.String("remote", "", "rqserved base URL (required)")
+		name        = fs.String("name", "", "dataset name (required)")
+		targetRatio = fs.Float64("target-ratio", 0, "recompact toward this compression ratio")
+		targetPSNR  = fs.Float64("target-psnr", 0, "recompact toward this PSNR in dB")
+	)
+	must(fs.Parse(args))
+	if *name == "" {
+		fatal(fmt.Errorf("recompact: -name is required"))
+	}
+	if (*targetRatio > 0) == (*targetPSNR > 0) {
+		fatal(fmt.Errorf("recompact: need exactly one of -target-ratio, -target-psnr"))
+	}
+	target := client.SolveTarget{Kind: "ratio", Value: *targetRatio}
+	if *targetPSNR > 0 {
+		target = client.SolveTarget{Kind: "psnr", Value: *targetPSNR}
+	}
+	c := storeClient(*remote)
+	rr, err := c.RecompactDataset(context.Background(), *name, target)
+	must(err)
+	if rr.Skipped {
+		fmt.Printf("recompact %s: skipped (%s)\n", rr.Name, rr.Reason)
+		return
+	}
+	fmt.Printf("recompacted %s: bound %.6g -> %.6g, ratio %.2fx -> %.2fx (est PSNR %.2f dB, generation %d)\n",
+		rr.Name, rr.OldBound, rr.NewBound, rr.OldRatio, rr.NewRatio, float64(rr.EstPSNR), rr.Generation)
 }
 
 // scanValueRange streams a field file once to find its global value range

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"rqm"
+	"rqm/internal/grid"
+	"rqm/internal/service"
+	"rqm/internal/store"
 )
 
 // TestScanValueRange checks the streaming pre-pass finds the same global
@@ -32,5 +37,92 @@ func TestScanValueRange(t *testing.T) {
 		if lo != -7.5 || hi != 1024 {
 			t.Fatalf("prec %d: scanned range [%g, %g], want [-7.5, 1024]", prec.Bits(), lo, hi)
 		}
+	}
+}
+
+// TestDatasetSubcommands drives put/get/ls/rm/recompact end to end against
+// an in-process rqserved instance with a store. The subcommands fatal (exit
+// the test binary) on any error, so reaching the final assertion is itself
+// the pass condition; file contents are verified on top.
+func TestDatasetSubcommands(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(service.Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+
+	dir := t.TempDir()
+	g, err := rqm.GenerateField("nyx/temperature", 11, rqm.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rqm.FieldFromData("cli", rqm.Float64, g.Data, g.Dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "in.rqmf")
+	fh, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteTo(fh); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmdPut([]string{"-remote", ts.URL, "-name", "cli", "-in", in, "-mode", "rel", "-eb", "1e-3", "-chunk", "1024"})
+	cmdLs([]string{"-remote", ts.URL})
+
+	out := filepath.Join(dir, "out.rqmf")
+	cmdGet([]string{"-remote", ts.URL, "-name", "cli", "-out", out})
+	oh, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := grid.ReadFrom(oh)
+	oh.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rqm.VerifyErrorBound(f, back, rqm.REL, 1e-3*(1+1e-12)); err != nil {
+		t.Fatal(err)
+	}
+
+	slice := filepath.Join(dir, "slice.rqmf")
+	cmdGet([]string{"-remote", ts.URL, "-name", "cli", "-out", slice, "-off", "100", "-len", "64"})
+	sh, err := os.Open(slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := grid.ReadFrom(sh)
+	sh.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Len() != 64 || sf.Data[0] != back.Data[100] {
+		t.Fatalf("slice: %d values, first %v (want %v)", sf.Len(), sf.Data[0], back.Data[100])
+	}
+
+	// Recompact to an already-met ratio: must report a skip, not rewrite.
+	m, err := st.Manifest("cli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := st.Writes()
+	cmdRecompact([]string{"-remote", ts.URL, "-name", "cli", "-target-ratio", fmt.Sprint(m.Ratio / 2)})
+	if st.Writes() != writes {
+		t.Fatal("met-target recompact rewrote the container")
+	}
+
+	cmdRm([]string{"-remote", ts.URL, "-name", "cli"})
+	if _, err := st.Manifest("cli"); err == nil {
+		t.Fatal("dataset survived rm")
 	}
 }

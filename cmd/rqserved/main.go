@@ -9,6 +9,11 @@
 //	rqserved -addr :8080
 //	rqserved -addr :8080 -codec prediction -predictor lorenzo -mode rel -eb 1e-3 \
 //	         -max-inflight 32 -cache 256 -stream-threshold 67108864
+//	rqserved -addr :8080 -store-dir /var/lib/rqm   # enable /v1/datasets
+//
+// With -store-dir the server also hosts the persistent dataset archive:
+// PUT/GET/DELETE /v1/datasets/{name}, random-access slice reads, and
+// model-guided recompaction (see internal/store).
 //
 // The server drains in-flight requests on SIGINT/SIGTERM (graceful
 // shutdown, 15 s budget).
@@ -29,6 +34,7 @@ import (
 
 	"rqm"
 	"rqm/internal/service"
+	"rqm/internal/store"
 )
 
 func main() {
@@ -45,7 +51,9 @@ func main() {
 		cacheSize = flag.Int("cache", 128, "profile LRU cache entries")
 		threshold = flag.Int64("stream-threshold", service.DefaultStreamThreshold,
 			"compress bodies at least this many bytes stream chunked (<0 disables)")
-		sample    = flag.Float64("sample", 0, "model sampling rate for profiles (0 = paper default 1%)")
+		sample   = flag.Float64("sample", 0, "model sampling rate for profiles (0 = paper default 1%)")
+		storeDir = flag.String("store-dir", "",
+			"host the persistent dataset archive at this directory (empty disables /v1/datasets)")
 		pprofAddr = flag.String("pprof-addr", "",
 			"serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
@@ -59,12 +67,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir); err != nil {
+			fatal(err)
+		}
+		_, n := st.Bytes()
+		log.Printf("rqserved: dataset store at %s (%d datasets)", *storeDir, n)
+	}
 	svc, err := service.New(service.Config{
 		Engine:           eng,
 		Model:            rqm.ModelOptions{SampleRate: *sample},
 		MaxInflight:      *inflight,
 		ProfileCacheSize: *cacheSize,
 		StreamThreshold:  *threshold,
+		Store:            st,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,643 @@
+package service
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"time"
+
+	"rqm"
+	"rqm/internal/grid"
+	"rqm/internal/store"
+)
+
+// Dataset endpoints: the persistent, RQ-indexed archive behind the
+// stateless compressor. A put profiles the field once, compresses it
+// through the chunked pipeline, and commits container + manifest (chunk
+// index, content hash, cached ratio-quality profile) crash-safely; from
+// then on slice reads decompress only the chunks covering the requested
+// element range, and recompaction solves the cached model for a new bound —
+// skipping the rewrite entirely when the model says the target is already
+// met. The store closes the paper's loop: the model doesn't just pick the
+// bound at compress time, it keeps answering for the artifact's lifetime.
+//
+//	POST   /v1/datasets/{name}            .rqmf body -> admit/replace dataset
+//	GET    /v1/datasets                   list dataset summaries
+//	GET    /v1/datasets/{name}            .rqmf field (?raw=1 container,
+//	                                      ?manifest=1 summary JSON)
+//	DELETE /v1/datasets/{name}            remove dataset
+//	GET    /v1/datasets/{name}/slice      ?off=&len= -> 1-D .rqmf of the range
+//	POST   /v1/datasets/{name}/recompact  ?target-ratio=|target-psnr= ->
+//	                                      model-guided rewrite (or skip)
+
+// DatasetInfo is the JSON summary of one stored dataset (put/stat/list
+// responses; the manifest minus the profile blob).
+type DatasetInfo struct {
+	Name           string    `json:"name"`
+	CreatedAt      time.Time `json:"created_at"`
+	Generation     int       `json:"generation"`
+	PrecBits       int       `json:"prec_bits"`
+	Dims           []int     `json:"dims"`
+	Codec          string    `json:"codec"`
+	Predictor      string    `json:"predictor,omitempty"`
+	Mode           string    `json:"mode"`
+	ErrorBound     float64   `json:"error_bound"`
+	Lossless       string    `json:"lossless,omitempty"`
+	ContentHash    string    `json:"content_hash"`
+	TotalValues    int64     `json:"total_values"`
+	OriginalBytes  int64     `json:"original_bytes"`
+	ContainerBytes int64     `json:"container_bytes"`
+	Ratio          float64   `json:"ratio"`
+	EstPSNR        Float     `json:"est_psnr"`
+	Chunks         int       `json:"chunks"`
+	Profiled       bool      `json:"profiled"`
+}
+
+// ListDatasetsResponse is the GET /v1/datasets body.
+type ListDatasetsResponse struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// RecompactResponse is the POST /v1/datasets/{name}/recompact body.
+type RecompactResponse struct {
+	Name string `json:"name"`
+	// Skipped reports a zero-rewrite decision: the cached model answered
+	// that the target is already met (or unreachable from a lossy archive).
+	Skipped bool   `json:"skipped"`
+	Reason  string `json:"reason,omitempty"`
+	// Target and TargetValue echo the request.
+	Target      string  `json:"target"`
+	TargetValue float64 `json:"target_value"`
+	// OldBound/NewBound are the end-to-end absolute error guarantees vs the
+	// original data before/after (new == old when skipped). A rewrite's
+	// input is itself a reconstruction, so NewBound is the accumulated
+	// old+solved bound, not the rewrite's own.
+	OldBound float64 `json:"old_bound"`
+	NewBound float64 `json:"new_bound"`
+	// OldRatio/NewRatio are the achieved compression ratios before/after.
+	OldRatio float64 `json:"old_ratio"`
+	NewRatio float64 `json:"new_ratio"`
+	// EstPSNR is the model's quality estimate at the (new) bound.
+	EstPSNR Float `json:"est_psnr"`
+	// Generation is the dataset's rewrite count after this request.
+	Generation int `json:"generation"`
+}
+
+func datasetInfo(m *store.Manifest) DatasetInfo {
+	return DatasetInfo{
+		Name:           m.Name,
+		CreatedAt:      m.CreatedAt,
+		Generation:     m.Generation,
+		PrecBits:       m.PrecBits,
+		Dims:           m.Dims,
+		Codec:          m.Codec,
+		Predictor:      m.Predictor,
+		Mode:           m.Mode,
+		ErrorBound:     m.ErrorBound,
+		Lossless:       m.Lossless,
+		ContentHash:    m.ContentHash,
+		TotalValues:    m.TotalValues,
+		OriginalBytes:  m.OriginalBytes,
+		ContainerBytes: m.ContainerBytes,
+		Ratio:          m.Ratio,
+		EstPSNR:        Float(m.EstPSNR),
+		Chunks:         len(m.Chunks),
+		Profiled:       m.Profile != nil,
+	}
+}
+
+// requireStore gates the dataset endpoints on a configured store.
+func (s *Service) requireStore() (*store.Store, error) {
+	if s.store == nil {
+		return nil, errf(http.StatusNotImplemented, "store_disabled",
+			"this server has no dataset store (start rqserved with -store-dir)")
+	}
+	return s.store, nil
+}
+
+// pathName validates the {name} path segment.
+func pathName(r *http.Request) (string, error) {
+	name := r.PathValue("name")
+	if err := store.ValidateName(name); err != nil {
+		return "", errf(http.StatusBadRequest, "bad_name", "%v", err)
+	}
+	return name, nil
+}
+
+func (s *Service) handleDatasetList(w http.ResponseWriter, _ *http.Request) error {
+	st, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	ms, err := st.List()
+	if err != nil {
+		return err
+	}
+	resp := ListDatasetsResponse{Datasets: make([]DatasetInfo, 0, len(ms))}
+	for _, m := range ms {
+		resp.Datasets = append(resp.Datasets, datasetInfo(m))
+	}
+	return writeJSON(w, http.StatusOK, &resp)
+}
+
+func (s *Service) handleDatasetPut(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	name, err := pathName(r)
+	if err != nil {
+		return err
+	}
+	q := r.URL.Query()
+	eng, err := s.engineFor(q, r.Header)
+	if err != nil {
+		return err
+	}
+	o := eng.Options()
+	if o.Mode != rqm.ABS && o.Mode != rqm.REL {
+		return errf(http.StatusBadRequest, "bad_param",
+			"datasets store a single absolute bound per chunk: use mode=abs or mode=rel, not %s", o.Mode)
+	}
+	// Parse the field straight off the wire, hashing the bytes as they pass:
+	// the raw body is never retained, so a put's peak memory is one parsed
+	// field, not field + body.
+	hasher := sha256.New()
+	f, err := readFieldBody(io.TeeReader(r.Body, hasher))
+	if err != nil {
+		return err
+	}
+	f.Name = name
+
+	// One sampling pass buys the dataset its lifetime of O(sample) answers:
+	// the profile is cached in the manifest and drives every later
+	// admission, estimate, and recompaction decision.
+	p, err := s.profileField(eng, f, q, r.Header)
+	if err != nil {
+		return err
+	}
+	lo, hi := f.ValueRange()
+	abs := o.ErrorBound
+	if o.Mode == rqm.REL {
+		abs = o.ErrorBound * (hi - lo)
+	}
+	est := p.EstimateAt(abs)
+
+	var streamOpts []rqm.StreamOption
+	if v := param(q, r.Header, "chunk"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return errf(http.StatusBadRequest, "bad_param", "chunk: %q is not a positive integer", v)
+		}
+		streamOpts = append(streamOpts, rqm.WithChunkSize(n))
+	}
+
+	man := &store.Manifest{
+		CreatedAt:     time.Now().UTC(),
+		PrecBits:      f.Prec.Bits(),
+		Dims:          append([]int(nil), f.Dims...),
+		Codec:         eng.Codec().Name(),
+		Predictor:     o.Predictor.String(),
+		Mode:          o.Mode.String(),
+		ErrorBound:    o.ErrorBound,
+		Lossless:      o.Lossless.String(),
+		ContentHash:   hex.EncodeToString(hasher.Sum(nil)),
+		OriginalBytes: f.OriginalBytes(),
+		EstPSNR:       finiteOrZero(est.PSNR),
+		Profile:       store.NewProfileRecord(p),
+	}
+	committed, err := st.Put(name, func(cw io.Writer) (*store.Manifest, error) {
+		bw := bufio.NewWriterSize(cw, 1<<20)
+		sw, err := eng.NewFieldStreamWriter(bw, f, streamOpts...)
+		if err != nil {
+			return nil, err
+		}
+		if err := sw.WriteValues(f.Data); err != nil {
+			sw.Close()
+			return nil, err
+		}
+		if err := sw.Close(); err != nil {
+			return nil, err
+		}
+		return man, bw.Flush()
+	})
+	if err != nil {
+		return putError(err)
+	}
+	s.datasetPuts.Add(1)
+	return writeJSON(w, http.StatusCreated, datasetInfo(committed))
+}
+
+// profileField builds the request-scoped profile for a dataset put,
+// honoring sample/seed overrides exactly like POST /v1/profile.
+func (s *Service) profileField(eng *rqm.Engine, f *rqm.Field, q url.Values, h http.Header) (*rqm.Profile, error) {
+	sample, hasSample, err := floatParam(q, h, "sample")
+	if err != nil {
+		return nil, err
+	}
+	if hasSample && (sample <= 0 || sample > 1) {
+		return nil, errf(http.StatusBadRequest, "bad_param", "sample: %g is outside (0, 1]", sample)
+	}
+	var seed uint64
+	if v := param(q, h, "seed"); v != "" {
+		if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return nil, errf(http.StatusBadRequest, "bad_param", "seed: %q is not an unsigned integer", v)
+		}
+	}
+	mopts := s.model
+	if sample > 0 {
+		mopts.SampleRate = sample
+	}
+	if seed > 0 {
+		mopts.Seed = seed
+	}
+	peng, err := cloneEngine(eng, mopts)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "bad_param", "%v", err)
+	}
+	p, err := peng.Profile(f)
+	if err != nil {
+		return nil, errf(http.StatusUnprocessableEntity, "profile_failed", "%v", err)
+	}
+	return p, nil
+}
+
+// cloneEngine rebuilds an engine with substituted model options.
+func cloneEngine(eng *rqm.Engine, mopts rqm.ModelOptions) (*rqm.Engine, error) {
+	o := eng.Options()
+	return rqm.NewEngine(
+		rqm.WithCodec(eng.Codec()),
+		rqm.WithMode(o.Mode),
+		rqm.WithErrorBound(o.ErrorBound),
+		rqm.WithPredictor(o.Predictor),
+		rqm.WithLossless(o.Lossless),
+		rqm.WithRadius(o.Radius),
+		rqm.WithConcurrency(eng.Concurrency()),
+		rqm.WithModelOptions(mopts),
+	)
+}
+
+func (s *Service) handleDatasetGet(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	name, err := pathName(r)
+	if err != nil {
+		return err
+	}
+	m, err := st.Manifest(name)
+	if err != nil {
+		return err
+	}
+	q := r.URL.Query()
+	if param(q, r.Header, "manifest") == "1" {
+		info := datasetInfo(m)
+		return writeJSON(w, http.StatusOK, &info)
+	}
+	// Payload paths ship container-scale bytes: heavy from here on.
+	release, err := s.admit(w)
+	if err != nil {
+		return err
+	}
+	defer release()
+	path, err := st.ContainerPath(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s.datasetGets.Add(1)
+	if param(q, r.Header, "raw") == "1" {
+		// The stored container, verbatim: clients can random-access it with
+		// ReadStreamIndex/ReadStreamChunk without another server round trip.
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(m.ContainerBytes, 10))
+		w.Header().Set("X-RQM-Dataset", m.Name)
+		_, err := io.Copy(w, f)
+		return ignoreWriteErr(err)
+	}
+	// Default: decompress back to a .rqmf field, streamed chunk by chunk.
+	sr, err := rqm.NewReader(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return err
+	}
+	defer sr.Close()
+	hdr := sr.Header()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-RQM-Field", hdr.Name)
+	w.Header().Set("X-RQM-Dataset", m.Name)
+	if _, err := grid.WriteHeader(w, hdr.Prec, hdr.Dims); err != nil {
+		return ignoreWriteErr(err)
+	}
+	if _, err := io.Copy(w, sr); err != nil {
+		panic(http.ErrAbortHandler) // mid-stream failure: truncate, don't lie
+	}
+	if sr.Values() != hdr.TotalFromDims() {
+		panic(http.ErrAbortHandler)
+	}
+	return nil
+}
+
+func (s *Service) handleDatasetDelete(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	name, err := pathName(r)
+	if err != nil {
+		return err
+	}
+	if err := st.Delete(name); err != nil {
+		return err
+	}
+	s.datasetDeletes.Add(1)
+	return writeJSON(w, http.StatusOK, map[string]interface{}{"deleted": name})
+}
+
+func (s *Service) handleDatasetSlice(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	name, err := pathName(r)
+	if err != nil {
+		return err
+	}
+	q := r.URL.Query()
+	off, err := intParam(q, r.Header, "off", 0)
+	if err != nil {
+		return err
+	}
+	n, err := intParam(q, r.Header, "len", -1)
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return errf(http.StatusBadRequest, "bad_param", "slice needs a positive len parameter")
+	}
+	m, err := st.Manifest(name)
+	if err != nil {
+		return err
+	}
+	vals, err := st.ReadRangeWith(m, off, n)
+	if err != nil {
+		return err
+	}
+	s.sliceReads.Add(1)
+	// The slice travels as a self-describing 1-D .rqmf field in the
+	// dataset's original precision; the offset rides in a header.
+	sf, err := grid.FromData(m.Name, m.Prec(), vals, len(vals))
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-RQM-Dataset", m.Name)
+	w.Header().Set("X-RQM-Offset", strconv.FormatInt(off, 10))
+	_, err = sf.WriteTo(w)
+	return ignoreWriteErr(err)
+}
+
+func (s *Service) handleDatasetRecompact(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	name, err := pathName(r)
+	if err != nil {
+		return err
+	}
+	q := r.URL.Query()
+	targetRatio, hasRatio, err := floatParam(q, r.Header, "target-ratio")
+	if err != nil {
+		return err
+	}
+	targetPSNR, hasPSNR, err := floatParam(q, r.Header, "target-psnr")
+	if err != nil {
+		return err
+	}
+	if hasRatio == hasPSNR {
+		return errf(http.StatusBadRequest, "bad_param",
+			"recompact needs exactly one of target-ratio, target-psnr")
+	}
+	if (hasRatio && !(targetRatio > 0)) || (hasPSNR && !(targetPSNR > 0)) {
+		return errf(http.StatusBadRequest, "bad_param", "recompaction target must be positive")
+	}
+
+	m, err := st.Manifest(name)
+	if err != nil {
+		return err
+	}
+	p, err := m.RQProfile()
+	if err != nil {
+		return err
+	}
+	curAbs := m.ErrorBound
+	if m.Mode == "rel" {
+		curAbs = m.ErrorBound * p.Range
+	}
+
+	resp := &RecompactResponse{
+		Name:       name,
+		OldBound:   curAbs,
+		NewBound:   curAbs,
+		OldRatio:   m.Ratio,
+		NewRatio:   m.Ratio,
+		EstPSNR:    Float(m.EstPSNR),
+		Generation: m.Generation,
+	}
+
+	// The decision is answered entirely from the cached profile — O(sample),
+	// no decompression: only a rewrite the model endorses touches the
+	// container.
+	var newAbs float64
+	switch {
+	case hasRatio:
+		resp.Target, resp.TargetValue = "ratio", targetRatio
+		if m.Ratio >= targetRatio {
+			resp.Skipped = true
+			resp.Reason = fmt.Sprintf("achieved ratio %.2fx already meets the %.2fx target", m.Ratio, targetRatio)
+			break
+		}
+		newAbs, err = p.ErrorBoundForRatio(targetRatio)
+		if err != nil {
+			return errf(http.StatusBadRequest, "unsolvable", "%v", err)
+		}
+		if newAbs <= curAbs {
+			resp.Skipped = true
+			resp.Reason = fmt.Sprintf(
+				"model bound %.6g for ratio %.2fx is not looser than the stored bound %.6g; rewriting cannot gain",
+				newAbs, targetRatio, curAbs)
+		}
+	default:
+		resp.Target, resp.TargetValue = "psnr", targetPSNR
+		newAbs, err = p.ErrorBoundForPSNR(targetPSNR)
+		if err != nil {
+			return errf(http.StatusBadRequest, "unsolvable", "%v", err)
+		}
+		if newAbs <= curAbs*(1+1e-9) {
+			resp.Skipped = true
+			resp.Reason = fmt.Sprintf(
+				"stored bound %.6g is already at or beyond the bound %.6g the model solves for %.4g dB; "+
+					"a lossy archive cannot be recompressed to higher quality", curAbs, newAbs, targetPSNR)
+		}
+	}
+	if resp.Skipped {
+		s.recompactSkips.Add(1)
+		return writeJSON(w, http.StatusOK, resp)
+	}
+
+	nm, err := s.rewriteDataset(st, m, curAbs, newAbs, p)
+	if err != nil {
+		return err
+	}
+	s.recompactions.Add(1)
+	resp.NewBound = nm.ErrorBound
+	resp.NewRatio = nm.Ratio
+	resp.EstPSNR = Float(nm.EstPSNR)
+	resp.Generation = nm.Generation
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// rewriteDataset decompresses the stored container and recompresses it at
+// the model-solved absolute bound through the stream pipeline, committing
+// the replacement with the same crash-safe protocol as a put — conditioned
+// on the dataset still being the version the decision was made against
+// (store.Replace; a concurrent re-put or delete aborts with 409). The
+// cached profile (a model of the *original* data) rides along unchanged —
+// that is what keeps the next recompaction decision O(sample) too.
+//
+// The rewrite's input is the stored reconstruction, already up to curAbs
+// away from the original, so the manifest records curAbs+newAbs — the
+// honest end-to-end guarantee against the original data — not the rewrite's
+// own bound. Each generation's recorded bound therefore stays a true bound
+// as errors accumulate.
+func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, newAbs float64, p *rqm.Profile) (*store.Manifest, error) {
+	path, err := st.ContainerPath(m.Name)
+	if err != nil {
+		return nil, err
+	}
+	cf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := rqm.NewReader(bufio.NewReaderSize(cf, 1<<20))
+	if err != nil {
+		cf.Close()
+		return nil, err
+	}
+	f, err := sr.ReadAll()
+	sr.Close()
+	cf.Close()
+	if err != nil {
+		return nil, err
+	}
+	f.Name = m.Name
+	f.Prec = m.Prec()
+
+	kind, err := rqm.ParsePredictorKind(m.Predictor)
+	if err != nil {
+		kind = rqm.Lorenzo
+	}
+	lossless := rqm.LosslessNone
+	if m.Lossless != "" {
+		if ll, err := rqm.ParseLosslessKind(m.Lossless); err == nil {
+			lossless = ll
+		}
+	}
+	opts := []rqm.EngineOption{
+		rqm.WithMode(rqm.ABS),
+		rqm.WithErrorBound(newAbs),
+		rqm.WithPredictor(kind),
+		rqm.WithLossless(lossless),
+	}
+	if m.Codec != "" {
+		opts = append(opts, rqm.WithCodecName(m.Codec))
+	}
+	eng, err := rqm.NewEngine(opts...)
+	if err != nil {
+		return nil, err
+	}
+	effective := curAbs + newAbs
+	est := p.EstimateAt(effective)
+	nm := &store.Manifest{
+		CreatedAt:     m.CreatedAt,
+		Generation:    m.Generation + 1,
+		PrecBits:      m.PrecBits,
+		Dims:          m.Dims,
+		Codec:         m.Codec,
+		Predictor:     m.Predictor,
+		Mode:          "abs",
+		ErrorBound:    effective,
+		Lossless:      m.Lossless,
+		ContentHash:   m.ContentHash,
+		OriginalBytes: m.OriginalBytes,
+		EstPSNR:       finiteOrZero(est.PSNR),
+		Profile:       m.Profile,
+	}
+	// The rewrite keeps the dataset's chunk size: slice-read granularity is
+	// a property the owner tuned at put time, not a recompaction side
+	// effect.
+	var streamOpts []rqm.StreamOption
+	if m.ChunkValues > 0 {
+		streamOpts = append(streamOpts, rqm.WithChunkSize(m.ChunkValues))
+	}
+	committed, err := st.Replace(m.Name, m, func(cw io.Writer) (*store.Manifest, error) {
+		bw := bufio.NewWriterSize(cw, 1<<20)
+		sw, err := eng.NewFieldStreamWriter(bw, f, streamOpts...)
+		if err != nil {
+			return nil, err
+		}
+		if err := sw.WriteValues(f.Data); err != nil {
+			sw.Close()
+			return nil, err
+		}
+		if err := sw.Close(); err != nil {
+			return nil, err
+		}
+		return nm, bw.Flush()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return committed, nil
+}
+
+// intParam parses an optional int64 parameter with a default.
+func intParam(q url.Values, h http.Header, name string, def int64) (int64, error) {
+	v := param(q, h, name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, errf(http.StatusBadRequest, "bad_param", "%s: %q is not an integer", name, v)
+	}
+	return n, nil
+}
+
+// putError maps store commit failures onto request-shaped errors.
+func putError(err error) error {
+	if err == nil {
+		return nil
+	}
+	return errf(http.StatusUnprocessableEntity, "put_failed", "%v", err)
+}
+
+// finiteOrZero clamps non-finite model estimates for JSON-borne manifests.
+func finiteOrZero(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"rqm"
+	"rqm/internal/store"
 )
 
 // ErrorBody is the JSON error envelope every failed request returns; Code is
@@ -64,6 +65,19 @@ func mapError(err error) (int, string, string) {
 	}
 	if errors.Is(err, rqm.ErrStreamNeedsValueRange) {
 		return http.StatusBadRequest, "rel_needs_value_range", err.Error()
+	}
+	// Store layer: typed dataset/manifest errors keep their shape over HTTP.
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound, "dataset_not_found", err.Error()
+	case errors.Is(err, store.ErrBadName):
+		return http.StatusBadRequest, "bad_name", err.Error()
+	case errors.Is(err, store.ErrBadRange):
+		return http.StatusBadRequest, "bad_range", err.Error()
+	case errors.Is(err, store.ErrConflict):
+		return http.StatusConflict, "conflict", err.Error()
+	case errors.Is(err, store.ErrManifestCorrupt), errors.Is(err, store.ErrManifestVersion):
+		return http.StatusInternalServerError, "manifest_corrupt", err.Error()
 	}
 	return http.StatusInternalServerError, "internal", err.Error()
 }

@@ -18,7 +18,11 @@
 //	GET  /v1/estimate    ?profile=ID&eb=..&mode=abs|rel -> model estimate
 //	GET  /v1/solve       ?profile=ID&target-ratio|target-psnr|target-bitrate
 //	GET  /healthz        liveness
-//	GET  /metrics        counters (requests, cache hits, inflight, ...)
+//	GET  /metrics        counters (requests, cache hits, inflight, store, ...)
+//
+// With a configured Store the service also hosts the persistent dataset
+// archive under /v1/datasets (put/get/delete, random-access slice reads,
+// model-guided recompaction) — see datasets.go and internal/store.
 //
 // Heavy endpoints (compress, decompress, profile) are admission-controlled
 // by a permit semaphore: past MaxInflight concurrent requests the service
@@ -38,6 +42,7 @@ import (
 	"math"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -45,6 +50,7 @@ import (
 
 	"rqm"
 	"rqm/internal/grid"
+	"rqm/internal/store"
 )
 
 // DefaultStreamThreshold is the request-body size at which compress switches
@@ -70,6 +76,9 @@ type Config struct {
 	// StreamThreshold is the compress body size that triggers the chunked
 	// streaming pipeline (0 = DefaultStreamThreshold, < 0 disables).
 	StreamThreshold int64
+	// Store is the persistent dataset archive behind the /v1/datasets
+	// endpoints (nil = dataset endpoints answer 501 store_disabled).
+	Store *store.Store
 }
 
 // Service is the HTTP handler set. Construct with New; a Service is safe for
@@ -78,6 +87,7 @@ type Service struct {
 	eng       *rqm.Engine
 	model     rqm.ModelOptions
 	cache     *profileCache
+	store     *store.Store
 	sem       chan struct{}
 	threshold int64
 	mux       *http.ServeMux
@@ -93,6 +103,13 @@ type Service struct {
 	solves        atomic.Int64
 	compresses    atomic.Int64
 	decompresses  atomic.Int64
+
+	datasetPuts    atomic.Int64
+	datasetGets    atomic.Int64
+	datasetDeletes atomic.Int64
+	sliceReads     atomic.Int64
+	recompactions  atomic.Int64
+	recompactSkips atomic.Int64
 }
 
 // New builds a Service from cfg.
@@ -123,6 +140,7 @@ func New(cfg Config) (*Service, error) {
 		eng:       eng,
 		model:     cfg.Model,
 		cache:     newProfileCache(cacheSize),
+		store:     cfg.Store,
 		sem:       make(chan struct{}, inflight),
 		threshold: threshold,
 		mux:       http.NewServeMux(),
@@ -135,6 +153,18 @@ func New(cfg Config) (*Service, error) {
 	s.mux.Handle("/v1/profile", s.handle(http.MethodPost, true, s.handleProfile))
 	s.mux.Handle("/v1/estimate", s.handle(http.MethodGet, false, s.handleEstimate))
 	s.mux.Handle("/v1/solve", s.handle(http.MethodGet, false, s.handleSolve))
+	// Dataset archive. Registered unconditionally — without a store they
+	// answer a typed 501 — so clients get a stable error, not a bare 404.
+	s.mux.Handle("/v1/datasets", s.handle(http.MethodGet, false, s.handleDatasetList))
+	s.mux.Handle("/v1/datasets/{name}", s.dispatch(map[string]endpoint{
+		http.MethodPost: {heavy: true, fn: s.handleDatasetPut},
+		// GET admits itself: a ?manifest=1 stat is a metadata read that must
+		// not burn (or be rejected for) a compress-class permit.
+		http.MethodGet:    {heavy: false, fn: s.handleDatasetGet},
+		http.MethodDelete: {heavy: false, fn: s.handleDatasetDelete},
+	}))
+	s.mux.Handle("/v1/datasets/{name}/slice", s.handle(http.MethodGet, true, s.handleDatasetSlice))
+	s.mux.Handle("/v1/datasets/{name}/recompact", s.handle(http.MethodPost, true, s.handleDatasetRecompact))
 	return s, nil
 }
 
@@ -145,36 +175,68 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serv
 // it to force the cold path).
 func (s *Service) FlushProfiles() { s.cache.purge() }
 
-// handle wraps one endpoint: method gate, admission control for heavy
-// endpoints, request accounting, and error-envelope rendering.
+// endpoint pairs one method's handler with its admission class.
+type endpoint struct {
+	heavy bool
+	fn    func(http.ResponseWriter, *http.Request) error
+}
+
+// handle wraps one single-method endpoint (see dispatch).
 func (s *Service) handle(method string, heavy bool, fn func(http.ResponseWriter, *http.Request) error) http.Handler {
+	return s.dispatch(map[string]endpoint{method: {heavy: heavy, fn: fn}})
+}
+
+// dispatch wraps one route with per-method handlers: method gate, admission
+// control for heavy endpoints, request accounting, and error-envelope
+// rendering.
+func (s *Service) dispatch(eps map[string]endpoint) http.Handler {
+	methods := make([]string, 0, len(eps))
+	for m := range eps {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	allow := strings.Join(methods, ", ")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.reqTotal.Add(1)
-		if r.Method != method {
-			w.Header().Set("Allow", method)
+		ep, ok := eps[r.Method]
+		if !ok {
+			w.Header().Set("Allow", allow)
 			s.errTotal.Add(1)
 			writeError(w, errf(http.StatusMethodNotAllowed, "method_not_allowed",
-				"%s only accepts %s", r.URL.Path, method))
+				"%s only accepts %s", r.URL.Path, allow))
 			return
 		}
-		if heavy {
-			select {
-			case s.sem <- struct{}{}:
-				defer func() { <-s.sem }()
-			default:
-				s.rejected.Add(1)
+		if ep.heavy {
+			release, err := s.admit(w)
+			if err != nil {
 				s.errTotal.Add(1)
-				w.Header().Set("Retry-After", "1")
-				writeError(w, errf(http.StatusTooManyRequests, "too_many_requests",
-					"service at its %d-request concurrency limit", cap(s.sem)))
+				writeError(w, err)
 				return
 			}
+			defer release()
 		}
-		if err := fn(w, r); err != nil {
+		if err := ep.fn(w, r); err != nil {
 			s.errTotal.Add(1)
 			writeError(w, err)
 		}
 	})
+}
+
+// admit claims one heavy-request permit, returning its release function —
+// or the typed 429 (Retry-After set) when the service is at its limit.
+// Handlers whose cost depends on the request (e.g. a dataset GET that is a
+// metadata stat or a full decompress) call it themselves after the cheap
+// branch.
+func (s *Service) admit(w http.ResponseWriter) (func(), error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		return nil, errf(http.StatusTooManyRequests, "too_many_requests",
+			"service at its %d-request concurrency limit", cap(s.sem))
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -302,11 +364,24 @@ type MetricsSnapshot struct {
 	CacheEvictions int64   `json:"cache_evictions"`
 	Estimates      int64   `json:"estimates"`
 	Solves         int64   `json:"solves"`
+
+	// Dataset-store counters and gauges (all zero without a store).
+	StoreEnabled         bool  `json:"store_enabled"`
+	DatasetPuts          int64 `json:"dataset_puts"`
+	DatasetGets          int64 `json:"dataset_gets"`
+	DatasetDeletes       int64 `json:"dataset_deletes"`
+	SliceReads           int64 `json:"slice_reads"`
+	Recompactions        int64 `json:"recompactions"`
+	RecompactionsSkipped int64 `json:"recompactions_skipped"`
+	Datasets             int   `json:"datasets"`
+	StoreBytes           int64 `json:"store_bytes"`
+	StoreWrites          int64 `json:"store_writes"`
+	StoreChunkReads      int64 `json:"store_chunk_reads"`
 }
 
 // Snapshot captures the current metrics (also served at /metrics).
 func (s *Service) Snapshot() MetricsSnapshot {
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Requests:       s.reqTotal.Load(),
 		Errors:         s.errTotal.Load(),
@@ -321,7 +396,21 @@ func (s *Service) Snapshot() MetricsSnapshot {
 		CacheEvictions: s.evictions.Load(),
 		Estimates:      s.estimates.Load(),
 		Solves:         s.solves.Load(),
+
+		DatasetPuts:          s.datasetPuts.Load(),
+		DatasetGets:          s.datasetGets.Load(),
+		DatasetDeletes:       s.datasetDeletes.Load(),
+		SliceReads:           s.sliceReads.Load(),
+		Recompactions:        s.recompactions.Load(),
+		RecompactionsSkipped: s.recompactSkips.Load(),
 	}
+	if s.store != nil {
+		snap.StoreEnabled = true
+		snap.StoreBytes, snap.Datasets = s.store.Bytes()
+		snap.StoreWrites = s.store.Writes()
+		snap.StoreChunkReads = s.store.ChunkReads()
+	}
+	return snap
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
@@ -629,17 +718,7 @@ func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) error {
 	// Profiles always run on a request-scoped clone so the service's model
 	// options (and any sample/seed overrides) actually reach the sampling
 	// pass — the base engine carries its own, unrelated model options.
-	o := eng.Options()
-	peng, err := rqm.NewEngine(
-		rqm.WithCodec(eng.Codec()),
-		rqm.WithMode(o.Mode),
-		rqm.WithErrorBound(o.ErrorBound),
-		rqm.WithPredictor(o.Predictor),
-		rqm.WithLossless(o.Lossless),
-		rqm.WithRadius(o.Radius),
-		rqm.WithConcurrency(eng.Concurrency()),
-		rqm.WithModelOptions(mopts),
-	)
+	peng, err := cloneEngine(eng, mopts)
 	if err != nil {
 		return errf(http.StatusBadRequest, "bad_param", "%v", err)
 	}

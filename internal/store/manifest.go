@@ -1,0 +1,305 @@
+package store
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"rqm/internal/codec"
+	"rqm/internal/core"
+	"rqm/internal/grid"
+	"rqm/internal/predictor"
+)
+
+// ManifestVersion is the current manifest schema version. Readers accept
+// exactly this version; anything else is ErrManifestVersion, so a future
+// schema change cannot be silently misread as today's.
+const ManifestVersion = 1
+
+// Typed manifest errors. ParseManifest failures wrap exactly one of these —
+// never a bare json error and never a panic — so callers (and the service's
+// error envelope) can match them.
+var (
+	// ErrManifestCorrupt marks a manifest that is not valid JSON or whose
+	// fields are internally inconsistent.
+	ErrManifestCorrupt = errors.New("store: corrupt manifest")
+	// ErrManifestVersion marks a manifest with an unsupported schema version.
+	ErrManifestVersion = errors.New("store: unsupported manifest version")
+)
+
+// ChunkRecord locates one chunk of the dataset's container, copied from the
+// container's trailer index at commit time so range reads can plan chunk
+// access without touching the container at all.
+type ChunkRecord struct {
+	// Offset is the chunk record's byte offset from the container start.
+	Offset int64 `json:"offset"`
+	// Values is the chunk's decoded sample count.
+	Values int `json:"values"`
+	// RecordBytes is the full record length including tag and payload.
+	RecordBytes int `json:"record_bytes"`
+	// AbsBound is the absolute error bound the chunk was compressed with.
+	AbsBound float64 `json:"abs_bound"`
+}
+
+// ProfileRecord is the dataset's cached ratio-quality profile: the sampled
+// prediction errors plus the metadata core.NewProfileFromSamples needs to
+// rebuild a live Profile. Persisting it is the point of the store — every
+// admission, retrieval, and recompaction decision is answered from this
+// record in O(sample), with no re-sampling and no decompression.
+type ProfileRecord struct {
+	// Predictor names the profiled prediction scheme.
+	Predictor string `json:"predictor"`
+	// Dims is the profiled field shape.
+	Dims []int `json:"dims"`
+	// N is the profiled field's sample count.
+	N int `json:"n"`
+	// OrigBits is the original storage width per value (32 or 64).
+	OrigBits int `json:"orig_bits"`
+	// Range is the field's value range (max − min).
+	Range float64 `json:"range"`
+	// DataVar is the field's population variance (for the SSIM model).
+	DataVar float64 `json:"data_var"`
+	// AuxBitsPerValue is the predictor side-channel overhead in bits/value.
+	AuxBitsPerValue float64 `json:"aux_bits_per_value,omitempty"`
+	// SampleRate and Seed reproduce the sampling pass configuration.
+	SampleRate float64 `json:"sample_rate"`
+	Seed       uint64  `json:"seed,omitempty"`
+	// Radius is the quantizer radius the model assumes.
+	Radius int32 `json:"radius,omitempty"`
+	// Errors is the sampled prediction-error vector, base64-encoded
+	// little-endian float64s (compact and exact, unlike a JSON number array).
+	Errors string `json:"errors_b64"`
+}
+
+// Manifest is one dataset's on-disk metadata: identity, shape, the applied
+// compression setting, the container's chunk index, and the cached
+// ratio-quality profile. It is written via temp-file + atomic rename after
+// the container, so a parseable manifest implies a fully written dataset.
+type Manifest struct {
+	// Version is the manifest schema version (ManifestVersion).
+	Version int `json:"version"`
+	// Name is the dataset name (store-unique, path-safe).
+	Name string `json:"name"`
+	// CreatedAt is when the dataset was first admitted.
+	CreatedAt time.Time `json:"created_at"`
+	// Generation counts container rewrites (0 = original put; each
+	// recompaction increments it).
+	Generation int `json:"generation"`
+	// PrecBits is the original storage width per value (32 or 64).
+	PrecBits int `json:"prec_bits"`
+	// Dims is the logical field shape.
+	Dims []int `json:"dims"`
+	// Codec names the backend that produced the container.
+	Codec string `json:"codec"`
+	// Predictor names the prediction scheme, when the codec has one.
+	Predictor string `json:"predictor,omitempty"`
+	// Mode and ErrorBound record the applied error-bound setting
+	// ("abs"/"rel" semantics; recompacted datasets are always "abs").
+	Mode       string  `json:"mode"`
+	ErrorBound float64 `json:"error_bound"`
+	// Lossless names the optional lossless stage ("" or "none" = off), so a
+	// recompaction rewrites through the same pipeline configuration.
+	Lossless string `json:"lossless,omitempty"`
+	// ChunkValues is the container's nominal chunk size in values (copied
+	// from the stream header at commit), so a recompaction rewrites with the
+	// same read granularity the dataset was tuned for.
+	ChunkValues int `json:"chunk_values,omitempty"`
+	// ContentHash is the SHA-256 of the original (uncompressed) field bytes
+	// — the content address the profile cache keys generalize into an index.
+	ContentHash string `json:"content_hash"`
+	// TotalValues is the dataset's sample count.
+	TotalValues int64 `json:"total_values"`
+	// OriginalBytes and ContainerBytes give the achieved Ratio.
+	OriginalBytes  int64   `json:"original_bytes"`
+	ContainerBytes int64   `json:"container_bytes"`
+	Ratio          float64 `json:"ratio"`
+	// EstPSNR is the model-estimated PSNR at the applied bound (0 when the
+	// model has no finite estimate, e.g. constant fields).
+	EstPSNR float64 `json:"est_psnr,omitempty"`
+	// Chunks is the container's trailer index, copied at commit time.
+	Chunks []ChunkRecord `json:"chunks"`
+	// Profile is the cached ratio-quality profile (nil only for datasets
+	// stored without one).
+	Profile *ProfileRecord `json:"profile,omitempty"`
+}
+
+// corruptf builds an ErrManifestCorrupt with detail.
+func corruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: "+format, append([]interface{}{ErrManifestCorrupt}, args...)...)
+}
+
+// ParseManifest decodes and validates a manifest. Malformed input —
+// truncated JSON, wrong version, inconsistent fields, undecodable profile —
+// yields a typed error (ErrManifestCorrupt / ErrManifestVersion), never a
+// panic.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, corruptf("%v", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrManifestVersion, m.Version, ManifestVersion)
+	}
+	if err := ValidateName(m.Name); err != nil {
+		return nil, corruptf("name: %v", err)
+	}
+	if m.PrecBits != 32 && m.PrecBits != 64 {
+		return nil, corruptf("precision %d bits, want 32 or 64", m.PrecBits)
+	}
+	if len(m.Dims) == 0 || len(m.Dims) > 4 {
+		return nil, corruptf("rank %d outside 1..4", len(m.Dims))
+	}
+	shape := int64(1)
+	for _, d := range m.Dims {
+		if d <= 0 {
+			return nil, corruptf("dimension %d", d)
+		}
+		shape *= int64(d)
+	}
+	if m.TotalValues <= 0 || m.TotalValues != shape {
+		return nil, corruptf("total_values %d, shape %v implies %d", m.TotalValues, m.Dims, shape)
+	}
+	if m.Generation < 0 {
+		return nil, corruptf("generation %d", m.Generation)
+	}
+	if m.ChunkValues < 0 {
+		return nil, corruptf("chunk size %d values", m.ChunkValues)
+	}
+	if m.ContainerBytes <= 0 || m.OriginalBytes <= 0 {
+		return nil, corruptf("container %d / original %d bytes", m.ContainerBytes, m.OriginalBytes)
+	}
+	if len(m.Chunks) == 0 {
+		return nil, corruptf("no chunk index")
+	}
+	var indexed int64
+	for i, c := range m.Chunks {
+		if c.Values <= 0 || c.RecordBytes <= 0 || c.Offset < 0 || c.Offset >= m.ContainerBytes {
+			return nil, corruptf("chunk %d: offset %d, %d values, %d bytes", i, c.Offset, c.Values, c.RecordBytes)
+		}
+		indexed += int64(c.Values)
+	}
+	if indexed != m.TotalValues {
+		return nil, corruptf("chunk index covers %d values, dataset holds %d", indexed, m.TotalValues)
+	}
+	if m.Profile != nil {
+		if _, err := m.Profile.decodeErrors(); err != nil {
+			return nil, err
+		}
+		if _, err := predictor.ParseKind(m.Profile.Predictor); err != nil {
+			return nil, corruptf("profile predictor: %v", err)
+		}
+		if m.Profile.N <= 0 {
+			return nil, corruptf("profile n %d", m.Profile.N)
+		}
+		if math.IsNaN(m.Profile.Range) || m.Profile.Range < 0 {
+			return nil, corruptf("profile range %v", m.Profile.Range)
+		}
+	}
+	return &m, nil
+}
+
+// decodeErrors unpacks the base64 little-endian float64 error vector.
+func (pr *ProfileRecord) decodeErrors() ([]float64, error) {
+	raw, err := base64.StdEncoding.DecodeString(pr.Errors)
+	if err != nil {
+		return nil, corruptf("profile errors: %v", err)
+	}
+	if len(raw) == 0 || len(raw)%8 != 0 {
+		return nil, corruptf("profile errors: %d bytes is not a float64 vector", len(raw))
+	}
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		if math.IsNaN(out[i]) {
+			return nil, corruptf("profile errors: NaN sample %d", i)
+		}
+	}
+	return out, nil
+}
+
+// NewProfileRecord serializes a live profile for the manifest.
+func NewProfileRecord(p *core.Profile) *ProfileRecord {
+	raw := make([]byte, 8*len(p.Errors))
+	for i, e := range p.Errors {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(e))
+	}
+	o := p.Options()
+	return &ProfileRecord{
+		Predictor:       p.Kind.String(),
+		Dims:            append([]int(nil), p.Dims...),
+		N:               p.N,
+		OrigBits:        p.OrigBits,
+		Range:           p.Range,
+		DataVar:         p.DataVar,
+		AuxBitsPerValue: p.AuxBitsPerValue,
+		SampleRate:      o.SampleRate,
+		Seed:            o.Seed,
+		Radius:          o.Radius,
+		Errors:          base64.StdEncoding.EncodeToString(raw),
+	}
+}
+
+// RQProfile rebuilds the live ratio-quality profile from the cached record —
+// the store's O(sample) answer machine, reconstructed without touching the
+// container or the original data.
+func (m *Manifest) RQProfile() (*core.Profile, error) {
+	if m.Profile == nil {
+		return nil, corruptf("dataset %q has no cached profile", m.Name)
+	}
+	kind, err := predictor.ParseKind(m.Profile.Predictor)
+	if err != nil {
+		return nil, corruptf("profile predictor: %v", err)
+	}
+	errs, err := m.Profile.decodeErrors()
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewProfileFromSamples(kind, errs, m.Profile.Dims,
+		m.Profile.N, m.Profile.OrigBits, m.Profile.Range, m.Profile.DataVar,
+		core.Options{
+			SampleRate: m.Profile.SampleRate,
+			Seed:       m.Profile.Seed,
+			Radius:     m.Profile.Radius,
+		})
+	if err != nil {
+		return nil, corruptf("profile: %v", err)
+	}
+	p.AuxBitsPerValue = m.Profile.AuxBitsPerValue
+	return p, nil
+}
+
+// Prec returns the manifest's precision as a grid constant.
+func (m *Manifest) Prec() grid.Precision { return grid.Precision(m.PrecBits) }
+
+// IndexEntries converts the manifest's chunk records to container index
+// entries for codec.ReadChunkAt.
+func (m *Manifest) IndexEntries() []codec.IndexEntry {
+	out := make([]codec.IndexEntry, len(m.Chunks))
+	for i, c := range m.Chunks {
+		out[i] = codec.IndexEntry{
+			Offset:      c.Offset,
+			Values:      c.Values,
+			RecordBytes: c.RecordBytes,
+			AbsBound:    c.AbsBound,
+		}
+	}
+	return out
+}
+
+// chunkRecords converts container index entries to manifest chunk records.
+func chunkRecords(entries []codec.IndexEntry) []ChunkRecord {
+	out := make([]ChunkRecord, len(entries))
+	for i, e := range entries {
+		out[i] = ChunkRecord{
+			Offset:      e.Offset,
+			Values:      e.Values,
+			RecordBytes: e.RecordBytes,
+			AbsBound:    e.AbsBound,
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package store_test
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"rqm"
+	"rqm/internal/store"
+)
+
+// validManifestJSON builds one fully valid manifest (with a real cached
+// profile) as the fuzz corpus anchor.
+func validManifestJSON(t testing.TB) []byte {
+	t.Helper()
+	f := testField(t, 512)
+	p, err := rqm.NewProfile(f, rqm.Lorenzo, rqm.ModelOptions{SampleRate: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &store.Manifest{
+		Version:        store.ManifestVersion,
+		Name:           "fuzz-seed",
+		PrecBits:       64,
+		Dims:           []int{512},
+		Codec:          "prediction",
+		Predictor:      "lorenzo",
+		Mode:           "abs",
+		ErrorBound:     1e-3,
+		ContentHash:    strings.Repeat("cd", 32),
+		TotalValues:    512,
+		OriginalBytes:  4096,
+		ContainerBytes: 1024,
+		Ratio:          4,
+		Chunks: []store.ChunkRecord{
+			{Offset: 32, Values: 256, RecordBytes: 500, AbsBound: 1e-3},
+			{Offset: 532, Values: 256, RecordBytes: 470, AbsBound: 1e-3},
+		},
+		Profile: store.NewProfileRecord(p),
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.ParseManifest(data); err != nil {
+		t.Fatalf("seed manifest does not parse: %v", err)
+	}
+	return data
+}
+
+// FuzzManifest hammers ParseManifest with valid, truncated, and
+// field-corrupted manifests: malformed input must yield a typed error
+// (ErrManifestCorrupt / ErrManifestVersion), never a panic, and anything
+// accepted must survive a marshal/parse round trip.
+func FuzzManifest(f *testing.F) {
+	valid := validManifestJSON(f)
+	f.Add(valid)
+	// Truncations at several depths.
+	for _, frac := range []int{2, 3, 10} {
+		f.Add(valid[:len(valid)/frac])
+	}
+	// Field corruptions: wrong version, negative counts, bad base64, rank
+	// overflow, inconsistent chunk index, bad predictor, NaN-smuggling.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"version":99,"name":"x"}`))
+	f.Add([]byte(strings.Replace(string(valid), `"version":1`, `"version":2`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"total_values":512`, `"total_values":-1`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"dims":[512]`, `"dims":[1,1,1,1,1]`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"dims":[512]`, `"dims":[0]`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"name":"fuzz-seed"`, `"name":"../escape"`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"predictor":"lorenzo"`, `"predictor":"warp-drive"`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"errors_b64":"`, `"errors_b64":"!!!`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"prec_bits":64`, `"prec_bits":48`, 1)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := store.ParseManifest(data) // must never panic
+		if err != nil {
+			if !errors.Is(err, store.ErrManifestCorrupt) && !errors.Is(err, store.ErrManifestVersion) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		// Accepted manifests are stable: re-marshal, re-parse, same identity.
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-marshal: %v", err)
+		}
+		m2, err := store.ParseManifest(out)
+		if err != nil {
+			t.Fatalf("re-marshaled manifest rejected: %v", err)
+		}
+		if m2.Name != m.Name || m2.TotalValues != m.TotalValues || len(m2.Chunks) != len(m.Chunks) {
+			t.Fatalf("round trip changed identity: %+v vs %+v", m2, m)
+		}
+		// A present profile must either rebuild or fail typed.
+		if m.Profile != nil {
+			if _, err := m.RQProfile(); err != nil && !errors.Is(err, store.ErrManifestCorrupt) {
+				t.Fatalf("untyped profile rebuild error: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,528 @@
+// Package store is the persistent, RQ-indexed dataset archive: a
+// content-addressed, crash-safe on-disk collection of chunked RQCE
+// containers, each paired with a versioned JSON manifest carrying the
+// container's chunk index and the dataset's cached ratio-quality profile.
+//
+// The profile is what makes this more than a blob store. The paper's model
+// answers "what ratio/quality would bound e give" from one cheap sampling
+// pass; persisting that pass next to the artifact means admission,
+// retrieval, and background recompaction decisions are all O(sample) reads
+// of the manifest — no re-sampling, no decompression, no compression runs.
+// The chunk index (copied from the container trailer) makes element-range
+// reads decompress only the chunks they cover.
+//
+// On-disk layout under the store root:
+//
+//	datasets/<name>/data.rqz       chunked container (envelope v2)
+//	datasets/<name>/manifest.json  manifest, written last
+//	tmp/                           staging area, wiped at Open
+//
+// Write protocol (Put): stage a complete dataset directory under tmp/ —
+// container first, fsynced, then the manifest via its own temp file +
+// rename — and finally publish the whole directory into datasets/ with an
+// atomic rename. A replacement first parks the committed dataset at a
+// dot-prefixed sibling (".old.<name>", invisible to readers) inside
+// datasets/; Open recovery restores a parked dataset whose replacement
+// never landed and removes one whose replacement did. A crash at any step
+// therefore leaves the previous dataset or the new one — never half of
+// either and never neither: tmp/ leftovers are invisible to readers and
+// wiped on reopen, and a dataset directory without a parseable manifest is
+// skipped.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rqm/internal/codec"
+)
+
+// Typed store errors.
+var (
+	// ErrNotFound marks a dataset name with no committed dataset.
+	ErrNotFound = errors.New("store: dataset not found")
+	// ErrBadName marks a dataset name outside the safe charset.
+	ErrBadName = errors.New("store: invalid dataset name")
+	// ErrBadRange marks a slice request outside the dataset's extent.
+	ErrBadRange = errors.New("store: range outside dataset")
+	// ErrConflict marks a Replace whose base version is no longer the
+	// committed one (the dataset was re-put or deleted mid-flight).
+	ErrConflict = errors.New("store: dataset changed concurrently")
+)
+
+// ContainerFile and ManifestFile are the fixed file names inside a dataset
+// directory.
+const (
+	ContainerFile = "data.rqz"
+	ManifestFile  = "manifest.json"
+)
+
+// oldPrefix marks a displaced dataset directory awaiting replacement
+// cleanup. The leading dot keeps it outside ValidateName, so readers can
+// never address it; Open's recovery pass resolves any leftovers.
+const oldPrefix = ".old."
+
+// ValidateName checks a dataset name: 1..128 bytes of [A-Za-z0-9._-], not
+// starting with a dot — path-safe on every platform, no traversal, no
+// hidden files.
+func ValidateName(name string) error {
+	if name == "" || len(name) > 128 || name[0] == '.' {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("%w: %q", ErrBadName, name)
+		}
+	}
+	return nil
+}
+
+// Store is one on-disk dataset archive. Reads are lock-free (they see only
+// atomically published state); writes serialize on an internal mutex, so a
+// Store is safe for concurrent use by one process. Two processes must not
+// share a store root.
+type Store struct {
+	root string
+	mu   sync.Mutex // serializes Put/Delete publishing
+
+	writes     atomic.Int64 // container (re)writes committed
+	chunkReads atomic.Int64 // chunks decompressed by ReadRange
+
+	// bytesStored / datasetCount are gauges maintained incrementally on
+	// Put/Delete (initialized by one scan at Open), so a metrics scrape
+	// never re-reads manifests.
+	bytesStored  atomic.Int64
+	datasetCount atomic.Int64
+}
+
+// Open initializes the archive at root, creating the layout if needed,
+// wiping the staging area (tmp/ holds only the debris of interrupted puts,
+// which the protocol guarantees were never visible), and resolving any
+// parked ".old.<name>" directory a crashed replacement left behind: if the
+// replacement landed the parked copy is removed, otherwise it is restored —
+// a durably committed dataset is never lost to a crash.
+func Open(root string) (*Store, error) {
+	if root == "" {
+		return nil, errors.New("store: empty root directory")
+	}
+	for _, d := range []string{root, filepath.Join(root, "datasets")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	tmp := filepath.Join(root, "tmp")
+	if err := os.RemoveAll(tmp); err != nil {
+		return nil, fmt.Errorf("store: cleaning staging area: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{root: root}
+	if err := s.recoverParked(); err != nil {
+		return nil, err
+	}
+	// Initialize the size gauges with the only full scan the store performs.
+	ms, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, m := range ms {
+		total += s.datasetSize(m.Name)
+	}
+	s.bytesStored.Store(total)
+	s.datasetCount.Store(int64(len(ms)))
+	return s, nil
+}
+
+// recoverParked resolves datasets a crashed replacement displaced.
+func (s *Store) recoverParked() error {
+	base := filepath.Join(s.root, "datasets")
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), oldPrefix) {
+			continue
+		}
+		name := strings.TrimPrefix(e.Name(), oldPrefix)
+		parked := filepath.Join(base, e.Name())
+		if _, err := os.Stat(filepath.Join(base, name, ManifestFile)); err == nil {
+			// The replacement landed; the park was just pending cleanup.
+			if err := os.RemoveAll(parked); err != nil {
+				return fmt.Errorf("store: clearing parked dataset: %w", err)
+			}
+			continue
+		}
+		// The replacement never published: restore the committed original.
+		if err := os.Rename(parked, filepath.Join(base, name)); err != nil {
+			return fmt.Errorf("store: restoring parked dataset %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// datasetSize is the on-disk footprint of one committed dataset.
+func (s *Store) datasetSize(name string) int64 {
+	var total int64
+	for _, f := range []string{ContainerFile, ManifestFile} {
+		if fi, err := os.Stat(filepath.Join(s.datasetDir(name), f)); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.root }
+
+// Writes reports the number of container writes committed since Open —
+// the counter the recompaction contract is asserted against: a recompact
+// whose target the model says is already met must not move it.
+func (s *Store) Writes() int64 { return s.writes.Load() }
+
+// ChunkReads reports the number of chunks ReadRange has decompressed since
+// Open (the "only the covered chunks" contract is asserted against it).
+func (s *Store) ChunkReads() int64 { return s.chunkReads.Load() }
+
+func (s *Store) datasetDir(name string) string {
+	return filepath.Join(s.root, "datasets", name)
+}
+
+// ContainerPath returns the path of a committed dataset's container.
+func (s *Store) ContainerPath(name string) (string, error) {
+	if err := ValidateName(name); err != nil {
+		return "", err
+	}
+	p := filepath.Join(s.datasetDir(name), ContainerFile)
+	if _, err := os.Stat(filepath.Join(s.datasetDir(name), ManifestFile)); err != nil {
+		return "", fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return p, nil
+}
+
+// Manifest loads and validates one dataset's manifest.
+func (s *Store) Manifest(name string) (*Manifest, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.datasetDir(name), ManifestFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return ParseManifest(data)
+}
+
+// List returns the manifests of every committed dataset, sorted by name.
+// Directories without a parseable manifest — interrupted puts from a
+// version that staged in place, manual damage — are skipped, not fatal:
+// an archive is readable to the extent it is intact.
+func (s *Store) List() ([]*Manifest, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "datasets"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []*Manifest
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		m, err := s.Manifest(e.Name())
+		if err != nil {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Bytes reports the committed datasets' total container+manifest footprint
+// and count. The gauges are maintained incrementally on Put/Delete, so this
+// is an O(1) read — safe for a metrics scraper to poll.
+func (s *Store) Bytes() (total int64, datasets int) {
+	return s.bytesStored.Load(), int(s.datasetCount.Load())
+}
+
+// Put admits (or replaces) one dataset. build receives the staged container
+// file to write; the manifest it returns is completed by the store — chunk
+// index copied from the container trailer, container size filled in — and
+// committed after the container, so a visible manifest always describes a
+// fully written container. The whole dataset publishes with one directory
+// rename; a crash mid-put leaves the previous state.
+func (s *Store) Put(name string, build func(w io.Writer) (*Manifest, error)) (*Manifest, error) {
+	return s.put(name, nil, build)
+}
+
+// Replace is Put conditioned on the committed version: the commit aborts
+// with ErrConflict if the dataset's (CreatedAt, Generation) no longer
+// matches base — it was re-put or deleted while the caller was rebuilding
+// it. Recompaction rides this compare-and-swap so a long rewrite can never
+// silently clobber newer data or resurrect a deleted dataset.
+func (s *Store) Replace(name string, base *Manifest, build func(w io.Writer) (*Manifest, error)) (*Manifest, error) {
+	if base == nil {
+		return nil, errors.New("store: Replace needs the base manifest")
+	}
+	return s.put(name, base, build)
+}
+
+func (s *Store) put(name string, base *Manifest, build func(w io.Writer) (*Manifest, error)) (*Manifest, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	// Fast-fail an already-stale Replace before paying for the build; the
+	// authoritative check repeats under the publish lock.
+	if base != nil {
+		if err := s.checkBase(name, base); err != nil {
+			return nil, err
+		}
+	}
+	stage, err := os.MkdirTemp(filepath.Join(s.root, "tmp"), name+".")
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer os.RemoveAll(stage) // no-op after a successful publish
+
+	m, err := s.stageDataset(stage, name, build)
+	if err != nil {
+		return nil, err
+	}
+
+	// Publish: one atomic rename into datasets/. Replacing an existing
+	// dataset parks the old directory at a dot-prefixed sibling first
+	// (rename over a non-empty directory fails) — inside datasets/, NOT
+	// tmp/, so a crash between the two renames leaves the committed copy
+	// where Open's recovery pass restores it instead of wiping it. The gap
+	// is the only window in which the dataset is briefly absent — never
+	// half-written, never lost.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if base != nil {
+		if err := s.checkBase(name, base); err != nil {
+			return nil, err
+		}
+	}
+	dst := s.datasetDir(name)
+	old := filepath.Join(s.root, "datasets", oldPrefix+name)
+	var oldSize int64
+	replaced := false
+	if _, err := os.Stat(dst); err == nil {
+		replaced = true
+		oldSize = s.datasetSize(name)
+		_ = os.RemoveAll(old) // a same-name leftover would block the rename
+		if err := os.Rename(dst, old); err != nil {
+			return nil, fmt.Errorf("store: displacing old dataset: %w", err)
+		}
+	}
+	if err := os.Rename(stage, dst); err != nil {
+		if replaced {
+			_ = os.Rename(old, dst) // best-effort restore
+		}
+		return nil, fmt.Errorf("store: publishing dataset: %w", err)
+	}
+	if replaced {
+		_ = os.RemoveAll(old)
+	}
+	syncDir(filepath.Dir(dst))
+	s.writes.Add(1)
+	s.bytesStored.Add(s.datasetSize(name) - oldSize)
+	if !replaced {
+		s.datasetCount.Add(1)
+	}
+	return m, nil
+}
+
+// checkBase verifies the committed dataset is still the version base
+// describes ((CreatedAt, Generation) identity).
+func (s *Store) checkBase(name string, base *Manifest) error {
+	cur, err := s.Manifest(name)
+	if err != nil || !cur.CreatedAt.Equal(base.CreatedAt) || cur.Generation != base.Generation {
+		return fmt.Errorf("%w: %q", ErrConflict, name)
+	}
+	return nil
+}
+
+// stageDataset writes container and manifest into the staging directory.
+func (s *Store) stageDataset(stage, name string, build func(w io.Writer) (*Manifest, error)) (*Manifest, error) {
+	cpath := filepath.Join(stage, ContainerFile)
+	cf, err := os.Create(cpath)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	m, err := build(cf)
+	if err == nil {
+		err = cf.Sync()
+	}
+	if cerr := cf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, errors.New("store: build returned no manifest")
+	}
+
+	// Complete the manifest from the container itself: the trailer index is
+	// the ground truth for the chunk records, and loading it doubles as an
+	// integrity check of what was just written.
+	rf, err := os.Open(cpath)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	idx, err := codec.LoadIndex(rf)
+	size, _ := rf.Seek(0, io.SeekEnd)
+	rf.Close()
+	if err != nil {
+		return nil, fmt.Errorf("store: staged container: %w", err)
+	}
+	m.Version = ManifestVersion
+	m.Name = name
+	m.Chunks = chunkRecords(idx.Entries)
+	m.TotalValues = idx.TotalValues
+	m.ChunkValues = idx.Header.ChunkValues
+	m.ContainerBytes = size
+	if m.OriginalBytes > 0 {
+		m.Ratio = float64(m.OriginalBytes) / float64(size)
+	}
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	if _, err := ParseManifest(data); err != nil {
+		return nil, fmt.Errorf("store: refusing to commit: %w", err)
+	}
+	if err := writeFileSync(filepath.Join(stage, ManifestFile), data); err != nil {
+		return nil, err
+	}
+	syncDir(stage)
+	return m, nil
+}
+
+// Delete removes a dataset. The manifest goes first — the commit record, so
+// a crash mid-delete leaves an invisible directory, not a half dataset —
+// then the directory.
+func (s *Store) Delete(name string) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.datasetDir(name)
+	if _, err := os.Stat(filepath.Join(dir, ManifestFile)); err != nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	size := s.datasetSize(name)
+	if err := os.Remove(filepath.Join(dir, ManifestFile)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.bytesStored.Add(-size)
+	s.datasetCount.Add(-1)
+	return nil
+}
+
+// ReadRange decompresses elements [off, off+n) of a dataset — and only the
+// chunks covering them.
+func (s *Store) ReadRange(name string, off, n int64) ([]float64, error) {
+	m, err := s.Manifest(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.ReadRangeWith(m, off, n)
+}
+
+// ReadRangeWith is ReadRange against an already-loaded manifest, sparing
+// the hot random-access path a second manifest parse. The manifest's chunk
+// index maps the element range to chunk records; each needed chunk is read
+// at its offset, CRC-verified, and decoded; everything else stays untouched
+// on disk.
+func (s *Store) ReadRangeWith(m *Manifest, off, n int64) ([]float64, error) {
+	name := m.Name
+	// The subtraction form cannot overflow (off < TotalValues is implied).
+	if off < 0 || n <= 0 || off > m.TotalValues || n > m.TotalValues-off {
+		return nil, fmt.Errorf("%w: [%d, %d) of %d values", ErrBadRange, off, off+n, m.TotalValues)
+	}
+	f, err := os.Open(filepath.Join(s.datasetDir(name), ContainerFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	out := make([]float64, 0, n)
+	var start int64 // first element of the current chunk
+	for _, e := range m.IndexEntries() {
+		end := start + int64(e.Values)
+		if end <= off {
+			start = end
+			continue
+		}
+		if start >= off+n {
+			break
+		}
+		c, err := codec.ReadChunkAt(f, e)
+		if err != nil {
+			return nil, fmt.Errorf("store: dataset %q: %w", name, err)
+		}
+		vals, err := codec.DecodeChunk(c)
+		if err != nil {
+			return nil, fmt.Errorf("store: dataset %q: %w", name, err)
+		}
+		s.chunkReads.Add(1)
+		lo, hi := int64(0), int64(len(vals))
+		if off > start {
+			lo = off - start
+		}
+		if off+n < end {
+			hi = off + n - start
+		}
+		out = append(out, vals[lo:hi]...)
+		start = end
+	}
+	return out, nil
+}
+
+// writeFileSync writes data to path and fsyncs it before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory (best effort; not all platforms support it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
