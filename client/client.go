@@ -23,6 +23,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"rqm/internal/service"
@@ -84,10 +85,11 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
-// WithRetry tunes the 429 retry policy for idempotent (GET) requests:
-// attempts is the total try count (1 disables retries), base the first
-// backoff delay. Only the service's typed admission-control rejection
-// (HTTP 429, code "too_many_requests") is retried — and never for POST or
+// WithRetry tunes the retry policy for idempotent (GET) requests: attempts
+// is the total try count (1 disables retries), base the first backoff
+// delay. Two failure classes are retried: the service's typed admission
+// rejection (HTTP 429, code "too_many_requests") and transient transport
+// errors (connection refused/reset, unexpected EOF). Never for POST or
 // DELETE, whose effects must not be replayed blindly.
 func WithRetry(attempts int, base time.Duration) Option {
 	return func(c *Client) {
@@ -349,8 +351,12 @@ func (c *Client) get(ctx context.Context, path string, q url.Values) (*http.Resp
 
 func (c *Client) do(ctx context.Context, method, path string, q url.Values, body io.Reader) (*http.Response, error) {
 	// Idempotent requests (GETs carry no body and cause no server-side
-	// effect) retry the service's typed admission rejection with jittered
-	// exponential backoff: a 429 means "momentarily full", not "broken".
+	// effect) retry two transient failure classes with jittered exponential
+	// backoff: the service's typed admission rejection (a 429 means
+	// "momentarily full", not "broken"), and transport-level connection
+	// failures (refused/reset — the shard behind a router may be mid-restart
+	// while its replicas are fine). Everything else, and every non-GET,
+	// surfaces immediately.
 	attempts := 1
 	if method == http.MethodGet {
 		attempts = c.retryAttempts
@@ -368,11 +374,30 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 		}
 		lastErr = err
 		var ae *APIError
-		if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		switch {
+		case errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests:
+		case isTransientTransportErr(err) && ctx.Err() == nil:
+		default:
 			return nil, err
 		}
 	}
 	return nil, lastErr
+}
+
+// isTransientTransportErr reports whether err is a connection-level failure
+// worth retrying on an idempotent request: the dial was refused, or the
+// peer dropped the connection before/while answering. Context cancellation
+// and deadline expiry are deliberate, never retried.
+func isTransientTransportErr(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	// A peer that closes mid-response surfaces as a bare (unexpected) EOF
+	// out of net/http rather than a syscall errno.
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 // maxRetryBackoff caps one backoff sleep: past it, exponential growth buys

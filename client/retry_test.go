@@ -1,0 +1,136 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// flakyTransport fails the first failures round-trips with err, then
+// serves a canned 200. It counts every attempt, so tests pin exactly how
+// many tries the retry policy spends.
+type flakyTransport struct {
+	failures int
+	err      error
+	calls    int
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return nil, f.err
+	}
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Status:     "200 OK",
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(strings.NewReader(`{"status":"ok"}`)),
+		Request:    req,
+	}, nil
+}
+
+func flakyClient(t *testing.T, ft *flakyTransport) *Client {
+	t.Helper()
+	c, err := New("http://shard.invalid",
+		WithHTTPClient(&http.Client{Transport: ft}),
+		WithRetry(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRetryTransientTransportGET: connection-level failures on idempotent
+// GETs retry (capped) and succeed once the endpoint answers — this is what
+// makes a router failing over behind the scenes invisible to callers.
+func TestRetryTransientTransportGET(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"refused", syscall.ECONNREFUSED},
+		{"reset", syscall.ECONNRESET},
+		{"unexpected-eof", io.ErrUnexpectedEOF},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ft := &flakyTransport{failures: 2, err: tc.err}
+			c := flakyClient(t, ft)
+			h, err := c.Health(context.Background())
+			if err != nil {
+				t.Fatalf("GET after %d transient failures: %v", ft.failures, err)
+			}
+			if h.Status != "ok" || ft.calls != 3 {
+				t.Fatalf("status %q after %d calls, want ok after 3", h.Status, ft.calls)
+			}
+		})
+	}
+}
+
+// TestRetryExhaustsAttempts: the cap holds — attempts=3 means three tries,
+// then the transport error surfaces.
+func TestRetryExhaustsAttempts(t *testing.T) {
+	ft := &flakyTransport{failures: 10, err: syscall.ECONNREFUSED}
+	c := flakyClient(t, ft)
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	if ft.calls != 3 {
+		t.Fatalf("made %d attempts, want exactly 3", ft.calls)
+	}
+}
+
+// TestRetryNeverReplaysPOST: non-idempotent methods fail fast on the first
+// transport error — a write must never be blindly replayed.
+func TestRetryNeverReplaysPOST(t *testing.T) {
+	ft := &flakyTransport{failures: 10, err: syscall.ECONNREFUSED}
+	c := flakyClient(t, ft)
+	err := c.Decompress(context.Background(), bytes.NewReader([]byte("x")), io.Discard)
+	if err == nil {
+		t.Fatal("want transport error")
+	}
+	if ft.calls != 1 {
+		t.Fatalf("POST made %d attempts, want exactly 1", ft.calls)
+	}
+}
+
+// TestRetryHonorsCancellation: a canceled context is a decision, not a
+// transient — no further attempts.
+func TestRetryHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ft := &flakyTransport{failures: 10, err: syscall.ECONNREFUSED}
+	c := flakyClient(t, ft)
+	cancel()
+	if _, err := c.Health(ctx); err == nil {
+		t.Fatal("want error under canceled context")
+	}
+	if ft.calls > 1 {
+		t.Fatalf("canceled context still drove %d attempts", ft.calls)
+	}
+}
+
+// TestIsTransientTransportErr pins the classifier itself.
+func TestIsTransientTransportErr(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{syscall.ECONNREFUSED, true},
+		{syscall.ECONNRESET, true},
+		{syscall.EPIPE, true},
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{nil, false},
+		{syscall.EACCES, false},
+	} {
+		if got := isTransientTransportErr(tc.err); got != tc.want {
+			t.Errorf("isTransientTransportErr(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

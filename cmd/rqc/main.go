@@ -80,13 +80,17 @@ func main() {
 		cmdRm(os.Args[2:])
 	case "recompact":
 		cmdRecompact(os.Args[2:])
+	case "cluster":
+		cmdCluster(os.Args[2:])
+	case "rebalance":
+		cmdRebalance(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rqc compress|decompress|inspect|put|get|ls|rm|recompact [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rqc compress|decompress|inspect|put|get|ls|rm|recompact|cluster|rebalance [flags]")
 	os.Exit(2)
 }
 
@@ -758,6 +762,45 @@ func cmdRecompact(args []string) {
 	}
 	fmt.Printf("recompacted %s: bound %.6g -> %.6g, ratio %.2fx -> %.2fx (est PSNR %.2f dB, generation %d)\n",
 		rr.Name, rr.OldBound, rr.NewBound, rr.OldRatio, rr.NewRatio, float64(rr.EstPSNR), rr.Generation)
+}
+
+// ---------------------------------------------------------------------------
+// Cluster subcommands (rqrouter only)
+
+func cmdCluster(args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	remote := fs.String("remote", "", "rqrouter base URL (required)")
+	must(fs.Parse(args))
+	if *remote == "" {
+		fatal(fmt.Errorf("cluster: -remote URL is required (an rqrouter instance)"))
+	}
+	c := storeClient(*remote)
+	cs, err := c.RouterStatus(context.Background())
+	must(err)
+	fmt.Printf("cluster: %d/%d shards healthy, R=%d (quorum %d), %d vnodes/shard (%d ring points)\n",
+		cs.Healthy, len(cs.Shards), cs.Replicas, cs.Quorum, cs.VNodes, cs.RingPoints)
+	fmt.Printf("%-32s %-8s %8s %6s %s\n", "SHARD", "STATE", "DATASETS", "FAILS", "LAST ERROR")
+	for _, sh := range cs.Shards {
+		state := "up"
+		if !sh.Healthy {
+			state = "down"
+		}
+		fmt.Printf("%-32s %-8s %8d %6d %s\n", sh.URL, state, sh.Datasets, sh.ConsecutiveFailures, sh.LastError)
+	}
+}
+
+func cmdRebalance(args []string) {
+	fs := flag.NewFlagSet("rebalance", flag.ExitOnError)
+	remote := fs.String("remote", "", "rqrouter base URL (required)")
+	must(fs.Parse(args))
+	if *remote == "" {
+		fatal(fmt.Errorf("rebalance: -remote URL is required (an rqrouter instance)"))
+	}
+	c := storeClient(*remote)
+	rr, err := c.Rebalance(context.Background())
+	must(err)
+	fmt.Printf("rebalanced %d datasets across %d live shards: %d copied (%d bytes moved, raw — no recompression), %d already placed, %d stray removed, %d conflicts, %d failed\n",
+		rr.Datasets, rr.ShardsLive, rr.Copied, rr.BytesMoved, rr.Skipped, rr.Removed, rr.Conflicts, rr.Failed)
 }
 
 // scanValueRange streams a field file once to find its global value range

@@ -1,0 +1,98 @@
+// Command rqrouter fronts a fleet of rqserved shards with the stateless
+// cluster tier (internal/router): datasets are placed on a consistent-hash
+// ring with virtual nodes and replicated to R shards (write quorum,
+// read-from-any-healthy with failover). The router holds no durable state —
+// restart it, or run several against the same shard list, freely.
+//
+// Usage:
+//
+//	rqrouter -addr :9090 -shards http://s1:8080,http://s2:8080,http://s3:8080
+//	rqrouter -addr :9090 -shards ... -replicas 2 -vnodes 64 \
+//	         -probe-interval 2s -fail-after 3
+//
+// The router serves the dataset API (/v1/datasets*) transparently — point
+// rqc or rqm/client at it exactly like a single shard — plus
+// /v1/cluster/status, POST /v1/cluster/rebalance, /healthz and /metrics.
+// Compute endpoints (/v1/compress, ...) stay shard-local.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rqm/internal/router"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9090", "listen address")
+		shards   = flag.String("shards", "", "comma-separated rqserved base URLs (required)")
+		replicas = flag.Int("replicas", 2, "replication factor R (capped at shard count)")
+		vnodes   = flag.Int("vnodes", 64, "virtual nodes per shard on the hash ring")
+		probe    = flag.Duration("probe-interval", 2*time.Second, "shard health-probe period")
+		failN    = flag.Int("fail-after", 3, "consecutive probe failures before a shard is marked down")
+	)
+	flag.Parse()
+
+	var list []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			list = append(list, s)
+		}
+	}
+	if len(list) == 0 {
+		fatal(errors.New("-shards is required (comma-separated rqserved base URLs)"))
+	}
+
+	rt, err := router.New(router.Config{
+		Shards:        list,
+		Replicas:      *replicas,
+		VNodes:        *vnodes,
+		ProbeInterval: *probe,
+		FailAfter:     *failN,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("rqrouter: listening on %s (%d shards, R=%d, quorum %d, %d vnodes)",
+		*addr, len(list), rt.Status().Replicas, rt.Quorum(), *vnodes)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("rqrouter: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("rqrouter: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rqrouter:", err)
+	os.Exit(1)
+}

@@ -105,6 +105,10 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 	}
+	// Flip readiness before closing the listener: routers probing /healthz
+	// see 503 "draining" and stop sending new work here while in-flight
+	// requests finish.
+	svc.BeginDrain()
 	log.Printf("rqserved: draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()

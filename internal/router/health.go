@@ -1,0 +1,154 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"rqm/internal/service"
+)
+
+// Shard health is tracked two ways. An active prober GETs each shard's
+// /healthz on a fixed interval and requires FailAfter consecutive failures
+// before marking a shard down (one dropped probe must not evict a shard
+// from every read path). Passive detection is the fast path: a transport
+// error while proxying marks the shard down immediately — the caller just
+// proved it unreachable, waiting out the probe threshold would only send
+// more requests into the same hole. Either way, a single successful probe
+// restores the shard. A 503 readiness response (shard draining for
+// shutdown) counts as a failed probe: the shard asked to be taken out of
+// rotation before its listener closes.
+
+// shardState is the mutable health record for one configured shard.
+type shardState struct {
+	url string
+
+	mu          sync.Mutex
+	healthy     bool
+	consecFails int
+	lastErr     string
+	lastProbe   time.Time
+	datasets    int // dataset count from the last successful /healthz body
+}
+
+// snapshotLocked copies the state for status reporting.
+func (s *shardState) status() ShardStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShardStatus{
+		URL:                 s.url,
+		Healthy:             s.healthy,
+		ConsecutiveFailures: s.consecFails,
+		Datasets:            s.datasets,
+		LastError:           s.lastErr,
+		LastProbe:           s.lastProbe,
+	}
+}
+
+func (s *shardState) isHealthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthy
+}
+
+// markProbe records an active probe result under the FailAfter threshold.
+func (s *shardState) markProbe(failAfter int, err error, datasets int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastProbe = time.Now()
+	if err == nil {
+		s.healthy = true
+		s.consecFails = 0
+		s.lastErr = ""
+		s.datasets = datasets
+		return
+	}
+	s.consecFails++
+	s.lastErr = err.Error()
+	if s.consecFails >= failAfter {
+		s.healthy = false
+	}
+}
+
+// markUnreachable is the passive path: a proxied request just failed at the
+// transport layer, so the shard is down now, threshold or not.
+func (s *shardState) markUnreachable(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.healthy = false
+	if s.consecFails == 0 {
+		s.consecFails = 1
+	}
+	s.lastErr = err.Error()
+}
+
+// probeLoop runs until Close; each tick probes every shard in parallel.
+func (rt *Router) probeLoop() {
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.ProbeNow(context.Background())
+		}
+	}
+}
+
+// ProbeNow probes every shard once, synchronously. The rebalancer calls it
+// before planning so placement decisions see the cluster as it is, not as
+// it was one probe interval ago.
+func (rt *Router) ProbeNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, sh := range rt.shards {
+		wg.Add(1)
+		go func(sh *shardState) {
+			defer wg.Done()
+			rt.probeShard(ctx, sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// probeShard performs one /healthz round-trip against a shard and feeds the
+// result through the failure threshold.
+func (rt *Router) probeShard(ctx context.Context, sh *shardState) {
+	timeout := rt.cfg.ProbeInterval
+	if timeout <= 0 || timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	rt.count(&rt.probes, 1)
+	datasets, err := rt.fetchHealth(ctx, sh.url)
+	if err != nil {
+		rt.count(&rt.probeFailures, 1)
+	}
+	sh.markProbe(rt.cfg.FailAfter, err, datasets)
+}
+
+// fetchHealth GETs a shard's readiness endpoint and extracts its dataset
+// count. Any non-200 status — including 503 "draining" — is a probe failure.
+func (rt *Router) fetchHealth(ctx context.Context, shardURL string) (datasets int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, shardURL+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, errStatus(resp)
+	}
+	var hr service.HealthResponse
+	if derr := json.NewDecoder(resp.Body).Decode(&hr); derr == nil {
+		datasets = hr.Datasets
+	}
+	return datasets, nil
+}

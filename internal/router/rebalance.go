@@ -1,0 +1,285 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"rqm/internal/service"
+)
+
+// The rebalance pass restores the placement invariant after shards die,
+// rejoin, or are added: every dataset on its R ring-desired shards, at the
+// newest version, with stray copies removed. It moves container bytes
+// verbatim — source side serves the full manifest (?manifest=1&full=1) and
+// the raw container (?raw=1); the target's POST /v1/datasets/{name}/raw
+// re-stages those bytes preserving created_at/generation/content_hash, so a
+// migration never decompresses or recompresses anything and replicas stay
+// bit-identical. Divergent copies are arbitrated by manifest version order
+// ((created_at, generation), the store's CAS key): the newest live copy is
+// authoritative, older ones are overwritten, and a target that turns out
+// newer than our listing wins via the raw endpoint's own 409.
+
+// RebalanceReport is the POST /v1/cluster/rebalance response body.
+type RebalanceReport struct {
+	ShardsLive int `json:"shards_live"`
+	// Datasets is the number of distinct dataset names seen across live
+	// shards.
+	Datasets int `json:"datasets"`
+	// Copied counts raw container migrations that stored bytes on a target.
+	Copied int `json:"copied"`
+	// Skipped counts idempotent no-ops: the target already held the exact
+	// version (same created_at/generation/content_hash).
+	Skipped int `json:"skipped"`
+	// Conflicts counts targets that refused a copy because they held a
+	// strictly newer version than the chosen source (the target wins).
+	Conflicts int `json:"conflicts"`
+	// Removed counts stray copies deleted from shards outside the desired
+	// replica set (only after every desired replica held a current copy).
+	Removed int `json:"removed"`
+	// Failed counts copy or removal attempts that errored.
+	Failed int `json:"failed"`
+	// BytesMoved is the total raw container bytes streamed between shards.
+	BytesMoved int64 `json:"bytes_moved"`
+}
+
+// replicaCopy is one shard's copy of a dataset, as seen in its listing.
+type replicaCopy struct {
+	sh   *shardState
+	info service.DatasetInfo
+}
+
+// Rebalance re-probes the fleet, inventories every live shard, and repairs
+// placement dataset by dataset. It is safe to run at any time and
+// idempotent at the byte level: a second pass after a successful one only
+// produces skips.
+func (rt *Router) Rebalance(ctx context.Context) (*RebalanceReport, error) {
+	rt.ProbeNow(ctx)
+	rep := &RebalanceReport{}
+
+	// Inventory: every live shard's dataset listing. A shard that fails to
+	// list drops out of this pass (and is marked unreachable) — we neither
+	// copy from nor delete on a shard whose contents we could not observe.
+	occupancy := map[string][]replicaCopy{}
+	for _, sh := range rt.shards {
+		if !sh.isHealthy() {
+			continue
+		}
+		infos, err := rt.listShard(ctx, sh)
+		if err != nil {
+			sh.markUnreachable(err)
+			continue
+		}
+		rep.ShardsLive++
+		for _, d := range infos {
+			occupancy[d.Name] = append(occupancy[d.Name], replicaCopy{sh: sh, info: d})
+		}
+	}
+	if rep.ShardsLive == 0 {
+		return nil, fmt.Errorf("rebalance: no live shards")
+	}
+
+	names := make([]string, 0, len(occupancy))
+	for name := range occupancy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rep.Datasets = len(names)
+
+	for _, name := range names {
+		copies := occupancy[name]
+		// Authoritative copy: newest by manifest version order.
+		auth := copies[0]
+		for _, c := range copies[1:] {
+			if infoNewer(&c.info, &auth.info) {
+				auth = c
+			}
+		}
+		holds := map[*shardState]*replicaCopy{}
+		for i := range copies {
+			holds[copies[i].sh] = &copies[i]
+		}
+
+		// Repair the desired replica set up to the authoritative version.
+		desired := rt.desiredReplicas(name)
+		desiredSet := map[*shardState]bool{}
+		fullyPlaced := true
+		for _, d := range desired {
+			desiredSet[d] = true
+			if c, ok := holds[d]; ok && !infoNewer(&auth.info, &c.info) {
+				continue // already current (or newer — it would have been auth)
+			}
+			n, status, err := rt.syncReplica(ctx, auth.sh, d, name)
+			switch {
+			case err != nil:
+				rep.Failed++
+				fullyPlaced = false
+			case status == http.StatusCreated:
+				rep.Copied++
+				rep.BytesMoved += n
+			case status == http.StatusConflict:
+				// Target holds something newer than our listing; it wins.
+				rep.Conflicts++
+			default: // 200: idempotent skip
+				rep.Skipped++
+			}
+		}
+
+		// Drop stray copies, but only once the desired set fully holds the
+		// dataset — a misplaced replica is the only durable copy until then.
+		if !fullyPlaced {
+			continue
+		}
+		for _, c := range copies {
+			if desiredSet[c.sh] {
+				continue
+			}
+			if err := rt.deleteOn(ctx, c.sh, name); err != nil {
+				rep.Failed++
+				continue
+			}
+			rep.Removed++
+		}
+	}
+
+	rt.count(&rt.rebalances, 1)
+	rt.count(&rt.rebalanceCopied, int64(rep.Copied))
+	rt.count(&rt.rebalanceRemoved, int64(rep.Removed))
+	rt.count(&rt.rebalanceBytes, rep.BytesMoved)
+	return rep, nil
+}
+
+// listShard fetches one shard's dataset listing.
+func (rt *Router) listShard(ctx context.Context, sh *shardState) ([]service.DatasetInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.url+"/v1/datasets", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errStatus(resp)
+	}
+	var lr service.ListDatasetsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return nil, fmt.Errorf("decode listing: %w", err)
+	}
+	return lr.Datasets, nil
+}
+
+// deleteOn removes name from a single shard (no fan-out; used by rebalance
+// for stray copies). A 404 is success — the copy is gone either way.
+func (rt *Router) deleteOn(ctx context.Context, sh *shardState, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, sh.url+datasetPath(name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 && resp.StatusCode != http.StatusNotFound {
+		return errStatus(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// syncReplica copies name from src to dst byte-for-byte: full manifest +
+// raw container off src, framed into dst's raw-put endpoint. The container
+// is streamed (io.Pipe), never buffered or re-encoded. Returns the
+// container bytes moved and the raw-put status (201 stored, 200 skipped,
+// 409 target-newer).
+func (rt *Router) syncReplica(ctx context.Context, src, dst *shardState, name string) (int64, int, error) {
+	n, status, err := rt.syncReplicaInner(ctx, src, dst, name)
+	if err != nil {
+		rt.count(&rt.replicaSyncFailures, 1)
+	} else {
+		rt.count(&rt.replicaSyncs, 1)
+	}
+	return n, status, err
+}
+
+func (rt *Router) syncReplicaInner(ctx context.Context, src, dst *shardState, name string) (int64, int, error) {
+	// Full manifest: the verbatim store.Manifest including chunk index and
+	// profile, exactly what the raw-put frame carries.
+	manReq, err := http.NewRequestWithContext(ctx, http.MethodGet, src.url+datasetPath(name)+"?manifest=1&full=1", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	manResp, err := rt.hc.Do(manReq)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fetch manifest from %s: %w", src.url, err)
+	}
+	manBytes, err := io.ReadAll(io.LimitReader(manResp.Body, errBodyLimit))
+	manResp.Body.Close()
+	if err != nil {
+		return 0, 0, err
+	}
+	if manResp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("fetch manifest from %s: status %d", src.url, manResp.StatusCode)
+	}
+
+	// Raw container stream.
+	rawReq, err := http.NewRequestWithContext(ctx, http.MethodGet, src.url+datasetPath(name)+"?raw=1", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	rawResp, err := rt.hc.Do(rawReq)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fetch container from %s: %w", src.url, err)
+	}
+	defer rawResp.Body.Close()
+	if rawResp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(rawResp.Body, errBodyLimit))
+		return 0, 0, fmt.Errorf("fetch container from %s: status %d", src.url, rawResp.StatusCode)
+	}
+
+	// Frame: 4-byte big-endian manifest length, manifest JSON, container.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(manBytes)))
+	counted := &countingReader{r: rawResp.Body}
+	body := io.MultiReader(bytes.NewReader(hdr[:]), bytes.NewReader(manBytes), counted)
+
+	putReq, err := http.NewRequestWithContext(ctx, http.MethodPost, dst.url+datasetPath(name)+"/raw", body)
+	if err != nil {
+		return 0, 0, err
+	}
+	putReq.Header.Set("Content-Type", "application/octet-stream")
+	if cl := rawResp.ContentLength; cl > 0 {
+		putReq.ContentLength = int64(4+len(manBytes)) + cl
+	}
+	putResp, err := rt.hc.Do(putReq)
+	if err != nil {
+		return counted.n, 0, fmt.Errorf("raw put to %s: %w", dst.url, err)
+	}
+	defer putResp.Body.Close()
+	switch putResp.StatusCode {
+	case http.StatusCreated, http.StatusOK, http.StatusConflict:
+		io.Copy(io.Discard, io.LimitReader(putResp.Body, errBodyLimit))
+		return counted.n, putResp.StatusCode, nil
+	default:
+		return counted.n, putResp.StatusCode, fmt.Errorf("raw put to %s: %w", dst.url, errStatus(putResp))
+	}
+}
+
+// countingReader tallies container bytes actually streamed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,105 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// The consistent-hash ring places dataset names on shards. Each shard owns
+// vnodes points on a 64-bit ring; a name hashes to a point and its replica
+// sequence is the distinct shards met walking clockwise from there. Virtual
+// nodes smooth the load (with V points per shard the expected imbalance
+// shrinks like 1/sqrt(V)), and consistency is the property the cluster
+// tier leans on: adding or removing one shard moves only the names whose
+// ring arcs that shard gained or lost — everything else keeps its placement,
+// so a rebalance after membership change migrates O(datasets/shards), not
+// everything.
+
+// ringPoint is one virtual node: a hash position owned by a shard.
+type ringPoint struct {
+	hash  uint64
+	shard int // index into the configured shard list
+}
+
+// ring is an immutable consistent-hash ring over a fixed shard list.
+type ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+	vnodes int
+}
+
+// hashKey positions a key on the ring: FNV-64a (fast, stable across
+// processes and restarts — placement must never depend on process state)
+// pushed through a 64-bit finalizer. Raw FNV clusters on the short, nearly
+// identical vnode keys ("0#0", "0#1", ...), skewing arc lengths several
+// sigma past the 1/sqrt(V) ideal; the multiply-xor-shift mix (splitmix64's
+// finalizer) restores avalanche so the balance argument actually holds.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a bijective avalanche finalizer (splitmix64 / murmur3 fmix64
+// family): every input bit flips each output bit with probability ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// newRing builds the ring: vnodes points per shard, hashed from
+// "<shard-index>#<vnode>". Points hash off the shard's ring identity (its
+// index), not its URL, so re-addressing a shard (new port, new host) keeps
+// every placement.
+func newRing(shards, vnodes int) *ring {
+	r := &ring{
+		points: make([]ringPoint, 0, shards*vnodes),
+		shards: shards,
+		vnodes: vnodes,
+	}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%d#%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare, but the ring must be total): lower
+		// shard index wins deterministically.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// sequence returns every shard index exactly once, ordered by the clockwise
+// ring walk from name's hash position: element 0 is the primary, elements
+// 1..R-1 the replicas, and the tail the failover order past them. A key
+// hashing exactly onto a point belongs to that point; a key past the last
+// point wraps to the first.
+func (r *ring) sequence(name string) []int {
+	return r.sequenceFrom(hashKey(name))
+}
+
+// sequenceFrom is sequence for an explicit ring position (split out so
+// boundary cases — exact point hits, wrap past the last point — are
+// testable without reverse-engineering FNV preimages).
+func (r *ring) sequenceFrom(h uint64) []int {
+	out := make([]int, 0, r.shards)
+	seen := make([]bool, r.shards)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points) && len(out) < r.shards; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package router
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingSequenceIsPermutation: every name's sequence visits every shard
+// exactly once, deterministically.
+func TestRingSequenceIsPermutation(t *testing.T) {
+	r := newRing(5, 64)
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("ds-%d", i)
+		seq := r.sequence(name)
+		if len(seq) != 5 {
+			t.Fatalf("sequence(%q) = %v, want 5 distinct shards", name, seq)
+		}
+		seen := map[int]bool{}
+		for _, s := range seq {
+			if s < 0 || s >= 5 || seen[s] {
+				t.Fatalf("sequence(%q) = %v is not a permutation", name, seq)
+			}
+			seen[s] = true
+		}
+		if again := r.sequence(name); !reflect.DeepEqual(seq, again) {
+			t.Fatalf("sequence(%q) not deterministic: %v then %v", name, seq, again)
+		}
+	}
+}
+
+// TestRingDistribution: with virtual nodes, no shard is starved of primary
+// ownership and no shard hoards it.
+func TestRingDistribution(t *testing.T) {
+	const shards, names = 4, 4000
+	r := newRing(shards, 64)
+	counts := make([]int, shards)
+	for i := 0; i < names; i++ {
+		counts[r.sequence(fmt.Sprintf("dataset/%d", i))[0]]++
+	}
+	for s, c := range counts {
+		// Expected 1000 per shard; 64 vnodes keep the spread well inside
+		// 2x either way.
+		if c < names/shards/2 || c > names/shards*2 {
+			t.Fatalf("shard %d owns %d/%d primaries, out of balance: %v", s, c, names, counts)
+		}
+	}
+}
+
+// TestRingBoundaries pins the two placement edge cases: a key hashing
+// exactly onto a ring point belongs to that point, and a key past the
+// highest point wraps to the first.
+func TestRingBoundaries(t *testing.T) {
+	r := newRing(3, 16)
+	last := r.points[len(r.points)-1]
+	first := r.points[0]
+
+	// Exact hit on an interior point.
+	mid := r.points[len(r.points)/2]
+	if got := r.sequenceFrom(mid.hash); got[0] != mid.shard {
+		t.Fatalf("exact-point hash %x routed to shard %d, want owner %d", mid.hash, got[0], mid.shard)
+	}
+	// Exact hit on the last point.
+	if got := r.sequenceFrom(last.hash); got[0] != last.shard {
+		t.Fatalf("last-point hash routed to %d, want %d", got[0], last.shard)
+	}
+	// One past the last point wraps to the first.
+	if last.hash != ^uint64(0) {
+		if got := r.sequenceFrom(last.hash + 1); got[0] != first.shard {
+			t.Fatalf("wrap-around hash routed to %d, want first point's shard %d", got[0], first.shard)
+		}
+	}
+	// Hash zero takes the first point too (nothing smaller exists).
+	if got := r.sequenceFrom(0); got[0] != first.shard {
+		t.Fatalf("hash 0 routed to %d, want %d", got[0], first.shard)
+	}
+}
+
+// TestRingStableUnderMembershipGrowth: adding a shard must not reshuffle
+// placements that the new shard did not claim — the consistency property
+// the rebalancer's O(datasets/shards) migration cost rests on.
+func TestRingStableUnderMembershipGrowth(t *testing.T) {
+	small, big := newRing(3, 64), newRing(4, 64)
+	moved := 0
+	const names = 2000
+	for i := 0; i < names; i++ {
+		name := fmt.Sprintf("dataset/%d", i)
+		was, now := small.sequence(name)[0], big.sequence(name)[0]
+		if was != now {
+			if now != 3 {
+				t.Fatalf("%q moved from shard %d to %d, not to the new shard", name, was, now)
+			}
+			moved++
+		}
+	}
+	// The new shard should claim roughly 1/4 of primaries — and only that.
+	if moved == 0 || moved > names/2 {
+		t.Fatalf("membership growth moved %d/%d primaries", moved, names)
+	}
+}

@@ -1,0 +1,808 @@
+// Package router implements the stateless cluster tier in front of a fleet
+// of rqserved shards. Datasets are placed on a consistent-hash ring with
+// virtual nodes; each dataset lives on R replicas (write-to-R with a
+// majority quorum, read-from-any-healthy with failover). The router holds
+// no durable state of its own — placement is a pure function of (shard
+// list, vnodes, name), health is re-learned by probing, and divergent
+// replicas are arbitrated by the manifests' (created_at, generation)
+// version order, so any number of routers can front the same shards.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rqm/internal/service"
+)
+
+// Defaults for zero values in Config.
+const (
+	defaultReplicas      = 2
+	defaultVNodes        = 64
+	defaultProbeInterval = 2 * time.Second
+	defaultFailAfter     = 3
+	defaultMaxBodyBytes  = 1 << 30
+)
+
+// errBodyLimit caps how much of a shard error/success body the router
+// buffers when it must inspect or replay it (quorum writes, fan-outs).
+const errBodyLimit = 1 << 20
+
+// Config configures a Router.
+type Config struct {
+	// Shards lists the rqserved base URLs (scheme://host:port, no trailing
+	// slash) that form the ring. Order matters: ring placement hashes the
+	// shard's position in this list, so a stable order across router
+	// restarts (and across multiple routers) keeps placements stable.
+	Shards []string
+	// Replicas is R, the number of shards each dataset lives on
+	// (default 2, capped at len(Shards)).
+	Replicas int
+	// VNodes is the number of virtual nodes per shard (default 64).
+	VNodes int
+	// ProbeInterval is the health-probe period (default 2s). Negative
+	// disables the background prober (tests drive ProbeNow directly).
+	ProbeInterval time.Duration
+	// FailAfter is how many consecutive probe failures mark a shard down
+	// (default 3). Passive transport errors mark down immediately.
+	FailAfter int
+	// MaxBodyBytes caps buffered write bodies (default 1 GiB).
+	MaxBodyBytes int64
+	// Client is the outbound HTTP client (default: http.DefaultTransport
+	// with no overall timeout; per-request contexts bound probe time).
+	Client *http.Client
+}
+
+// Router proxies the dataset API across the shard fleet.
+type Router struct {
+	cfg    Config
+	ring   *ring
+	shards []*shardState
+	hc     *http.Client
+	mux    *http.ServeMux
+	start  time.Time
+	stop   chan struct{}
+	closed sync.Once
+
+	// snapMu makes /metrics a consistent cut: increments share an RLock,
+	// Snapshot takes the write lock (same pattern as internal/service).
+	snapMu              sync.RWMutex
+	requests            atomic.Int64
+	errors              atomic.Int64
+	proxiedPuts         atomic.Int64
+	proxiedGets         atomic.Int64
+	proxiedLists        atomic.Int64
+	proxiedDeletes      atomic.Int64
+	proxiedSlices       atomic.Int64
+	proxiedRecompacts   atomic.Int64
+	failovers           atomic.Int64
+	quorumFailures      atomic.Int64
+	replicaSyncs        atomic.Int64
+	replicaSyncFailures atomic.Int64
+	rebalances          atomic.Int64
+	rebalanceCopied     atomic.Int64
+	rebalanceRemoved    atomic.Int64
+	rebalanceBytes      atomic.Int64
+	probes              atomic.Int64
+	probeFailures       atomic.Int64
+}
+
+// New validates cfg, builds the ring, and starts the health prober (unless
+// ProbeInterval < 0). Callers own Close.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("router: at least one shard required")
+	}
+	seen := map[string]bool{}
+	for i, s := range cfg.Shards {
+		s = strings.TrimRight(s, "/")
+		if s == "" {
+			return nil, fmt.Errorf("router: empty shard URL at index %d", i)
+		}
+		u, err := url.Parse(s)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("router: shard %q is not an absolute URL", cfg.Shards[i])
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("router: duplicate shard %q", s)
+		}
+		seen[s] = true
+		cfg.Shards[i] = s
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = defaultReplicas
+	}
+	if cfg.Replicas > len(cfg.Shards) {
+		cfg.Replicas = len(cfg.Shards)
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = defaultVNodes
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = defaultProbeInterval
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = defaultFailAfter
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	rt := &Router{
+		cfg:   cfg,
+		ring:  newRing(len(cfg.Shards), cfg.VNodes),
+		hc:    cfg.Client,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+	}
+	if rt.hc == nil {
+		rt.hc = &http.Client{}
+	}
+	for _, s := range cfg.Shards {
+		// Shards start healthy: an idle cluster must route immediately, and
+		// the first failed request or probe corrects optimism within one
+		// round-trip.
+		rt.shards = append(rt.shards, &shardState{url: s, healthy: true})
+	}
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /v1/cluster/status", rt.handleClusterStatus)
+	rt.mux.HandleFunc("POST /v1/cluster/rebalance", rt.handleRebalance)
+	rt.mux.HandleFunc("GET /v1/datasets", rt.handleList)
+	rt.mux.HandleFunc("POST /v1/datasets/{name}", rt.handlePut)
+	rt.mux.HandleFunc("GET /v1/datasets/{name}", rt.handleGet)
+	rt.mux.HandleFunc("DELETE /v1/datasets/{name}", rt.handleDelete)
+	rt.mux.HandleFunc("GET /v1/datasets/{name}/slice", rt.handleSlice)
+	rt.mux.HandleFunc("POST /v1/datasets/{name}/recompact", rt.handleRecompact)
+	rt.mux.HandleFunc("/", rt.handleNotRoutable)
+	if cfg.ProbeInterval > 0 {
+		go rt.probeLoop()
+	}
+	return rt, nil
+}
+
+// Close stops the background prober. Idempotent.
+func (rt *Router) Close() { rt.closed.Do(func() { close(rt.stop) }) }
+
+// Quorum is the write majority: more than half of R.
+func (rt *Router) Quorum() int { return rt.cfg.Replicas/2 + 1 }
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.count(&rt.requests, 1)
+	rt.mux.ServeHTTP(w, r)
+}
+
+// count bumps a counter under the snapshot read-lock (see snapMu).
+func (rt *Router) count(c *atomic.Int64, delta int64) {
+	rt.snapMu.RLock()
+	c.Add(delta)
+	rt.snapMu.RUnlock()
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+
+// candidates returns the shard states in ring order for name, healthy ones
+// first (each group keeps ring order). Reads walk this list; writes take
+// the first R healthy entries.
+func (rt *Router) candidates(name string) (healthy, down []*shardState) {
+	for _, idx := range rt.ring.sequence(name) {
+		sh := rt.shards[idx]
+		if sh.isHealthy() {
+			healthy = append(healthy, sh)
+		} else {
+			down = append(down, sh)
+		}
+	}
+	return healthy, down
+}
+
+// writeTargets is the current write set for name: the first R healthy
+// shards in ring order. When replicas of the ideal set are down, their ring
+// successors stand in (sloppy placement) so writes stay available through
+// an outage; a later rebalance moves the data home.
+func (rt *Router) writeTargets(name string) []*shardState {
+	healthy, _ := rt.candidates(name)
+	if len(healthy) > rt.cfg.Replicas {
+		healthy = healthy[:rt.cfg.Replicas]
+	}
+	return healthy
+}
+
+// desiredReplicas returns the ideal R-replica set for name over LIVE shards
+// only — the rebalancer's notion of "where this dataset belongs right now".
+func (rt *Router) desiredReplicas(name string) []*shardState {
+	return rt.writeTargets(name)
+}
+
+// ---------------------------------------------------------------------------
+// Shared proxy plumbing
+
+// datasetPath builds the shard-side path for a dataset name, re-escaping it
+// (PathValue hands back the decoded form).
+func datasetPath(name string) string { return "/v1/datasets/" + url.PathEscape(name) }
+
+// errStatus summarizes a non-2xx shard response, preferring the typed
+// envelope's message.
+func errStatus(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
+	var eb service.ErrorBody
+	if json.Unmarshal(body, &eb) == nil && eb.Error.Code != "" {
+		return fmt.Errorf("shard returned %d %s: %s", resp.StatusCode, eb.Error.Code, eb.Error.Message)
+	}
+	return fmt.Errorf("shard returned status %d", resp.StatusCode)
+}
+
+// writeJSON mirrors the shard-side envelope conventions.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeErr emits the same typed error envelope the shards use, so clients
+// see one error schema whether they talk to a shard or the router.
+func (rt *Router) writeErr(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	rt.count(&rt.errors, 1)
+	var eb service.ErrorBody
+	eb.Error.Code = code
+	eb.Error.Message = fmt.Sprintf(format, args...)
+	writeJSON(w, status, &eb)
+}
+
+// copyProxyHeaders forwards the request headers that matter to shards:
+// content negotiation plus every X-RQM-* knob (the service accepts all its
+// query parameters as X-RQM-<name> headers too).
+func copyProxyHeaders(dst, src http.Header) {
+	for _, k := range []string{"Content-Type", "Accept"} {
+		if v := src.Get(k); v != "" {
+			dst.Set(k, v)
+		}
+	}
+	for k, vs := range src {
+		if strings.HasPrefix(k, "X-Rqm-") {
+			dst[k] = vs
+		}
+	}
+}
+
+// relayHeaders copies the response headers a shard sets onto the router's
+// response: body metadata and every X-RQM-* annotation.
+func relayHeaders(dst, src http.Header) {
+	for _, k := range []string{"Content-Type", "Content-Length", "Retry-After"} {
+		if v := src.Get(k); v != "" {
+			dst.Set(k, v)
+		}
+	}
+	for k, vs := range src {
+		if strings.HasPrefix(k, "X-Rqm-") {
+			dst[k] = vs
+		}
+	}
+}
+
+// shardRequest builds an outbound request to one shard, carrying the query
+// string and proxy headers from the inbound request.
+func shardRequest(ctx context.Context, method string, sh *shardState, path, rawQuery string, hdr http.Header, body io.Reader) (*http.Request, error) {
+	u := sh.url + path
+	if rawQuery != "" {
+		u += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return nil, err
+	}
+	if hdr != nil {
+		copyProxyHeaders(req.Header, hdr)
+	}
+	return req, nil
+}
+
+// proxyRead streams a GET from the first candidate that can serve it.
+// Transport errors and 5xx responses fail over to the next replica (the
+// shard is marked down on transport errors so subsequent requests skip it);
+// a 404 keeps trying — with R>1 a lagging replica may miss a dataset its
+// peer holds — and only becomes the answer when no replica has it. Any
+// other response (success or a 4xx like bad arguments) is relayed as-is.
+func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, name, path string) {
+	healthy, down := rt.candidates(name)
+	cands := append(healthy, down...)
+	if len(cands) == 0 {
+		rt.writeErr(w, http.StatusServiceUnavailable, "no_shards", "no shards configured")
+		return
+	}
+	sawNotFound := false
+	for i, sh := range cands {
+		req, err := shardRequest(r.Context(), http.MethodGet, sh, path, r.URL.RawQuery, r.Header, nil)
+		if err != nil {
+			rt.writeErr(w, http.StatusBadGateway, "proxy_failed", "%v", err)
+			return
+		}
+		resp, err := rt.hc.Do(req)
+		if err != nil {
+			if r.Context().Err() != nil {
+				rt.writeErr(w, http.StatusBadGateway, "proxy_failed", "%v", r.Context().Err())
+				return
+			}
+			sh.markUnreachable(err)
+			rt.count(&rt.failovers, 1)
+			continue
+		}
+		switch {
+		case resp.StatusCode >= 500:
+			resp.Body.Close()
+			rt.count(&rt.failovers, 1)
+			continue
+		case resp.StatusCode == http.StatusNotFound:
+			resp.Body.Close()
+			sawNotFound = true
+			continue
+		default:
+			if i > 0 {
+				w.Header().Set("X-RQM-Failover", strconv.Itoa(i))
+			}
+			w.Header().Set("X-RQM-Shard", sh.url)
+			relayHeaders(w.Header(), resp.Header)
+			w.WriteHeader(resp.StatusCode)
+			_, _ = io.Copy(w, resp.Body)
+			resp.Body.Close()
+			return
+		}
+	}
+	if sawNotFound {
+		rt.writeErr(w, http.StatusNotFound, "dataset_not_found", "dataset %q not found on any replica", name)
+		return
+	}
+	rt.writeErr(w, http.StatusBadGateway, "no_replica", "no replica could serve dataset %q", name)
+}
+
+// ---------------------------------------------------------------------------
+// Dataset handlers
+
+type shardResult struct {
+	sh     *shardState
+	status int
+	header http.Header
+	body   []byte
+	err    error
+}
+
+// fanOut issues the same request against every target in parallel and
+// collects buffered results in target order.
+func (rt *Router) fanOut(ctx context.Context, method string, targets []*shardState, path, rawQuery string, hdr http.Header, body []byte) []shardResult {
+	results := make([]shardResult, len(targets))
+	var wg sync.WaitGroup
+	for i, sh := range targets {
+		wg.Add(1)
+		go func(i int, sh *shardState) {
+			defer wg.Done()
+			res := shardResult{sh: sh}
+			var rd io.Reader
+			if body != nil {
+				rd = bytes.NewReader(body)
+			}
+			req, err := shardRequest(ctx, method, sh, path, rawQuery, hdr, rd)
+			if err != nil {
+				res.err = err
+				results[i] = res
+				return
+			}
+			resp, err := rt.hc.Do(req)
+			if err != nil {
+				if ctx.Err() == nil {
+					sh.markUnreachable(err)
+				}
+				res.err = err
+				results[i] = res
+				return
+			}
+			res.status = resp.StatusCode
+			res.header = resp.Header
+			res.body, _ = io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
+			resp.Body.Close()
+			results[i] = res
+		}(i, sh)
+	}
+	wg.Wait()
+	return results
+}
+
+// relayBuffered writes one buffered shard response through to the client.
+func relayBuffered(w http.ResponseWriter, res shardResult) {
+	relayHeaders(w.Header(), res.header)
+	w.Header().Del("Content-Length") // body was re-buffered; let net/http set it
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// handlePut fans a dataset write out to the R-replica write set and
+// requires a majority quorum of 2xx responses. The body is buffered once
+// and replayed to each replica. On quorum the primary's response is
+// relayed with X-RQM-Replicas: "ok/attempted"; with zero successes and at
+// least one real HTTP error the first such error is relayed (a bad request
+// should read as 4xx, not as a router failure); anything else is a 502
+// quorum failure.
+func (rt *Router) handlePut(w http.ResponseWriter, r *http.Request) {
+	rt.count(&rt.proxiedPuts, 1)
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		rt.writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large", "request body exceeds %d bytes", rt.cfg.MaxBodyBytes)
+		return
+	}
+	targets := rt.writeTargets(name)
+	if len(targets) == 0 {
+		rt.writeErr(w, http.StatusServiceUnavailable, "no_shards", "no healthy shards")
+		return
+	}
+	// Stamp one identity timestamp for the whole fan-out: every replica
+	// commits the same (created_at, generation) version, so the version
+	// arbiter sees agreement, not R microsecond-skewed "divergent" copies.
+	q := r.URL.Query()
+	if q.Get("created-at") == "" && r.Header.Get("X-RQM-created-at") == "" {
+		q.Set("created-at", time.Now().UTC().Format(time.RFC3339Nano))
+	}
+	results := rt.fanOut(r.Context(), http.MethodPost, targets, datasetPath(name), q.Encode(), r.Header, body)
+	quorum := rt.Quorum()
+	if quorum > len(targets) {
+		quorum = len(targets)
+	}
+	ok := 0
+	firstOK, firstHTTPErr := -1, -1
+	for i, res := range results {
+		switch {
+		case res.err == nil && res.status < 300:
+			ok++
+			if firstOK < 0 {
+				firstOK = i
+			}
+		case res.err == nil && firstHTTPErr < 0:
+			firstHTTPErr = i
+		}
+	}
+	switch {
+	case ok >= quorum:
+		w.Header().Set("X-RQM-Replicas", fmt.Sprintf("%d/%d", ok, len(targets)))
+		relayBuffered(w, results[firstOK])
+	case ok == 0 && firstHTTPErr >= 0:
+		relayBuffered(w, results[firstHTTPErr])
+	default:
+		rt.count(&rt.quorumFailures, 1)
+		rt.writeErr(w, http.StatusBadGateway, "quorum_failed",
+			"write reached %d/%d replicas, quorum is %d", ok, len(targets), quorum)
+	}
+}
+
+func (rt *Router) handleGet(w http.ResponseWriter, r *http.Request) {
+	rt.count(&rt.proxiedGets, 1)
+	name := r.PathValue("name")
+	rt.proxyRead(w, r, name, datasetPath(name))
+}
+
+func (rt *Router) handleSlice(w http.ResponseWriter, r *http.Request) {
+	rt.count(&rt.proxiedSlices, 1)
+	name := r.PathValue("name")
+	rt.proxyRead(w, r, name, datasetPath(name)+"/slice")
+}
+
+// DeleteResponse is the router's DELETE body: how many replicas held (and
+// dropped) the dataset.
+type DeleteResponse struct {
+	Deleted  string `json:"deleted"`
+	Replicas int    `json:"replicas"`
+}
+
+// handleDelete fans out to every shard — not just the current write set —
+// because sloppy placement and past topologies may have left copies
+// anywhere. Success if any replica deleted; 404 only when every reachable
+// shard answered 404.
+func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
+	rt.count(&rt.proxiedDeletes, 1)
+	name := r.PathValue("name")
+	results := rt.fanOut(r.Context(), http.MethodDelete, rt.shards, datasetPath(name), r.URL.RawQuery, r.Header, nil)
+	deleted, notFound, reachable := 0, 0, 0
+	firstHTTPErr := -1
+	for i, res := range results {
+		if res.err != nil {
+			continue
+		}
+		reachable++
+		switch {
+		case res.status < 300:
+			deleted++
+		case res.status == http.StatusNotFound:
+			notFound++
+		default:
+			if firstHTTPErr < 0 {
+				firstHTTPErr = i
+			}
+		}
+	}
+	switch {
+	case deleted > 0:
+		writeJSON(w, http.StatusOK, &DeleteResponse{Deleted: name, Replicas: deleted})
+	case reachable > 0 && notFound == reachable:
+		rt.writeErr(w, http.StatusNotFound, "dataset_not_found", "dataset %q not found on any replica", name)
+	case firstHTTPErr >= 0:
+		relayBuffered(w, results[firstHTTPErr])
+	default:
+		rt.writeErr(w, http.StatusBadGateway, "delete_failed", "no shard reachable for delete of %q", name)
+	}
+}
+
+// handleList fans out to every healthy shard and merges by dataset name,
+// keeping the newest copy of each (manifest version order: created_at,
+// then generation). Unreachable shards are skipped — a partial list beats
+// no list — and X-RQM-Shards-Listed reports the coverage.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	rt.count(&rt.proxiedLists, 1)
+	var healthy []*shardState
+	for _, sh := range rt.shards {
+		if sh.isHealthy() {
+			healthy = append(healthy, sh)
+		}
+	}
+	if len(healthy) == 0 {
+		rt.writeErr(w, http.StatusServiceUnavailable, "no_shards", "no healthy shards")
+		return
+	}
+	results := rt.fanOut(r.Context(), http.MethodGet, healthy, "/v1/datasets", r.URL.RawQuery, r.Header, nil)
+	merged := map[string]service.DatasetInfo{}
+	listed := 0
+	for _, res := range results {
+		if res.err != nil || res.status != http.StatusOK {
+			continue
+		}
+		var lr service.ListDatasetsResponse
+		if json.Unmarshal(res.body, &lr) != nil {
+			continue
+		}
+		listed++
+		for _, d := range lr.Datasets {
+			cur, ok := merged[d.Name]
+			if !ok || infoNewer(&d, &cur) {
+				merged[d.Name] = d
+			}
+		}
+	}
+	out := service.ListDatasetsResponse{Datasets: []service.DatasetInfo{}}
+	for _, d := range merged {
+		out.Datasets = append(out.Datasets, d)
+	}
+	sort.Slice(out.Datasets, func(i, j int) bool { return out.Datasets[i].Name < out.Datasets[j].Name })
+	w.Header().Set("X-RQM-Shards-Listed", fmt.Sprintf("%d/%d", listed, len(healthy)))
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// infoNewer applies the same (created_at, generation) version order the
+// store's CAS uses, on the list projection.
+func infoNewer(a, b *service.DatasetInfo) bool {
+	if !a.CreatedAt.Equal(b.CreatedAt) {
+		return a.CreatedAt.After(b.CreatedAt)
+	}
+	return a.Generation > b.Generation
+}
+
+// handleRecompact forwards to the first replica that takes the request,
+// then repairs the remaining replicas by raw-copying the rewritten
+// container from the shard that served it — recompaction happens once, the
+// other replicas get its bytes verbatim. X-RQM-Replicas-Synced reports how
+// many repairs succeeded.
+func (rt *Router) handleRecompact(w http.ResponseWriter, r *http.Request) {
+	rt.count(&rt.proxiedRecompacts, 1)
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, errBodyLimit))
+	if err != nil {
+		rt.writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large", "request body too large")
+		return
+	}
+	healthy, _ := rt.candidates(name)
+	if len(healthy) == 0 {
+		rt.writeErr(w, http.StatusServiceUnavailable, "no_shards", "no healthy shards")
+		return
+	}
+	for i, sh := range healthy {
+		req, rerr := shardRequest(r.Context(), http.MethodPost, sh, datasetPath(name)+"/recompact", r.URL.RawQuery, r.Header, bytes.NewReader(body))
+		if rerr != nil {
+			rt.writeErr(w, http.StatusBadGateway, "proxy_failed", "%v", rerr)
+			return
+		}
+		resp, derr := rt.hc.Do(req)
+		if derr != nil {
+			if r.Context().Err() != nil {
+				rt.writeErr(w, http.StatusBadGateway, "proxy_failed", "%v", r.Context().Err())
+				return
+			}
+			sh.markUnreachable(derr)
+			rt.count(&rt.failovers, 1)
+			continue
+		}
+		res := shardResult{sh: sh, status: resp.StatusCode, header: resp.Header}
+		res.body, _ = io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
+		resp.Body.Close()
+		if res.status == http.StatusNotFound && i < len(healthy)-1 {
+			// This replica may simply lag; let a peer try.
+			continue
+		}
+		if res.status < 300 {
+			synced := 0
+			for _, peer := range rt.desiredReplicas(name) {
+				if peer == sh {
+					continue
+				}
+				if _, _, serr := rt.syncReplica(r.Context(), sh, peer, name); serr == nil {
+					synced++
+				}
+			}
+			w.Header().Set("X-RQM-Replicas-Synced", strconv.Itoa(synced))
+		}
+		relayBuffered(w, res)
+		return
+	}
+	rt.writeErr(w, http.StatusBadGateway, "no_replica", "no replica could recompact dataset %q", name)
+}
+
+// handleNotRoutable rejects everything outside the dataset and cluster
+// APIs: compute endpoints (/v1/compress, /v1/estimate, ...) are shard-local
+// and carry no dataset name to place on the ring.
+func (rt *Router) handleNotRoutable(w http.ResponseWriter, r *http.Request) {
+	rt.writeErr(w, http.StatusNotFound, "not_routable",
+		"the router serves /v1/datasets*, /v1/cluster/*, /healthz and /metrics; compute endpoints are served by shards directly")
+}
+
+// ---------------------------------------------------------------------------
+// Cluster introspection
+
+// ShardStatus is one shard's health record in /v1/cluster/status.
+type ShardStatus struct {
+	URL                 string    `json:"url"`
+	Healthy             bool      `json:"healthy"`
+	ConsecutiveFailures int       `json:"consecutive_failures"`
+	Datasets            int       `json:"datasets"`
+	LastError           string    `json:"last_error,omitempty"`
+	LastProbe           time.Time `json:"last_probe,omitzero"`
+}
+
+// ClusterStatus is the GET /v1/cluster/status body.
+type ClusterStatus struct {
+	Shards     []ShardStatus `json:"shards"`
+	Healthy    int           `json:"healthy"`
+	Replicas   int           `json:"replicas"`
+	Quorum     int           `json:"quorum"`
+	VNodes     int           `json:"vnodes"`
+	RingPoints int           `json:"ring_points"`
+}
+
+// Status snapshots cluster topology and shard health.
+func (rt *Router) Status() ClusterStatus {
+	cs := ClusterStatus{
+		Replicas:   rt.cfg.Replicas,
+		Quorum:     rt.Quorum(),
+		VNodes:     rt.cfg.VNodes,
+		RingPoints: len(rt.ring.points),
+	}
+	for _, sh := range rt.shards {
+		st := sh.status()
+		if st.Healthy {
+			cs.Healthy++
+		}
+		cs.Shards = append(cs.Shards, st)
+	}
+	return cs
+}
+
+func (rt *Router) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Status())
+}
+
+// RouterHealth is the router's own /healthz body.
+type RouterHealth struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Shards        int     `json:"shards"`
+	Healthy       int     `json:"healthy"`
+}
+
+// handleHealthz reports router liveness plus a one-line shard summary. The
+// router is degraded (but still 200 — it can serve whatever replicas
+// remain) unless zero shards are healthy, which is a 503.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := rt.Status()
+	h := RouterHealth{Status: "ok", UptimeSeconds: time.Since(rt.start).Seconds(), Shards: len(st.Shards), Healthy: st.Healthy}
+	code := http.StatusOK
+	switch {
+	case st.Healthy == 0:
+		h.Status = "unavailable"
+		code = http.StatusServiceUnavailable
+	case st.Healthy < len(st.Shards):
+		h.Status = "degraded"
+	}
+	writeJSON(w, code, &h)
+}
+
+// Metrics is the router's /metrics snapshot.
+type Metrics struct {
+	UptimeSeconds       float64 `json:"uptime_seconds"`
+	Requests            int64   `json:"requests"`
+	Errors              int64   `json:"errors"`
+	ProxiedPuts         int64   `json:"proxied_puts"`
+	ProxiedGets         int64   `json:"proxied_gets"`
+	ProxiedLists        int64   `json:"proxied_lists"`
+	ProxiedDeletes      int64   `json:"proxied_deletes"`
+	ProxiedSlices       int64   `json:"proxied_slices"`
+	ProxiedRecompacts   int64   `json:"proxied_recompacts"`
+	Failovers           int64   `json:"failovers"`
+	QuorumFailures      int64   `json:"quorum_failures"`
+	ReplicaSyncs        int64   `json:"replica_syncs"`
+	ReplicaSyncFailures int64   `json:"replica_sync_failures"`
+	Rebalances          int64   `json:"rebalances"`
+	RebalanceCopied     int64   `json:"rebalance_copied"`
+	RebalanceRemoved    int64   `json:"rebalance_removed"`
+	RebalanceBytesMoved int64   `json:"rebalance_bytes_moved"`
+	Probes              int64   `json:"probes"`
+	ProbeFailures       int64   `json:"probe_failures"`
+	ShardsTotal         int     `json:"shards_total"`
+	ShardsHealthy       int     `json:"shards_healthy"`
+}
+
+// Snapshot takes the write side of snapMu so the counters form one
+// consistent cut (no torn reads against concurrent increments).
+func (rt *Router) Snapshot() Metrics {
+	rt.snapMu.Lock()
+	m := Metrics{
+		UptimeSeconds:       time.Since(rt.start).Seconds(),
+		Requests:            rt.requests.Load(),
+		Errors:              rt.errors.Load(),
+		ProxiedPuts:         rt.proxiedPuts.Load(),
+		ProxiedGets:         rt.proxiedGets.Load(),
+		ProxiedLists:        rt.proxiedLists.Load(),
+		ProxiedDeletes:      rt.proxiedDeletes.Load(),
+		ProxiedSlices:       rt.proxiedSlices.Load(),
+		ProxiedRecompacts:   rt.proxiedRecompacts.Load(),
+		Failovers:           rt.failovers.Load(),
+		QuorumFailures:      rt.quorumFailures.Load(),
+		ReplicaSyncs:        rt.replicaSyncs.Load(),
+		ReplicaSyncFailures: rt.replicaSyncFailures.Load(),
+		Rebalances:          rt.rebalances.Load(),
+		RebalanceCopied:     rt.rebalanceCopied.Load(),
+		RebalanceRemoved:    rt.rebalanceRemoved.Load(),
+		RebalanceBytesMoved: rt.rebalanceBytes.Load(),
+		Probes:              rt.probes.Load(),
+		ProbeFailures:       rt.probeFailures.Load(),
+		ShardsTotal:         len(rt.shards),
+	}
+	rt.snapMu.Unlock()
+	for _, sh := range rt.shards {
+		if sh.isHealthy() {
+			m.ShardsHealthy++
+		}
+	}
+	return m
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, rt.Snapshot())
+}
+
+func (rt *Router) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	rep, err := rt.Rebalance(r.Context())
+	if err != nil {
+		rt.writeErr(w, http.StatusServiceUnavailable, "rebalance_failed", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

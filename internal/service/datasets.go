@@ -3,7 +3,9 @@ package service
 import (
 	"bufio"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -29,13 +31,17 @@ import (
 // bound at compress time, it keeps answering for the artifact's lifetime.
 //
 //	POST   /v1/datasets/{name}            .rqmf body -> admit/replace dataset
+//	                                      (?if-generation=G -> CAS replace)
 //	GET    /v1/datasets                   list dataset summaries
 //	GET    /v1/datasets/{name}            .rqmf field (?raw=1 container,
-//	                                      ?manifest=1 summary JSON)
+//	                                      ?manifest=1 summary JSON,
+//	                                      ?manifest=1&full=1 full manifest)
 //	DELETE /v1/datasets/{name}            remove dataset
 //	GET    /v1/datasets/{name}/slice      ?off=&len= -> 1-D .rqmf of the range
 //	POST   /v1/datasets/{name}/recompact  ?target-ratio=|target-psnr= ->
 //	                                      model-guided rewrite (or skip)
+//	POST   /v1/datasets/{name}/raw        framed manifest + container bytes ->
+//	                                      verbatim replica admit (no re-compress)
 
 // DatasetInfo is the JSON summary of one stored dataset (put/stat/list
 // responses; the manifest minus the profile blob).
@@ -213,7 +219,44 @@ func (s *Service) handleDatasetPut(w http.ResponseWriter, r *http.Request) error
 		EstPSNR:       finiteOrZero(est.PSNR),
 		Profile:       store.NewProfileRecord(p),
 	}
-	committed, err := st.Put(name, func(cw io.Writer) (*store.Manifest, error) {
+	// ?created-at pins the manifest's identity timestamp instead of stamping
+	// time.Now(). A replicating router sets one value across a fan-out so
+	// every replica commits the identical (created_at, generation) version —
+	// without it, R independently stamped replicas look divergent to the
+	// version arbiter even though their bytes agree.
+	if v := param(q, r.Header, "created-at"); v != "" {
+		ts, perr := time.Parse(time.RFC3339Nano, v)
+		if perr != nil {
+			return errf(http.StatusBadRequest, "bad_param", "created-at: %q is not an RFC3339 timestamp", v)
+		}
+		man.CreatedAt = ts.UTC()
+	}
+	// ?if-generation=G turns the put into a compare-and-swap against the
+	// committed version (store.Replace): a writer that read generation G can
+	// demand its update lands on G or fails with a typed 409 — never silently
+	// clobbering a concurrent re-put or recompaction. The CAS put keeps the
+	// dataset's identity (CreatedAt) and bumps its generation.
+	var base *store.Manifest
+	if v := param(q, r.Header, "if-generation"); v != "" {
+		gen, perr := strconv.Atoi(v)
+		if perr != nil || gen < 0 {
+			return errf(http.StatusBadRequest, "bad_param", "if-generation: %q is not a generation", v)
+		}
+		if base, err = st.Manifest(name); err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				return errf(http.StatusConflict, "conflict",
+					"if-generation=%d but dataset %q does not exist", gen, name)
+			}
+			return err
+		}
+		if base.Generation != gen {
+			return errf(http.StatusConflict, "conflict",
+				"dataset %q is at generation %d, not %d", name, base.Generation, gen)
+		}
+		man.CreatedAt = base.CreatedAt
+		man.Generation = base.Generation + 1
+	}
+	build := func(cw io.Writer) (*store.Manifest, error) {
 		bw := bufio.NewWriterSize(cw, 1<<20)
 		sw, err := eng.NewFieldStreamWriter(bw, f, streamOpts...)
 		if err != nil {
@@ -227,11 +270,17 @@ func (s *Service) handleDatasetPut(w http.ResponseWriter, r *http.Request) error
 			return nil, err
 		}
 		return man, bw.Flush()
-	})
+	}
+	var committed *store.Manifest
+	if base != nil {
+		committed, err = st.Replace(name, base, build)
+	} else {
+		committed, err = st.Put(name, build)
+	}
 	if err != nil {
 		return putError(err)
 	}
-	s.datasetPuts.Add(1)
+	s.count(&s.datasetPuts, 1)
 	return writeJSON(w, http.StatusCreated, datasetInfo(committed))
 }
 
@@ -299,6 +348,12 @@ func (s *Service) handleDatasetGet(w http.ResponseWriter, r *http.Request) error
 	}
 	q := r.URL.Query()
 	if param(q, r.Header, "manifest") == "1" {
+		if param(q, r.Header, "full") == "1" {
+			// The complete manifest, chunk index and cached profile included:
+			// together with ?raw=1 this is everything a replica repair needs
+			// to clone the dataset without decompressing a single chunk.
+			return writeJSON(w, http.StatusOK, m)
+		}
 		info := datasetInfo(m)
 		return writeJSON(w, http.StatusOK, &info)
 	}
@@ -317,7 +372,7 @@ func (s *Service) handleDatasetGet(w http.ResponseWriter, r *http.Request) error
 		return err
 	}
 	defer f.Close()
-	s.datasetGets.Add(1)
+	s.count(&s.datasetGets, 1)
 	if param(q, r.Header, "raw") == "1" {
 		// The stored container, verbatim: clients can random-access it with
 		// ReadStreamIndex/ReadStreamChunk without another server round trip.
@@ -361,7 +416,7 @@ func (s *Service) handleDatasetDelete(w http.ResponseWriter, r *http.Request) er
 	if err := st.Delete(name); err != nil {
 		return err
 	}
-	s.datasetDeletes.Add(1)
+	s.count(&s.datasetDeletes, 1)
 	return writeJSON(w, http.StatusOK, map[string]interface{}{"deleted": name})
 }
 
@@ -394,7 +449,7 @@ func (s *Service) handleDatasetSlice(w http.ResponseWriter, r *http.Request) err
 	if err != nil {
 		return err
 	}
-	s.sliceReads.Add(1)
+	s.count(&s.sliceReads, 1)
 	// The slice travels as a self-describing 1-D .rqmf field in the
 	// dataset's original precision; the offset rides in a header.
 	sf, err := grid.FromData(m.Name, m.Prec(), vals, len(vals))
@@ -493,7 +548,7 @@ func (s *Service) handleDatasetRecompact(w http.ResponseWriter, r *http.Request)
 		}
 	}
 	if resp.Skipped {
-		s.recompactSkips.Add(1)
+		s.count(&s.recompactSkips, 1)
 		return writeJSON(w, http.StatusOK, resp)
 	}
 
@@ -501,7 +556,7 @@ func (s *Service) handleDatasetRecompact(w http.ResponseWriter, r *http.Request)
 	if err != nil {
 		return err
 	}
-	s.recompactions.Add(1)
+	s.count(&s.recompactions, 1)
 	resp.NewBound = nm.ErrorBound
 	resp.NewRatio = nm.Ratio
 	resp.EstPSNR = Float(nm.EstPSNR)
@@ -613,6 +668,111 @@ func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, new
 	return committed, nil
 }
 
+// rawPutMaxManifest caps the framed manifest record of a raw put (16 MiB —
+// generous: the dominant field is the base64 profile, ~1 MiB per 10M-value
+// dataset at the default 1% sampling rate).
+const rawPutMaxManifest = 16 << 20
+
+// handleDatasetRawPut admits an already-compressed dataset verbatim: the
+// body is a 4-byte big-endian manifest length, the full manifest JSON (as
+// served by ?manifest=1&full=1), then the container bytes (as served by
+// ?raw=1). This is the replication hook replica repair and rebalancing ride:
+// the container streams straight to disk — never decompressed, never
+// recompressed — and the manifest's identity (CreatedAt, Generation,
+// ContentHash, cached profile) is preserved bit for bit.
+//
+// The committed (CreatedAt, Generation) version is the conflict arbiter:
+//
+//   - target has no committed copy        -> admit
+//   - incoming is strictly newer          -> replace (CAS on the loaded base)
+//   - versions identical, same content    -> skip, 200 (idempotent repair)
+//   - incoming older, or same-version but
+//     divergent content                   -> typed 409, nothing written
+func (s *Service) handleDatasetRawPut(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	name, err := pathName(r)
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(r.Body, 1<<20)
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return errf(http.StatusBadRequest, "bad_manifest", "raw put: manifest length frame: %v", err)
+	}
+	mlen := binary.BigEndian.Uint32(lenBuf[:])
+	if mlen == 0 || mlen > rawPutMaxManifest {
+		return errf(http.StatusBadRequest, "bad_manifest", "raw put: manifest frame of %d bytes", mlen)
+	}
+	mbuf := make([]byte, mlen)
+	if _, err := io.ReadFull(br, mbuf); err != nil {
+		return errf(http.StatusBadRequest, "bad_manifest", "raw put: manifest truncated: %v", err)
+	}
+	m, err := store.ParseManifest(mbuf)
+	if err != nil {
+		// The manifest is client input here, not stored state: a parse
+		// failure is the caller's 400, not the store's 500.
+		return errf(http.StatusBadRequest, "bad_manifest", "raw put: %v", err)
+	}
+	if m.Name != name {
+		return errf(http.StatusBadRequest, "bad_manifest",
+			"raw put: manifest names %q, path names %q", m.Name, name)
+	}
+
+	cur, err := st.Manifest(name)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		cur = nil
+	case err != nil:
+		return err
+	}
+	if cur != nil {
+		sameVersion := cur.CreatedAt.Equal(m.CreatedAt) && cur.Generation == m.Generation
+		if sameVersion && cur.ContentHash == m.ContentHash {
+			// Idempotent repair: the replica already holds this exact version.
+			w.Header().Set("X-RQM-Raw-Put", "skipped")
+			return writeJSON(w, http.StatusOK, datasetInfo(cur))
+		}
+		if !manifestNewer(m, cur) {
+			return errf(http.StatusConflict, "conflict",
+				"raw put: committed %q is generation %d (created %s), incoming generation %d (created %s) does not supersede it",
+				name, cur.Generation, cur.CreatedAt.Format(time.RFC3339Nano),
+				m.Generation, m.CreatedAt.Format(time.RFC3339Nano))
+		}
+	}
+
+	build := func(cw io.Writer) (*store.Manifest, error) {
+		if _, err := io.Copy(cw, br); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	var committed *store.Manifest
+	if cur != nil {
+		committed, err = st.Replace(name, cur, build)
+	} else {
+		committed, err = st.Put(name, build)
+	}
+	if err != nil {
+		return putError(err)
+	}
+	s.count(&s.datasetRawPuts, 1)
+	w.Header().Set("X-RQM-Raw-Put", "stored")
+	return writeJSON(w, http.StatusCreated, datasetInfo(committed))
+}
+
+// manifestNewer reports whether a describes a strictly newer version than b:
+// a later CreatedAt wins (a re-put is a new dataset identity); at the same
+// CreatedAt the higher Generation (recompaction count) wins.
+func manifestNewer(a, b *store.Manifest) bool {
+	if !a.CreatedAt.Equal(b.CreatedAt) {
+		return a.CreatedAt.After(b.CreatedAt)
+	}
+	return a.Generation > b.Generation
+}
+
 // intParam parses an optional int64 parameter with a default.
 func intParam(q url.Values, h http.Header, name string, def int64) (int64, error) {
 	v := param(q, h, name)
@@ -626,10 +786,17 @@ func intParam(q url.Values, h http.Header, name string, def int64) (int64, error
 	return n, nil
 }
 
-// putError maps store commit failures onto request-shaped errors.
+// putError maps store commit failures onto request-shaped errors. Typed
+// store errors — notably ErrConflict from a CAS replace — keep their own
+// HTTP mapping (409 via mapError); only untyped build/commit failures
+// collapse into the 422 envelope.
 func putError(err error) error {
 	if err == nil {
 		return nil
+	}
+	if errors.Is(err, store.ErrConflict) || errors.Is(err, store.ErrNotFound) ||
+		errors.Is(err, store.ErrBadName) {
+		return err
 	}
 	return errf(http.StatusUnprocessableEntity, "put_failed", "%v", err)
 }

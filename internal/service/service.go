@@ -45,6 +45,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -92,6 +93,13 @@ type Service struct {
 	threshold int64
 	mux       *http.ServeMux
 	start     time.Time
+	draining  atomic.Bool
+
+	// snapMu separates counter increments (read-locked, concurrent) from
+	// Snapshot's write-locked pass: a /metrics scrape always reads one
+	// consistent cut of the counters, never a torn mix where e.g. an error
+	// is counted but its request is not.
+	snapMu sync.RWMutex
 
 	reqTotal      atomic.Int64
 	errTotal      atomic.Int64
@@ -105,6 +113,7 @@ type Service struct {
 	decompresses  atomic.Int64
 
 	datasetPuts    atomic.Int64
+	datasetRawPuts atomic.Int64
 	datasetGets    atomic.Int64
 	datasetDeletes atomic.Int64
 	sliceReads     atomic.Int64
@@ -165,8 +174,22 @@ func New(cfg Config) (*Service, error) {
 	}))
 	s.mux.Handle("/v1/datasets/{name}/slice", s.handle(http.MethodGet, true, s.handleDatasetSlice))
 	s.mux.Handle("/v1/datasets/{name}/recompact", s.handle(http.MethodPost, true, s.handleDatasetRecompact))
+	// Replication plumbing: a raw put admits an already-compressed container
+	// verbatim (manifest framed ahead of it), so replica repair and shard
+	// rebalancing never decompress or recompress. See handleDatasetRawPut.
+	s.mux.Handle("/v1/datasets/{name}/raw", s.handle(http.MethodPost, true, s.handleDatasetRawPut))
 	return s, nil
 }
+
+// BeginDrain flips the service into graceful-shutdown drain: /healthz
+// readiness turns 503 ("draining") while in-flight work finishes, so a
+// router health probe stops sending new requests to this shard BEFORE its
+// listener closes. Liveness (?live=1) stays 200 — the process is healthy,
+// just leaving. Idempotent.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
 
 // ServeHTTP dispatches to the endpoint handlers.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -197,11 +220,11 @@ func (s *Service) dispatch(eps map[string]endpoint) http.Handler {
 	sort.Strings(methods)
 	allow := strings.Join(methods, ", ")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.reqTotal.Add(1)
+		s.count(&s.reqTotal, 1)
 		ep, ok := eps[r.Method]
 		if !ok {
 			w.Header().Set("Allow", allow)
-			s.errTotal.Add(1)
+			s.count(&s.errTotal, 1)
 			writeError(w, errf(http.StatusMethodNotAllowed, "method_not_allowed",
 				"%s only accepts %s", r.URL.Path, allow))
 			return
@@ -209,14 +232,14 @@ func (s *Service) dispatch(eps map[string]endpoint) http.Handler {
 		if ep.heavy {
 			release, err := s.admit(w)
 			if err != nil {
-				s.errTotal.Add(1)
+				s.count(&s.errTotal, 1)
 				writeError(w, err)
 				return
 			}
 			defer release()
 		}
 		if err := ep.fn(w, r); err != nil {
-			s.errTotal.Add(1)
+			s.count(&s.errTotal, 1)
 			writeError(w, err)
 		}
 	})
@@ -232,7 +255,7 @@ func (s *Service) admit(w http.ResponseWriter) (func(), error) {
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem }, nil
 	default:
-		s.rejected.Add(1)
+		s.count(&s.rejected, 1)
 		w.Header().Set("Retry-After", "1")
 		return nil, errf(http.StatusTooManyRequests, "too_many_requests",
 			"service at its %d-request concurrency limit", cap(s.sem))
@@ -331,21 +354,39 @@ func floatParam(q url.Values, h http.Header, name string) (float64, bool, error)
 // ---------------------------------------------------------------------------
 // Health and metrics
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz body. Status is "ok" or "draining"; Store
+// and Datasets report the shard's archive so a router can read capacity at
+// probe time without a second request.
 type HealthResponse struct {
 	Status        string   `json:"status"`
 	UptimeSeconds float64  `json:"uptime_seconds"`
 	Codec         string   `json:"codec"`
 	Codecs        []string `json:"codecs"`
+	Store         bool     `json:"store"`
+	Datasets      int      `json:"datasets"`
 }
 
-func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
-	return writeJSON(w, http.StatusOK, &HealthResponse{
+// handleHealthz serves both health probes: readiness by default (503 with
+// status "draining" once BeginDrain has been called, so a router stops
+// routing to a dying shard before its listener closes), and pure liveness
+// with ?live=1 (200 for as long as the process can answer at all).
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	hr := &HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Codec:         s.eng.Codec().Name(),
 		Codecs:        rqm.CodecNames(),
-	})
+		Store:         s.store != nil,
+	}
+	if s.store != nil {
+		_, hr.Datasets = s.store.Bytes()
+	}
+	status := http.StatusOK
+	if s.draining.Load() && param(r.URL.Query(), r.Header, "live") != "1" {
+		hr.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	return writeJSON(w, status, hr)
 }
 
 // MetricsSnapshot is the /metrics body: monotonic counters plus gauges.
@@ -368,6 +409,7 @@ type MetricsSnapshot struct {
 	// Dataset-store counters and gauges (all zero without a store).
 	StoreEnabled         bool  `json:"store_enabled"`
 	DatasetPuts          int64 `json:"dataset_puts"`
+	DatasetRawPuts       int64 `json:"dataset_raw_puts"`
 	DatasetGets          int64 `json:"dataset_gets"`
 	DatasetDeletes       int64 `json:"dataset_deletes"`
 	SliceReads           int64 `json:"slice_reads"`
@@ -379,8 +421,23 @@ type MetricsSnapshot struct {
 	StoreChunkReads      int64 `json:"store_chunk_reads"`
 }
 
-// Snapshot captures the current metrics (also served at /metrics).
+// count bumps one service counter by delta under the snapshot read-lock:
+// increments stay concurrent with each other, but are mutually exclusive
+// with Snapshot's write-locked read pass.
+func (s *Service) count(c *atomic.Int64, delta int64) {
+	s.snapMu.RLock()
+	c.Add(delta)
+	s.snapMu.RUnlock()
+}
+
+// Snapshot captures the current metrics (also served at /metrics). The
+// write lock excludes every count() increment for the duration of the read
+// pass, so the snapshot is one monotonically consistent cut — a scraper can
+// never observe e.g. errors > requests, or a failover counted on one line
+// but not the other.
 func (s *Service) Snapshot() MetricsSnapshot {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	snap := MetricsSnapshot{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Requests:       s.reqTotal.Load(),
@@ -398,6 +455,7 @@ func (s *Service) Snapshot() MetricsSnapshot {
 		Solves:         s.solves.Load(),
 
 		DatasetPuts:          s.datasetPuts.Load(),
+		DatasetRawPuts:       s.datasetRawPuts.Load(),
 		DatasetGets:          s.datasetGets.Load(),
 		DatasetDeletes:       s.datasetDeletes.Load(),
 		SliceReads:           s.sliceReads.Load(),
@@ -414,7 +472,19 @@ func (s *Service) Snapshot() MetricsSnapshot {
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
-	return writeJSON(w, http.StatusOK, s.Snapshot())
+	// Rendered by hand rather than via writeJSON so the scrape contract is
+	// explicit: a typed Content-Type (scrapers dispatch on it) and no-store
+	// (a cached snapshot is a lie about a moving system).
+	data, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		return errf(http.StatusInternalServerError, "internal", "encoding metrics: %v", err)
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	_, err = w.Write(append(data, '\n'))
+	return ignoreWriteErr(err)
 }
 
 // ---------------------------------------------------------------------------
@@ -426,7 +496,7 @@ func (s *Service) handleCompress(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	s.compresses.Add(1)
+	s.count(&s.compresses, 1)
 
 	targetRatio, _, err := floatParam(q, r.Header, "target-ratio")
 	if err != nil {
@@ -551,7 +621,7 @@ func parseRangeParam(q url.Values, h http.Header) (lo, hi float64, err error) {
 }
 
 func (s *Service) handleDecompress(w http.ResponseWriter, r *http.Request) error {
-	s.decompresses.Add(1)
+	s.count(&s.decompresses, 1)
 	br := bufio.NewReaderSize(r.Body, 1<<20)
 	head, err := br.Peek(5)
 	if err != nil {
@@ -700,7 +770,7 @@ func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) error {
 	}
 	id := profileKey(body, eng, sample, seed)
 	if cp, ok := s.cache.get(id); ok {
-		s.profileHits.Add(1)
+		s.count(&s.profileHits, 1)
 		return writeJSON(w, http.StatusOK, profileResponse(cp, true))
 	}
 
@@ -727,7 +797,7 @@ func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return errf(http.StatusUnprocessableEntity, "profile_failed", "%v", err)
 	}
-	s.profileBuilds.Add(1)
+	s.count(&s.profileBuilds, 1)
 	cp := &cachedProfile{
 		ID:        id,
 		Codec:     eng.Codec().Name(),
@@ -739,7 +809,7 @@ func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) error {
 		BuildTime: time.Since(start),
 		CreatedAt: time.Now(),
 	}
-	s.evictions.Add(int64(s.cache.put(cp)))
+	s.count(&s.evictions, int64(s.cache.put(cp)))
 	return writeJSON(w, http.StatusOK, profileResponse(cp, false))
 }
 
@@ -812,7 +882,7 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) error {
 	} else if !strings.EqualFold(mode, "abs") {
 		return errf(http.StatusBadRequest, "bad_param", "mode: want abs or rel, got %q", mode)
 	}
-	s.estimates.Add(1)
+	s.count(&s.estimates, 1)
 	est := cp.Profile.EstimateAt(abs)
 	return writeJSON(w, http.StatusOK, &EstimateResponse{
 		Profile: cp.ID,
@@ -872,7 +942,7 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) error {
 		return errf(http.StatusBadRequest, "bad_param",
 			"solve needs exactly one of target-ratio, target-psnr, target-bitrate (got %d)", len(targets))
 	}
-	s.solves.Add(1)
+	s.count(&s.solves, 1)
 	tg := targets[0]
 	abs, err := tg.solve(tg.val)
 	if err != nil {

@@ -1,0 +1,113 @@
+package rqm_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rqm"
+	"rqm/internal/router"
+	"rqm/internal/service"
+	"rqm/internal/store"
+)
+
+// routerBenchSetup builds a 3-shard R=2 cluster with one stored dataset and
+// returns the router front plus a direct URL to a shard holding the data —
+// so the proxy hop's overhead can be read against the direct baseline.
+func routerBenchSetup(b *testing.B) (routerURL, directURL string) {
+	b.Helper()
+	var shardURLs []string
+	var shards []*httptest.Server
+	for i := 0; i < 3; i++ {
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc, err := service.New(service.Config{Store: st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(svc)
+		b.Cleanup(ts.Close)
+		shards = append(shards, ts)
+		shardURLs = append(shardURLs, ts.URL)
+	}
+	rt, err := router.New(router.Config{Shards: shardURLs, Replicas: 2, ProbeInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	front := httptest.NewServer(rt)
+	b.Cleanup(front.Close)
+
+	g, err := rqm.GenerateField("nyx/temperature", 3, rqm.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := rqm.FieldFromData("bench", rqm.Float64, g.Data, g.Dims...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(front.URL+"/v1/datasets/bench?mode=abs&eb=0.01&chunk=4096",
+		"application/octet-stream", &buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("seed put: status %d", resp.StatusCode)
+	}
+	// Find a shard that holds a replica for the direct-hit baseline.
+	for _, ts := range shards {
+		r, err := http.Get(ts.URL + "/v1/datasets/bench?manifest=1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			return front.URL, ts.URL
+		}
+	}
+	b.Fatal("no shard holds the seeded dataset")
+	return "", ""
+}
+
+func benchGet(b *testing.B, url string) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || n == 0 {
+			b.Fatalf("status %d, %d bytes", resp.StatusCode, n)
+		}
+	}
+}
+
+// BenchmarkRouterProxyGet measures a dataset read through the cluster tier:
+// ring lookup, health check, one proxied shard round-trip, and the response
+// relay. Compare against BenchmarkRouterDirectGet for the hop's overhead.
+func BenchmarkRouterProxyGet(b *testing.B) {
+	routerURL, _ := routerBenchSetup(b)
+	benchGet(b, routerURL+"/v1/datasets/bench")
+}
+
+// BenchmarkRouterDirectGet is the same read straight off a shard — the
+// baseline the proxy hop is judged against.
+func BenchmarkRouterDirectGet(b *testing.B) {
+	_, directURL := routerBenchSetup(b)
+	benchGet(b, directURL+"/v1/datasets/bench")
+}
