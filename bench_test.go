@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation
-// (one testing.B benchmark per artifact; see DESIGN.md §4), plus the
-// ablation benches for the design choices called out in DESIGN.md §5 and
+// (one testing.B benchmark per artifact; see DESIGN.md §13), plus the
+// ablation benches for the design choices called out in DESIGN.md §13 and
 // end-to-end pipeline benchmarks of the public API.
 //
 // The experiment benches run at the Quick (tiny) scale so `go test -bench=.`
@@ -143,7 +143,7 @@ func BenchmarkFigure14(b *testing.B) {
 	})
 }
 
-// Ablation benches (DESIGN.md §5).
+// Ablation benches (DESIGN.md §13).
 
 // BenchmarkAblationCorrectionLayer measures Eq. 9 on/off accuracy.
 func BenchmarkAblationCorrectionLayer(b *testing.B) {

@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper's tables and figures (DESIGN.md
-// §4 lists the experiment ids).
+// §13 lists the experiment ids).
 //
 // Usage:
 //

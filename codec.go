@@ -34,9 +34,15 @@ type (
 const (
 	CodecPrediction = codec.IDPrediction
 	CodecTransform  = codec.IDTransform
+	// CodecPredictionILV / CodecPredictionTANS are the prediction pipeline
+	// with the interleaved multi-stream Huffman and tANS entropy stages.
+	CodecPredictionILV  = codec.IDPredictionILV
+	CodecPredictionTANS = codec.IDPredictionTANS
 
-	CodecPredictionName = codec.PredictionName
-	CodecTransformName  = codec.TransformName
+	CodecPredictionName     = codec.PredictionName
+	CodecTransformName      = codec.TransformName
+	CodecPredictionILVName  = codec.PredictionILVName
+	CodecPredictionTANSName = codec.PredictionTANSName
 
 	// CodecFirstExternalID is the lowest wire ID RegisterCodec accepts;
 	// lower IDs are reserved for built-in backends.

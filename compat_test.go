@@ -1,0 +1,83 @@
+package rqm_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"os"
+	"testing"
+
+	"rqm"
+)
+
+// The two containers under testdata/ were written by the build immediately
+// before the entropy-stage change (serial Huffman, container version 1) from
+// datagen.SpectralField("compat", float64, 64×64×16, decay -1.5, eb ABS 1e-3):
+// one whole-buffer envelope and one chunked stream (16384-value chunks, 2
+// workers). The hashes pin the exact decoded float64 stream, so any change to
+// legacy decode paths — container parse, codebook handling, kernel order of
+// operations — fails loudly here, not in an archive three years from now.
+const (
+	compatEnvelopeSHA = "95fb642ffa3d7620feeced52a5303f61e6b0f2d833c282931644d05440881616"
+	compatChunkedSHA  = "994534ffbdb3c4bf7d53c6526f72359828677f9c40a50da0e8a7e01d0b31bab1"
+	compatLen         = 64 * 64 * 16
+)
+
+func decodedSHA(f *rqm.Field) string {
+	h := sha256.New()
+	var b [8]byte
+	for _, v := range f.Data {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestPrePR7ContainersDecodeByteIdentically is the backward-compatibility
+// gate for the entropy-stage work: containers written before the version 2
+// container and the new codec IDs existed must keep decoding to the exact
+// same values through every read path.
+func TestPrePR7ContainersDecodeByteIdentically(t *testing.T) {
+	cases := []struct {
+		file, want string
+	}{
+		{"testdata/pre_pr7_envelope.rqz", compatEnvelopeSHA},
+		{"testdata/pre_pr7_chunked.rqz", compatChunkedSHA},
+	}
+	for _, tc := range cases {
+		blob, err := os.ReadFile(tc.file)
+		if err != nil {
+			t.Fatalf("golden container missing: %v", err)
+		}
+		f, err := rqm.Decompress(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		if f.Len() != compatLen {
+			t.Fatalf("%s: decoded %d values, want %d", tc.file, f.Len(), compatLen)
+		}
+		if got := decodedSHA(f); got != tc.want {
+			t.Errorf("%s: decoded stream hash %s, want %s", tc.file, got, tc.want)
+		}
+	}
+
+	// The chunked container must also decode identically through the
+	// concurrent streaming reader.
+	blob, err := os.ReadFile("testdata/pre_pr7_chunked.rqz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rqm.NewReader(bytes.NewReader(blob), rqm.WithStreamReaderWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodedSHA(f); got != compatChunkedSHA {
+		t.Errorf("streaming reader: decoded stream hash %s, want %s", got, compatChunkedSHA)
+	}
+}

@@ -35,6 +35,23 @@ func fuzzSeedContainers(f *testing.F) [][]byte {
 	}
 	seeds = append(seeds, legacy.Bytes)
 
+	// Version 2 native containers: the interleaved and tANS entropy stages
+	// add chunk-body sections (stream-length framing, ANS table + states)
+	// the fuzzer must exercise.
+	for _, name := range []string{rqm.CodecPredictionILVName, rqm.CodecPredictionTANSName} {
+		c, err := rqm.CodecByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		res, err := rqm.CompressWith(c, field, rqm.CodecOptions{Mode: rqm.REL, ErrorBound: 1e-3})
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, res.Bytes)
+		// And half-truncated, to land cuts inside the new sections.
+		seeds = append(seeds, res.Bytes[:len(res.Bytes)/2])
+	}
+
 	lo, hi := field.ValueRange()
 	var buf bytes.Buffer
 	w, err := rqm.NewWriter(&buf,

@@ -1,0 +1,88 @@
+// Entropy-stage walkthrough: compress one field with all three entropy
+// codecs — serial Huffman, interleaved multi-stream Huffman, and tANS —
+// and compare compression ratio, decode throughput, and the ratio-quality
+// model's predicted size against the realized container.
+//
+// What to expect: interleaved matches serial's ratio (same codebook, a few
+// framing bytes) while decoding substantially faster; tANS shades the
+// ratio on skewed histograms because it codes fractional bits/symbol,
+// which the ANS-entropy model extension predicts where the Huffman Eq. 1
+// model is clamped at 1 bit/value.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rqm"
+)
+
+func main() {
+	// A smooth field under a mid bound gives a skewed (p0-heavy) code
+	// histogram — the regime that separates the three stages.
+	field, err := rqm.GenerateField("cesm/TS", 42, rqm.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi := field.ValueRange()
+	eb := 2e-3 * (hi - lo)
+	n := float64(field.Len())
+	fmt.Printf("field %q: %v values, ABS bound %.4g\n\n", field.Name, field.Dims, eb)
+
+	fmt.Printf("%-16s %10s %12s %14s %14s\n",
+		"codec", "ratio", "decode MB/s", "model b/val", "actual b/val")
+	for _, name := range []string{
+		rqm.CodecPredictionName,
+		rqm.CodecPredictionILVName,
+		rqm.CodecPredictionTANSName,
+	} {
+		c, err := rqm.CodecByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		copts := rqm.CodecOptions{Mode: rqm.ABS, ErrorBound: eb}
+
+		// Model first: one sampling pass, then the size prediction. The
+		// tANS codec profiles with the ANS-entropy model, so its estimate
+		// is allowed below 1 bit/value.
+		prof, err := c.Profile(field, copts, rqm.ModelOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := prof.EstimateAt(eb)
+
+		res, err := rqm.CompressWith(c, field, copts)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Decode repeatedly for a stable throughput number, verifying the
+		// bound once.
+		dec, err := rqm.Decompress(res.Bytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rqm.VerifyErrorBound(field, dec, rqm.ABS, eb*(1+1e-12)); err != nil {
+			log.Fatal(err)
+		}
+		const rounds = 10
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if _, err := rqm.Decompress(res.Bytes); err != nil {
+				log.Fatal(err)
+			}
+		}
+		mbps := float64(field.OriginalBytes()) * rounds / time.Since(start).Seconds() / 1e6
+
+		actual := float64(res.Stats.CompressedBytes) * 8 / n
+		fmt.Printf("%-16s %9.2fx %12.0f %14.3f %14.3f\n",
+			name, res.Stats.Ratio, mbps, est.TotalBitRate, actual)
+	}
+
+	fmt.Println("\nNotes:")
+	fmt.Println("  - prediction-ilv matches prediction's ratio: same canonical codebook,")
+	fmt.Println("    the symbols just split round-robin over 4 streams decoded in one loop.")
+	fmt.Println("  - prediction-tans can code below 1 bit/value on skewed histograms; its")
+	fmt.Println("    model column uses the ANS (Shannon-entropy) size model, the others Eq. 1.")
+}

@@ -1,0 +1,495 @@
+package ans
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"slices"
+	"sync"
+)
+
+const (
+	// DefaultTableLog is the table size exponent used when the alphabet
+	// fits: 2^12 states balances ratio (quantization noise of the
+	// normalized counts) against table build cost per chunk.
+	DefaultTableLog = 12
+	// MaxTableLog bounds the table size a Table will build or Parse will
+	// accept: 2^16 states × ~16 bytes/entry keeps a pooled decode table
+	// under 1 MiB and bit counts within a uint32 state.
+	MaxTableLog = 16
+	// MinTableLog keeps the state update sane for tiny alphabets.
+	MinTableLog = 5
+	// NumStates is the number of interleaved encoder/decoder states: even
+	// symbol indices ride state 0, odd ride state 1, giving the decode loop
+	// two independent dependency chains.
+	NumStates = 2
+)
+
+// Typed errors; match with errors.Is.
+var (
+	// ErrAlphabetTooLarge marks a symbol set with more distinct symbols
+	// than the largest permitted table; callers fall back to Huffman.
+	ErrAlphabetTooLarge = errors.New("ans: alphabet larger than table")
+	// ErrCorrupt marks a structurally invalid serialized table or stream.
+	ErrCorrupt = errors.New("ans: corrupt table or stream")
+	// ErrTruncated marks a bitstream that ran out before all symbols were
+	// decoded.
+	ErrTruncated = errors.New("ans: truncated stream")
+)
+
+// Table is a built tANS coding table: the normalized histogram plus the
+// derived spread, decode entries, and per-symbol encode transitions. Encode
+// and decode tables are always built together (they are cheap relative to a
+// chunk) so one Table serves both directions.
+type Table struct {
+	tableLog uint
+	size     uint32 // 1 << tableLog
+	// Canonical (symbol-ascending) normalized histogram, counts sum to size.
+	syms []uint32
+	norm []uint32
+	// Decode: state in [0,size) → symbol, bit count, next-state base.
+	dsym  []uint32
+	dbits []uint8
+	dnew  []uint32
+	// Encode: for canonical symbol index j, states[normBase[j] + (x -
+	// norm[j])] is the next table position for sub-state x in
+	// [norm[j], 2·norm[j]).
+	normBase []uint32
+	estate   []uint32
+	// index maps symbol → canonical position (encode-side lookup).
+	index map[uint32]int
+	// scratch is the per-symbol next-sub-state counter assemble reuses.
+	scratch []uint32
+	// maxSym is the largest symbol value (dense-LUT sizing bound).
+	maxSym uint32
+}
+
+// tablePool recycles Table shells and their slices: chunk-rate encode and
+// decode must not allocate a fresh multi-KB table set per chunk (the PR 4
+// arena discipline, extended to the ANS stage).
+var tablePool = sync.Pool{New: func() interface{} { return &Table{} }}
+
+// Release returns the table to the pool. The caller must not use it after.
+func (t *Table) Release() {
+	t.syms = t.syms[:0]
+	t.norm = t.norm[:0]
+	t.index = nil
+	t.maxSym = 0
+	tablePool.Put(t)
+}
+
+// TableLog returns the table size exponent.
+func (t *Table) TableLog() uint { return t.tableLog }
+
+// NumSymbols returns the alphabet size.
+func (t *Table) NumSymbols() int { return len(t.syms) }
+
+// MaxSymbol returns the largest symbol value in the table.
+func (t *Table) MaxSymbol() uint32 { return t.maxSym }
+
+// Build constructs a tANS table from symbol frequencies, choosing the
+// smallest adequate table log in [DefaultTableLog, MaxTableLog]. Zero-count
+// symbols are ignored; at least one positive count is required. Returns
+// ErrAlphabetTooLarge when the distinct symbols cannot each hold one state
+// slot at MaxTableLog.
+func Build(freqs map[uint32]int64) (*Table, error) {
+	type sf struct {
+		sym  uint32
+		freq int64
+	}
+	items := make([]sf, 0, len(freqs))
+	for s, f := range freqs {
+		if f > 0 {
+			items = append(items, sf{s, f})
+		}
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("%w: no symbols with positive frequency", ErrCorrupt)
+	}
+	slices.SortFunc(items, func(a, b sf) int {
+		if a.sym < b.sym {
+			return -1
+		}
+		return 1
+	})
+	tableLog := uint(DefaultTableLog)
+	for 1<<tableLog < len(items) && tableLog < MaxTableLog {
+		tableLog++
+	}
+	if len(items) > 1<<tableLog {
+		return nil, fmt.Errorf("%w: %d distinct symbols, max %d", ErrAlphabetTooLarge, len(items), 1<<MaxTableLog)
+	}
+
+	// Normalize counts to sum exactly 2^tableLog with every count >= 1.
+	// Largest-remainder style: floor-scale with a minimum of 1, then settle
+	// the drift against the most frequent symbols (deterministically).
+	size := int64(1) << tableLog
+	var total int64
+	for _, it := range items {
+		total += it.freq
+	}
+	norm := make([]uint32, len(items))
+	var used int64
+	for i, it := range items {
+		n := it.freq * size / total
+		if n == 0 {
+			n = 1
+		}
+		norm[i] = uint32(n)
+		used += n
+	}
+	// ord: positions sorted by (freq desc, sym asc) — adjustment order.
+	ord := make([]int, len(items))
+	for i := range ord {
+		ord[i] = i
+	}
+	slices.SortFunc(ord, func(a, b int) int {
+		if items[a].freq != items[b].freq {
+			if items[a].freq > items[b].freq {
+				return -1
+			}
+			return 1
+		}
+		if items[a].sym < items[b].sym {
+			return -1
+		}
+		return 1
+	})
+	for used < size {
+		for _, i := range ord {
+			if used == size {
+				break
+			}
+			norm[i]++
+			used++
+		}
+	}
+	for used > size {
+		shrunk := false
+		for _, i := range ord {
+			if used == size {
+				break
+			}
+			if norm[i] > 1 {
+				norm[i]--
+				used--
+				shrunk = true
+			}
+		}
+		if used > size && !shrunk {
+			return nil, fmt.Errorf("%w: cannot normalize %d symbols into %d states", ErrAlphabetTooLarge, len(items), size)
+		}
+	}
+
+	syms := make([]uint32, len(items))
+	for i, it := range items {
+		syms[i] = it.sym
+	}
+	return assemble(tableLog, syms, norm)
+}
+
+// assemble builds the spread and the encode/decode tables from a normalized
+// histogram (counts sum to 1<<tableLog, each >= 1, symbols ascending).
+func assemble(tableLog uint, syms []uint32, norm []uint32) (*Table, error) {
+	t := tablePool.Get().(*Table)
+	t.tableLog = tableLog
+	t.size = 1 << tableLog
+	size := int(t.size)
+	t.syms = append(t.syms[:0], syms...)
+	t.norm = append(t.norm[:0], norm...)
+	t.index = make(map[uint32]int, len(syms))
+	t.maxSym = 0
+	for i, s := range syms {
+		t.index[s] = i
+		if s > t.maxSym {
+			t.maxSym = s
+		}
+	}
+
+	if cap(t.dsym) < size {
+		t.dsym = make([]uint32, size)
+		t.dbits = make([]uint8, size)
+		t.dnew = make([]uint32, size)
+		t.estate = make([]uint32, size)
+	}
+	t.dsym = t.dsym[:size]
+	t.dbits = t.dbits[:size]
+	t.dnew = t.dnew[:size]
+	t.estate = t.estate[:size]
+	if cap(t.normBase) < len(syms) {
+		t.normBase = make([]uint32, len(syms))
+	}
+	t.normBase = t.normBase[:len(syms)]
+
+	// Spread symbols across the state table with the standard coprime step;
+	// precise placement only needs to match between assemble calls (the
+	// serialized form carries the histogram, not the spread).
+	step := t.size>>1 + t.size>>3 + 3
+	mask := t.size - 1
+	pos := uint32(0)
+	for j := range syms {
+		for c := uint32(0); c < norm[j]; c++ {
+			t.dsym[pos] = uint32(j) // canonical index; resolved to symbol below
+			pos = (pos + step) & mask
+		}
+	}
+	if pos != 0 {
+		return nil, fmt.Errorf("%w: spread did not close", ErrCorrupt)
+	}
+
+	// Encode base offsets: estate segment per canonical symbol.
+	var base uint32
+	for j, n := range norm {
+		t.normBase[j] = base
+		base += n
+	}
+
+	// Decode entries + encode transitions in one pass over the table. The
+	// k-th state slot of symbol j (sub-state x = norm[j]+k) is table
+	// position p: decoding from p emits j and refills to x<<bits | read;
+	// encoding j from sub-state x jumps to p.
+	if cap(t.scratch) < len(syms) {
+		t.scratch = make([]uint32, len(syms))
+	}
+	next := t.scratch[:len(syms)]
+	copy(next, norm)
+	for p := 0; p < size; p++ {
+		j := t.dsym[p]
+		x := next[j]
+		next[j]++
+		nb := tableLog - uint(bits.Len32(x)) + 1 // bits to refill x back into [size, 2·size)
+		t.dbits[p] = uint8(nb)
+		t.dnew[p] = x<<nb - t.size
+		t.estate[t.normBase[j]+(x-norm[j])] = uint32(p)
+		t.dsym[p] = t.syms[j]
+	}
+	return t, nil
+}
+
+// MeanBits computes the modeled average code length in bits/symbol under the
+// table's own normalized histogram: Σ p·log2(size/norm) — the ANS analogue
+// of huffman.MeanBits.
+func (t *Table) MeanBits() float64 {
+	var b float64
+	size := float64(t.size)
+	for _, n := range t.norm {
+		p := float64(n) / size
+		b += p * (float64(t.tableLog) - math.Log2(float64(n)))
+	}
+	return b
+}
+
+// Encode compresses syms with NumStates interleaved states into a backward
+// bitstream. Returns the stream bytes, the final states (one per lane), and
+// the total bit count. Symbols must all be present in the table. The
+// returned buffer is appended to dst (pass nil to allocate).
+func (t *Table) Encode(dst []byte, syms []uint32, lut []uint32) ([]byte, [NumStates]uint32, uint64, error) {
+	var states [NumStates]uint32
+	for i := range states {
+		states[i] = t.size // normalized state range is [size, 2·size)
+	}
+	var acc uint64
+	var accN uint
+	var totalBits uint64
+	buf := dst
+	// Encoding walks the symbols backward so the decoder (which pops
+	// last-pushed first) emits them forward; lane i%NumStates keeps
+	// per-lane order consistent with the decoder's forward walk.
+	for i := len(syms) - 1; i >= 0; i-- {
+		s := syms[i]
+		var j int
+		if lut != nil && int64(s) < int64(len(lut)) && lut[s] != lutAbsent {
+			j = int(lut[s])
+		} else {
+			var ok bool
+			j, ok = t.index[s]
+			if !ok {
+				return nil, states, 0, fmt.Errorf("%w: symbol %d not in table", ErrCorrupt, s)
+			}
+		}
+		n := t.norm[j]
+		lane := i % NumStates
+		x := states[lane]
+		// Shift x down into the symbol's sub-state range [n, 2n); the
+		// shifted-out low bits go to the stream (LSB-first, forward).
+		nb := uint(0)
+		for x>>nb >= n<<1 {
+			nb++
+		}
+		if nb > 0 {
+			acc |= uint64(x&(1<<nb-1)) << accN
+			accN += nb
+			totalBits += uint64(nb)
+			for accN >= 8 {
+				buf = append(buf, byte(acc))
+				acc >>= 8
+				accN -= 8
+			}
+		}
+		states[lane] = t.estate[t.normBase[j]+(x>>nb-n)] + t.size
+	}
+	if accN > 0 {
+		buf = append(buf, byte(acc))
+	}
+	for i := range states {
+		states[i] -= t.size // store normalized to [0, size)
+	}
+	return buf, states, totalBits, nil
+}
+
+// lutAbsent marks an empty encode-LUT slot (no symbol maps to it).
+const lutAbsent = ^uint32(0)
+
+// FillLUT writes each table symbol's canonical index into lut[sym] and
+// lutAbsent elsewhere; len(lut) must exceed MaxSymbol(). Unlike the Huffman
+// LUT the absent marker is required, because Encode validates membership
+// through it.
+func (t *Table) FillLUT(lut []uint32) {
+	for i := range lut {
+		lut[i] = lutAbsent
+	}
+	for j, s := range t.syms {
+		lut[s] = uint32(j)
+	}
+}
+
+// Decode reconstructs len(out) symbols from a backward bitstream produced by
+// Encode with the given final states and bit count. It never reads outside
+// stream and returns typed errors on truncation or corruption.
+func (t *Table) Decode(stream []byte, states [NumStates]uint32, totalBits uint64, out []uint32) error {
+	if totalBits > uint64(len(stream))*8 {
+		return fmt.Errorf("%w: %d bits declared, %d bytes present", ErrTruncated, totalBits, len(stream))
+	}
+	var st [NumStates]uint32
+	for i, s := range states {
+		if s >= t.size {
+			return fmt.Errorf("%w: state %d outside table of %d", ErrCorrupt, s, t.size)
+		}
+		st[i] = s
+	}
+	bitpos := totalBits
+	dsym, dbits, dnew := t.dsym, t.dbits, t.dnew
+	for i := range out {
+		lane := i % NumStates
+		x := st[lane]
+		out[i] = dsym[x]
+		nb := uint(dbits[x])
+		var refill uint32
+		if nb > 0 {
+			if uint64(nb) > bitpos {
+				return fmt.Errorf("%w: at symbol %d", ErrTruncated, i)
+			}
+			bitpos -= uint64(nb)
+			refill = readBitsAt(stream, bitpos, nb)
+		}
+		ns := dnew[x] + refill
+		if ns >= t.size {
+			return fmt.Errorf("%w: refilled state %d outside table at symbol %d", ErrCorrupt, ns, i)
+		}
+		st[lane] = ns
+	}
+	return nil
+}
+
+// readBitsAt extracts nb (< 25) bits starting at bit offset pos from an
+// LSB-first bitstream. The fast path does one unaligned little-endian load;
+// the tail falls back to a bounded byte loop.
+func readBitsAt(stream []byte, pos uint64, nb uint) uint32 {
+	idx := int(pos >> 3)
+	shift := uint(pos & 7)
+	if idx+8 <= len(stream) {
+		w := binary.LittleEndian.Uint64(stream[idx:])
+		return uint32(w>>shift) & (1<<nb - 1)
+	}
+	var w uint64
+	for k := 0; idx+k < len(stream) && k < 8; k++ {
+		w |= uint64(stream[idx+k]) << (8 * uint(k))
+	}
+	return uint32(w>>shift) & (1<<nb - 1)
+}
+
+// Serialize emits the table's normalized histogram: one byte tableLog, a
+// uvarint symbol count, then per symbol (value-ascending) a uvarint symbol
+// delta (+1 from previous, first absolute) and a uvarint normalized count.
+// Parse reconstructs an identical table because the spread is a pure
+// function of (tableLog, histogram).
+func (t *Table) Serialize() []byte {
+	buf := make([]byte, 0, len(t.syms)*3+8)
+	buf = append(buf, byte(t.tableLog))
+	var tmp [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(tmp[:], uint64(len(t.syms)))
+	buf = append(buf, tmp[:k]...)
+	prev := int64(-1)
+	for j, s := range t.syms {
+		k = binary.PutUvarint(tmp[:], uint64(int64(s)-prev))
+		buf = append(buf, tmp[:k]...)
+		k = binary.PutUvarint(tmp[:], uint64(t.norm[j]))
+		buf = append(buf, tmp[:k]...)
+		prev = int64(s)
+	}
+	return buf
+}
+
+// Parse reconstructs a table serialized by Serialize, returning the byte
+// count consumed. All structural invariants are re-validated, so a corrupt
+// or adversarial input yields a typed error, never a panic or an
+// inconsistent table.
+func Parse(data []byte) (*Table, int, error) {
+	if len(data) < 2 {
+		return nil, 0, fmt.Errorf("%w: table shorter than 2 bytes", ErrCorrupt)
+	}
+	tableLog := uint(data[0])
+	if tableLog < MinTableLog || tableLog > MaxTableLog {
+		return nil, 0, fmt.Errorf("%w: table log %d outside %d..%d", ErrCorrupt, tableLog, MinTableLog, MaxTableLog)
+	}
+	pos := 1
+	n64, k := binary.Uvarint(data[pos:])
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad symbol count", ErrCorrupt)
+	}
+	pos += k
+	if n64 == 0 || n64 > 1<<tableLog {
+		return nil, 0, fmt.Errorf("%w: %d symbols for table log %d", ErrCorrupt, n64, tableLog)
+	}
+	n := int(n64)
+	syms := make([]uint32, n)
+	norm := make([]uint32, n)
+	prev := int64(-1)
+	var sum uint64
+	for j := 0; j < n; j++ {
+		d, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return nil, 0, fmt.Errorf("%w: truncated symbol delta", ErrCorrupt)
+		}
+		pos += k
+		if d == 0 {
+			return nil, 0, fmt.Errorf("%w: zero symbol delta", ErrCorrupt)
+		}
+		sym := prev + int64(d)
+		if sym < 0 || sym > int64(^uint32(0)) {
+			return nil, 0, fmt.Errorf("%w: symbol out of range", ErrCorrupt)
+		}
+		c, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return nil, 0, fmt.Errorf("%w: truncated count", ErrCorrupt)
+		}
+		pos += k
+		if c == 0 || c > 1<<tableLog {
+			return nil, 0, fmt.Errorf("%w: count %d for table log %d", ErrCorrupt, c, tableLog)
+		}
+		syms[j] = uint32(sym)
+		norm[j] = uint32(c)
+		sum += c
+		prev = sym
+	}
+	if sum != 1<<tableLog {
+		return nil, 0, fmt.Errorf("%w: counts sum %d, want %d", ErrCorrupt, sum, 1<<tableLog)
+	}
+	t, err := assemble(tableLog, syms, norm)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, pos, nil
+}

@@ -1,0 +1,267 @@
+package ans
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func freqsOf(syms []uint32) map[uint32]int64 {
+	m := map[uint32]int64{}
+	for _, s := range syms {
+		m[s]++
+	}
+	return m
+}
+
+func roundTrip(t *testing.T, syms []uint32) {
+	t.Helper()
+	tab, err := Build(freqsOf(syms))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer tab.Release()
+	stream, states, bits, err := tab.Encode(nil, syms, nil)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// Re-parse the serialized table: decoding must work from the wire form.
+	ser := tab.Serialize()
+	tab2, n, err := Parse(ser)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	defer tab2.Release()
+	if n != len(ser) {
+		t.Fatalf("Parse consumed %d of %d bytes", n, len(ser))
+	}
+	out := make([]uint32, len(syms))
+	if err := tab2.Decode(stream, states, bits, out); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	for i := range out {
+		if out[i] != syms[i] {
+			t.Fatalf("symbol %d: decoded %d, want %d", i, out[i], syms[i])
+		}
+	}
+}
+
+func TestRoundTripShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][]uint32{
+		{7},
+		{7, 7, 7},
+		{1, 2},
+		{1, 2, 3, 4, 5},
+	}
+	// Quantization-code-like: concentrated around 32768.
+	big := make([]uint32, 100000)
+	for i := range big {
+		v := 32768
+		for rng.Intn(2) == 0 && v < 32800 {
+			v++
+		}
+		if rng.Intn(2) == 0 {
+			v = 32768 - (v - 32768)
+		}
+		big[i] = uint32(v)
+	}
+	cases = append(cases, big)
+	// Uniform over a wide alphabet.
+	wide := make([]uint32, 50000)
+	for i := range wide {
+		wide[i] = uint32(rng.Intn(3000))
+	}
+	cases = append(cases, wide)
+	// Skewed with rare outliers.
+	skew := make([]uint32, 20000)
+	for i := range skew {
+		if rng.Intn(1000) == 0 {
+			skew[i] = uint32(1 << 20)
+		} else {
+			skew[i] = uint32(rng.Intn(3))
+		}
+	}
+	cases = append(cases, skew)
+	for ci, syms := range cases {
+		t.Logf("case %d: %d symbols", ci, len(syms))
+		roundTrip(t, syms)
+	}
+}
+
+func TestCompressionBeatsLog2Alphabet(t *testing.T) {
+	// A heavily skewed stream must code well below 1 bit/symbol — the
+	// capability Huffman lacks and the reason the codec exists.
+	rng := rand.New(rand.NewSource(2))
+	syms := make([]uint32, 1<<16)
+	for i := range syms {
+		if rng.Intn(100) == 0 {
+			syms[i] = uint32(1 + rng.Intn(4))
+		}
+	}
+	tab, err := Build(freqsOf(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Release()
+	stream, _, bits, err := tab.Encode(nil, syms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bps := float64(bits) / float64(len(syms))
+	if bps >= 0.5 {
+		t.Fatalf("99%%-zero stream coded at %.3f bits/symbol; want < 0.5", bps)
+	}
+	if len(stream)*8 < int(bits) {
+		t.Fatalf("stream of %d bytes cannot hold %d bits", len(stream), bits)
+	}
+	// The modeled mean must track the realized rate.
+	if mb := tab.MeanBits(); math.Abs(mb-bps) > 0.15*bps+0.05 {
+		t.Fatalf("MeanBits %.3f vs realized %.3f bits/symbol", mb, bps)
+	}
+}
+
+func TestEncodeLUTMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	syms := make([]uint32, 10000)
+	for i := range syms {
+		syms[i] = uint32(rng.Intn(50))
+	}
+	tab, err := Build(freqsOf(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Release()
+	lut := make([]uint32, tab.MaxSymbol()+1)
+	tab.FillLUT(lut)
+	sa, stA, bitsA, err := tab.Encode(nil, syms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, stB, bitsB, err := tab.Encode(nil, syms, lut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sa) != string(sb) || stA != stB || bitsA != bitsB {
+		t.Fatal("LUT and map encodes differ")
+	}
+}
+
+func TestUnknownSymbolErrors(t *testing.T) {
+	tab, err := Build(map[uint32]int64{1: 5, 2: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Release()
+	if _, _, _, err := tab.Encode(nil, []uint32{1, 99}, nil); err == nil {
+		t.Fatal("want error encoding symbol outside table")
+	}
+}
+
+func TestAlphabetTooLarge(t *testing.T) {
+	freqs := map[uint32]int64{}
+	for s := uint32(0); s < (1<<MaxTableLog)+1; s++ {
+		freqs[s] = 1
+	}
+	if _, err := Build(freqs); !errors.Is(err, ErrAlphabetTooLarge) {
+		t.Fatalf("got %v, want ErrAlphabetTooLarge", err)
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	syms := []uint32{1, 1, 2, 3, 3, 3, 4}
+	tab, err := Build(freqsOf(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Release()
+	good := tab.Serialize()
+	if _, _, err := Parse(nil); err == nil {
+		t.Fatal("nil table parsed")
+	}
+	if _, _, err := Parse(good[:1]); err == nil {
+		t.Fatal("1-byte table parsed")
+	}
+	for i := range good {
+		for delta := byte(1); delta < 4; delta++ {
+			bad := append([]byte(nil), good...)
+			bad[i] += delta
+			if _, n, err := Parse(bad); err == nil {
+				// A mutation may still parse structurally (e.g. the symbol
+				// delta changed); it must at least consume what it declared
+				// and round-trip internally consistent.
+				if n <= 0 || n > len(bad) {
+					t.Fatalf("byte %d: accepted with bad length %d", i, n)
+				}
+			}
+		}
+	}
+	// Truncations must never parse to success past the histogram sum check
+	// and must never panic.
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := Parse(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d parsed", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsBadStatesAndTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	syms := make([]uint32, 4096)
+	for i := range syms {
+		syms[i] = uint32(rng.Intn(16))
+	}
+	tab, err := Build(freqsOf(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Release()
+	stream, states, bits, err := tab.Encode(nil, syms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint32, len(syms))
+	bad := states
+	bad[0] = 1 << MaxTableLog
+	if err := tab.Decode(stream, bad, bits, out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-range state: got %v", err)
+	}
+	if err := tab.Decode(stream[:len(stream)/2], states, bits, out); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short stream: got %v", err)
+	}
+	if err := tab.Decode(stream, states, bits/2, out); !errors.Is(err, ErrTruncated) {
+		// Fewer declared bits than the symbols need must surface as
+		// truncation (never an out-of-bounds read).
+		t.Fatalf("short bit count: got %v", err)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	syms := []uint32{1, 1, 2, 3, 3, 3, 4, 70000}
+	tab, err := Build(freqsOf(syms))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tab.Serialize())
+	tab.Release()
+	f.Add([]byte{12, 1, 1, 255})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, n, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		// An accepted table must round-trip through Serialize/Parse.
+		ser := tab.Serialize()
+		tab2, _, err := Parse(ser)
+		if err != nil {
+			t.Fatalf("re-parse of accepted table: %v", err)
+		}
+		tab2.Release()
+		tab.Release()
+	})
+}

@@ -1,7 +1,3 @@
-// Package bitio provides MSB-first bit-granular writers and readers over
-// byte buffers. It is the substrate for the Huffman coder: codes are written
-// most-significant-bit first so that canonical Huffman prefixes sort
-// lexicographically in the bit stream.
 package bitio
 
 import (

@@ -1,0 +1,36 @@
+// Package bitio provides MSB-first bit-granular writers and readers over
+// byte buffers. It is the substrate for the Huffman coders: codes are
+// written most-significant-bit first so that canonical Huffman prefixes
+// sort lexicographically in the bit stream.
+//
+// # Bitstream invariants
+//
+// Every consumer of these streams — the serial Huffman decoder, the
+// interleaved decoder's inline reader states, and the container fuzzers —
+// relies on the following contracts:
+//
+//   - Bit order. WriteBits emits the low `width` bits of v starting with
+//     the most significant; a stream written as WriteBits(a, la),
+//     WriteBits(b, lb) reads back with the bits of a strictly before the
+//     bits of b. width must be in [0, 57]: wider fields are split by the
+//     caller (the 57-bit bound keeps the accumulator shift-safe).
+//
+//   - Padding. Writer.Bytes flushes any partial final byte zero-padded on
+//     the right (toward the LSB). Padding is only ever zeros and only ever
+//     shorter than one byte, so a decoder that knows the symbol count can
+//     always distinguish real data from padding; decoders that match codes
+//     in the tail must verify the match fits in the real bits that remain
+//     (see PeekBits). Writer.Bits reports written bits excluding padding.
+//
+//   - PeekBits contract. PeekBits(width) returns the next bits zero-padded
+//     on the right when fewer than `width` remain, together with `avail`,
+//     the count of real (unpadded) bits in the result. A table-driven
+//     decoder must reject a code of length L when L > avail — a match that
+//     extends into padding is not a match. Skip tolerates consuming into
+//     the zero padding only within the final byte; skipping further is a
+//     contract violation and errors.
+//
+//   - Truncation. All reads past the end of real data return errors
+//     wrapping ErrUnexpectedEOF; no read panics and no read goes out of
+//     bounds, whatever the input bytes.
+package bitio

@@ -1,10 +1,3 @@
-// Package codec defines the compressor-agnostic abstraction the ratio-quality
-// model is built around: a Codec interface every error-bounded backend
-// implements, a process-wide registry the built-in backends (prediction-based
-// and transform-based) register into, and a single self-describing container
-// envelope so any payload routes to the right backend by inspection (see
-// container.go). The tuner use-cases and the public rqm.Engine operate on
-// this interface only, so new codecs plug in behind one surface.
 package codec
 
 import (
@@ -29,6 +22,12 @@ const (
 	IDPrediction ID = 1
 	// IDTransform is the ZFP-style transform-based codec.
 	IDTransform ID = 2
+	// IDPredictionILV is the prediction pipeline with the interleaved
+	// multi-stream Huffman entropy stage.
+	IDPredictionILV ID = 3
+	// IDPredictionTANS is the prediction pipeline with the tANS entropy
+	// stage.
+	IDPredictionTANS ID = 4
 	// FirstExternalID is the lowest ID open to third-party registrations;
 	// everything below is reserved for built-ins so future releases can add
 	// backends without colliding with archived containers.
@@ -214,7 +213,7 @@ func Compress(c Codec, f *grid.Field, opts Options) (*Result, error) {
 }
 
 func init() {
-	for _, c := range []Codec{predictionCodec{}, transformCodec{}} {
+	for _, c := range []Codec{predictionCodec{}, transformCodec{}, predictionILVCodec{}, predictionTANSCodec{}} {
 		if err := register(c); err != nil {
 			panic(err)
 		}

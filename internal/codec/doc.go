@@ -1,0 +1,41 @@
+// Package codec defines the compressor-agnostic abstraction the
+// ratio-quality model is built around: a Codec interface every
+// error-bounded backend implements, a process-wide registry the built-in
+// backends register into, and a single self-describing container envelope
+// so any payload routes to the right backend by inspection (see
+// container.go). The tuner use-cases and the public rqm.Engine operate on
+// this interface only, so new codecs plug in behind one surface.
+//
+// # Built-in codecs
+//
+// Wire IDs below FirstExternalID are reserved for built-ins and are stable
+// forever — never reuse or renumber a published ID:
+//
+//	1  prediction       SZ3-style pipeline, serial Huffman entropy stage
+//	2  transform        ZFP-style transform codec
+//	3  prediction-ilv   prediction pipeline, interleaved multi-stream Huffman
+//	4  prediction-tans  prediction pipeline, tANS entropy stage
+//
+// The entropy variants are separate codec identities rather than an
+// Options field: the wire ID alone pins how a chunk body must be decoded,
+// so archives mix codecs freely and readers need no side channel
+// (DESIGN.md §9).
+//
+// # Container invariants
+//
+// Envelope and chunked-container parsing guarantees, pinned by
+// container_test.go and the fuzzers:
+//
+//   - Every parse failure wraps exactly one typed error (ErrTruncated,
+//     ErrBadMagic, ErrUnsupportedVersion, ErrUnknownCodec, ErrCorrupt,
+//     ErrChecksum); no input makes a parser panic or read out of bounds.
+//   - Routing dispatches on the leading magic: RQCE envelopes carry a
+//     codec ID byte; legacy RQMC/RQZF native containers route to codecs
+//     1/2 whole, since native containers are self-contained. A native
+//     container produced by the entropy-variant codecs still begins with
+//     RQMC and self-describes its entropy stage, so legacy-path decodes
+//     of ID 3/4 payloads work unchanged.
+//   - Chunk bodies in the chunked stream container are per-chunk
+//     independent: each record names its codec ID, is CRC-checked before
+//     decode, and decodes with no state from neighboring chunks.
+package codec

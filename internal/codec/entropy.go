@@ -1,0 +1,88 @@
+package codec
+
+import (
+	"rqm/internal/compressor"
+	"rqm/internal/core"
+	"rqm/internal/grid"
+)
+
+// The entropy-variant codecs run the same SZ3-style prediction pipeline as
+// PredictionName but swap the entropy stage. The stage choice is codec
+// identity rather than an Options field: the wire ID pins how a chunk body
+// must be decoded, so containers written by either variant route correctly
+// through the registry with no envelope or chunk-format change.
+
+// PredictionILVName is the registered name of the prediction codec with the
+// interleaved multi-stream Huffman entropy stage (same coded size as
+// PredictionName, parallel bit-extraction on decode).
+const PredictionILVName = "prediction-ilv"
+
+// PredictionTANSName is the registered name of the prediction codec with the
+// tANS entropy stage (fractional bits/symbol on skewed histograms).
+const PredictionTANSName = "prediction-tans"
+
+type predictionILVCodec struct{}
+
+func (predictionILVCodec) Name() string { return PredictionILVName }
+func (predictionILVCodec) ID() ID       { return IDPredictionILV }
+
+func (predictionILVCodec) Compress(f *grid.Field, opts Options) ([]byte, error) {
+	res, err := compressor.Compress(f, compressor.Options{
+		Predictor:  opts.Predictor,
+		Mode:       opts.Mode,
+		ErrorBound: opts.ErrorBound,
+		Lossless:   opts.Lossless,
+		Radius:     opts.Radius,
+		Entropy:    compressor.EntropyInterleaved,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Bytes, nil
+}
+
+func (predictionILVCodec) Decompress(payload []byte) (*grid.Field, error) {
+	return compressor.Decompress(payload)
+}
+
+func (predictionILVCodec) Profile(f *grid.Field, copts Options, mopts core.Options) (*core.Profile, error) {
+	// Interleaving changes decode throughput, not coded size: the streams
+	// share one codebook and split the same codeword sequence, so the Eq. 1
+	// Huffman model applies unchanged.
+	if mopts.Radius == 0 {
+		mopts.Radius = copts.Radius
+	}
+	return core.NewProfile(f, copts.Predictor, mopts)
+}
+
+type predictionTANSCodec struct{}
+
+func (predictionTANSCodec) Name() string { return PredictionTANSName }
+func (predictionTANSCodec) ID() ID       { return IDPredictionTANS }
+
+func (predictionTANSCodec) Compress(f *grid.Field, opts Options) ([]byte, error) {
+	res, err := compressor.Compress(f, compressor.Options{
+		Predictor:  opts.Predictor,
+		Mode:       opts.Mode,
+		ErrorBound: opts.ErrorBound,
+		Lossless:   opts.Lossless,
+		Radius:     opts.Radius,
+		Entropy:    compressor.EntropyTANS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Bytes, nil
+}
+
+func (predictionTANSCodec) Decompress(payload []byte) (*grid.Field, error) {
+	return compressor.Decompress(payload)
+}
+
+func (predictionTANSCodec) Profile(f *grid.Field, copts Options, mopts core.Options) (*core.Profile, error) {
+	if mopts.Radius == 0 {
+		mopts.Radius = copts.Radius
+	}
+	mopts.Entropy = core.EntropyModelANS
+	return core.NewProfile(f, copts.Predictor, mopts)
+}

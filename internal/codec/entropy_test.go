@@ -1,0 +1,98 @@
+package codec
+
+import (
+	"testing"
+
+	"rqm/internal/compressor"
+	"rqm/internal/core"
+	"rqm/internal/grid"
+	"rqm/internal/stats"
+)
+
+// skewedField is nearly constant with sparse spikes: its quantization-code
+// histogram is dominated by code 0, the regime where Huffman is pinned at
+// 1 bit/symbol but ANS codes fractional bits.
+func skewedField(t *testing.T) *grid.Field {
+	t.Helper()
+	f := grid.MustNew("skewed", grid.Float64, 64, 64, 16)
+	rng := stats.NewXorShift64(7)
+	for i := range f.Data {
+		if rng.Uint64()%100 == 0 {
+			f.Data[i] = 50 * rng.NormFloat64()
+		} else {
+			f.Data[i] = 1
+		}
+	}
+	return f
+}
+
+// TestTANSProfileModelsFractionalBits: the prediction-tans codec must profile
+// with the ANS entropy model, predicting below 1 bit/value on a skewed field
+// where the Huffman-model prediction is clamped to >= 1 — and the prediction
+// must track the realized tANS payload, not the Huffman one.
+func TestTANSProfileModelsFractionalBits(t *testing.T) {
+	f := skewedField(t)
+	copts := Options{Mode: compressor.ABS, ErrorBound: 1e-3}
+	mopts := core.Options{SampleRate: 1} // exact histogram: isolates the model
+
+	huffCodec, err := ByName(PredictionName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tansCodec, err := ByName(PredictionTANSName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huffProf, err := huffCodec.Profile(f, copts, mopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tansProf, err := tansCodec.Profile(f, copts, mopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	he := huffProf.EstimateAt(copts.ErrorBound)
+	te := tansProf.EstimateAt(copts.ErrorBound)
+	if he.HuffmanBitRate < 1 {
+		t.Fatalf("Huffman model predicts %.3f bits/value; the 1-bit floor should bind", he.HuffmanBitRate)
+	}
+	if te.HuffmanBitRate >= he.HuffmanBitRate {
+		t.Fatalf("ANS model %.3f not below Huffman model %.3f on a skewed field",
+			te.HuffmanBitRate, he.HuffmanBitRate)
+	}
+
+	// Realized entropy-stage bits must order the same way, and the ANS
+	// estimate must land closer to the realized tANS rate than the Huffman
+	// estimate does (the whole point of the model extension).
+	n := float64(f.Len())
+	realized := func(e compressor.EntropyKind) float64 {
+		res, err := compressor.Compress(f, compressor.Options{
+			Mode: copts.Mode, ErrorBound: copts.ErrorBound, Entropy: e,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Entropy != e {
+			t.Fatalf("entropy fell back to %s", res.Stats.Entropy)
+		}
+		return float64(res.Stats.HuffmanBits) / n
+	}
+	huffBits := realized(compressor.EntropyHuffman)
+	tansBits := realized(compressor.EntropyTANS)
+	if tansBits >= huffBits {
+		t.Fatalf("tANS stage %.3f bits/value not below Huffman %.3f on a skewed field", tansBits, huffBits)
+	}
+	errANS := abs(te.HuffmanBitRate - tansBits)
+	errHuff := abs(he.HuffmanBitRate - tansBits)
+	if errANS > errHuff {
+		t.Fatalf("ANS model misses realized tANS rate %.3f by %.3f bits, Huffman model by %.3f — extension buys nothing",
+			tansBits, errANS, errHuff)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

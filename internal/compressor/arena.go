@@ -12,7 +12,7 @@ import (
 // the payload bit writer — lives here, so steady-state compression under
 // serving load allocates only what escapes into the output container.
 //
-// Ownership rules (see DESIGN.md §7):
+// Ownership rules (see DESIGN.md §10):
 //   - Compress/Decompress acquire an arena on entry and release it before
 //     returning; nothing reachable from a Result or a returned Field may
 //     alias arena memory (work on the decompress side is allocated fresh
@@ -33,6 +33,13 @@ type arena struct {
 	signs   []byte
 	zeros   []byte
 	bw      *bitio.Writer
+	// Entropy-stage scratch beyond the serial writer: one bit writer per
+	// interleaved stream, a dense ANS encode LUT, the ANS output buffer,
+	// and the interleaved-blob assembly buffer.
+	bws     []*bitio.Writer
+	ansLUTb []uint32
+	ansBuf  []byte
+	blobBuf []byte
 }
 
 var arenaPool = sync.Pool{New: func() interface{} { return &arena{} }}
@@ -109,4 +116,34 @@ func (a *arena) bitWriter() *bitio.Writer {
 	}
 	a.bw.Reset()
 	return a.bw
+}
+
+// bitWriters returns k pooled stream writers, reset.
+func (a *arena) bitWriters(k int) []*bitio.Writer {
+	for len(a.bws) < k {
+		a.bws = append(a.bws, bitio.NewWriter(0))
+	}
+	for i := 0; i < k; i++ {
+		a.bws[i].Reset()
+	}
+	return a.bws[:k]
+}
+
+// ansLUT returns the length-n dense ANS encode LUT scratch (ans.FillLUT
+// overwrites every entry, so no clearing invariant is needed).
+func (a *arena) ansLUT(n int) []uint32 {
+	if cap(a.ansLUTb) < n {
+		a.ansLUTb = make([]uint32, n)
+	}
+	a.ansLUTb = a.ansLUTb[:n]
+	return a.ansLUTb
+}
+
+// blob returns a length-n byte scratch slice, reusing capacity.
+func (a *arena) blob(n int) []byte {
+	if cap(a.blobBuf) < n {
+		a.blobBuf = make([]byte, n)
+	}
+	a.blobBuf = a.blobBuf[:n]
+	return a.blobBuf
 }

@@ -16,9 +16,8 @@ import (
 	"math"
 	"time"
 
-	"rqm/internal/bitio"
+	"rqm/internal/ans"
 	"rqm/internal/grid"
-	"rqm/internal/huffman"
 	"rqm/internal/lz77"
 	"rqm/internal/predictor"
 	"rqm/internal/quantizer"
@@ -116,6 +115,10 @@ type Options struct {
 	Lossless LosslessKind
 	// Radius overrides the quantizer radius (0 = quantizer.DefaultRadius).
 	Radius int32
+	// Entropy selects the entropy stage (serial Huffman, interleaved
+	// multi-stream Huffman, or tANS). The default EntropyHuffman emits the
+	// historical version 1 container byte-for-byte.
+	Entropy EntropyKind
 }
 
 // Stats reports what happened during compression; the experiment harness
@@ -130,8 +133,12 @@ type Stats struct {
 	OriginalBytes int64
 	// CompressedBytes is the full container size.
 	CompressedBytes int64
-	// HuffmanBits is the Huffman payload size in bits (before lossless).
+	// HuffmanBits is the entropy-coded payload size in bits (before
+	// lossless), whichever entropy stage produced it.
 	HuffmanBits uint64
+	// Entropy is the entropy stage actually used (tANS falls back to
+	// serial Huffman when the alphabet outgrows the largest table).
+	Entropy EntropyKind
 	// PayloadBytesFinal is the payload size after the lossless stage.
 	PayloadBytesFinal int
 	// CodebookBytes is the serialized codebook size.
@@ -175,6 +182,12 @@ const ContainerMagic uint32 = 0x52514d43
 const (
 	containerMagic   = ContainerMagic
 	containerVersion = 1
+	// containerVersionEntropy (version 2) inserts two bytes after the
+	// lossless byte — entropy kind and entropy parameter — and, for tANS,
+	// the final states + bit count before the payload lengths. It is
+	// emitted only when the entropy stage is not serial Huffman, so every
+	// container the serial default writes stays byte-identical to v1.
+	containerVersionEntropy = 2
 )
 
 // reservedSymbolOffset: symbol = code + radius; the value 2*radius+1 marks
@@ -332,27 +345,15 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	predictTime := time.Since(tPredict)
 
 	tEncode := time.Now()
-	cb, err := huffman.Build(freqs)
+	enc, err := encodeEntropy(a, opts.Entropy, syms, freqs, dense, encLUT)
 	if err != nil {
 		return nil, err
 	}
-	codebook := cb.Serialize()
-	bw := a.bitWriter()
-	if dense {
-		cb.FillLUT(encLUT)
-		err = cb.EncodeLUT(bw, syms, encLUT)
-	} else {
-		err = cb.Encode(bw, syms)
-	}
-	if err != nil {
-		return nil, err
-	}
-	huffBits := bw.Bits()
-	payload := bw.Bytes()
+	huffBits := enc.bits
 	encodeTime := time.Since(tEncode)
 
 	tLossless := time.Now()
-	finalPayload, err := applyLossless(opts.Lossless, payload)
+	finalPayload, err := applyLossless(opts.Lossless, enc.raw)
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +366,7 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		zerosEnc = rle.Encode(zeros)
 	}
 
-	out := assembleContainer(f, opts, radius, absEB, aux, unpred, signsEnc, zerosEnc, codebook, finalPayload, len(payload))
+	out := assembleContainer(f, opts, radius, absEB, aux, unpred, signsEnc, zerosEnc, enc, finalPayload, len(enc.raw))
 
 	// Rebuild the code histogram (unpredictable excluded) from the symbol
 	// frequencies for the Stats consumers; it is small — one entry per
@@ -386,8 +387,9 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		OriginalBytes:     f.OriginalBytes(),
 		CompressedBytes:   int64(len(out)),
 		HuffmanBits:       huffBits,
+		Entropy:           enc.kind,
 		PayloadBytesFinal: len(finalPayload),
-		CodebookBytes:     len(codebook),
+		CodebookBytes:     len(enc.codebook),
 		AuxBytes:          len(aux),
 		Unpredictable:     len(unpred),
 		P0:                p0,
@@ -460,13 +462,23 @@ func undoLossless(kind LosslessKind, data []byte, rawLen int) ([]byte, error) {
 // exact-size allocation (the only large allocation a steady-state compress
 // makes; everything else comes from the arena).
 func assembleContainer(f *grid.Field, opts Options, radius int32, absEB float64,
-	aux []byte, unpred []float64, signsEnc, zerosEnc, codebook, payload []byte, rawPayloadLen int) []byte {
+	aux []byte, unpred []float64, signsEnc, zerosEnc []byte, enc *entropyEnc, payload []byte, rawPayloadLen int) []byte {
 
+	codebook := enc.codebook
+	version := uint8(containerVersion)
+	extra := 0
+	if enc.kind != EntropyHuffman {
+		version = containerVersionEntropy
+		extra = 2 // entropy kind + parameter bytes
+		if enc.kind == EntropyTANS {
+			extra += 4*ans.NumStates + 8 // final states + coded bit count
+		}
+	}
 	name := []byte(f.Name)
 	if len(name) > 65535 {
 		name = name[:65535]
 	}
-	size := 4 + 1 + 1 + 1 + 1 + 4 + 8 + 8 + 1 + 1 + // fixed header
+	size := 4 + 1 + 1 + 1 + 1 + extra + 4 + 8 + 8 + 1 + 1 + // fixed header
 		8*f.Rank() + 2 + len(name) +
 		4 + 8*len(unpred) +
 		4 + len(aux) + 4 + len(signsEnc) + 4 + len(zerosEnc) +
@@ -478,7 +490,10 @@ func assembleContainer(f *grid.Field, opts Options, radius int32, absEB float64,
 	p64 := func(v uint64) { le.PutUint64(s8[:], v); out = append(out, s8[:]...) }
 
 	p32(containerMagic)
-	out = append(out, containerVersion, uint8(opts.Predictor), uint8(opts.Mode), uint8(opts.Lossless))
+	out = append(out, version, uint8(opts.Predictor), uint8(opts.Mode), uint8(opts.Lossless))
+	if version >= containerVersionEntropy {
+		out = append(out, uint8(enc.kind), enc.param)
+	}
 	p32(uint32(radius))
 	p64(math.Float64bits(opts.ErrorBound))
 	p64(math.Float64bits(absEB))
@@ -501,6 +516,12 @@ func assembleContainer(f *grid.Field, opts Options, radius int32, absEB float64,
 	out = append(out, zerosEnc...)
 	p32(uint32(len(codebook)))
 	out = append(out, codebook...)
+	if enc.kind == EntropyTANS {
+		for _, st := range enc.states {
+			p32(st)
+		}
+		p64(enc.bitLen)
+	}
 	p32(uint32(rawPayloadLen))
 	p32(uint32(len(payload)))
 	out = append(out, payload...)
@@ -589,7 +610,7 @@ func Decompress(data []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != containerVersion {
+	if version != containerVersion && version != containerVersionEntropy {
 		return nil, fmt.Errorf("compressor: unsupported version %d", version)
 	}
 	predKind, err := c.u8()
@@ -603,6 +624,20 @@ func Decompress(data []byte) (*grid.Field, error) {
 	lossless, err := c.u8()
 	if err != nil {
 		return nil, err
+	}
+	enc := &entropyEnc{kind: EntropyHuffman}
+	if version >= containerVersionEntropy {
+		entropy, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		if EntropyKind(entropy) > EntropyTANS {
+			return nil, fmt.Errorf("compressor: unknown entropy stage %d", entropy)
+		}
+		enc.kind = EntropyKind(entropy)
+		if enc.param, err = c.u8(); err != nil {
+			return nil, err
+		}
 	}
 	radiusU, err := c.u32()
 	if err != nil {
@@ -682,6 +717,17 @@ func Decompress(data []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, err
 	}
+	enc.codebook = codebookBytes
+	if enc.kind == EntropyTANS {
+		for i := range enc.states {
+			if enc.states[i], err = c.u32(); err != nil {
+				return nil, err
+			}
+		}
+		if enc.bitLen, err = c.u64(); err != nil {
+			return nil, err
+		}
+	}
 	rawPayloadLen, err := c.u32()
 	if err != nil {
 		return nil, err
@@ -699,14 +745,10 @@ func Decompress(data []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	cb, _, err := huffman.Parse(codebookBytes)
-	if err != nil {
-		return nil, err
-	}
 	a := getArena()
 	defer a.release()
 	syms := a.u32(n)
-	if err := cb.Decode(bitio.NewReader(rawPayload), syms); err != nil {
+	if err := decodeEntropy(enc, rawPayload, syms); err != nil {
 		return nil, err
 	}
 

@@ -47,7 +47,9 @@ type Estimate struct {
 	UnpredShare float64
 	// DistinctCodes counts distinct codes seen in the sampled histogram.
 	DistinctCodes int
-	// HuffmanBitRate is Eq. 1's bits/value for the Huffman stage.
+	// HuffmanBitRate is the entropy stage's modeled bits/value: Eq. 1 under
+	// EntropyModelHuffman, plain Shannon entropy under EntropyModelANS. The
+	// name is kept for the paper's Eq. 1 lineage and API compatibility.
 	HuffmanBitRate float64
 	// RLEGain is the Eq. 4 ratio of the modeled lossless stage (>= 1).
 	RLEGain float64
@@ -182,6 +184,37 @@ func huffmanBitRate(h *stats.CodeHistogram) float64 {
 	return b
 }
 
+// ansBitRate is the Eq. 1 analogue for the tANS stage: the plain Shannon
+// entropy H = Σ p·(−log2 p), with no most-frequent-code clamp and no
+// 1 bit/symbol floor, because an ANS coder emits fractional bits per symbol
+// (down to its ~log2(table)/table framing floor, which is negligible at the
+// table sizes used). Sorted-order iteration keeps the sum deterministic.
+func ansBitRate(h *stats.CodeHistogram) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var b float64
+	tot := float64(h.Total)
+	for _, code := range h.Codes() {
+		n := h.Counts[code]
+		if n == 0 {
+			continue
+		}
+		pi := float64(n) / tot
+		b += pi * -math.Log2(pi)
+	}
+	return b
+}
+
+// entropyBitRate dispatches Eq. 1 (or its ANS analogue) per the configured
+// entropy model.
+func (p *Profile) entropyBitRate(h *stats.CodeHistogram) float64 {
+	if p.opts.Entropy == EntropyModelANS {
+		return ansBitRate(h)
+	}
+	return huffmanBitRate(h)
+}
+
 // rleGain evaluates Eq. 4: Rrle = 1/(C1(1−p0)·P0 + (1−P0)), where P0 is the
 // footprint share of the zero code inside the Huffman payload and p0 the
 // share of zero codes by count. Gains below 1 are clamped (the stage is
@@ -224,7 +257,7 @@ func (p *Profile) EstimateAt(absEB float64) Estimate {
 		est.P0 = p0
 		est.ZeroShare = h.P(0)
 	}
-	est.HuffmanBitRate = huffmanBitRate(h)
+	est.HuffmanBitRate = p.entropyBitRate(h)
 	// Reconstruction feedback keeps a small fraction of imperfectly
 	// predicted codes non-zero even when original-value sampling maps them
 	// all to the central bin, which would otherwise drive Eq. 4 into its

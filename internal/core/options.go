@@ -13,6 +13,23 @@ import (
 	"rqm/internal/predictor"
 )
 
+// EntropyModel selects the size model for the entropy stage.
+type EntropyModel int
+
+const (
+	// EntropyModelHuffman models Eq. 1 Huffman codelengths: L = −log2 p with
+	// the most frequent code clamped to at least 1 bit and a 1 bit/symbol
+	// floor overall. This matches the serial and interleaved Huffman stages
+	// (interleaving changes decode throughput, not coded size, beyond a few
+	// framing bytes the header overhead already covers).
+	EntropyModelHuffman EntropyModel = iota
+	// EntropyModelANS models the Shannon entropy H = Σ p·(−log2 p) that a
+	// tANS coder approaches: no per-symbol floor, so skewed histograms are
+	// predicted below 1 bit/value — the regime where Huffman's clamp makes
+	// Eq. 1 overshoot badly.
+	EntropyModelANS
+)
+
 // Options tunes the model. The zero value selects the paper's defaults via
 // normalize().
 type Options struct {
@@ -44,6 +61,11 @@ type Options struct {
 	// AnchorP0 are the central-bin shares used as anchor points for the
 	// low-bit-rate regime (paper: 0.5, 0.8, 0.95).
 	AnchorP0 []float64
+	// Entropy selects the entropy-stage size model (zero value: Huffman,
+	// the paper's Eq. 1). Codecs that code with tANS profile with
+	// EntropyModelANS so estimates and inverse solves track the fractional
+	// bits/symbol the coder actually achieves.
+	Entropy EntropyModel
 }
 
 // normalize fills defaults in place and returns the value for chaining.

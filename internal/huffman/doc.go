@@ -1,0 +1,36 @@
+// Package huffman implements a canonical Huffman coder over uint32 symbols,
+// as used on SZ quantization codes, in two stream shapes: the classic
+// serial single-stream coder and an interleaved multi-stream variant that
+// trades nothing in ratio for a large decode-throughput win.
+//
+// # Canonical form
+//
+// The codebook serializes compactly (delta-varint symbols + length bytes)
+// and decoding is canonical (per-length first-code tables), so the encoder
+// and decoder agree on nothing but the serialized lengths. Codes are
+// written MSB-first through bitio, which makes canonical prefixes sort
+// lexicographically in the stream; codes are at most MaxCodeLen (32) bits.
+// Decoders are table-driven: a one-shot prefix table `decodeTableBits`
+// wide resolves codes up to 11 bits in a single lookup, longer codes fall
+// back to the per-length canonical walk.
+//
+// # Stream-interleave order
+//
+// EncodeInterleaved splits the symbol sequence round-robin across k
+// streams sharing ONE codebook: symbol i goes to stream i%k, in input
+// order within each stream. DecodeInterleaved reproduces exactly that
+// order — out[i] is the next undecoded symbol of stream i%k — so the
+// interleave is fully determined by (n, k) and carries no index side
+// channel. Stream s holds InterleavedLen(n, k, s) symbols.
+//
+// # Padding rules
+//
+// Every stream — serial or interleaved — is independently zero-padded to a
+// whole byte (bitio.Writer.Bytes). Interleaved streams are framed
+// externally (the compressor stores k uint32 byte lengths); inside a
+// stream the decoder may only accept a table match in the padded tail when
+// the matched code length fits in the real bits that remain, per the
+// bitio.PeekBits contract. Truncated or corrupt streams surface typed
+// errors (wrapping bitio.ErrUnexpectedEOF, or "invalid code" past
+// MaxCodeLen); decoders never panic and never read out of bounds.
+package huffman

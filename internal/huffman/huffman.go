@@ -1,8 +1,3 @@
-// Package huffman implements a canonical Huffman coder over uint32 symbols,
-// as used on SZ quantization codes. The codebook serializes compactly
-// (delta-varint symbols + length bytes) and decoding is canonical
-// (per-length first-code tables), so the encoder and decoder agree on
-// nothing but the serialized lengths.
 package huffman
 
 import (
