@@ -1,0 +1,89 @@
+package rqm_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rqm"
+)
+
+// quadContainer compresses the mixed composite field with the spatial
+// partitioner tuned to emit chunks of differing sizes.
+func quadContainer(t *testing.T) (*rqm.Field, []byte) {
+	t.Helper()
+	f, err := rqm.GenerateField("mixed", 42, rqm.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := rqm.NewWriter(&buf,
+		rqm.WithStreamShape(f.Prec, f.Dims...),
+		rqm.WithStreamFieldName(f.Name),
+		rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetPSNR: 60}),
+		rqm.WithPartitioner(rqm.VarianceQuadtree{SplitFactor: 1.1, MinRegionValues: 1024}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(f.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return f, buf.Bytes()
+}
+
+// TestReadStreamChunkVariableGeometry pins random access over a container
+// whose chunks hold differing value counts: every indexed chunk — visited in
+// reverse, independently — must decode to exactly its slice of the full
+// decompress and honor its own recorded bound.
+func TestReadStreamChunkVariableGeometry(t *testing.T) {
+	f, blob := quadContainer(t)
+	idx, err := rqm.ReadStreamIndex(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Entries) < 2 {
+		t.Fatalf("container has %d chunks, test needs variable geometry", len(idx.Entries))
+	}
+	sizes := map[int]bool{}
+	starts := make([]int, len(idx.Entries))
+	off := 0
+	for i, e := range idx.Entries {
+		sizes[e.Values] = true
+		starts[i] = off
+		off += e.Values
+	}
+	if len(sizes) < 2 {
+		t.Fatalf("all chunks share one size %v; want non-uniform", sizes)
+	}
+	if off != f.Len() {
+		t.Fatalf("index covers %d values, field holds %d", off, f.Len())
+	}
+
+	whole, err := rqm.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := bytes.NewReader(blob)
+	for i := len(idx.Entries) - 1; i >= 0; i-- {
+		e := idx.Entries[i]
+		vals, err := rqm.ReadStreamChunk(rs, e)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if len(vals) != e.Values {
+			t.Fatalf("chunk %d decoded %d values, index says %d", i, len(vals), e.Values)
+		}
+		for j, v := range vals {
+			if math.Float64bits(v) != math.Float64bits(whole.Data[starts[i]+j]) {
+				t.Fatalf("chunk %d value %d: random access %v, sequential %v",
+					i, j, v, whole.Data[starts[i]+j])
+			}
+			if d := math.Abs(v - f.Data[starts[i]+j]); d > e.AbsBound*(1+1e-12) {
+				t.Fatalf("chunk %d value %d: error %g breaks the chunk bound %g", i, j, d, e.AbsBound)
+			}
+		}
+	}
+}

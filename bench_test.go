@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation
-// (one testing.B benchmark per artifact; see DESIGN.md §13), plus the
-// ablation benches for the design choices called out in DESIGN.md §13 and
+// (one testing.B benchmark per artifact; see DESIGN.md §14), plus the
+// ablation benches for the design choices called out in DESIGN.md §14 and
 // end-to-end pipeline benchmarks of the public API.
 //
 // The experiment benches run at the Quick (tiny) scale so `go test -bench=.`
@@ -17,6 +17,7 @@ import (
 
 	"rqm"
 	"rqm/internal/experiments"
+	"rqm/internal/partition"
 )
 
 func benchExperiment(b *testing.B, run func(experiments.Config, io.Writer) error) {
@@ -143,7 +144,7 @@ func BenchmarkFigure14(b *testing.B) {
 	})
 }
 
-// Ablation benches (DESIGN.md §13).
+// Ablation benches (DESIGN.md §14).
 
 // BenchmarkAblationCorrectionLayer measures Eq. 9 on/off accuracy.
 func BenchmarkAblationCorrectionLayer(b *testing.B) {
@@ -439,6 +440,74 @@ func BenchmarkStreamWriterAdaptive(b *testing.B) {
 	benchStreamWriter(b, 4,
 		rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetPSNR: 60}),
 		rqm.WithStreamModel(rqm.ModelOptions{SampleRate: 0.01}))
+}
+
+// BenchmarkStreamWriterAdaptiveSpace prices the spatial partition path on a
+// spatially non-uniform field: the quadtree buffers the stream, plans
+// variance-guided regions, and the model solves each region's bound.
+func BenchmarkStreamWriterAdaptiveSpace(b *testing.B) {
+	f, err := rqm.GenerateField("mixed", 42, rqm.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []rqm.StreamOption{
+		rqm.WithStreamShape(f.Prec, f.Dims...),
+		rqm.WithStreamWorkers(4),
+		rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetPSNR: 60}),
+		rqm.WithStreamModel(rqm.ModelOptions{SampleRate: 0.01}),
+		rqm.WithPartitioner(rqm.VarianceQuadtree{}),
+	}
+	b.SetBytes(int64(f.Len() * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := rqm.NewWriter(io.Discard, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.WriteValues(f.Data); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionPlan isolates the quadtree planning cost — summed-area
+// table build, recursive splitting, per-leaf model solves — from the
+// compression it steers; it must stay far below the compression itself.
+func BenchmarkPartitionPlan(b *testing.B) {
+	f, err := rqm.GenerateField("mixed", 42, rqm.ScaleSmall)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := rqm.CodecByName(rqm.CodecPredictionName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := partition.Env{
+		Codec:       c,
+		Copts:       rqm.CodecOptions{Predictor: rqm.Lorenzo},
+		Mopts:       rqm.ModelOptions{SampleRate: 0.01},
+		Policy:      &rqm.AdaptiveBound{TargetPSNR: 60},
+		Prec:        f.Prec,
+		Dims:        f.Dims,
+		ChunkValues: 1 << 18,
+	}
+	q := rqm.VarianceQuadtree{}
+	b.SetBytes(int64(f.Len() * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := q.Partition(f.Data, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(plan.Regions) < 2 {
+			b.Fatalf("planned %d regions on the mixed field", len(plan.Regions))
+		}
+	}
 }
 
 // BenchmarkStreamReader measures the concurrent decode path.

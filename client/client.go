@@ -140,6 +140,10 @@ type CompressParams struct {
 	// SampleRate overrides the model sampling rate behind adaptive bounds
 	// (0 = server default).
 	SampleRate float64
+	// AdaptiveSpace switches chunk planning to variance-guided spatial
+	// partitioning with per-region solved bounds (needs TargetRatio or
+	// TargetPSNR).
+	AdaptiveSpace bool
 	// HasValueRange declares the field's global value range [ValueLo,
 	// ValueHi] — required when streaming under a REL bound.
 	HasValueRange    bool
@@ -174,6 +178,9 @@ func (p CompressParams) query() url.Values {
 	}
 	if p.SampleRate > 0 {
 		q.Set("sample", strconv.FormatFloat(p.SampleRate, 'g', -1, 64))
+	}
+	if p.AdaptiveSpace {
+		q.Set("adaptive-space", "1")
 	}
 	if p.HasValueRange {
 		q.Set("value-range", strconv.FormatFloat(p.ValueLo, 'g', -1, 64)+","+

@@ -172,13 +172,27 @@ func (c *Client) SliceDataset(ctx context.Context, name string, off, n int64, ou
 	return nil
 }
 
+// RecompactOption adjusts one recompaction request beyond its solve target.
+type RecompactOption func(url.Values)
+
+// WithAdaptiveSpace asks the recompaction rewrite to use variance-guided
+// spatial partitioning: the server replans chunk geometry from the data and
+// solves the model per region, and records the partitioner in the manifest so
+// later recompactions reproduce it.
+func WithAdaptiveSpace() RecompactOption {
+	return func(q url.Values) { q.Set("adaptive-space", "1") }
+}
+
 // RecompactDataset asks the server to recompact a dataset toward a target
 // ("ratio" or "psnr" Kind). The server answers from the dataset's cached
 // ratio-quality profile and skips the rewrite when the target is already
 // met — inspect Skipped/Reason on the response.
-func (c *Client) RecompactDataset(ctx context.Context, name string, target SolveTarget) (*RecompactResponse, error) {
+func (c *Client) RecompactDataset(ctx context.Context, name string, target SolveTarget, opts ...RecompactOption) (*RecompactResponse, error) {
 	q := url.Values{}
 	q.Set("target-"+target.Kind, strconv.FormatFloat(target.Value, 'g', -1, 64))
+	for _, opt := range opts {
+		opt(q)
+	}
 	resp, err := c.post(ctx, datasetPath(name)+"/recompact", q, nil)
 	if err != nil {
 		return nil, err

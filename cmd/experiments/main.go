@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper's tables and figures (DESIGN.md
-// §13 lists the experiment ids).
+// §14 lists the experiment ids).
 //
 // Usage:
 //

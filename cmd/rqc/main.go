@@ -8,14 +8,17 @@
 // -stream), splitting the file into chunks compressed concurrently by
 // -workers, so memory stays bounded however big the dataset is. With
 // -target-ratio or -target-psnr the ratio-quality model picks each chunk's
-// error bound adaptively to hit the global target. decompress and inspect
-// recognize chunked containers on their own.
+// error bound adaptively to hit the global target; adding -adaptive-space
+// also lets it plan the chunk geometry, splitting the field where variance
+// is non-uniform and solving per region. decompress and inspect recognize
+// chunked containers on their own.
 //
 // Usage:
 //
 //	rqc compress   -in field.rqmf -out field.rqz -codec prediction -predictor lorenzo -mode rel -eb 1e-3 -lossless flate
 //	rqc compress   -in field.rqmf -out field.rqz -stream -workers 8 -chunk 262144
 //	rqc compress   -in field.rqmf -out field.rqz -stream -target-psnr 60
+//	rqc compress   -in field.rqmf -out field.rqz -target-psnr 60 -adaptive-space
 //	rqc compress   -in field.rqmf -out field.rqz -remote http://localhost:8080
 //	rqc decompress -in field.rqz  -out field.rqmf [-remote http://localhost:8080]
 //	rqc inspect    -in field.rqz
@@ -31,7 +34,7 @@
 //	rqc get       -remote URL -name nyx -out field.rqmf [-off 1000 -len 500] [-raw]
 //	rqc ls        -remote URL
 //	rqc rm        -remote URL -name nyx
-//	rqc recompact -remote URL -name nyx -target-ratio 40 | -target-psnr 60
+//	rqc recompact -remote URL -name nyx -target-ratio 40 | -target-psnr 60 [-adaptive-space]
 //
 // put profiles the field once server-side and stores the container with its
 // cached ratio-quality profile; get -off/-len slice-reads only the covering
@@ -114,18 +117,38 @@ func cmdCompress(args []string) {
 		targetRatio = fs.Float64("target-ratio", 0, "adapt per-chunk bounds to this compression ratio (streaming)")
 		targetPSNR  = fs.Float64("target-psnr", 0, "adapt per-chunk bounds to this PSNR in dB (streaming)")
 		sampleRate  = fs.Float64("sample", 0, "model sampling rate for adaptive bounds (0 = default)")
+		adaptSpace  = fs.Bool("adaptive-space", false, "variance-guided spatial partitioning: split chunks where the field is non-uniform and solve the model per region (needs -target-ratio or -target-psnr; buffers the stream)")
 		remote      = fs.String("remote", "", "route through a rqserved instance at this base URL")
 	)
 	must(fs.Parse(args))
 	if *in == "" || *out == "" {
 		fatal(fmt.Errorf("compress: -in and -out are required"))
 	}
+	// Reject contradictory or nonsensical flag combinations up front, before
+	// any file or network I/O, so mistakes fail with a usage error instead of
+	// a confusing mid-pipeline one.
+	if *targetRatio > 0 && *targetPSNR > 0 {
+		fatal(fmt.Errorf("compress: -target-ratio and -target-psnr are mutually exclusive; pick one target"))
+	}
+	chunkSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "chunk" {
+			chunkSet = true
+		}
+	})
+	if chunkSet && *chunk < 1 {
+		fatal(fmt.Errorf("compress: -chunk must be at least 1 value (got %d); omit the flag for the default", *chunk))
+	}
+	adaptive := *targetRatio > 0 || *targetPSNR > 0
+	if *adaptSpace && !adaptive {
+		fatal(fmt.Errorf("compress: -adaptive-space needs a model target (-target-ratio or -target-psnr)"))
+	}
 	if *remote != "" {
 		compressRemote(*remote, *in, *out, remoteParams{
 			codec: *codecName, predictor: *predName, mode: *mode, eb: *eb, lossless: *lossless,
 			stream: *streaming, threshold: *threshold, chunk: *chunk,
 			targetRatio: *targetRatio, targetPSNR: *targetPSNR,
-			sampleRate: *sampleRate, verify: *verify,
+			sampleRate: *sampleRate, adaptiveSpace: *adaptSpace, verify: *verify,
 		})
 		return
 	}
@@ -140,7 +163,6 @@ func cmdCompress(args []string) {
 		Predictor: kind, Mode: m, ErrorBound: *eb, Lossless: ll,
 	}
 
-	adaptive := *targetRatio > 0 || *targetPSNR > 0
 	useStream := *streaming || adaptive
 	if !useStream && *threshold > 0 {
 		if st, err := os.Stat(*in); err == nil && st.Size() >= *threshold {
@@ -151,7 +173,7 @@ func cmdCompress(args []string) {
 		compressStream(*in, *out, *codecName, copts, streamParams{
 			chunk: *chunk, workers: *workers,
 			targetRatio: *targetRatio, targetPSNR: *targetPSNR,
-			sampleRate: *sampleRate, verify: *verify,
+			sampleRate: *sampleRate, adaptiveSpace: *adaptSpace, verify: *verify,
 		})
 		return
 	}
@@ -187,6 +209,7 @@ type streamParams struct {
 	chunk, workers          int
 	targetRatio, targetPSNR float64
 	sampleRate              float64
+	adaptiveSpace           bool
 	verify                  bool
 }
 
@@ -225,6 +248,9 @@ func compressStream(in, out, codecName string, copts rqm.CodecOptions, p streamP
 			rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetRatio: p.targetRatio, TargetPSNR: p.targetPSNR}),
 			rqm.WithStreamModel(rqm.ModelOptions{SampleRate: p.sampleRate}))
 	}
+	if p.adaptiveSpace {
+		opts = append(opts, rqm.WithPartitioner(rqm.VarianceQuadtree{}))
+	}
 
 	dst, err := os.Create(out)
 	must(err)
@@ -253,6 +279,9 @@ func compressStream(in, out, codecName string, copts rqm.CodecOptions, p streamP
 	mbps := float64(st.BytesIn) / (1 << 20) / st.EncodeTime.Seconds()
 	fmt.Printf("streamed %s: %d -> %d bytes (ratio %.2fx, %d chunks) in %v (%.1f MB/s)\n",
 		in, st.BytesIn, st.BytesOut, st.Ratio, st.Chunks, st.EncodeTime, mbps)
+	if p.adaptiveSpace {
+		fmt.Printf("  adaptive-space: %d regions from %d splits\n", st.Chunks, st.Splits)
+	}
 	if st.MinBound != st.MaxBound {
 		fmt.Printf("  per-chunk bounds: [%.6g, %.6g]\n", st.MinBound, st.MaxBound)
 	}
@@ -491,6 +520,7 @@ type remoteParams struct {
 	chunk                            int
 	targetRatio, targetPSNR          float64
 	sampleRate                       float64
+	adaptiveSpace                    bool
 	verify                           bool
 }
 
@@ -503,7 +533,7 @@ func compressRemote(base, in, out string, p remoteParams) {
 		Codec: p.codec, Predictor: p.predictor, Mode: p.mode, Lossless: p.lossless,
 		ErrorBound: p.eb, ChunkValues: p.chunk,
 		TargetRatio: p.targetRatio, TargetPSNR: p.targetPSNR,
-		SampleRate: p.sampleRate,
+		SampleRate: p.sampleRate, AdaptiveSpace: p.adaptiveSpace,
 	}
 	// The request body streams from disk with no declared length, so the
 	// server cannot size-detect: decide streaming here, mirroring the local
@@ -741,6 +771,7 @@ func cmdRecompact(args []string) {
 		name        = fs.String("name", "", "dataset name (required)")
 		targetRatio = fs.Float64("target-ratio", 0, "recompact toward this compression ratio")
 		targetPSNR  = fs.Float64("target-psnr", 0, "recompact toward this PSNR in dB")
+		adaptSpace  = fs.Bool("adaptive-space", false, "rewrite with variance-guided spatial partitioning (recorded in the manifest)")
 	)
 	must(fs.Parse(args))
 	if *name == "" {
@@ -753,8 +784,12 @@ func cmdRecompact(args []string) {
 	if *targetPSNR > 0 {
 		target = client.SolveTarget{Kind: "psnr", Value: *targetPSNR}
 	}
+	var ropts []client.RecompactOption
+	if *adaptSpace {
+		ropts = append(ropts, client.WithAdaptiveSpace())
+	}
 	c := storeClient(*remote)
-	rr, err := c.RecompactDataset(context.Background(), *name, target)
+	rr, err := c.RecompactDataset(context.Background(), *name, target, ropts...)
 	must(err)
 	if rr.Skipped {
 		fmt.Printf("recompact %s: skipped (%s)\n", rr.Name, rr.Reason)
@@ -866,7 +901,11 @@ func must(err error) {
 	}
 }
 
+// exit is swapped out by tests to observe usage errors without killing the
+// test binary.
+var exit = os.Exit
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rqc:", err)
-	os.Exit(1)
+	exit(1)
 }

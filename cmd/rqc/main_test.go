@@ -126,3 +126,35 @@ func TestDatasetSubcommands(t *testing.T) {
 		t.Fatal("dataset survived rm")
 	}
 }
+
+// TestCompressFlagValidation pins the up-front usage errors: contradictory
+// or nonsensical flag combinations must fail with a usage error before any
+// file or network I/O (the input paths here do not exist).
+func TestCompressFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"both targets", []string{"-in", "x.rqmf", "-out", "y.rqz", "-target-ratio", "8", "-target-psnr", "60"}},
+		{"zero chunk", []string{"-in", "x.rqmf", "-out", "y.rqz", "-chunk", "0"}},
+		{"negative chunk", []string{"-in", "x.rqmf", "-out", "y.rqz", "-chunk", "-5"}},
+		{"adaptive-space without target", []string{"-in", "x.rqmf", "-out", "y.rqz", "-adaptive-space"}},
+	}
+	defer func() { exit = os.Exit }()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code := -1
+			exit = func(c int) {
+				code = c
+				panic("rqc: exit")
+			}
+			func() {
+				defer func() { _ = recover() }()
+				cmdCompress(tc.args)
+			}()
+			if code != 1 {
+				t.Fatalf("args %v: exit status %d, want usage error", tc.args, code)
+			}
+		})
+	}
+}

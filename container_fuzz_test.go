@@ -92,6 +92,45 @@ func fuzzSeedContainers(f *testing.F) [][]byte {
 			seeds = append(seeds, chunked[:cut])
 		}
 	}
+
+	// Spatially partitioned containers: the quadtree planner emits chunks of
+	// differing sizes with per-region bounds, a geometry uniform-slab seeds
+	// never produce. Seed the whole container plus cuts landing mid-stream so
+	// mutation explores truncation and corruption over variable chunk sizes.
+	mixed, err := rqm.GenerateField("mixed", 13, rqm.ScaleTiny)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var qbuf bytes.Buffer
+	qw, err := rqm.NewWriter(&qbuf,
+		rqm.WithStreamShape(mixed.Prec, mixed.Dims...),
+		rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetPSNR: 60}),
+		rqm.WithPartitioner(rqm.VarianceQuadtree{SplitFactor: 1.1, MinRegionValues: 1024}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := qw.WriteValues(mixed.Data); err != nil {
+		f.Fatal(err)
+	}
+	if err := qw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	quad := qbuf.Bytes()
+	qidx, err := rqm.ReadStreamIndex(bytes.NewReader(quad))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(qidx.Entries) < 2 {
+		f.Fatalf("quadtree seed planned %d chunks, want variable geometry", len(qidx.Entries))
+	}
+	seeds = append(seeds, quad)
+	for _, e := range qidx.Entries {
+		for _, cut := range []int64{e.Offset, e.Offset + int64(e.RecordBytes)/2} {
+			if cut >= 0 && cut <= int64(len(quad)) {
+				seeds = append(seeds, quad[:cut])
+			}
+		}
+	}
 	return seeds
 }
 

@@ -4,7 +4,7 @@
 // character that drives the ratio-quality model: dimensionality, smoothness
 // (spectral slope), dynamic range, and noise floor. The RTM stand-in is a
 // genuine finite-difference acoustic wave-equation solver, because RTM
-// snapshots *are* wavefields. See DESIGN.md §13 for the substitution notes.
+// snapshots *are* wavefields. See DESIGN.md §14 for the substitution notes.
 package datagen
 
 import (
@@ -123,6 +123,27 @@ func LogNormalField(name string, prec grid.Precision, dims []int, slope, sigma f
 		f.Data[i] = math.Exp(sigma * v)
 	}
 	return f
+}
+
+// MixedField composes a smooth and a turbulent regime in one field: the
+// first half along the outer axis is a steep-spectrum (smooth) random field,
+// the second half a shallow-spectrum one with added white noise. It is the
+// canonical workload for spatially adaptive error bounds — a single global
+// bound must satisfy the turbulent half and therefore over-spends on the
+// smooth half, while a per-region solve does not. Rank must be at least 1
+// and the outer dimension at least 2.
+func MixedField(name string, prec grid.Precision, dims []int, seed uint64) *grid.Field {
+	smooth := SpectralField(name, prec, dims, 4.0, -1, 1, seed)
+	rough := SpectralField(name, prec, dims, 0.6, -1, 1, seed+1)
+	rng := stats.NewXorShift64(seed + 2)
+	n := smooth.Len()
+	inner := n / dims[0]
+	half := (dims[0] / 2) * inner
+	for i := half; i < n; i++ {
+		smooth.Data[i] = rough.Data[i] + 0.5*rng.NormFloat64()
+	}
+	normalizeTo(smooth.Data, -1, 1)
+	return smooth
 }
 
 // Brownian1D generates a Brownian random walk, matching the paper's "Brown"
@@ -461,6 +482,13 @@ var catalog = map[string]spec{
 			s.Name = fmt.Sprintf("rtm/snapshot_%d", i+1)
 		}
 		return snaps
+	}},
+	// "mixed" is not part of the paper's Table I (and so not in Names()):
+	// it is the adaptive-space partitioning workload — one field whose
+	// halves want very different error bounds.
+	"mixed": {"Smooth + turbulent composite", "Binary", func(sc Scale, seed uint64) []*grid.Field {
+		dims := dimsFor(sc, []int{32, 48, 48}, []int{96, 128, 128}, []int{160, 192, 192})
+		return []*grid.Field{MixedField("mixed/q", grid.Float64, dims, seed)}
 	}},
 }
 

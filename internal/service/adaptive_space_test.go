@@ -1,0 +1,189 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"testing"
+
+	"rqm"
+	"rqm/internal/grid"
+	"rqm/internal/partition"
+)
+
+// mixedFieldBody synthesizes the smooth+turbulent composite field the
+// spatial partitioner exists for, as a float64 .rqmf request payload.
+func mixedFieldBody(t testing.TB) (*rqm.Field, []byte) {
+	t.Helper()
+	g, err := rqm.GenerateField("mixed", 42, rqm.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rqm.FieldFromData("svc-mixed", rqm.Float64, g.Data, g.Dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return f, buf.Bytes()
+}
+
+// TestCompressAdaptiveSpace drives ?adaptive-space=1 through the HTTP
+// compress path: the response must be a valid multi-region container and the
+// partition counters must land in /metrics.
+func TestCompressAdaptiveSpace(t *testing.T) {
+	f, body := mixedFieldBody(t)
+	svc, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/v1/compress?target-psnr=60&adaptive-space=1",
+		"application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adaptive-space compress: status %d: %s", resp.StatusCode, blob)
+	}
+	if resp.Header.Get("X-RQM-Streamed") != "1" {
+		t.Fatal("adaptive-space compress did not stream")
+	}
+	dec, err := rqm.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := rqm.PSNR(f, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 59 {
+		t.Fatalf("delivered %.2f dB, want ~60", psnr)
+	}
+	idx, err := rqm.ReadStreamIndex(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := svc.Snapshot()
+	if snap.AdaptiveSpaceRuns != 1 {
+		t.Errorf("adaptive_space_runs = %d, want 1", snap.AdaptiveSpaceRuns)
+	}
+	if snap.PartitionRegions != int64(len(idx.Entries)) || snap.PartitionRegions < 2 {
+		t.Errorf("partition_regions = %d, container has %d chunks (want >= 2)",
+			snap.PartitionRegions, len(idx.Entries))
+	}
+	if snap.PartitionSplits < 1 {
+		t.Errorf("partition_splits = %d, want >= 1", snap.PartitionSplits)
+	}
+
+	// Without a model target the parameter is a typed 400, not a silent no-op.
+	resp, err = http.Post(ts.URL+"/v1/compress?stream=1&adaptive-space=1&mode=abs&eb=1e-3",
+		"application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("adaptive-space without target: status %d", resp.StatusCode)
+	}
+	if body := decodeErrorBody(t, resp); body.Error.Code != "bad_param" {
+		t.Fatalf("adaptive-space without target: code %q", body.Error.Code)
+	}
+}
+
+// TestRecompactAdaptiveSpace pins the store-side contract: an
+// ?adaptive-space=1 recompaction rewrites the container with spatial
+// partitioning, records the partitioner in the manifest, keeps slice reads
+// correct over the now variable-size chunks, and a later recompaction
+// reproduces the recorded partitioner without being asked again.
+func TestRecompactAdaptiveSpace(t *testing.T) {
+	svc, st, ts := newStoreServer(t)
+	f, body := mixedFieldBody(t)
+	info := putDataset(t, ts, "mx", "mode=abs&eb=1e-4", body)
+	if info.Partitioner != "" {
+		t.Fatalf("fresh put records partitioner %q, want fixed slabs", info.Partitioner)
+	}
+
+	rr, status := postRecompact(t, ts, "mx", "target-psnr=60&adaptive-space=1")
+	if status != http.StatusOK || rr.Skipped {
+		t.Fatalf("adaptive-space recompact: status %d, %+v", status, rr)
+	}
+	m, err := st.Manifest("mx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Partitioner != partition.VarianceQuadtreeName {
+		t.Fatalf("manifest partitioner %q, want %q", m.Partitioner, partition.VarianceQuadtreeName)
+	}
+	if len(m.Chunks) < 2 {
+		t.Fatalf("spatial rewrite produced %d chunks, want a real split", len(m.Chunks))
+	}
+	if !(m.ErrorBound > rr.OldBound) {
+		t.Fatalf("recorded bound %g did not accumulate over the old %g", m.ErrorBound, rr.OldBound)
+	}
+	if snap := svc.Snapshot(); snap.AdaptiveSpaceRuns != 1 || snap.PartitionRegions != int64(len(m.Chunks)) {
+		t.Errorf("metrics %+v do not reflect the spatial rewrite (%d chunks)",
+			snap, len(m.Chunks))
+	}
+
+	// The decompressed dataset must honor the accumulated end-to-end bound.
+	resp, err := http.Get(ts.URL + "/v1/datasets/mx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := grid.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rqm.VerifyErrorBound(f, full, rqm.ABS, m.ErrorBound*(1+1e-12)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slice reads across a region boundary of the variable-size chunk index
+	// must match the full decompress exactly.
+	boundary := int64(m.Chunks[0].Values)
+	off, n := boundary-100, int64(200)
+	resp, err = http.Get(fmt.Sprintf("%s/v1/datasets/mx/slice?off=%d&len=%d", ts.URL, off, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice, err := grid.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(slice.Len()) != n {
+		t.Fatalf("slice holds %d values, want %d", slice.Len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		if math.Float64bits(slice.Data[i]) != math.Float64bits(full.Data[off+i]) {
+			t.Fatalf("slice[%d] = %v, full decompress has %v", i, slice.Data[i], full.Data[off+i])
+		}
+	}
+
+	// A later plain recompaction must reproduce the recorded partitioner.
+	rr2, status := postRecompact(t, ts, "mx", "target-psnr=50")
+	if status != http.StatusOK || rr2.Skipped {
+		t.Fatalf("follow-up recompact: status %d, %+v", status, rr2)
+	}
+	m2, err := st.Manifest("mx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Partitioner != partition.VarianceQuadtreeName {
+		t.Fatalf("follow-up rewrite dropped the partitioner: %q", m2.Partitioner)
+	}
+	if len(m2.Chunks) < 2 {
+		t.Fatalf("follow-up rewrite produced %d chunks, want spatial geometry", len(m2.Chunks))
+	}
+	if snap := svc.Snapshot(); snap.AdaptiveSpaceRuns != 2 {
+		t.Errorf("adaptive_space_runs = %d after two spatial rewrites", snap.AdaptiveSpaceRuns)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"rqm"
 	"rqm/internal/grid"
+	"rqm/internal/partition"
 	"rqm/internal/store"
 )
 
@@ -39,7 +40,10 @@ import (
 //	DELETE /v1/datasets/{name}            remove dataset
 //	GET    /v1/datasets/{name}/slice      ?off=&len= -> 1-D .rqmf of the range
 //	POST   /v1/datasets/{name}/recompact  ?target-ratio=|target-psnr= ->
-//	                                      model-guided rewrite (or skip)
+//	                                      model-guided rewrite (or skip;
+//	                                      ?adaptive-space=1 replans chunk
+//	                                      geometry spatially and records the
+//	                                      partitioner in the manifest)
 //	POST   /v1/datasets/{name}/raw        framed manifest + container bytes ->
 //	                                      verbatim replica admit (no re-compress)
 
@@ -56,6 +60,7 @@ type DatasetInfo struct {
 	Mode           string    `json:"mode"`
 	ErrorBound     float64   `json:"error_bound"`
 	Lossless       string    `json:"lossless,omitempty"`
+	Partitioner    string    `json:"partitioner,omitempty"`
 	ContentHash    string    `json:"content_hash"`
 	TotalValues    int64     `json:"total_values"`
 	OriginalBytes  int64     `json:"original_bytes"`
@@ -108,6 +113,7 @@ func datasetInfo(m *store.Manifest) DatasetInfo {
 		Mode:           m.Mode,
 		ErrorBound:     m.ErrorBound,
 		Lossless:       m.Lossless,
+		Partitioner:    m.Partitioner,
 		ContentHash:    m.ContentHash,
 		TotalValues:    m.TotalValues,
 		OriginalBytes:  m.OriginalBytes,
@@ -552,11 +558,28 @@ func (s *Service) handleDatasetRecompact(w http.ResponseWriter, r *http.Request)
 		return writeJSON(w, http.StatusOK, resp)
 	}
 
-	nm, err := s.rewriteDataset(st, m, curAbs, newAbs, p)
+	// The rewrite keeps the manifest-recorded partitioner by default, so a
+	// dataset once rewritten with spatial partitioning stays spatially
+	// partitioned; ?adaptive-space=1 opts a fixed-slab dataset in.
+	partName := m.Partitioner
+	if param(q, r.Header, "adaptive-space") == "1" {
+		partName = partition.VarianceQuadtreeName
+	}
+	policy := rqm.AdaptiveBound{TargetRatio: targetRatio}
+	if hasPSNR {
+		policy = rqm.AdaptiveBound{TargetPSNR: targetPSNR}
+	}
+
+	nm, rwStats, err := s.rewriteDataset(st, m, curAbs, newAbs, p, partName, policy)
 	if err != nil {
 		return err
 	}
 	s.count(&s.recompactions, 1)
+	if partName != "" && partName != partition.FixedSlabName {
+		s.count(&s.adaptiveSpaceRuns, 1)
+		s.count(&s.partitionRegions, int64(rwStats.Chunks))
+		s.count(&s.partitionSplits, int64(rwStats.Splits))
+	}
 	resp.NewBound = nm.ErrorBound
 	resp.NewRatio = nm.Ratio
 	resp.EstPSNR = Float(nm.EstPSNR)
@@ -577,25 +600,33 @@ func (s *Service) handleDatasetRecompact(w http.ResponseWriter, r *http.Request)
 // honest end-to-end guarantee against the original data — not the rewrite's
 // own bound. Each generation's recorded bound therefore stays a true bound
 // as errors accumulate.
-func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, newAbs float64, p *rqm.Profile) (*store.Manifest, error) {
+//
+// With a non-fixed partName the rewrite replans chunk geometry spatially:
+// the named partitioner splits the field where variance is non-uniform and
+// the policy solves a bound per region, so the per-chunk bounds vary and the
+// manifest records curAbs plus the loosest of them. Partitioners are
+// deterministic, so recording partName makes the geometry reproducible by
+// the next recompaction.
+func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, newAbs float64, p *rqm.Profile, partName string, policy rqm.AdaptiveBound) (*store.Manifest, rqm.StreamStats, error) {
+	var stats rqm.StreamStats
 	path, err := st.ContainerPath(m.Name)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	cf, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	sr, err := rqm.NewReader(bufio.NewReaderSize(cf, 1<<20))
 	if err != nil {
 		cf.Close()
-		return nil, err
+		return nil, stats, err
 	}
 	f, err := sr.ReadAll()
 	sr.Close()
 	cf.Close()
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	f.Name = m.Name
 	f.Prec = m.Prec()
@@ -621,7 +652,7 @@ func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, new
 	}
 	eng, err := rqm.NewEngine(opts...)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	effective := curAbs + newAbs
 	est := p.EstimateAt(effective)
@@ -635,6 +666,7 @@ func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, new
 		Mode:          "abs",
 		ErrorBound:    effective,
 		Lossless:      m.Lossless,
+		Partitioner:   partName,
 		ContentHash:   m.ContentHash,
 		OriginalBytes: m.OriginalBytes,
 		EstPSNR:       finiteOrZero(est.PSNR),
@@ -642,10 +674,23 @@ func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, new
 	}
 	// The rewrite keeps the dataset's chunk size: slice-read granularity is
 	// a property the owner tuned at put time, not a recompaction side
-	// effect.
+	// effect. A spatial partitioner treats it as the region-size cap.
 	var streamOpts []rqm.StreamOption
 	if m.ChunkValues > 0 {
 		streamOpts = append(streamOpts, rqm.WithChunkSize(m.ChunkValues))
+	}
+	spatial := partName != "" && partName != partition.FixedSlabName
+	if spatial {
+		pt, err := rqm.PartitionerByName(partName)
+		if err != nil {
+			return nil, stats, err
+		}
+		// The partitioner solves a bound per region against the original
+		// target, so the rewrite needs the adaptive policy, not the single
+		// globally solved newAbs.
+		streamOpts = append(streamOpts,
+			rqm.WithPartitioner(pt),
+			rqm.WithAdaptiveBound(policy))
 	}
 	committed, err := st.Replace(m.Name, m, func(cw io.Writer) (*store.Manifest, error) {
 		bw := bufio.NewWriterSize(cw, 1<<20)
@@ -660,12 +705,19 @@ func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, new
 		if err := sw.Close(); err != nil {
 			return nil, err
 		}
+		stats = sw.Stats()
+		if spatial {
+			// Per-region bounds vary; the honest end-to-end guarantee is the
+			// accumulated input error plus the loosest region bound.
+			nm.ErrorBound = curAbs + stats.MaxBound
+			nm.EstPSNR = finiteOrZero(p.EstimateAt(nm.ErrorBound).PSNR)
+		}
 		return nm, bw.Flush()
 	})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
-	return committed, nil
+	return committed, stats, nil
 }
 
 // rawPutMaxManifest caps the framed manifest record of a raw put (16 MiB —

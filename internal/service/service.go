@@ -10,7 +10,9 @@
 //
 //	POST /v1/compress    .rqmf field body -> sealed container (query/header
 //	                     scoped codec options; bodies above the stream
-//	                     threshold flow through the chunked pipeline)
+//	                     threshold flow through the chunked pipeline;
+//	                     adaptive-space=1 with a model target switches chunk
+//	                     planning to variance-guided spatial partitioning)
 //	POST /v1/decompress  container body -> .rqmf field (chunked containers
 //	                     stream; routing is self-describing)
 //	POST /v1/profile     .rqmf field body -> profile ID + ratio-quality curve
@@ -119,6 +121,13 @@ type Service struct {
 	sliceReads     atomic.Int64
 	recompactions  atomic.Int64
 	recompactSkips atomic.Int64
+
+	// Partition-layer counters: adaptive-space runs (compressions and
+	// recompactions planned by a spatial partitioner) and the regions/splits
+	// those plans produced.
+	adaptiveSpaceRuns atomic.Int64
+	partitionRegions  atomic.Int64
+	partitionSplits   atomic.Int64
 }
 
 // New builds a Service from cfg.
@@ -419,6 +428,11 @@ type MetricsSnapshot struct {
 	StoreBytes           int64 `json:"store_bytes"`
 	StoreWrites          int64 `json:"store_writes"`
 	StoreChunkReads      int64 `json:"store_chunk_reads"`
+
+	// Partition-layer counters (zero until an adaptive-space run happens).
+	AdaptiveSpaceRuns int64 `json:"adaptive_space_runs"`
+	PartitionRegions  int64 `json:"partition_regions"`
+	PartitionSplits   int64 `json:"partition_splits"`
 }
 
 // count bumps one service counter by delta under the snapshot read-lock:
@@ -461,6 +475,10 @@ func (s *Service) Snapshot() MetricsSnapshot {
 		SliceReads:           s.sliceReads.Load(),
 		Recompactions:        s.recompactions.Load(),
 		RecompactionsSkipped: s.recompactSkips.Load(),
+
+		AdaptiveSpaceRuns: s.adaptiveSpaceRuns.Load(),
+		PartitionRegions:  s.partitionRegions.Load(),
+		PartitionSplits:   s.partitionSplits.Load(),
 	}
 	if s.store != nil {
 		snap.StoreEnabled = true
@@ -554,6 +572,11 @@ func (s *Service) compressStream(w http.ResponseWriter, r *http.Request, eng *rq
 		opts = append(opts, rqm.WithChunkSize(n))
 	}
 	adaptive := targetRatio > 0 || targetPSNR > 0
+	adaptiveSpace := param(q, r.Header, "adaptive-space") == "1"
+	if adaptiveSpace && !adaptive {
+		return errf(http.StatusBadRequest, "bad_param",
+			"adaptive-space needs a model target (target-ratio or target-psnr)")
+	}
 	if adaptive {
 		model := s.model
 		if v, ok, err := floatParam(q, r.Header, "sample"); err != nil {
@@ -567,6 +590,9 @@ func (s *Service) compressStream(w http.ResponseWriter, r *http.Request, eng *rq
 		opts = append(opts,
 			rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetRatio: targetRatio, TargetPSNR: targetPSNR}),
 			rqm.WithStreamModel(model))
+		if adaptiveSpace {
+			opts = append(opts, rqm.WithPartitioner(rqm.VarianceQuadtree{}))
+		}
 	} else if eng.Options().Mode == rqm.REL {
 		// Streamed REL needs the stream-global range: the server never sees
 		// the whole field at once, so the client must declare it.
@@ -596,6 +622,12 @@ func (s *Service) compressStream(w http.ResponseWriter, r *http.Request, eng *rq
 	}
 	if err := sw.Close(); err != nil {
 		panic(http.ErrAbortHandler)
+	}
+	if adaptiveSpace {
+		st := sw.Stats()
+		s.count(&s.adaptiveSpaceRuns, 1)
+		s.count(&s.partitionRegions, int64(st.Chunks))
+		s.count(&s.partitionSplits, int64(st.Splits))
 	}
 	return nil
 }

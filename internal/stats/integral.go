@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Integral is a summed-area table (integral image) over a 1-D, 2-D, or 3-D
+// field: two prefix-sum tables (values and squared values) padded with a zero
+// border, so the sum, mean, and variance of any axis-aligned sub-box come
+// from a constant number of table lookups via inclusion–exclusion. Building
+// is O(N); every query after that is O(1), which is what makes recursive
+// variance-guided partitioning affordable (each split decision touches a few
+// table cells instead of rescanning the region).
+//
+// Boxes are half-open: lo[i] <= coordinate < hi[i] on every axis.
+type Integral struct {
+	dims    []int
+	strides []int // strides of the padded (dims+1) tables
+	sum     []float64
+	sumsq   []float64
+}
+
+// NewIntegral builds the summed-area tables for data laid out row-major with
+// the given shape. Rank must be 1, 2, or 3 and the shape must cover data
+// exactly.
+func NewIntegral(data []float64, dims ...int) (*Integral, error) {
+	if len(dims) < 1 || len(dims) > 3 {
+		return nil, fmt.Errorf("stats: integral rank %d outside 1..3", len(dims))
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("stats: non-positive dimension %d", d)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("stats: shape %v declares %d values, data has %d", dims, n, len(data))
+	}
+	// Pad every axis by one so the zero border absorbs the lo-1 lookups.
+	t := &Integral{dims: append([]int(nil), dims...)}
+	padded := 1
+	t.strides = make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		t.strides[i] = padded
+		padded *= dims[i] + 1
+	}
+	t.sum = make([]float64, padded)
+	t.sumsq = make([]float64, padded)
+
+	// Promote to uniform 3-D [d0, d1, d2] with leading size-1 axes; the
+	// rank-1/2 tables are the 3-D build with degenerate outer loops.
+	d0, d1, d2 := 1, 1, 1
+	switch len(dims) {
+	case 1:
+		d2 = dims[0]
+	case 2:
+		d1, d2 = dims[0], dims[1]
+	case 3:
+		d0, d1, d2 = dims[0], dims[1], dims[2]
+	}
+	var s0, s1, s2 int
+	switch len(dims) {
+	case 1:
+		s0, s1, s2 = 0, 0, t.strides[0]
+	case 2:
+		s0, s1, s2 = 0, t.strides[0], t.strides[1]
+	case 3:
+		s0, s1, s2 = t.strides[0], t.strides[1], t.strides[2]
+	}
+	// Padded strides for the degenerate axes never advance (size-1 axes),
+	// so use 0 there; the inclusion–exclusion below only touches live axes.
+	for i := 0; i < d0; i++ {
+		for j := 0; j < d1; j++ {
+			base := (i+1)*s0 + (j+1)*s1
+			var rowSum, rowSq float64
+			for k := 0; k < d2; k++ {
+				v := data[(i*d1+j)*d2+k]
+				rowSum += v
+				rowSq += v * v
+				idx := base + (k+1)*s2
+				t.sum[idx] = rowSum
+				t.sumsq[idx] = rowSq
+				if s1 != 0 {
+					t.sum[idx] += t.sum[idx-s1]
+					t.sumsq[idx] += t.sumsq[idx-s1]
+				}
+				if s0 != 0 {
+					t.sum[idx] += t.sum[idx-s0]
+					t.sumsq[idx] += t.sumsq[idx-s0]
+					if s1 != 0 {
+						t.sum[idx] -= t.sum[idx-s0-s1]
+						t.sumsq[idx] -= t.sumsq[idx-s0-s1]
+					}
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Dims returns the table's shape.
+func (t *Integral) Dims() []int { return append([]int(nil), t.dims...) }
+
+// checkBox validates a half-open box against the table's shape.
+func (t *Integral) checkBox(lo, hi []int) error {
+	if len(lo) != len(t.dims) || len(hi) != len(t.dims) {
+		return fmt.Errorf("stats: box rank %d/%d does not match table rank %d", len(lo), len(hi), len(t.dims))
+	}
+	for i := range t.dims {
+		if lo[i] < 0 || hi[i] > t.dims[i] || lo[i] >= hi[i] {
+			return fmt.Errorf("stats: box [%v, %v) outside shape %v", lo, hi, t.dims)
+		}
+	}
+	return nil
+}
+
+// boxQuery evaluates one prefix table over a half-open box by
+// inclusion–exclusion: 2^rank corner lookups with alternating signs.
+func (t *Integral) boxQuery(table []float64, lo, hi []int) float64 {
+	rank := len(t.dims)
+	var total float64
+	for mask := 0; mask < 1<<rank; mask++ {
+		idx, sign := 0, 1.0
+		for axis := 0; axis < rank; axis++ {
+			if mask&(1<<axis) != 0 {
+				idx += lo[axis] * t.strides[axis] // lo-1 in padded coordinates
+				sign = -sign
+			} else {
+				idx += hi[axis] * t.strides[axis]
+			}
+		}
+		total += sign * table[idx]
+	}
+	return total
+}
+
+// Count returns the number of elements inside the box.
+func (t *Integral) Count(lo, hi []int) int {
+	n := 1
+	for i := range lo {
+		n *= hi[i] - lo[i]
+	}
+	return n
+}
+
+// Sum returns the sum of the values inside the half-open box [lo, hi).
+func (t *Integral) Sum(lo, hi []int) (float64, error) {
+	if err := t.checkBox(lo, hi); err != nil {
+		return 0, err
+	}
+	return t.boxQuery(t.sum, lo, hi), nil
+}
+
+// Mean returns the mean of the values inside the half-open box [lo, hi).
+func (t *Integral) Mean(lo, hi []int) (float64, error) {
+	s, err := t.Sum(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return s / float64(t.Count(lo, hi)), nil
+}
+
+// MeanVar returns the mean and population variance of the values inside the
+// half-open box [lo, hi). Variance is clamped at zero: the sum-of-squares
+// identity var = E[x²] − E[x]² can go slightly negative under float64
+// cancellation on near-constant data.
+func (t *Integral) MeanVar(lo, hi []int) (mean, variance float64, err error) {
+	if err := t.checkBox(lo, hi); err != nil {
+		return 0, 0, err
+	}
+	n := float64(t.Count(lo, hi))
+	s := t.boxQuery(t.sum, lo, hi)
+	sq := t.boxQuery(t.sumsq, lo, hi)
+	mean = s / n
+	variance = sq/n - mean*mean
+	if variance < 0 || math.IsNaN(variance) {
+		variance = 0
+	}
+	return mean, variance, nil
+}
+
+// Variance returns the population variance inside the half-open box [lo, hi).
+func (t *Integral) Variance(lo, hi []int) (float64, error) {
+	_, v, err := t.MeanVar(lo, hi)
+	return v, err
+}

@@ -12,6 +12,7 @@ import (
 	"rqm/internal/codec"
 	"rqm/internal/core"
 	"rqm/internal/grid"
+	"rqm/internal/partition"
 	"rqm/internal/predictor"
 )
 
@@ -108,6 +109,11 @@ type Manifest struct {
 	// from the stream header at commit), so a recompaction rewrites with the
 	// same read granularity the dataset was tuned for.
 	ChunkValues int `json:"chunk_values,omitempty"`
+	// Partitioner names the chunk-planning strategy the container was last
+	// written with ("" = fixed slabs). Partitioners are deterministic, so a
+	// recompaction resolves this name and reproduces the same variance-guided
+	// geometry decisions over the rewritten data.
+	Partitioner string `json:"partitioner,omitempty"`
 	// ContentHash is the SHA-256 of the original (uncompressed) field bytes
 	// — the content address the profile cache keys generalize into an index.
 	ContentHash string `json:"content_hash"`
@@ -168,6 +174,9 @@ func ParseManifest(data []byte) (*Manifest, error) {
 	}
 	if m.ChunkValues < 0 {
 		return nil, corruptf("chunk size %d values", m.ChunkValues)
+	}
+	if !partition.Known(m.Partitioner) {
+		return nil, corruptf("unknown partitioner %q", m.Partitioner)
 	}
 	if m.ContainerBytes <= 0 || m.OriginalBytes <= 0 {
 		return nil, corruptf("container %d / original %d bytes", m.ContainerBytes, m.OriginalBytes)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rqm"
+	"rqm/internal/partition"
 	"rqm/internal/store"
 )
 
@@ -537,6 +538,123 @@ func TestManifestProfileRoundTrip(t *testing.T) {
 		if a.Ratio != b.Ratio || a.PSNR != b.PSNR || a.TotalBitRate != b.TotalBitRate {
 			t.Fatalf("eb %g: cached profile answers (%v, %v) differ from live (%v, %v)",
 				eb, b.Ratio, b.PSNR, a.Ratio, a.PSNR)
+		}
+	}
+}
+
+// TestReadRangeOverVariableChunks re-pins the random-access contract when the
+// chunk grid is non-uniform: a spatially partitioned container's regions hold
+// differing value counts, and slice reads must still touch exactly the
+// covering chunks and return values identical to a full decompress.
+func TestReadRangeOverVariableChunks(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rqm.GenerateField("mixed", 42, rqm.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := rqm.NewEngine(rqm.WithMode(rqm.ABS), rqm.WithErrorBound(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := eng.Profile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := &store.Manifest{
+		CreatedAt:     time.Now().UTC(),
+		PrecBits:      f.Prec.Bits(),
+		Dims:          append([]int(nil), f.Dims...),
+		Codec:         eng.Codec().Name(),
+		Predictor:     "lorenzo",
+		Mode:          "abs",
+		ContentHash:   strings.Repeat("cd", 32),
+		OriginalBytes: f.OriginalBytes(),
+		Partitioner:   partition.VarianceQuadtreeName,
+		Profile:       store.NewProfileRecord(p),
+	}
+	m, err := s.Put("quad", func(w io.Writer) (*store.Manifest, error) {
+		sw, err := eng.NewFieldStreamWriter(w, f,
+			rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetPSNR: 60}),
+			rqm.WithPartitioner(rqm.VarianceQuadtree{SplitFactor: 1.1, MinRegionValues: 1024}))
+		if err != nil {
+			return nil, err
+		}
+		if err := sw.WriteValues(f.Data); err != nil {
+			return nil, err
+		}
+		if err := sw.Close(); err != nil {
+			return nil, err
+		}
+		man.ErrorBound = sw.Stats().MaxBound
+		return man, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Partitioner != partition.VarianceQuadtreeName {
+		t.Fatalf("committed manifest partitioner %q", m.Partitioner)
+	}
+	sizes := map[int]bool{}
+	starts := make([]int64, len(m.Chunks)+1)
+	for i, c := range m.Chunks {
+		sizes[c.Values] = true
+		starts[i+1] = starts[i] + int64(c.Values)
+	}
+	if len(m.Chunks) < 2 || len(sizes) < 2 {
+		t.Fatalf("container has %d chunks with sizes %v, want non-uniform geometry", len(m.Chunks), sizes)
+	}
+	total := starts[len(m.Chunks)]
+	if total != int64(f.Len()) {
+		t.Fatalf("chunks cover %d values, field holds %d", total, f.Len())
+	}
+
+	blob, err := os.ReadFile(filepath.Join(s.Dir(), "datasets", "quad", store.ContainerFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := rqm.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// coveringChunks counts, against the real variable grid, how many chunks a
+	// range overlaps — the expected decompression work.
+	coveringChunks := func(off, n int64) int64 {
+		var c int64
+		for i := range m.Chunks {
+			if starts[i] < off+n && starts[i+1] > off {
+				c++
+			}
+		}
+		return c
+	}
+	cases := [][2]int64{
+		{0, int64(m.Chunks[0].Values)}, // exactly the first (odd-sized) chunk
+		{starts[1] - 100, 200},         // straddles the first region boundary
+		{starts[len(m.Chunks)-1] - 1, 2},
+		{total - 7, 7},
+		{0, total},
+	}
+	for _, tc := range cases {
+		off, n := tc[0], tc[1]
+		before := s.ChunkReads()
+		vals, err := s.ReadRange("quad", off, n)
+		if err != nil {
+			t.Fatalf("ReadRange(%d, %d): %v", off, n, err)
+		}
+		if got, want := s.ChunkReads()-before, coveringChunks(off, n); got != want {
+			t.Errorf("ReadRange(%d, %d) decompressed %d chunks, want %d", off, n, got, want)
+		}
+		if int64(len(vals)) != n {
+			t.Fatalf("ReadRange(%d, %d) returned %d values", off, n, len(vals))
+		}
+		for i, v := range vals {
+			if math.Float64bits(v) != math.Float64bits(full.Data[off+int64(i)]) {
+				t.Fatalf("ReadRange(%d, %d)[%d] = %v, full decompress has %v", off, n, i, v, full.Data[off+int64(i)])
+			}
 		}
 	}
 }

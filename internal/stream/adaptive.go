@@ -1,98 +1,9 @@
 package stream
 
-import (
-	"errors"
-	"fmt"
-	"math"
+import "rqm/internal/partition"
 
-	"rqm/internal/codec"
-	"rqm/internal/core"
-	"rqm/internal/grid"
-)
-
-// AdaptiveBound is the per-chunk error-bound policy: each chunk is profiled
-// with the ratio-quality model (one cheap sampling pass, no compression
-// run), the model's inverse solver picks the bound that meets the target on
-// that chunk, and the chunk is compressed in ABS mode at the solved bound.
-// Smooth regions therefore get loose bounds and complex regions tight ones,
-// while every chunk tracks the same global ratio or quality target — the
-// paper's in-situ error-bound optimization running inside the pipeline.
-//
-// Exactly one of TargetRatio and TargetPSNR must be set.
-type AdaptiveBound struct {
-	// TargetRatio aims each chunk at this compression ratio (> 1).
-	TargetRatio float64
-	// TargetPSNR aims each chunk at this reconstruction quality in dB (> 0).
-	TargetPSNR float64
-	// MinBound clamps the solved absolute bound from below (0 = no floor).
-	MinBound float64
-	// MaxBound clamps the solved absolute bound from above (0 = no cap).
-	MaxBound float64
-}
-
-// validate checks the policy is well-formed.
-func (a AdaptiveBound) validate() error {
-	hasRatio := a.TargetRatio != 0
-	hasPSNR := a.TargetPSNR != 0
-	if hasRatio == hasPSNR {
-		return errors.New("stream: AdaptiveBound needs exactly one of TargetRatio and TargetPSNR")
-	}
-	if hasRatio && a.TargetRatio <= 1 {
-		return fmt.Errorf("stream: AdaptiveBound.TargetRatio must exceed 1, got %v", a.TargetRatio)
-	}
-	if hasPSNR && a.TargetPSNR <= 0 {
-		return fmt.Errorf("stream: AdaptiveBound.TargetPSNR must be positive, got %v", a.TargetPSNR)
-	}
-	if a.MinBound < 0 || a.MaxBound < 0 {
-		return errors.New("stream: AdaptiveBound clamps must be non-negative")
-	}
-	if a.MinBound > 0 && a.MaxBound > 0 && a.MinBound > a.MaxBound {
-		return fmt.Errorf("stream: AdaptiveBound.MinBound %v exceeds MaxBound %v", a.MinBound, a.MaxBound)
-	}
-	return nil
-}
-
-// minAdaptiveSamples floors the per-chunk profile size: at the paper's 1%
-// default a small chunk would profile from a handful of samples and the
-// solved bound would be noise, so the rate is raised until the chunk
-// contributes at least this many.
-const minAdaptiveSamples = 256
-
-// boundFor solves the policy for one chunk. Degenerate chunks the model
-// cannot profile (constant data, too few samples) fall back to a tight
-// bound relative to the chunk's value range, so a pathological chunk never
-// fails the stream.
-func (a AdaptiveBound) boundFor(c codec.Codec, f *grid.Field, copts codec.Options, mopts core.Options) float64 {
-	if mopts.SampleRate <= 0 || mopts.SampleRate > 1 {
-		mopts.SampleRate = 0.01
-	}
-	if float64(f.Len())*mopts.SampleRate < minAdaptiveSamples {
-		mopts.SampleRate = math.Min(1, minAdaptiveSamples/float64(f.Len()))
-	}
-	var eb float64
-	p, err := c.Profile(f, copts, mopts)
-	if err == nil {
-		if a.TargetRatio > 0 {
-			eb, err = p.ErrorBoundForRatio(a.TargetRatio)
-		} else {
-			eb, err = p.ErrorBoundForPSNR(a.TargetPSNR)
-		}
-	}
-	if err != nil || !(eb > 0) {
-		lo, hi := f.ValueRange()
-		eb = (hi - lo) * 1e-6
-		if eb <= 0 {
-			eb = a.MinBound
-		}
-		if eb <= 0 {
-			eb = 1e-12
-		}
-	}
-	if a.MinBound > 0 && eb < a.MinBound {
-		eb = a.MinBound
-	}
-	if a.MaxBound > 0 && eb > a.MaxBound {
-		eb = a.MaxBound
-	}
-	return eb
-}
+// AdaptiveBound is the per-region error-bound policy, now owned by the
+// partition layer (it solves bounds for whatever regions the partitioner
+// plans — fixed slabs by default). The alias keeps the historical stream API
+// intact: stream.AdaptiveBound and partition.AdaptiveBound are one type.
+type AdaptiveBound = partition.AdaptiveBound

@@ -22,6 +22,7 @@ import (
 	"rqm/internal/compressor"
 	"rqm/internal/core"
 	"rqm/internal/grid"
+	"rqm/internal/partition"
 )
 
 // DefaultChunkValues is the default chunk size (values per chunk): 256 Ki
@@ -49,6 +50,7 @@ type config struct {
 	copts       codec.Options
 	mopts       core.Options
 	adaptive    *AdaptiveBound
+	partitioner partition.Partitioner
 	chunkValues int
 	workers     int
 	name        string
@@ -57,6 +59,19 @@ type config struct {
 
 	rangeSet         bool
 	rangeLo, rangeHi float64
+}
+
+// env assembles the partition-layer context from the resolved configuration.
+func (cfg *config) env() partition.Env {
+	return partition.Env{
+		Codec:       cfg.codec,
+		Copts:       cfg.copts,
+		Mopts:       cfg.mopts,
+		Policy:      cfg.adaptive,
+		Prec:        cfg.prec,
+		Dims:        cfg.dims,
+		ChunkValues: cfg.chunkValues,
+	}
 }
 
 // Option configures a Writer.
@@ -111,10 +126,27 @@ func WithModel(o core.Options) Option {
 // for the bound meeting the policy's target.
 func WithAdaptive(a AdaptiveBound) Option {
 	return func(cfg *config) error {
-		if err := a.validate(); err != nil {
+		if err := a.Validate(); err != nil {
 			return err
 		}
 		cfg.adaptive = &a
+		return nil
+	}
+}
+
+// WithPartitioner installs the chunk-planning strategy. The default,
+// partition.FixedSlab, reproduces the historical fixed-size slabs byte for
+// byte; partition.VarianceQuadtree buffers the stream and splits it where
+// variance is non-uniform, solving the AdaptiveBound policy per region
+// (it requires one via WithAdaptive). Partitioners that buffer the whole
+// stream (WindowValues 0) trade the pipeline's O(workers × chunk) memory
+// bound for O(stream).
+func WithPartitioner(p partition.Partitioner) Option {
+	return func(cfg *config) error {
+		if p == nil {
+			return errors.New("stream: WithPartitioner(nil)")
+		}
+		cfg.partitioner = p
 		return nil
 	}
 }
@@ -227,6 +259,16 @@ func newConfig(opts []Option) (*config, error) {
 		}
 		cfg.copts.Mode = compressor.ABS
 		cfg.copts.ErrorBound = abs
+	}
+	if cfg.partitioner == nil {
+		cfg.partitioner = partition.FixedSlab{}
+	}
+	// Partitioners that can detect misconfiguration (e.g. a quadtree with no
+	// bound policy to solve per region) surface it here rather than at Close.
+	if v, ok := cfg.partitioner.(interface{ Validate(partition.Env) error }); ok {
+		if err := v.Validate(cfg.env()); err != nil {
+			return nil, err
+		}
 	}
 	return cfg, nil
 }

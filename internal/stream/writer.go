@@ -11,6 +11,7 @@ import (
 	"rqm/internal/codec"
 	"rqm/internal/compressor"
 	"rqm/internal/grid"
+	"rqm/internal/partition"
 )
 
 // Stats summarizes one finished stream write.
@@ -28,28 +29,39 @@ type Stats struct {
 	// MinBound and MaxBound are the smallest and largest per-chunk absolute
 	// bounds used (equal unless an AdaptiveBound policy varied them).
 	MinBound, MaxBound float64
+	// Splits is the number of split decisions the partitioner took while
+	// planning chunks (0 under fixed slabs).
+	Splits int
 	// EncodeTime is the wall time from NewWriter to Close.
 	EncodeTime time.Duration
 }
 
 // Writer compresses a value stream into a chunked container through a
-// bounded worker pipeline: Write/WriteValues accumulate a chunk, full
-// chunks fan out to the worker pool, and a sequencer writes the compressed
-// records back in input order. At most workers+2 chunks are in flight, so
-// memory stays O(workers × chunk size) however long the stream runs.
+// bounded worker pipeline: Write/WriteValues accumulate a planning window,
+// the partitioner maps each window to one or more regions, regions fan out
+// to the worker pool as chunks, and a sequencer writes the compressed
+// records back in input order. Under the default fixed-slab partitioner a
+// window is one chunk, at most workers+2 chunks are in flight, and memory
+// stays O(workers × chunk size) however long the stream runs; whole-stream
+// partitioners (WindowValues 0, e.g. the variance quadtree) buffer the
+// stream and plan once at Close, trading that bound for O(stream) memory.
 //
 // A Writer is single-producer: Write, WriteValues, and Close must come from
 // one goroutine (the compression fan-out happens internally). Close flushes
-// the final partial chunk and appends the trailer index; the container is
+// the final partial window and appends the trailer index; the container is
 // unreadable until Close returns nil.
 type Writer struct {
-	cfg   *config
-	dst   *countWriter
-	start time.Time
+	cfg          *config
+	env          partition.Env
+	windowValues int // partitioner window (0 = whole stream, planned at Close)
+	dst          *countWriter
+	start        time.Time
 
-	buf     []float64 // accumulating chunk
+	buf     []float64 // accumulating window (incremental mode)
+	all     []float64 // accumulating stream (whole-stream mode)
 	rem     []byte    // partial value carried between Write calls
-	bufPool sync.Pool // recycled chunk buffers ([]float64 with chunk capacity)
+	splits  int       // split decisions across all plans (producer-owned)
+	bufPool sync.Pool // recycled chunk buffers ([]float64 with window capacity)
 
 	order chan chan result // per-chunk result slots, in input order
 	jobs  chan job
@@ -71,8 +83,11 @@ type Writer struct {
 }
 
 type job struct {
-	vals []float64
-	res  chan result
+	vals    []float64
+	bound   float64  // partitioner-solved ABS bound (0 = writer options)
+	codecID codec.ID // partitioner-selected codec (0 = stream codec)
+	recycle bool     // vals is a whole pool buffer, return it after use
+	res     chan result
 }
 
 type result struct {
@@ -87,25 +102,42 @@ func NewWriter(w io.Writer, opts ...Option) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
+	env := cfg.env()
+	windowValues := cfg.partitioner.WindowValues(env)
+	if windowValues < 0 {
+		return nil, fmt.Errorf("stream: partitioner %q window %d is negative",
+			cfg.partitioner.Name(), windowValues)
+	}
 	sw := &Writer{
-		cfg:     cfg,
-		dst:     &countWriter{w: w},
-		start:   time.Now(),
-		buf:     make([]float64, 0, cfg.chunkValues),
-		order:   make(chan chan result, cfg.workers+2),
-		jobs:    make(chan job, cfg.workers),
-		seqDone: make(chan struct{}),
+		cfg:          cfg,
+		env:          env,
+		windowValues: windowValues,
+		dst:          &countWriter{w: w},
+		start:        time.Now(),
+		order:        make(chan chan result, cfg.workers+2),
+		jobs:         make(chan job, cfg.workers),
+		seqDone:      make(chan struct{}),
+	}
+	if windowValues > 0 {
+		sw.buf = make([]float64, 0, windowValues)
 	}
 	sw.bufPool.New = func() interface{} {
-		b := make([]float64, 0, cfg.chunkValues)
+		b := make([]float64, 0, windowValues)
 		return &b
+	}
+	// The header's chunk size stays nominal: the partitioner may emit
+	// smaller or unequal chunks (each record carries its own count), but the
+	// configured size is what readers can size buffers against.
+	nominal := cfg.chunkValues
+	if windowValues > 0 {
+		nominal = windowValues
 	}
 	hdr := &codec.StreamHeader{
 		CodecID:     cfg.codec.ID(),
 		Prec:        cfg.prec,
 		Dims:        cfg.dims,
 		Name:        cfg.name,
-		ChunkValues: cfg.chunkValues,
+		ChunkValues: nominal,
 	}
 	if _, err := codec.WriteStreamHeader(sw.dst, hdr); err != nil {
 		return nil, err
@@ -118,24 +150,33 @@ func NewWriter(w io.Writer, opts ...Option) (*Writer, error) {
 	return sw, nil
 }
 
-// WriteValues appends samples to the stream, dispatching full chunks to the
-// compression pool. It blocks while the pipeline is saturated.
+// WriteValues appends samples to the stream, dispatching full planning
+// windows to the compression pool. It blocks while the pipeline is
+// saturated. Under a whole-stream partitioner nothing is dispatched until
+// Close, which plans and compresses the buffered stream in one pass.
 func (w *Writer) WriteValues(vals []float64) error {
 	if w.closed {
 		return ErrClosed
+	}
+	if w.windowValues == 0 {
+		if err := w.err(); err != nil {
+			return err
+		}
+		w.all = append(w.all, vals...)
+		return nil
 	}
 	for len(vals) > 0 {
 		if err := w.err(); err != nil {
 			return err
 		}
-		n := w.cfg.chunkValues - len(w.buf)
+		n := w.windowValues - len(w.buf)
 		if n > len(vals) {
 			n = len(vals)
 		}
 		w.buf = append(w.buf, vals[:n]...)
 		vals = vals[n:]
-		if len(w.buf) == w.cfg.chunkValues {
-			w.dispatch()
+		if len(w.buf) == w.windowValues {
+			w.planWindow()
 		}
 	}
 	return w.err()
@@ -195,18 +236,67 @@ func (w *Writer) WriteField(f *grid.Field) error {
 	return w.WriteValues(f.Data)
 }
 
-// dispatch hands the accumulated chunk to the pool. The order channel's
-// capacity is the pipeline's chunk-in-flight budget, so this blocks (and
-// back-pressures the producer) when the pool is saturated. Chunk buffers are
-// recycled: the producer draws the next accumulation buffer from bufPool and
-// workers return finished buffers to it, so a steady-state stream reuses the
-// same workers+2 buffers however long it runs.
-func (w *Writer) dispatch() {
-	vals := w.buf
+// planWindow runs the partitioner over the accumulated window and dispatches
+// its regions. The common case — one region covering the whole window, which
+// is all FixedSlab ever plans — ships the accumulation buffer itself and
+// recycles it through bufPool, exactly the historical fast path. Multi-region
+// plans dispatch sub-slices of the window without recycling (the regions
+// alias one buffer, so it goes to the collector once all chunks are done).
+func (w *Writer) planWindow() {
+	plan, err := w.cfg.partitioner.Partition(w.buf, w.env)
+	if err == nil {
+		err = plan.Validate(len(w.buf))
+	}
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	w.splits += plan.Splits
+	if len(plan.Regions) == 1 {
+		r := plan.Regions[0]
+		vals := w.buf
+		w.buf = (*w.bufPool.Get().(*[]float64))[:0]
+		w.dispatch(vals, r.Bound, r.CodecID, true)
+		return
+	}
+	window := w.buf
 	w.buf = (*w.bufPool.Get().(*[]float64))[:0]
+	for _, r := range plan.Regions {
+		w.dispatch(window[r.Off:r.Off+r.Len], r.Bound, r.CodecID, false)
+	}
+}
+
+// planStream partitions the fully buffered stream (whole-stream mode) and
+// dispatches every region. Regions alias the stream buffer, so none recycle;
+// the order channel still bounds how many compressed chunks are in flight.
+func (w *Writer) planStream() {
+	plan, err := w.cfg.partitioner.Partition(w.all, w.env)
+	if err == nil {
+		err = plan.Validate(len(w.all))
+	}
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	w.splits += plan.Splits
+	for _, r := range plan.Regions {
+		if w.err() != nil {
+			return
+		}
+		w.dispatch(w.all[r.Off:r.Off+r.Len], r.Bound, r.CodecID, false)
+	}
+}
+
+// dispatch hands one region to the pool. The order channel's capacity is the
+// pipeline's chunk-in-flight budget, so this blocks (and back-pressures the
+// producer) when the pool is saturated. Whole-buffer regions are recycled:
+// the producer draws the next accumulation buffer from bufPool and workers
+// return finished buffers to it, so a steady-state stream reuses the same
+// workers+2 buffers however long it runs.
+func (w *Writer) dispatch(vals []float64, bound float64, id codec.ID, recycle bool) {
 	res := make(chan result, 1)
 	w.order <- res
-	w.jobs <- job{vals: vals, res: res}
+	w.jobs <- job{vals: vals, bound: bound, codecID: id, recycle: recycle, res: res}
 }
 
 // worker compresses chunks until the job channel closes.
@@ -217,35 +307,50 @@ func (w *Writer) worker() {
 			j.res <- result{err: w.err()}
 			continue
 		}
-		c, err := w.compressChunk(j.vals)
-		// The compressor copies the chunk into its own work buffer and the
-		// payload never aliases vals, so the buffer can be recycled now.
-		vals := j.vals[:0]
-		w.bufPool.Put(&vals)
+		c, err := w.compressChunk(j)
+		if j.recycle {
+			// The compressor copies the chunk into its own work buffer and
+			// the payload never aliases vals, so the buffer can be recycled
+			// now. Sub-window regions skip this: they alias a shared window.
+			vals := j.vals[:0]
+			w.bufPool.Put(&vals)
+		}
 		j.res <- result{chunk: c, err: err}
 	}
 }
 
-// compressChunk encodes one chunk as a 1-D field, solving the adaptive
-// bound first when a policy is installed.
-func (w *Writer) compressChunk(vals []float64) (*codec.Chunk, error) {
-	f, err := grid.FromData("", w.cfg.prec, vals, len(vals))
+// compressChunk encodes one region as a 1-D field. A partitioner-solved
+// bound wins; otherwise the writer's own adaptive policy (if any) solves one
+// per chunk — the historical fixed-slab adaptive mode — and plain options
+// apply last.
+func (w *Writer) compressChunk(j job) (*codec.Chunk, error) {
+	f, err := grid.FromData("", w.cfg.prec, j.vals, len(j.vals))
 	if err != nil {
 		return nil, err
 	}
-	copts := w.cfg.copts
-	if w.cfg.adaptive != nil {
-		copts.Mode = compressor.ABS
-		copts.ErrorBound = w.cfg.adaptive.boundFor(w.cfg.codec, f, copts, w.cfg.mopts)
+	c := w.cfg.codec
+	if j.codecID != 0 && j.codecID != c.ID() {
+		if c, err = codec.ByID(j.codecID); err != nil {
+			return nil, err
+		}
 	}
-	payload, err := w.cfg.codec.Compress(f, copts)
+	copts := w.cfg.copts
+	switch {
+	case j.bound > 0:
+		copts.Mode = compressor.ABS
+		copts.ErrorBound = j.bound
+	case w.cfg.adaptive != nil:
+		copts.Mode = compressor.ABS
+		copts.ErrorBound = w.cfg.adaptive.BoundFor(c, f, copts, w.cfg.mopts)
+	}
+	payload, err := c.Compress(f, copts)
 	if err != nil {
 		return nil, err
 	}
 	return &codec.Chunk{
-		CodecID:  w.cfg.codec.ID(),
+		CodecID:  c.ID(),
 		AbsBound: resolveAbsBound(copts),
-		Values:   len(vals),
+		Values:   len(j.vals),
 		Payload:  payload,
 	}, nil
 }
@@ -308,7 +413,10 @@ func (w *Writer) Close() error {
 		w.fail(fmt.Errorf("stream: %d trailing bytes do not form a value", len(w.rem)))
 	}
 	if len(w.buf) > 0 && w.err() == nil {
-		w.dispatch()
+		w.planWindow()
+	}
+	if w.windowValues == 0 && len(w.all) > 0 && w.err() == nil {
+		w.planStream()
 	}
 	close(w.jobs)
 	w.workerWG.Wait()
@@ -334,6 +442,7 @@ func (w *Writer) Close() error {
 		BytesOut:   w.dst.n,
 		MinBound:   w.minBound,
 		MaxBound:   w.maxBound,
+		Splits:     w.splits,
 		EncodeTime: time.Since(w.start),
 	}
 	if w.stats.BytesOut > 0 {

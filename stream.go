@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"rqm/internal/codec"
+	"rqm/internal/partition"
 	"rqm/internal/stream"
 )
 
@@ -45,6 +46,18 @@ import (
 //
 //	w, _ := rqm.NewWriter(&buf,
 //	    rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetPSNR: 70}))
+//
+// Spatial partitioning goes one step further: instead of slicing the stream
+// into fixed-size slabs, a Partitioner plans chunk geometry from the data
+// itself. VarianceQuadtree recursively splits the field where variance is
+// non-uniform and solves the model per region, so one container mixes large
+// loose-bound chunks over smooth regions with small tight-bound chunks over
+// turbulent ones — a better ratio at the same delivered quality:
+//
+//	w, _ := rqm.NewWriter(&buf,
+//	    rqm.WithStreamShape(rqm.Float64, 512, 512, 512),
+//	    rqm.WithAdaptiveBound(rqm.AdaptiveBound{TargetPSNR: 70}),
+//	    rqm.WithPartitioner(rqm.VarianceQuadtree{}))
 type (
 	// StreamWriter is the chunked, concurrent compression writer.
 	StreamWriter = stream.Writer
@@ -60,6 +73,20 @@ type (
 	// ratio-quality model profiles every chunk and solves for the bound
 	// meeting a global ratio or PSNR target.
 	AdaptiveBound = stream.AdaptiveBound
+	// Partitioner plans how a stream's values are split into independently
+	// compressed chunks (the partition layer; see WithPartitioner).
+	Partitioner = partition.Partitioner
+	// FixedSlab is the default Partitioner: uniform fixed-size slabs, the
+	// historical chunking behavior.
+	FixedSlab = partition.FixedSlab
+	// VarianceQuadtree is the spatially adaptive Partitioner: it splits the
+	// field where variance is non-uniform and solves the ratio-quality model
+	// per region. Requires WithAdaptiveBound.
+	VarianceQuadtree = partition.VarianceQuadtree
+	// PartitionRegion is one planned region of a partitioned window.
+	PartitionRegion = partition.Region
+	// PartitionPlan is a Partitioner's output: an ordered tiling of regions.
+	PartitionPlan = partition.Plan
 	// StreamHeader describes a chunked container stream.
 	StreamHeader = codec.StreamHeader
 	// StreamIndex is a chunked container's random-access directory.
@@ -109,6 +136,18 @@ func WithAdaptiveBound(a AdaptiveBound) StreamOption { return stream.WithAdaptiv
 
 // WithChunkSize sets the chunk size in values (default 256 Ki).
 func WithChunkSize(values int) StreamOption { return stream.WithChunkValues(values) }
+
+// WithPartitioner installs the chunk-planning strategy. The default
+// FixedSlab reproduces the historical uniform slabs byte for byte;
+// VarianceQuadtree plans variance-guided spatial regions with per-region
+// solved bounds (requires WithAdaptiveBound).
+func WithPartitioner(p Partitioner) StreamOption { return stream.WithPartitioner(p) }
+
+// PartitionerByName resolves a registered partitioner by name: "" or "fixed"
+// for FixedSlab, "variance-quadtree" for VarianceQuadtree. Manifest and
+// service layers use these names to make adaptive-space geometry
+// reproducible.
+func PartitionerByName(name string) (Partitioner, error) { return partition.ByName(name) }
 
 // WithStreamWorkers sets the concurrent chunk-compressor count (default
 // GOMAXPROCS).
