@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation
-// (one testing.B benchmark per artifact; see DESIGN.md §14), plus the
-// ablation benches for the design choices called out in DESIGN.md §14 and
+// (one testing.B benchmark per artifact; see DESIGN.md §15), plus the
+// ablation benches for the design choices called out in DESIGN.md §15 and
 // end-to-end pipeline benchmarks of the public API.
 //
 // The experiment benches run at the Quick (tiny) scale so `go test -bench=.`
@@ -144,7 +144,7 @@ func BenchmarkFigure14(b *testing.B) {
 	})
 }
 
-// Ablation benches (DESIGN.md §14).
+// Ablation benches (DESIGN.md §15).
 
 // BenchmarkAblationCorrectionLayer measures Eq. 9 on/off accuracy.
 func BenchmarkAblationCorrectionLayer(b *testing.B) {

@@ -1,0 +1,61 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/url"
+
+	"rqm/internal/service"
+	"rqm/internal/store"
+)
+
+// Integrity methods: drive a shard's background scrub pass. These talk to a
+// single rqserved shard (the router does not proxy /v1/scrub — each shard's
+// archive is scrubbed where it lives).
+
+// Re-exported scrub wire types: the service's format is the contract.
+type (
+	// ScrubStatus is the GET /v1/scrub/status (and POST /v1/scrub) answer.
+	ScrubStatus = service.ScrubStatusResponse
+	// ScrubReport is the completed pass's result inside ScrubStatus.
+	ScrubReport = store.ScrubReport
+	// ScrubIssue is one corrupt dataset found by a pass.
+	ScrubIssue = store.ScrubIssue
+)
+
+// StartScrub kicks off one background integrity pass over the shard's
+// archive (202; a pass already running answers *APIError scrub_running).
+// With deep, every chunk is fully decoded and the container re-hashed
+// against its commit-time SHA-256, not just CRC-swept.
+func (c *Client) StartScrub(ctx context.Context, deep bool) (*ScrubStatus, error) {
+	q := url.Values{}
+	if deep {
+		q.Set("deep", "1")
+	}
+	resp, err := c.post(ctx, "/v1/scrub", q, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st ScrubStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("client: decoding scrub status: %w", err)
+	}
+	return &st, nil
+}
+
+// ScrubStatus reports the current (or last) scrub pass's progress and, once
+// finished, its full report.
+func (c *Client) ScrubStatus(ctx context.Context) (*ScrubStatus, error) {
+	resp, err := c.get(ctx, "/v1/scrub/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st ScrubStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("client: decoding scrub status: %w", err)
+	}
+	return &st, nil
+}

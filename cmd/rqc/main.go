@@ -56,6 +56,7 @@ import (
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	"rqm"
 	"rqm/client"
@@ -87,13 +88,15 @@ func main() {
 		cmdCluster(os.Args[2:])
 	case "rebalance":
 		cmdRebalance(os.Args[2:])
+	case "scrub":
+		cmdScrub(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rqc compress|decompress|inspect|put|get|ls|rm|recompact|cluster|rebalance [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rqc compress|decompress|inspect|put|get|ls|rm|recompact|scrub|cluster|rebalance [flags]")
 	os.Exit(2)
 }
 
@@ -797,6 +800,74 @@ func cmdRecompact(args []string) {
 	}
 	fmt.Printf("recompacted %s: bound %.6g -> %.6g, ratio %.2fx -> %.2fx (est PSNR %.2f dB, generation %d)\n",
 		rr.Name, rr.OldBound, rr.NewBound, rr.OldRatio, rr.NewRatio, float64(rr.EstPSNR), rr.Generation)
+}
+
+// cmdScrub starts one background integrity pass on a shard's archive and —
+// unless -nowait — polls status until it finishes, then prints the report.
+func cmdScrub(args []string) {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	remote := fs.String("remote", "", "rqserved base URL (required; scrub runs where the archive lives)")
+	deep := fs.Bool("deep", false, "fully decode every chunk and re-hash each container against its commit-time SHA-256")
+	nowait := fs.Bool("nowait", false, "start the pass and return immediately (poll with scrub -status)")
+	status := fs.Bool("status", false, "report the current/last pass instead of starting one")
+	must(fs.Parse(args))
+	if *remote == "" {
+		fatal(fmt.Errorf("scrub: -remote URL is required (an rqserved shard)"))
+	}
+	c := storeClient(*remote)
+	ctx := context.Background()
+	st, err := (*client.ScrubStatus)(nil), error(nil)
+	if *status {
+		st, err = c.ScrubStatus(ctx)
+	} else {
+		st, err = c.StartScrub(ctx, *deep)
+	}
+	must(err)
+	if !*status && !*nowait {
+		for st.State == "running" {
+			time.Sleep(200 * time.Millisecond)
+			st, err = c.ScrubStatus(ctx)
+			must(err)
+		}
+	}
+	printScrubStatus(st)
+	if st.State == "failed" || (st.Report != nil && len(st.Report.Issues) > 0) {
+		os.Exit(1)
+	}
+}
+
+func printScrubStatus(st *client.ScrubStatus) {
+	mode := "shallow"
+	if st.Deep {
+		mode = "deep"
+	}
+	switch st.State {
+	case "idle":
+		fmt.Println("scrub: no pass has run")
+		return
+	case "running":
+		fmt.Printf("scrub (%s): running, %d/%d datasets scanned (current %s)\n",
+			mode, st.Scanned, st.Total, st.Current)
+		return
+	case "failed":
+		fmt.Printf("scrub (%s): FAILED: %s\n", mode, st.Error)
+		return
+	}
+	r := st.Report
+	if r == nil {
+		fmt.Printf("scrub (%s): %s\n", mode, st.State)
+		return
+	}
+	fmt.Printf("scrub (%s): %d datasets, %d chunks verified, %d/%d bytes verified, %d quarantined (%d bytes)\n",
+		mode, r.Datasets, r.ChunksVerified, r.BytesVerified, r.BytesScanned,
+		r.DatasetsQuarantined, r.BytesQuarantined)
+	for _, issue := range r.Issues {
+		disposition := "left in place"
+		if issue.Quarantined {
+			disposition = "quarantined"
+		}
+		fmt.Printf("  %s (%d bytes, %s): %s\n", issue.Name, issue.Bytes, disposition, issue.Reason)
+	}
 }
 
 // ---------------------------------------------------------------------------

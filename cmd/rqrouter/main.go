@@ -8,7 +8,7 @@
 //
 //	rqrouter -addr :9090 -shards http://s1:8080,http://s2:8080,http://s3:8080
 //	rqrouter -addr :9090 -shards ... -replicas 2 -vnodes 64 \
-//	         -probe-interval 2s -fail-after 3
+//	         -probe-interval 2s -fail-after 3 -shard-timeout 30s
 //
 // The router serves the dataset API (/v1/datasets*) transparently — point
 // rqc or rqm/client at it exactly like a single shard — plus
@@ -40,6 +40,9 @@ func main() {
 		vnodes   = flag.Int("vnodes", 64, "virtual nodes per shard on the hash ring")
 		probe    = flag.Duration("probe-interval", 2*time.Second, "shard health-probe period")
 		failN    = flag.Int("fail-after", 3, "consecutive probe failures before a shard is marked down")
+		shardTO  = flag.Duration("shard-timeout", 30*time.Second,
+			"per-request budget for a shard to return response headers (streaming-aware: "+
+				"bodies may take longer; a hung shard fails over instead of stalling; negative disables)")
 	)
 	flag.Parse()
 
@@ -59,6 +62,7 @@ func main() {
 		VNodes:        *vnodes,
 		ProbeInterval: *probe,
 		FailAfter:     *failN,
+		ShardTimeout:  *shardTO,
 	})
 	if err != nil {
 		fatal(err)

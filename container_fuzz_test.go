@@ -131,6 +131,19 @@ func fuzzSeedContainers(f *testing.F) [][]byte {
 			}
 		}
 	}
+	// Bit-rot seeds mirroring what the store's scrubber quarantines: single
+	// byte flips in a chunk head, mid-payload (CRC-covered), and inside the
+	// trailer index. The decoder must fail typed on all of them, never hang
+	// or panic — the same contract the corruption matrix pins on disk.
+	for _, off := range []int64{qidx.Entries[0].Offset + 2,
+		qidx.Entries[0].Offset + 30,
+		int64(len(quad)) - 20} {
+		if off > 0 && off < int64(len(quad)) {
+			rot := append([]byte(nil), quad...)
+			rot[off] ^= 0xFF
+			seeds = append(seeds, rot)
+		}
+	}
 	return seeds
 }
 

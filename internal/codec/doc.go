@@ -19,7 +19,7 @@
 // The entropy variants are separate codec identities rather than an
 // Options field: the wire ID alone pins how a chunk body must be decoded,
 // so archives mix codecs freely and readers need no side channel
-// (DESIGN.md §10).
+// (DESIGN.md §11).
 //
 // # Container invariants
 //

@@ -12,7 +12,7 @@ import (
 // the payload bit writer — lives here, so steady-state compression under
 // serving load allocates only what escapes into the output container.
 //
-// Ownership rules (see DESIGN.md §11):
+// Ownership rules (see DESIGN.md §12):
 //   - Compress/Decompress acquire an arena on entry and release it before
 //     returning; nothing reachable from a Result or a returned Field may
 //     alias arena memory (work on the decompress side is allocated fresh

@@ -4,7 +4,7 @@
 // character that drives the ratio-quality model: dimensionality, smoothness
 // (spectral slope), dynamic range, and noise floor. The RTM stand-in is a
 // genuine finite-difference acoustic wave-equation solver, because RTM
-// snapshots *are* wavefields. See DESIGN.md §14 for the substitution notes.
+// snapshots *are* wavefields. See DESIGN.md §15 for the substitution notes.
 package datagen
 
 import (

@@ -21,7 +21,7 @@ type AblationResult struct {
 
 // AblationCorrectionLayer quantifies Eq. 9's contribution: Huffman bit-rate
 // error rate with and without the bin-transfer correction at high error
-// bounds (DESIGN.md §14).
+// bounds (DESIGN.md §15).
 func AblationCorrectionLayer(cfg Config, w io.Writer) (*AblationResult, error) {
 	f, err := cfg.field("cesm/TS")
 	if err != nil {

@@ -2,7 +2,7 @@
 // evaluation (§V) on the synthesized dataset stand-ins. Each experiment is a
 // function that runs the workload, prints a paper-style text table to a
 // writer, and returns a structured result the benchmarks assert on. See
-// DESIGN.md §14 for the experiment index and dataset substitution notes.
+// DESIGN.md §15 for the experiment index and dataset substitution notes.
 package experiments
 
 import (

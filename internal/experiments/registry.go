@@ -9,7 +9,7 @@ import (
 // Runner executes one named experiment, printing its artifact to w.
 type Runner func(cfg Config, w io.Writer) error
 
-// Registry maps experiment ids (DESIGN.md §14) to runners.
+// Registry maps experiment ids (DESIGN.md §15) to runners.
 func Registry() map[string]Runner {
 	wrap := func(f func(Config, io.Writer) error) Runner { return f }
 	return map[string]Runner{

@@ -196,9 +196,19 @@ func (rt *Router) deleteOn(ctx context.Context, sh *shardState, name string) err
 
 // syncReplica copies name from src to dst byte-for-byte: full manifest +
 // raw container off src, framed into dst's raw-put endpoint. The container
-// is streamed (io.Pipe), never buffered or re-encoded. Returns the
-// container bytes moved and the raw-put status (201 stored, 200 skipped,
-// 409 target-newer).
+// is streamed, never buffered or re-encoded. Returns the container bytes
+// moved and the raw-put status (201 stored/repaired, 200 skipped, 409
+// target-newer).
+//
+// Integrity is enforced at three points, so a sync can neither propagate
+// corruption nor be fooled by it: the source shard shallow-verifies its
+// copy before serving it (?verify=1 — a corrupt source answers 422 and the
+// sync fails instead of spreading rot); the target re-stages the stream and
+// hashes it against the manifest's ContainerHash (a copy corrupted in
+// flight is rejected); and the target re-verifies a committed same-version
+// copy before taking the idempotent skip (?repair=1 — which is what lets
+// read-repair overwrite a rotten replica that still claims the right
+// version).
 func (rt *Router) syncReplica(ctx context.Context, src, dst *shardState, name string) (int64, int, error) {
 	n, status, err := rt.syncReplicaInner(ctx, src, dst, name)
 	if err != nil {
@@ -229,8 +239,8 @@ func (rt *Router) syncReplicaInner(ctx context.Context, src, dst *shardState, na
 		return 0, 0, fmt.Errorf("fetch manifest from %s: status %d", src.url, manResp.StatusCode)
 	}
 
-	// Raw container stream.
-	rawReq, err := http.NewRequestWithContext(ctx, http.MethodGet, src.url+datasetPath(name)+"?raw=1", nil)
+	// Raw container stream, source-verified before the first byte leaves.
+	rawReq, err := http.NewRequestWithContext(ctx, http.MethodGet, src.url+datasetPath(name)+"?raw=1&verify=1", nil)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -250,7 +260,7 @@ func (rt *Router) syncReplicaInner(ctx context.Context, src, dst *shardState, na
 	counted := &countingReader{r: rawResp.Body}
 	body := io.MultiReader(bytes.NewReader(hdr[:]), bytes.NewReader(manBytes), counted)
 
-	putReq, err := http.NewRequestWithContext(ctx, http.MethodPost, dst.url+datasetPath(name)+"/raw", body)
+	putReq, err := http.NewRequestWithContext(ctx, http.MethodPost, dst.url+datasetPath(name)+"/raw?repair=1", body)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"sort"
@@ -33,6 +34,7 @@ const (
 	defaultProbeInterval = 2 * time.Second
 	defaultFailAfter     = 3
 	defaultMaxBodyBytes  = 1 << 30
+	defaultShardTimeout  = 30 * time.Second
 )
 
 // errBodyLimit caps how much of a shard error/success body the router
@@ -59,21 +61,37 @@ type Config struct {
 	FailAfter int
 	// MaxBodyBytes caps buffered write bodies (default 1 GiB).
 	MaxBodyBytes int64
-	// Client is the outbound HTTP client (default: http.DefaultTransport
-	// with no overall timeout; per-request contexts bound probe time).
+	// ShardTimeout bounds how long a shard may take to dial and to return
+	// response HEADERS on any proxied request (default 30s; negative
+	// disables). It is deliberately streaming-aware: a shard slowly sending
+	// a large body is fine — only a shard that sits silent before
+	// committing a response trips it, so a hung shard triggers failover
+	// instead of stalling the proxied read forever.
+	ShardTimeout time.Duration
+	// Client is the outbound HTTP client (default: http.DefaultTransport's
+	// pooling with ShardTimeout applied as dial + response-header budget;
+	// per-request contexts additionally bound probe time). Supplying a
+	// Client overrides ShardTimeout entirely.
 	Client *http.Client
 }
 
 // Router proxies the dataset API across the shard fleet.
 type Router struct {
-	cfg    Config
-	ring   *ring
-	shards []*shardState
-	hc     *http.Client
-	mux    *http.ServeMux
-	start  time.Time
-	stop   chan struct{}
-	closed sync.Once
+	cfg          Config
+	ring         *ring
+	shards       []*shardState
+	hc           *http.Client
+	ownTransport *http.Transport // set when the router built its own client
+	mux          *http.ServeMux
+	start        time.Time
+	stop         chan struct{}
+	closed       sync.Once
+
+	// repairing dedupes in-flight read-repairs by dataset name, so a burst
+	// of reads against a corrupt replica schedules one repair, not one per
+	// request.
+	repairMu  sync.Mutex
+	repairing map[string]bool
 
 	// snapMu makes /metrics a consistent cut: increments share an RLock,
 	// Snapshot takes the write lock (same pattern as internal/service).
@@ -87,6 +105,8 @@ type Router struct {
 	proxiedSlices       atomic.Int64
 	proxiedRecompacts   atomic.Int64
 	failovers           atomic.Int64
+	readRepairs         atomic.Int64
+	readRepairFailures  atomic.Int64
 	quorumFailures      atomic.Int64
 	replicaSyncs        atomic.Int64
 	replicaSyncFailures atomic.Int64
@@ -138,15 +158,20 @@ func New(cfg Config) (*Router, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
+	if cfg.ShardTimeout == 0 {
+		cfg.ShardTimeout = defaultShardTimeout
+	}
 	rt := &Router{
-		cfg:   cfg,
-		ring:  newRing(len(cfg.Shards), cfg.VNodes),
-		hc:    cfg.Client,
-		start: time.Now(),
-		stop:  make(chan struct{}),
+		cfg:       cfg,
+		ring:      newRing(len(cfg.Shards), cfg.VNodes),
+		hc:        cfg.Client,
+		start:     time.Now(),
+		stop:      make(chan struct{}),
+		repairing: map[string]bool{},
 	}
 	if rt.hc == nil {
-		rt.hc = &http.Client{}
+		rt.ownTransport = shardTransport(cfg.ShardTimeout)
+		rt.hc = &http.Client{Transport: rt.ownTransport}
 	}
 	for _, s := range cfg.Shards {
 		// Shards start healthy: an idle cluster must route immediately, and
@@ -172,8 +197,35 @@ func New(cfg Config) (*Router, error) {
 	return rt, nil
 }
 
-// Close stops the background prober. Idempotent.
-func (rt *Router) Close() { rt.closed.Do(func() { close(rt.stop) }) }
+// shardTransport builds the router's outbound transport: the default
+// transport's connection pooling plus the shard timeout applied where it is
+// streaming-safe — on the dial and on time-to-response-headers, never on
+// body transfer. (http.Client.Timeout would be wrong here: it covers the
+// whole exchange and would kill long container streams mid-body.)
+func shardTransport(timeout time.Duration) *http.Transport {
+	tr, ok := http.DefaultTransport.(*http.Transport)
+	if ok {
+		tr = tr.Clone()
+	} else {
+		tr = &http.Transport{}
+	}
+	if timeout > 0 {
+		tr.ResponseHeaderTimeout = timeout
+		tr.DialContext = (&net.Dialer{Timeout: timeout, KeepAlive: 30 * time.Second}).DialContext
+	}
+	return tr
+}
+
+// Close stops the background prober and releases pooled shard connections.
+// Idempotent.
+func (rt *Router) Close() {
+	rt.closed.Do(func() {
+		close(rt.stop)
+		if rt.ownTransport != nil {
+			rt.ownTransport.CloseIdleConnections()
+		}
+	})
+}
 
 // Quorum is the write majority: more than half of R.
 func (rt *Router) Quorum() int { return rt.cfg.Replicas/2 + 1 }
@@ -311,12 +363,38 @@ func shardRequest(ctx context.Context, method string, sh *shardState, path, rawQ
 	return req, nil
 }
 
+// corruptCodes are the shard error codes that mean "this replica's stored
+// copy is damaged" — the read-repair trigger — as opposed to a bad request
+// or an unavailable shard.
+var corruptCodes = map[string]bool{
+	"corrupt_dataset":  true,
+	"manifest_corrupt": true,
+}
+
+// envelopeCode extracts the stable error code from a buffered shard error
+// body ("" when the body is not the typed envelope).
+func envelopeCode(body []byte) string {
+	var eb service.ErrorBody
+	if json.Unmarshal(body, &eb) == nil {
+		return eb.Error.Code
+	}
+	return ""
+}
+
 // proxyRead streams a GET from the first candidate that can serve it.
 // Transport errors and 5xx responses fail over to the next replica (the
 // shard is marked down on transport errors so subsequent requests skip it);
 // a 404 keeps trying — with R>1 a lagging replica may miss a dataset its
-// peer holds — and only becomes the answer when no replica has it. Any
-// other response (success or a 4xx like bad arguments) is relayed as-is.
+// peer holds — and only becomes the answer when no replica has it.
+//
+// Read-repair: a replica answering with a stored-corruption code (the
+// shard's verify-before-serve turns rot into a typed corrupt_dataset /
+// manifest_corrupt instead of a truncated body) also fails over — the
+// client still gets a clean answer from a healthy peer — and is remembered;
+// after a successful serve the good replica's container is asynchronously
+// re-replicated over each remembered bad copy through the framed raw-put
+// path. Other 4xx responses (bad arguments, a plain 422 on client input)
+// are the request's own answer and are relayed as-is.
 func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, name, path string) {
 	healthy, down := rt.candidates(name)
 	cands := append(healthy, down...)
@@ -325,6 +403,7 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, name, path s
 		return
 	}
 	sawNotFound := false
+	var corrupt []*shardState // replicas whose stored copy tripped verification
 	for i, sh := range cands {
 		req, err := shardRequest(r.Context(), http.MethodGet, sh, path, r.URL.RawQuery, r.Header, nil)
 		if err != nil {
@@ -342,8 +421,28 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, name, path s
 			continue
 		}
 		switch {
-		case resp.StatusCode >= 500:
+		case resp.StatusCode >= 500 || resp.StatusCode == http.StatusUnprocessableEntity:
+			// Both can carry a corruption verdict (422 corrupt_dataset, 500
+			// manifest_corrupt); buffer the envelope to tell. A plain 422 —
+			// the request's own fault, e.g. undecodable client input — is
+			// final and relayed; everything else fails over.
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, errBodyLimit))
 			resp.Body.Close()
+			code := envelopeCode(body)
+			if corruptCodes[code] {
+				corrupt = append(corrupt, sh)
+			} else if resp.StatusCode == http.StatusUnprocessableEntity {
+				if i > 0 {
+					w.Header().Set("X-RQM-Failover", strconv.Itoa(i))
+				}
+				w.Header().Set("X-RQM-Shard", sh.url)
+				relayHeaders(w.Header(), resp.Header)
+				w.Header().Del("Content-Length") // body was re-buffered
+				rt.count(&rt.errors, 1)
+				w.WriteHeader(resp.StatusCode)
+				_, _ = w.Write(body)
+				return
+			}
 			rt.count(&rt.failovers, 1)
 			continue
 		case resp.StatusCode == http.StatusNotFound:
@@ -359,14 +458,66 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, name, path s
 			w.WriteHeader(resp.StatusCode)
 			_, _ = io.Copy(w, resp.Body)
 			resp.Body.Close()
+			if resp.StatusCode < 300 && len(corrupt) > 0 {
+				rt.scheduleReadRepair(sh, corrupt, name)
+			}
 			return
 		}
 	}
-	if sawNotFound {
+	switch {
+	case len(corrupt) > 0:
+		// Every replica that holds the dataset holds damaged bytes: surface
+		// the verdict, not a generic gateway error (and not a 404 — a corrupt
+		// copy is proof the dataset exists). Retrying will not help;
+		// restoring from elsewhere will.
+		rt.writeErr(w, http.StatusUnprocessableEntity, "corrupt_dataset",
+			"every replica of dataset %q failed integrity verification", name)
+	case sawNotFound:
 		rt.writeErr(w, http.StatusNotFound, "dataset_not_found", "dataset %q not found on any replica", name)
+	default:
+		rt.writeErr(w, http.StatusBadGateway, "no_replica", "no replica could serve dataset %q", name)
+	}
+}
+
+// scheduleReadRepair asynchronously re-replicates the container that just
+// served a read over each replica that answered the same read with a
+// corruption verdict. The copy rides syncReplica, whose protocol makes the
+// repair safe at both ends: the source re-verifies its own chunk CRCs
+// before streaming (?verify=1 — a corrupt "good" copy aborts rather than
+// propagates) and the target re-verifies its committed copy before taking
+// the idempotent same-version skip (?repair=1 — a rotten copy with an
+// intact manifest is replaced, not "already there"). In-flight repairs are
+// deduped per dataset.
+func (rt *Router) scheduleReadRepair(src *shardState, bad []*shardState, name string) {
+	rt.repairMu.Lock()
+	if rt.repairing[name] {
+		rt.repairMu.Unlock()
 		return
 	}
-	rt.writeErr(w, http.StatusBadGateway, "no_replica", "no replica could serve dataset %q", name)
+	rt.repairing[name] = true
+	rt.repairMu.Unlock()
+	timeout := rt.cfg.ShardTimeout
+	if timeout <= 0 {
+		timeout = defaultShardTimeout
+	}
+	go func() {
+		defer func() {
+			rt.repairMu.Lock()
+			delete(rt.repairing, name)
+			rt.repairMu.Unlock()
+		}()
+		// Repairs outlive the read that triggered them: a fresh context, with
+		// a generous multiple of the shard timeout bounding the whole copy.
+		ctx, cancel := context.WithTimeout(context.Background(), 4*timeout)
+		defer cancel()
+		for _, sh := range bad {
+			if _, _, err := rt.syncReplica(ctx, src, sh, name); err != nil {
+				rt.count(&rt.readRepairFailures, 1)
+				continue
+			}
+			rt.count(&rt.readRepairs, 1)
+		}
+	}()
 }
 
 // ---------------------------------------------------------------------------
@@ -745,6 +896,8 @@ type Metrics struct {
 	ProxiedSlices       int64   `json:"proxied_slices"`
 	ProxiedRecompacts   int64   `json:"proxied_recompacts"`
 	Failovers           int64   `json:"failovers"`
+	ReadRepairs         int64   `json:"read_repairs"`
+	ReadRepairFailures  int64   `json:"read_repair_failures"`
 	QuorumFailures      int64   `json:"quorum_failures"`
 	ReplicaSyncs        int64   `json:"replica_syncs"`
 	ReplicaSyncFailures int64   `json:"replica_sync_failures"`
@@ -773,6 +926,8 @@ func (rt *Router) Snapshot() Metrics {
 		ProxiedSlices:       rt.proxiedSlices.Load(),
 		ProxiedRecompacts:   rt.proxiedRecompacts.Load(),
 		Failovers:           rt.failovers.Load(),
+		ReadRepairs:         rt.readRepairs.Load(),
+		ReadRepairFailures:  rt.readRepairFailures.Load(),
 		QuorumFailures:      rt.quorumFailures.Load(),
 		ReplicaSyncs:        rt.replicaSyncs.Load(),
 		ReplicaSyncFailures: rt.replicaSyncFailures.Load(),

@@ -373,13 +373,29 @@ func (s *Service) handleDatasetGet(w http.ResponseWriter, r *http.Request) error
 	if err != nil {
 		return err
 	}
+	raw := param(q, r.Header, "raw") == "1"
+	// Verify before serve. Both payload paths commit a 200 and then stream;
+	// corruption discovered mid-body could only truncate the response. A
+	// shallow verification pass up front (container structure + every chunk
+	// CRC — cheap next to the decompression that follows) turns stored rot
+	// into a typed 422 corrupt_dataset before the status goes out, which is
+	// what lets a replicated router fail over cleanly and repair this copy.
+	// The raw path pays it only on request (?verify=1): replica sync asks
+	// for it so corruption cannot propagate; plain clients keep a verbatim
+	// sendfile-speed copy, protected end-to-end by the manifest's
+	// ContainerHash instead.
+	if !raw || param(q, r.Header, "verify") == "1" {
+		if err := st.VerifyDataset(name, false); err != nil {
+			return err
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	s.count(&s.datasetGets, 1)
-	if param(q, r.Header, "raw") == "1" {
+	if raw {
 		// The stored container, verbatim: clients can random-access it with
 		// ReadStreamIndex/ReadStreamChunk without another server round trip.
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -737,9 +753,17 @@ const rawPutMaxManifest = 16 << 20
 //
 //   - target has no committed copy        -> admit
 //   - incoming is strictly newer          -> replace (CAS on the loaded base)
-//   - versions identical, same content    -> skip, 200 (idempotent repair)
+//   - versions identical, same content    -> skip, 200 (idempotent repair) —
+//     unless ?repair=1 AND the committed copy fails shallow verification,
+//     in which case the incoming bytes replace the rotten ones (201,
+//     X-RQM-Raw-Put: repaired). A corrupt container keeps its manifest, so
+//     without the re-check read-repair would be "skipped" into a no-op.
 //   - incoming older, or same-version but
 //     divergent content                   -> typed 409, nothing written
+//
+// The store additionally hashes the staged container against the incoming
+// manifest's ContainerHash, so a copy corrupted in flight is rejected
+// rather than committed.
 func (s *Service) handleDatasetRawPut(w http.ResponseWriter, r *http.Request) error {
 	st, err := s.requireStore()
 	if err != nil {
@@ -773,21 +797,38 @@ func (s *Service) handleDatasetRawPut(w http.ResponseWriter, r *http.Request) er
 			"raw put: manifest names %q, path names %q", m.Name, name)
 	}
 
+	repaired := false
 	cur, err := st.Manifest(name)
 	switch {
 	case errors.Is(err, store.ErrNotFound):
 		cur = nil
+	case (errors.Is(err, store.ErrManifestCorrupt) || errors.Is(err, store.ErrManifestVersion)) &&
+		param(r.URL.Query(), r.Header, "repair") == "1":
+		// A torn manifest leaves no trustworthy committed version to
+		// arbitrate against: a repair put overwrites the wreck outright
+		// instead of failing the way a plain read of it would.
+		cur = nil
+		repaired = true
 	case err != nil:
 		return err
 	}
 	if cur != nil {
 		sameVersion := cur.CreatedAt.Equal(m.CreatedAt) && cur.Generation == m.Generation
-		if sameVersion && cur.ContentHash == m.ContentHash {
-			// Idempotent repair: the replica already holds this exact version.
-			w.Header().Set("X-RQM-Raw-Put", "skipped")
-			return writeJSON(w, http.StatusOK, datasetInfo(cur))
-		}
-		if !manifestNewer(m, cur) {
+		switch {
+		case sameVersion && cur.ContentHash == m.ContentHash:
+			// The replica already holds this exact version. Trust it only as
+			// far as asked: with ?repair=1 the committed copy must pass
+			// shallow verification to earn the idempotent skip.
+			verr := error(nil)
+			if param(r.URL.Query(), r.Header, "repair") == "1" {
+				verr = st.VerifyDataset(name, false)
+			}
+			if verr == nil {
+				w.Header().Set("X-RQM-Raw-Put", "skipped")
+				return writeJSON(w, http.StatusOK, datasetInfo(cur))
+			}
+			repaired = true // fall through: same-version replace over the rot
+		case !manifestNewer(m, cur):
 			return errf(http.StatusConflict, "conflict",
 				"raw put: committed %q is generation %d (created %s), incoming generation %d (created %s) does not supersede it",
 				name, cur.Generation, cur.CreatedAt.Format(time.RFC3339Nano),
@@ -811,7 +852,11 @@ func (s *Service) handleDatasetRawPut(w http.ResponseWriter, r *http.Request) er
 		return putError(err)
 	}
 	s.count(&s.datasetRawPuts, 1)
-	w.Header().Set("X-RQM-Raw-Put", "stored")
+	if repaired {
+		w.Header().Set("X-RQM-Raw-Put", "repaired")
+	} else {
+		w.Header().Set("X-RQM-Raw-Put", "stored")
+	}
 	return writeJSON(w, http.StatusCreated, datasetInfo(committed))
 }
 

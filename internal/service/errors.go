@@ -58,6 +58,14 @@ func mapError(err error) (int, string, string) {
 	if errors.As(err, &ae) {
 		return ae.status, ae.code, ae.msg
 	}
+	// Stored-data corruption gets its own code, checked before the generic
+	// container mapping (a corrupt read wraps both sentinels): unlike a 422
+	// on client-supplied bytes, this one means THIS COPY of the dataset is
+	// rotten — a replicated reader should fail over and repair it; and
+	// unlike a 503, retrying the same shard will not help.
+	if errors.Is(err, store.ErrCorruptDataset) {
+		return http.StatusUnprocessableEntity, "corrupt_dataset", err.Error()
+	}
 	for _, m := range containerErrorCodes {
 		if errors.Is(err, m.is) {
 			return http.StatusUnprocessableEntity, m.code, err.Error()

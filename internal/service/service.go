@@ -128,6 +128,12 @@ type Service struct {
 	adaptiveSpaceRuns atomic.Int64
 	partitionRegions  atomic.Int64
 	partitionSplits   atomic.Int64
+
+	// Scrub job state (see scrub.go): one background integrity pass at a
+	// time, guarded by its own mutex — progress updates must not contend
+	// with the counter fast path.
+	scrubMu  sync.Mutex
+	scrubJob *scrubJob
 }
 
 // New builds a Service from cfg.
@@ -182,6 +188,11 @@ func New(cfg Config) (*Service, error) {
 		http.MethodDelete: {heavy: false, fn: s.handleDatasetDelete},
 	}))
 	s.mux.Handle("/v1/datasets/{name}/slice", s.handle(http.MethodGet, true, s.handleDatasetSlice))
+	// Integrity: POST starts one background scrub pass over the archive
+	// (progress via GET /v1/scrub/status). Registered as light endpoints —
+	// the pass itself runs outside the admission semaphore (see scrub.go).
+	s.mux.Handle("/v1/scrub", s.handle(http.MethodPost, false, s.handleScrubStart))
+	s.mux.Handle("/v1/scrub/status", s.handle(http.MethodGet, false, s.handleScrubStatus))
 	s.mux.Handle("/v1/datasets/{name}/recompact", s.handle(http.MethodPost, true, s.handleDatasetRecompact))
 	// Replication plumbing: a raw put admits an already-compressed container
 	// verbatim (manifest framed ahead of it), so replica repair and shard
@@ -433,6 +444,14 @@ type MetricsSnapshot struct {
 	AdaptiveSpaceRuns int64 `json:"adaptive_space_runs"`
 	PartitionRegions  int64 `json:"partition_regions"`
 	PartitionSplits   int64 `json:"partition_splits"`
+
+	// Integrity counters (zero without a store): scrub passes completed,
+	// chunk CRC verifications performed (scrub and verified reads), and
+	// datasets / bytes moved to quarantine.
+	ScrubRuns           int64 `json:"scrub_runs"`
+	ChunksVerified      int64 `json:"chunks_verified"`
+	DatasetsQuarantined int64 `json:"datasets_quarantined"`
+	BytesQuarantined    int64 `json:"bytes_quarantined"`
 }
 
 // count bumps one service counter by delta under the snapshot read-lock:
@@ -485,6 +504,8 @@ func (s *Service) Snapshot() MetricsSnapshot {
 		snap.StoreBytes, snap.Datasets = s.store.Bytes()
 		snap.StoreWrites = s.store.Writes()
 		snap.StoreChunkReads = s.store.ChunkReads()
+		snap.ScrubRuns, snap.ChunksVerified,
+			snap.DatasetsQuarantined, snap.BytesQuarantined = s.store.ScrubStats()
 	}
 	return snap
 }

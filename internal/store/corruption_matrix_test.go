@@ -1,0 +1,177 @@
+package store_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rqm/internal/faultfs"
+	"rqm/internal/store"
+)
+
+// The corruption matrix: flip a byte at every 101-byte stride of a committed
+// dataset's container and manifest, and pin the failure contract at each
+// offset. The stride is coprime with the container's structural periods
+// (22-byte chunk heads, 24-byte trailer entries, 8-byte floats), so
+// successive strides drift through every kind of span — header, chunk head,
+// payload, trailer, footer, JSON keys, base64 profile bytes.
+//
+// The contract, per flipped byte:
+//
+//   - No read or verification path may panic.
+//   - Any error surfaced must be typed: ErrCorruptDataset or the manifest's
+//     own sentinels — never a bare wrapping a caller can't match.
+//   - Deep verification must catch EVERY container flip: chunk payloads via
+//     CRC, everything else via the commit-time ContainerHash. (A manifest
+//     flip may instead parse cleanly when it lands in an unvalidated string
+//     value — allowed, as long as nothing lies typed-less or panics.)
+
+// typedCorruption reports whether err matches one of the integrity
+// sentinels a caller is entitled to switch on.
+func typedCorruption(err error) bool {
+	return errors.Is(err, store.ErrCorruptDataset) ||
+		errors.Is(err, store.ErrManifestCorrupt) ||
+		errors.Is(err, store.ErrManifestVersion)
+}
+
+func TestCorruptionMatrixContainer(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := putField(t, s, "matrix", testField(t, 2048), 256, 1e-4)
+	path, err := s.ContainerPath("matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := m.ContainerBytes
+	if size < 404 {
+		t.Fatalf("container only %d bytes — matrix needs several strides", size)
+	}
+
+	caught := 0
+	for off := int64(0); off < size; off += 101 {
+		if err := faultfs.CorruptFile(path, off); err != nil {
+			t.Fatal(err)
+		}
+
+		// Read paths: manifest load, range read. Must not panic; errors
+		// must be typed.
+		if _, merr := s.Manifest("matrix"); merr != nil {
+			t.Fatalf("offset %d: manifest read broke on a container flip: %v", off, merr)
+		}
+		if _, rerr := s.ReadRange("matrix", 0, m.TotalValues); rerr != nil && !typedCorruption(rerr) {
+			t.Fatalf("offset %d: untyped read error: %v", off, rerr)
+		}
+
+		// Shallow verification may miss spans no CRC covers, but when it
+		// fires it must be typed.
+		if verr := s.VerifyDataset("matrix", false); verr != nil && !typedCorruption(verr) {
+			t.Fatalf("offset %d: untyped shallow verify error: %v", off, verr)
+		}
+
+		// Deep verification must catch every single flip.
+		derr := s.VerifyDataset("matrix", true)
+		if derr == nil {
+			t.Fatalf("offset %d: deep verify missed a container flip", off)
+		}
+		if !typedCorruption(derr) {
+			t.Fatalf("offset %d: untyped deep verify error: %v", off, derr)
+		}
+		caught++
+
+		// Restore (XOR flip is an involution) and require full health back.
+		if err := faultfs.CorruptFile(path, off); err != nil {
+			t.Fatal(err)
+		}
+		if verr := s.VerifyDataset("matrix", true); verr != nil {
+			t.Fatalf("offset %d: dataset not restored after un-flip: %v", off, verr)
+		}
+	}
+	if caught < 4 {
+		t.Fatalf("matrix exercised only %d offsets", caught)
+	}
+}
+
+func TestCorruptionMatrixManifest(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	putField(t, s, "mmatrix", testField(t, 1024), 256, 1e-3)
+	mpath := filepath.Join(s.Dir(), "datasets", "mmatrix", store.ManifestFile)
+	fi, err := os.Stat(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := fi.Size()
+
+	typed, clean := 0, 0
+	for off := int64(0); off < size; off += 101 {
+		if err := faultfs.CorruptFile(mpath, off); err != nil {
+			t.Fatal(err)
+		}
+
+		_, merr := s.Manifest("mmatrix")
+		verr := s.VerifyDataset("mmatrix", true)
+		switch {
+		case merr == nil && verr == nil:
+			// The flip landed in an unvalidated string value: a clean parse
+			// is acceptable — the dataset still serves.
+			clean++
+		case merr != nil && !typedCorruption(merr):
+			t.Fatalf("offset %d: untyped manifest error: %v", off, merr)
+		case verr != nil && !typedCorruption(verr):
+			t.Fatalf("offset %d: untyped verify error: %v", off, verr)
+		default:
+			typed++
+		}
+
+		if err := faultfs.CorruptFile(mpath, off); err != nil {
+			t.Fatal(err)
+		}
+		if verr := s.VerifyDataset("mmatrix", true); verr != nil {
+			t.Fatalf("offset %d: dataset not restored after un-flip: %v", off, verr)
+		}
+	}
+	// The harness must actually bite: most manifest bytes are load-bearing.
+	if typed == 0 {
+		t.Fatal("no manifest flip produced a typed error")
+	}
+	t.Logf("manifest matrix: %d typed, %d clean parses over %d offsets", typed, clean, typed+clean)
+}
+
+// TestCorruptionMatrixScrubSweep runs one scrub per corrupted copy of the
+// SAME archive state (fault injected as a read view, so nothing needs
+// restoring) and pins that scrub itself never panics and always produces a
+// coherent report.
+func TestCorruptionMatrixScrubSweep(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := putField(t, s, "sweep", testField(t, 1024), 256, 1e-3)
+	ffs := faultfs.New()
+	s.SetReadFS(ffs)
+
+	for off := int64(0); off < m.ContainerBytes; off += 101 {
+		fault := faultfs.NewFault()
+		fault.FlipOffset = off
+		ffs.Set("sweep/"+store.ContainerFile, fault)
+		err := s.VerifyDataset("sweep", true)
+		if err == nil {
+			t.Fatalf("offset %d: deep verify missed an injected flip", off)
+		}
+		if !typedCorruption(err) {
+			t.Fatalf("offset %d: untyped: %v", off, err)
+		}
+	}
+	ffs.Reset()
+	if err := s.VerifyDataset("sweep", true); err != nil {
+		t.Fatalf("store damaged by injected views: %v", err)
+	}
+	if _, _, quarantined, _ := s.ScrubStats(); quarantined != 0 {
+		t.Fatalf("%d datasets quarantined — VerifyDataset must not quarantine", quarantined)
+	}
+}

@@ -116,7 +116,15 @@ type Manifest struct {
 	Partitioner string `json:"partitioner,omitempty"`
 	// ContentHash is the SHA-256 of the original (uncompressed) field bytes
 	// — the content address the profile cache keys generalize into an index.
+	// It identifies what the dataset IS; it cannot be recomputed from the
+	// lossy container, so it is an identity, not an integrity check.
 	ContentHash string `json:"content_hash"`
+	// ContainerHash is the SHA-256 of the container file's bytes, stamped by
+	// the store at commit time. It is the deep-scrub reference: a flipped
+	// byte anywhere in the stored container — stream header, chunk payloads,
+	// trailer, footer — changes it, including the spans per-chunk CRCs do
+	// not cover. Empty on manifests committed before the field existed.
+	ContainerHash string `json:"container_hash,omitempty"`
 	// TotalValues is the dataset's sample count.
 	TotalValues int64 `json:"total_values"`
 	// OriginalBytes and ContainerBytes give the achieved Ratio.
@@ -131,6 +139,21 @@ type Manifest struct {
 	// Profile is the cached ratio-quality profile (nil only for datasets
 	// stored without one).
 	Profile *ProfileRecord `json:"profile,omitempty"`
+}
+
+// isSHA256Hex reports whether s is a lowercase hex SHA-256 digest — the
+// only form the store and service ever write, so anything else in a hash
+// field is damage, not style.
+func isSHA256Hex(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, r := range s {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // corruptf builds an ErrManifestCorrupt with detail.
@@ -180,6 +203,12 @@ func ParseManifest(data []byte) (*Manifest, error) {
 	}
 	if m.ContainerBytes <= 0 || m.OriginalBytes <= 0 {
 		return nil, corruptf("container %d / original %d bytes", m.ContainerBytes, m.OriginalBytes)
+	}
+	if m.ContentHash != "" && !isSHA256Hex(m.ContentHash) {
+		return nil, corruptf("content_hash %q is not a SHA-256 hex digest", m.ContentHash)
+	}
+	if m.ContainerHash != "" && !isSHA256Hex(m.ContainerHash) {
+		return nil, corruptf("container_hash %q is not a SHA-256 hex digest", m.ContainerHash)
 	}
 	if len(m.Chunks) == 0 {
 		return nil, corruptf("no chunk index")

@@ -73,6 +73,15 @@ func FuzzManifest(f *testing.F) {
 	f.Add([]byte(strings.Replace(string(valid), `"predictor":"lorenzo"`, `"predictor":"warp-drive"`, 1)))
 	f.Add([]byte(strings.Replace(string(valid), `"errors_b64":"`, `"errors_b64":"!!!`, 1)))
 	f.Add([]byte(strings.Replace(string(valid), `"prec_bits":64`, `"prec_bits":48`, 1)))
+	// Container-hash variants: valid, non-hex, wrong length. The scrubber
+	// trusts this field as its deep reference, so a parse must either accept
+	// a well-formed digest or reject typed — never let junk through.
+	f.Add([]byte(strings.Replace(string(valid), `"name":"fuzz-seed"`,
+		`"name":"fuzz-seed","container_hash":"`+strings.Repeat("ab", 32)+`"`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"name":"fuzz-seed"`,
+		`"name":"fuzz-seed","container_hash":"`+strings.Repeat("zz", 32)+`"`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"name":"fuzz-seed"`,
+		`"name":"fuzz-seed","container_hash":"abcd"`, 1)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := store.ParseManifest(data) // must never panic
@@ -91,7 +100,8 @@ func FuzzManifest(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-marshaled manifest rejected: %v", err)
 		}
-		if m2.Name != m.Name || m2.TotalValues != m.TotalValues || len(m2.Chunks) != len(m.Chunks) {
+		if m2.Name != m.Name || m2.TotalValues != m.TotalValues || len(m2.Chunks) != len(m.Chunks) ||
+			m2.ContainerHash != m.ContainerHash {
 			t.Fatalf("round trip changed identity: %+v vs %+v", m2, m)
 		}
 		// A present profile must either rebuild or fail typed.

@@ -1,0 +1,344 @@
+// Integrity scrubbing: the background pass that turns "a flipped byte is
+// discovered lazily at read time" into "a flipped byte is found, typed, and
+// quarantined before a reader trips on it".
+//
+// Verification has two depths. The shallow pass re-frames the container
+// against its own trailer index, cross-checks that index against the
+// manifest's chunk records (two independently stored copies of the chunk
+// geometry must agree exactly), and CRC-verifies every chunk payload. The
+// deep pass additionally decodes every chunk through the codec registry and
+// re-hashes the whole container file against the manifest's ContainerHash —
+// the only check that covers spans no CRC does (the stream header, the
+// chunk record heads themselves). ContentHash is deliberately NOT part of
+// either pass: it fingerprints the original uncompressed field, which a
+// lossy container cannot reproduce — it is an identity, not a checksum.
+//
+// A dataset that fails verification is moved wholesale to quarantine/ under
+// the publish lock (same single-rename discipline as Put), where it stays
+// addressable for forensics but invisible to every reader — a quarantined
+// name answers ErrNotFound, which is exactly what lets a replicated tier
+// re-replicate a good copy over the slot.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"rqm/internal/codec"
+)
+
+// QuarantineDir is the directory under the store root where scrub parks
+// corrupt datasets.
+const QuarantineDir = "quarantine"
+
+// ErrScrubCorrupt marks a dataset a scrub pass found corrupt and moved to
+// quarantine/. It wraps ErrCorruptDataset, so errors.Is against either
+// sentinel matches.
+var ErrScrubCorrupt = fmt.Errorf("%w: failed scrub verification", ErrCorruptDataset)
+
+// ScrubOptions configures one scrub pass.
+type ScrubOptions struct {
+	// Deep additionally decodes every chunk and re-hashes the container
+	// against the manifest's ContainerHash. Roughly the cost of reading
+	// every dataset end to end, vs the shallow pass's CRC-only sweep.
+	Deep bool
+	// Progress, when set, is called after each dataset is scrubbed.
+	Progress func(scanned, total int, name string)
+}
+
+// ScrubIssue records one dataset a scrub pass could not verify.
+type ScrubIssue struct {
+	Name   string `json:"name"`
+	Reason string `json:"reason"`
+	// Bytes is the dataset's on-disk footprint when the issue was found.
+	Bytes int64 `json:"bytes"`
+	// Quarantined reports whether the dataset was moved to quarantine/.
+	// False when the failure was an I/O error rather than proven corruption,
+	// or when the dataset was replaced concurrently (the new version is not
+	// the one that failed).
+	Quarantined bool `json:"quarantined"`
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	Deep                bool         `json:"deep"`
+	Datasets            int          `json:"datasets"`
+	ChunksVerified      int64        `json:"chunks_verified"`
+	BytesScanned        int64        `json:"bytes_scanned"`
+	BytesVerified       int64        `json:"bytes_verified"`
+	DatasetsQuarantined int          `json:"datasets_quarantined"`
+	BytesQuarantined    int64        `json:"bytes_quarantined"`
+	Issues              []ScrubIssue `json:"issues,omitempty"`
+	StartedAt           time.Time    `json:"started_at"`
+	FinishedAt          time.Time    `json:"finished_at"`
+}
+
+// ScrubStats reports the store's cumulative integrity counters since Open:
+// scrub passes completed, chunk CRC verifications performed, and datasets /
+// bytes moved to quarantine.
+func (s *Store) ScrubStats() (runs, chunksVerified, datasetsQuarantined, bytesQuarantined int64) {
+	return s.scrubRuns.Load(), s.chunksVerified.Load(),
+		s.quarantined.Load(), s.quarantinedBytes.Load()
+}
+
+// Scrub walks every dataset directory — including ones List would skip for
+// an unparseable manifest, which is precisely a corruption scrub must catch
+// — verifies each (see VerifyDataset), and quarantines the ones that fail.
+// The walk itself never fails a pass: per-dataset problems are reported as
+// Issues, and an error return means the archive could not be enumerated at
+// all.
+func (s *Store) Scrub(opts ScrubOptions) (*ScrubReport, error) {
+	rep := &ScrubReport{Deep: opts.Deep, StartedAt: time.Now().UTC()}
+	entries, err := os.ReadDir(filepath.Join(s.root, "datasets"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		// Dot-prefixed entries are the replacement protocol's parked copies,
+		// not committed datasets.
+		if e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
+			names = append(names, e.Name())
+		}
+	}
+	for i, name := range names {
+		s.scrubDataset(name, opts.Deep, rep)
+		if opts.Progress != nil {
+			opts.Progress(i+1, len(names), name)
+		}
+	}
+	rep.FinishedAt = time.Now().UTC()
+	s.scrubRuns.Add(1)
+	return rep, nil
+}
+
+// VerifyDataset re-verifies one committed dataset without touching
+// quarantine: manifest parse + schema check, trailer index vs manifest
+// chunk records, per-chunk CRC; deep adds a full decode of every chunk and
+// the container SHA-256 against ContainerHash. Failures wrap
+// ErrCorruptDataset (or the manifest's own typed errors).
+func (s *Store) VerifyDataset(name string, deep bool) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	_, _, err := s.verifyDataset(name, deep)
+	return err
+}
+
+// scrubDataset verifies one dataset and folds the outcome into the report,
+// quarantining on proven corruption.
+func (s *Store) scrubDataset(name string, deep bool, rep *ScrubReport) {
+	size := s.datasetSize(name)
+	rep.Datasets++
+	rep.BytesScanned += size
+	raw, chunks, err := s.verifyDataset(name, deep)
+	rep.ChunksVerified += chunks
+	switch {
+	case err == nil:
+		rep.BytesVerified += size
+	case errors.Is(err, ErrNotFound):
+		// Deleted while the pass was running — not this archive's problem.
+		rep.Datasets--
+		rep.BytesScanned -= size
+	case errors.Is(err, ErrCorruptDataset),
+		errors.Is(err, ErrManifestCorrupt),
+		errors.Is(err, ErrManifestVersion):
+		issue := ScrubIssue{
+			Name:   name,
+			Reason: fmt.Errorf("%w: %v", ErrScrubCorrupt, err).Error(),
+			Bytes:  size,
+		}
+		if qerr := s.quarantine(name, raw); qerr == nil {
+			issue.Quarantined = true
+			rep.DatasetsQuarantined++
+			rep.BytesQuarantined += size
+		}
+		rep.Issues = append(rep.Issues, issue)
+	default:
+		// An I/O failure is not proven corruption: report it, leave the
+		// dataset in place for the next pass.
+		rep.Issues = append(rep.Issues, ScrubIssue{Name: name, Reason: err.Error(), Bytes: size})
+	}
+}
+
+// verifyDataset checks one dataset and returns the raw manifest bytes it
+// verified against (the identity quarantine later re-checks) plus the number
+// of chunks that passed CRC before any failure.
+func (s *Store) verifyDataset(name string, deep bool) (raw []byte, chunks int64, err error) {
+	dir := s.datasetDir(name)
+	raw, err = s.fs.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// The manifest is the commit record. A directory holding a
+			// container without one is interrupted-delete debris — corrupt as
+			// a dataset, since nothing can ever read it again.
+			if _, cerr := os.Stat(filepath.Join(dir, ContainerFile)); cerr == nil {
+				return nil, 0, fmt.Errorf("%w: %q: container present but manifest missing", ErrCorruptDataset, name)
+			}
+			return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	m, err := ParseManifest(raw)
+	if err != nil {
+		return raw, 0, err // typed ErrManifestCorrupt / ErrManifestVersion
+	}
+	if m.Name != name {
+		return raw, 0, fmt.Errorf("%w: %q: manifest names %q", ErrCorruptDataset, name, m.Name)
+	}
+	chunks, err = s.verifyContainer(name, m, deep)
+	return raw, chunks, err
+}
+
+// verifyContainer runs the container-side checks for one dataset.
+func (s *Store) verifyContainer(name string, m *Manifest, deep bool) (int64, error) {
+	f, err := s.fs.Open(filepath.Join(s.datasetDir(name), ContainerFile))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, fmt.Errorf("%w: %q: manifest committed but container missing", ErrCorruptDataset, name)
+		}
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	if size != m.ContainerBytes {
+		return 0, fmt.Errorf("%w: %q: container is %d bytes on disk, manifest records %d",
+			ErrCorruptDataset, name, size, m.ContainerBytes)
+	}
+
+	// Structural pass: LoadIndex re-parses the stream header, footer, and
+	// trailer (trailer payload is itself CRC-protected), then the trailer
+	// index must agree with the manifest's chunk records entry for entry.
+	idx, err := codec.LoadIndex(f)
+	if err != nil {
+		return 0, corruptRead(name, err)
+	}
+	if len(idx.Entries) != len(m.Chunks) {
+		return 0, fmt.Errorf("%w: %q: trailer indexes %d chunks, manifest records %d",
+			ErrCorruptDataset, name, len(idx.Entries), len(m.Chunks))
+	}
+	if idx.TotalValues != m.TotalValues {
+		return 0, fmt.Errorf("%w: %q: trailer totals %d values, manifest records %d",
+			ErrCorruptDataset, name, idx.TotalValues, m.TotalValues)
+	}
+	for i, e := range idx.Entries {
+		c := m.Chunks[i]
+		if e.Offset != c.Offset || int(e.Values) != c.Values ||
+			int(e.RecordBytes) != c.RecordBytes || e.AbsBound != c.AbsBound {
+			return 0, fmt.Errorf("%w: %q: chunk %d: trailer index and manifest record disagree",
+				ErrCorruptDataset, name, i)
+		}
+	}
+
+	// Payload pass: ReadChunkAt re-frames each record and verifies the CRC
+	// its head declares (codec.VerifyChunk); deep additionally decodes.
+	var verified int64
+	for i, e := range idx.Entries {
+		c, err := codec.ReadChunkAt(f, e)
+		if err != nil {
+			return verified, corruptRead(name, err)
+		}
+		if deep {
+			vals, err := codec.DecodeChunk(c)
+			if err != nil {
+				return verified, corruptRead(name, err)
+			}
+			if len(vals) != int(e.Values) {
+				return verified, fmt.Errorf("%w: %q: chunk %d decodes to %d values, index declares %d",
+					ErrCorruptDataset, name, i, len(vals), e.Values)
+			}
+		}
+		verified++
+		s.chunksVerified.Add(1)
+	}
+
+	// Whole-file pass (deep only): the SHA-256 stamped at commit covers the
+	// bytes no chunk CRC does. Manifests from before the field existed have
+	// no reference hash and skip this check.
+	if deep && m.ContainerHash != "" {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return verified, fmt.Errorf("store: %w", err)
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return verified, fmt.Errorf("store: %w", err)
+		}
+		if sum := hex.EncodeToString(h.Sum(nil)); sum != m.ContainerHash {
+			return verified, fmt.Errorf("%w: %q: container hashes to %s, manifest records %s",
+				ErrCorruptDataset, name, sum, m.ContainerHash)
+		}
+	}
+	return verified, nil
+}
+
+// quarantine moves a corrupt dataset directory out of datasets/ into
+// quarantine/ with one rename, under the publish lock. rawManifest is the
+// manifest the failed verification read; if the committed manifest no
+// longer matches it byte for byte, the dataset was replaced mid-scrub and
+// the (new, unverified-but-not-failed) version is left alone with
+// ErrConflict. A name already in quarantine gets a ".N" suffix rather than
+// overwriting earlier evidence.
+func (s *Store) quarantine(name string, rawManifest []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.datasetDir(name)
+	if _, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	cur, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	switch {
+	case rawManifest == nil && err == nil,
+		rawManifest != nil && (err != nil || !bytes.Equal(cur, rawManifest)):
+		return fmt.Errorf("%w: %q", ErrConflict, name)
+	}
+	size := s.datasetSize(name)
+	hadManifest := err == nil
+	dst := filepath.Join(s.root, QuarantineDir, name)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dst = filepath.Join(s.root, QuarantineDir, name+"."+strconv.Itoa(i))
+	}
+	if err := os.Rename(dir, dst); err != nil {
+		return fmt.Errorf("store: quarantining %q: %w", name, err)
+	}
+	syncDir(filepath.Join(s.root, "datasets"))
+	syncDir(filepath.Join(s.root, QuarantineDir))
+	s.bytesStored.Add(-size)
+	if hadManifest {
+		s.datasetCount.Add(-1)
+	}
+	s.quarantined.Add(1)
+	s.quarantinedBytes.Add(size)
+	return nil
+}
+
+// corruptRead wraps a chunk read/decode failure in ErrCorruptDataset when
+// the cause is a container-integrity failure — CRC mismatch, torn record,
+// bad framing — so the serving layer can answer with a typed
+// corrupt_dataset error and a replicated reader can fail over and repair
+// this copy. Non-integrity failures keep their plain store wrapping.
+func corruptRead(name string, err error) error {
+	for _, sentinel := range []error{
+		codec.ErrChecksum, codec.ErrCorrupt, codec.ErrTruncated,
+		codec.ErrBadMagic, codec.ErrUnsupportedVersion, codec.ErrUnknownCodec,
+	} {
+		if errors.Is(err, sentinel) {
+			return fmt.Errorf("%w: %q: %w", ErrCorruptDataset, name, err)
+		}
+	}
+	return fmt.Errorf("store: dataset %q: %w", name, err)
+}

@@ -16,6 +16,7 @@
 //	datasets/<name>/data.rqz       chunked container (envelope v2)
 //	datasets/<name>/manifest.json  manifest, written last
 //	tmp/                           staging area, wiped at Open
+//	quarantine/<name>              corrupt datasets parked by Scrub
 //
 // Write protocol (Put): stage a complete dataset directory under tmp/ —
 // container first, fsynced, then the manifest via its own temp file +
@@ -31,6 +32,8 @@
 package store
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -56,6 +59,13 @@ var (
 	// ErrConflict marks a Replace whose base version is no longer the
 	// committed one (the dataset was re-put or deleted mid-flight).
 	ErrConflict = errors.New("store: dataset changed concurrently")
+	// ErrCorruptDataset marks stored bytes that fail integrity verification:
+	// a chunk CRC trip on a read, a container that contradicts its manifest,
+	// a hash that no longer matches. Distinct from ErrManifestCorrupt (the
+	// manifest itself is unreadable) and from availability errors, so a
+	// replicated reader can tell "this copy is rotten — fail over and repair
+	// it" apart from "this shard is down".
+	ErrCorruptDataset = errors.New("store: corrupt dataset")
 )
 
 // ContainerFile and ManifestFile are the fixed file names inside a dataset
@@ -69,6 +79,31 @@ const (
 // cleanup. The leading dot keeps it outside ValidateName, so readers can
 // never address it; Open's recovery pass resolves any leftovers.
 const oldPrefix = ".old."
+
+// ReadFS abstracts the store's read-side file access so tests can interpose
+// fault injection (see internal/faultfs). Only the read path is hooked: the
+// write/publish protocol's crash safety is about rename ordering and fsync,
+// which faultfs exercises by corrupting committed files instead.
+type ReadFS interface {
+	Open(path string) (io.ReadSeekCloser, error)
+	ReadFile(path string) ([]byte, error)
+}
+
+// osFS is the real filesystem — the default ReadFS.
+type osFS struct{}
+
+func (osFS) Open(path string) (io.ReadSeekCloser, error) { return os.Open(path) }
+func (osFS) ReadFile(path string) ([]byte, error)        { return os.ReadFile(path) }
+
+// SetReadFS replaces the store's read-side filesystem hook; nil restores the
+// real one. Fault-injection tests swap in an interposer before issuing
+// reads; swapping is not synchronized against in-flight operations.
+func (s *Store) SetReadFS(fs ReadFS) {
+	if fs == nil {
+		fs = osFS{}
+	}
+	s.fs = fs
+}
 
 // ValidateName checks a dataset name: 1..128 bytes of [A-Za-z0-9._-], not
 // starting with a dot — path-safe on every platform, no traversal, no
@@ -94,7 +129,8 @@ func ValidateName(name string) error {
 // share a store root.
 type Store struct {
 	root string
-	mu   sync.Mutex // serializes Put/Delete publishing
+	mu   sync.Mutex // serializes Put/Delete/quarantine publishing
+	fs   ReadFS     // read-side file access (SetReadFS interposes faults)
 
 	writes     atomic.Int64 // container (re)writes committed
 	chunkReads atomic.Int64 // chunks decompressed by ReadRange
@@ -104,6 +140,13 @@ type Store struct {
 	// never re-reads manifests.
 	bytesStored  atomic.Int64
 	datasetCount atomic.Int64
+
+	// Integrity counters (see scrub.go): scrub passes completed, chunk CRC
+	// verifications performed, datasets and bytes moved to quarantine/.
+	scrubRuns        atomic.Int64
+	chunksVerified   atomic.Int64
+	quarantined      atomic.Int64
+	quarantinedBytes atomic.Int64
 }
 
 // Open initializes the archive at root, creating the layout if needed,
@@ -116,7 +159,7 @@ func Open(root string) (*Store, error) {
 	if root == "" {
 		return nil, errors.New("store: empty root directory")
 	}
-	for _, d := range []string{root, filepath.Join(root, "datasets")} {
+	for _, d := range []string{root, filepath.Join(root, "datasets"), filepath.Join(root, QuarantineDir)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -128,7 +171,7 @@ func Open(root string) (*Store, error) {
 	if err := os.MkdirAll(tmp, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{root: root}
+	s := &Store{root: root, fs: osFS{}}
 	if err := s.recoverParked(); err != nil {
 		return nil, err
 	}
@@ -218,9 +261,9 @@ func (s *Store) Manifest(name string) (*Manifest, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(filepath.Join(s.datasetDir(name), ManifestFile))
+	data, err := s.fs.ReadFile(filepath.Join(s.datasetDir(name), ManifestFile))
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 		}
 		return nil, fmt.Errorf("store: %w", err)
@@ -364,7 +407,13 @@ func (s *Store) stageDataset(stage, name string, build func(w io.Writer) (*Manif
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	m, err := build(cf)
+	// Tee the container bytes through SHA-256 as they are staged: the digest
+	// becomes the manifest's ContainerHash (the deep-scrub reference), and
+	// when the incoming manifest already carries one — a replica transfer —
+	// the staged bytes must reproduce it, an end-to-end check that a copy
+	// arrived intact.
+	hasher := sha256.New()
+	m, err := build(io.MultiWriter(cf, hasher))
 	if err == nil {
 		err = cf.Sync()
 	}
@@ -397,6 +446,12 @@ func (s *Store) stageDataset(stage, name string, build func(w io.Writer) (*Manif
 	m.TotalValues = idx.TotalValues
 	m.ChunkValues = idx.Header.ChunkValues
 	m.ContainerBytes = size
+	sum := hex.EncodeToString(hasher.Sum(nil))
+	if m.ContainerHash != "" && m.ContainerHash != sum {
+		return nil, fmt.Errorf("%w: %q: staged container hashes to %s, manifest declares %s",
+			ErrCorruptDataset, name, sum, m.ContainerHash)
+	}
+	m.ContainerHash = sum
 	if m.OriginalBytes > 0 {
 		m.Ratio = float64(m.OriginalBytes) / float64(size)
 	}
@@ -461,7 +516,7 @@ func (s *Store) ReadRangeWith(m *Manifest, off, n int64) ([]float64, error) {
 	if off < 0 || n <= 0 || off > m.TotalValues || n > m.TotalValues-off {
 		return nil, fmt.Errorf("%w: [%d, %d) of %d values", ErrBadRange, off, off+n, m.TotalValues)
 	}
-	f, err := os.Open(filepath.Join(s.datasetDir(name), ContainerFile))
+	f, err := s.fs.Open(filepath.Join(s.datasetDir(name), ContainerFile))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -480,11 +535,11 @@ func (s *Store) ReadRangeWith(m *Manifest, off, n int64) ([]float64, error) {
 		}
 		c, err := codec.ReadChunkAt(f, e)
 		if err != nil {
-			return nil, fmt.Errorf("store: dataset %q: %w", name, err)
+			return nil, corruptRead(name, err)
 		}
 		vals, err := codec.DecodeChunk(c)
 		if err != nil {
-			return nil, fmt.Errorf("store: dataset %q: %w", name, err)
+			return nil, corruptRead(name, err)
 		}
 		s.chunkReads.Add(1)
 		lo, hi := int64(0), int64(len(vals))

@@ -75,3 +75,36 @@ func BenchmarkStoreRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStoreScrub measures one full shallow scrub of the archive — the
+// cost of a background integrity pass: manifest parse, trailer-vs-manifest
+// index reconciliation, and a CRC walk over every chunk. This is the
+// recurring price of the integrity layer, so it is pinned in the bench
+// baseline alongside the round trip.
+func BenchmarkStoreScrub(b *testing.B) {
+	st, eng, f, man := storeBenchSetup(b)
+	if _, err := st.Put("bench", func(w io.Writer) (*store.Manifest, error) {
+		sw, err := eng.NewFieldStreamWriter(w, f, rqm.WithChunkSize(64*1024))
+		if err != nil {
+			return nil, err
+		}
+		if err := sw.WriteValues(f.Data); err != nil {
+			return nil, err
+		}
+		return man, sw.Close()
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(f.OriginalBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := st.Scrub(store.ScrubOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Issues) != 0 {
+			b.Fatalf("scrub found issues on a clean archive: %+v", rep.Issues)
+		}
+	}
+}
