@@ -40,6 +40,12 @@ type PutDatasetParams struct {
 	// SampleRate and Seed configure the cached profile's sampling pass.
 	SampleRate float64
 	Seed       uint64
+	// Exact also stores a lossless residual layer alongside the lossy
+	// container, so the dataset can serve bit-exact reads (GetDatasetExact).
+	Exact bool
+	// ResidualBackend picks the residual entropy coder by name (empty =
+	// server default); only meaningful with Exact.
+	ResidualBackend string
 }
 
 func (p PutDatasetParams) query() url.Values {
@@ -64,6 +70,10 @@ func (p PutDatasetParams) query() url.Values {
 	}
 	if p.Seed > 0 {
 		q.Set("seed", strconv.FormatUint(p.Seed, 10))
+	}
+	if p.Exact {
+		q.Set("exact", "1")
+		set("residual-backend", p.ResidualBackend)
 	}
 	return q
 }
@@ -96,6 +106,57 @@ func (c *Client) GetDataset(ctx context.Context, name string, out io.Writer) err
 		return fmt.Errorf("client: reading dataset stream: %w", err)
 	}
 	return nil
+}
+
+// GetDatasetExact streams the dataset's lossless tier: the original field
+// bit for bit, reconstructed server-side from the lossy base plus the
+// residual layer and verified against the stored original hash before the
+// first byte is sent. Datasets without a residual layer (put without Exact,
+// or demoted) answer a typed 409 no_residual.
+func (c *Client) GetDatasetExact(ctx context.Context, name string, out io.Writer) error {
+	q := url.Values{}
+	q.Set("exact", "1")
+	resp, err := c.get(ctx, datasetPath(name), q)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		return fmt.Errorf("client: reading exact dataset stream: %w", err)
+	}
+	return nil
+}
+
+// PromoteDataset adds a lossless residual layer to a committed dataset. The
+// original field must be supplied — the server proves the bytes reproduce
+// the dataset's content hash before building the residual, so a promotion
+// can never install a layer that "restores" to the wrong data.
+func (c *Client) PromoteDataset(ctx context.Context, name string, original io.Reader) (*DatasetInfo, error) {
+	resp, err := c.post(ctx, datasetPath(name)+"/promote", nil, original)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var info DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("client: decoding promote response: %w", err)
+	}
+	return &info, nil
+}
+
+// DemoteDataset drops a dataset's residual layer, keeping the lossy base.
+// Demoting a dataset with no residual is an idempotent no-op.
+func (c *Client) DemoteDataset(ctx context.Context, name string) (*DatasetInfo, error) {
+	resp, err := c.post(ctx, datasetPath(name)+"/demote", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var info DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("client: decoding demote response: %w", err)
+	}
+	return &info, nil
 }
 
 // GetDatasetContainer streams the stored dataset's compressed container
@@ -158,9 +219,23 @@ func (c *Client) DeleteDataset(ctx context.Context, name string) error {
 // SliceDataset streams elements [off, off+n) of a stored dataset as a 1-D
 // .rqmf field. The server decompresses only the chunks covering the range.
 func (c *Client) SliceDataset(ctx context.Context, name string, off, n int64, out io.Writer) error {
+	return c.slice(ctx, name, off, n, false, out)
+}
+
+// SliceDatasetExact is SliceDataset at the lossless tier: the range comes
+// back bit-identical to the original field, reconstructed from only the
+// chunks (and residual blocks) covering it.
+func (c *Client) SliceDatasetExact(ctx context.Context, name string, off, n int64, out io.Writer) error {
+	return c.slice(ctx, name, off, n, true, out)
+}
+
+func (c *Client) slice(ctx context.Context, name string, off, n int64, exact bool, out io.Writer) error {
 	q := url.Values{}
 	q.Set("off", strconv.FormatInt(off, 10))
 	q.Set("len", strconv.FormatInt(n, 10))
+	if exact {
+		q.Set("exact", "1")
+	}
 	resp, err := c.get(ctx, datasetPath(name)+"/slice", q)
 	if err != nil {
 		return err

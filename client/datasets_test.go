@@ -120,6 +120,80 @@ func TestDatasetClientEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDatasetClientExactLifecycle drives the progressive-quality methods:
+// exact put, bit-exact get and slice, demote, promote, and the typed 409 a
+// lossy dataset answers exact reads with.
+func TestDatasetClientExactLifecycle(t *testing.T) {
+	c := newDatasetClient(t)
+	ctx := context.Background()
+	f, body := fieldBytes(t)
+
+	info, err := c.PutDataset(ctx, "exact", bytes.NewReader(body), PutDatasetParams{
+		Mode: "rel", ErrorBound: 1e-3, ChunkValues: 1024, Exact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Exact || info.ResidualBytes == 0 {
+		t.Fatalf("exact put info %+v — no residual recorded", info)
+	}
+
+	var got bytes.Buffer
+	if err := c.GetDatasetExact(ctx, "exact", &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), body) {
+		t.Fatal("exact get is not the original bytes")
+	}
+
+	var slice bytes.Buffer
+	if err := c.SliceDatasetExact(ctx, "exact", 200, 77, &slice); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := grid.ReadFrom(&slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 77; i++ {
+		if sf.Data[i] != f.Data[200+i] {
+			t.Fatalf("exact slice[%d] differs from the original", i)
+		}
+	}
+
+	// Demote drops the layer: exact reads answer the typed 409, the lossy
+	// tier keeps serving.
+	dinfo, err := c.DemoteDataset(ctx, "exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dinfo.Exact || dinfo.Generation != info.Generation+1 {
+		t.Fatalf("demote info %+v", dinfo)
+	}
+	var ae *APIError
+	if err := c.GetDatasetExact(ctx, "exact", &bytes.Buffer{}); !errors.As(err, &ae) || ae.Code != "no_residual" {
+		t.Fatalf("exact get after demote: %v", err)
+	}
+	if err := c.GetDataset(ctx, "exact", &bytes.Buffer{}); err != nil {
+		t.Fatalf("lossy get after demote: %v", err)
+	}
+
+	// Promote with the true original restores the exact tier.
+	pinfo, err := c.PromoteDataset(ctx, "exact", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pinfo.Exact || pinfo.ResidualBytes == 0 {
+		t.Fatalf("promote info %+v", pinfo)
+	}
+	got.Reset()
+	if err := c.GetDatasetExact(ctx, "exact", &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), body) {
+		t.Fatal("exact get after promote is not the original bytes")
+	}
+}
+
 // TestRetryOn429 pins the idempotent-retry policy: GETs retry the typed
 // admission rejection with backoff until an attempt succeeds, POSTs never
 // retry, and a capped client gives up with the original *APIError.

@@ -30,16 +30,24 @@
 // Against a rqserved instance started with -store-dir, the dataset
 // subcommands manage the persistent archive:
 //
-//	rqc put       -remote URL -name nyx -in field.rqmf [-mode rel -eb 1e-3 -chunk N]
-//	rqc get       -remote URL -name nyx -out field.rqmf [-off 1000 -len 500] [-raw]
+//	rqc put       -remote URL -name nyx -in field.rqmf [-mode rel -eb 1e-3 -chunk N] [-exact]
+//	rqc get       -remote URL -name nyx -out field.rqmf [-off 1000 -len 500] [-raw] [-exact]
 //	rqc ls        -remote URL
 //	rqc rm        -remote URL -name nyx
 //	rqc recompact -remote URL -name nyx -target-ratio 40 | -target-psnr 60 [-adaptive-space]
+//	rqc promote   -remote URL -name nyx -in field.rqmf
+//	rqc demote    -remote URL -name nyx
 //
 // put profiles the field once server-side and stores the container with its
 // cached ratio-quality profile; get -off/-len slice-reads only the covering
 // chunks; recompact re-solves the cached model for the target and skips the
 // rewrite when the model says it is already met.
+//
+// put -exact additionally stores a lossless residual layer, so get -exact
+// (whole dataset or a slice) returns the original bit for bit. promote adds
+// the layer to an existing lossy dataset (the body must be the true
+// original — it is verified against the dataset's content hash); demote
+// drops it, keeping the lossy base.
 //
 // compress prints the run statistics; with -verify it also decompresses and
 // checks the error bound end to end.
@@ -84,6 +92,10 @@ func main() {
 		cmdRm(os.Args[2:])
 	case "recompact":
 		cmdRecompact(os.Args[2:])
+	case "promote":
+		cmdPromote(os.Args[2:])
+	case "demote":
+		cmdDemote(os.Args[2:])
 	case "cluster":
 		cmdCluster(os.Args[2:])
 	case "rebalance":
@@ -96,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rqc compress|decompress|inspect|put|get|ls|rm|recompact|scrub|cluster|rebalance [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rqc compress|decompress|inspect|put|get|ls|rm|recompact|promote|demote|scrub|cluster|rebalance [flags]")
 	os.Exit(2)
 }
 
@@ -665,10 +677,15 @@ func cmdPut(args []string) {
 		chunk     = fs.Int("chunk", 0, "chunk size in values (0 = default)")
 		sample    = fs.Float64("sample", 0, "profile sampling rate (0 = server default)")
 		seed      = fs.Uint64("seed", 0, "profile sampling seed (0 = server default)")
+		exact     = fs.Bool("exact", false, "also store a lossless residual layer for bit-exact reads")
+		resBack   = fs.String("residual-backend", "", "residual entropy coder (with -exact; empty = server default)")
 	)
 	must(fs.Parse(args))
 	if *name == "" || *in == "" {
 		fatal(fmt.Errorf("put: -name and -in are required"))
+	}
+	if *resBack != "" && !*exact {
+		fatal(fmt.Errorf("put: -residual-backend needs -exact"))
 	}
 	c := storeClient(*remote)
 	src, err := os.Open(*in)
@@ -678,11 +695,17 @@ func cmdPut(args []string) {
 		client.PutDatasetParams{
 			Codec: *codecName, Predictor: *predName, Mode: *mode, Lossless: *lossless,
 			ErrorBound: *eb, ChunkValues: *chunk, SampleRate: *sample, Seed: *seed,
+			Exact: *exact, ResidualBackend: *resBack,
 		})
 	must(err)
 	fmt.Printf("put %s: %d values in %d chunks, %d -> %d bytes (ratio %.2fx, %s %g, est PSNR %.2f dB)\n",
 		info.Name, info.TotalValues, info.Chunks, info.OriginalBytes, info.ContainerBytes,
 		info.Ratio, info.Mode, info.ErrorBound, float64(info.EstPSNR))
+	if info.Exact {
+		fmt.Printf("  exact tier: %d residual bytes (%s), lossy+residual = %.1f%% of the original\n",
+			info.ResidualBytes, info.ResidualBackend,
+			100*float64(info.ContainerBytes+info.ResidualBytes)/float64(info.OriginalBytes))
+	}
 }
 
 func cmdGet(args []string) {
@@ -694,6 +717,7 @@ func cmdGet(args []string) {
 		off    = fs.Int64("off", 0, "slice start element (with -len)")
 		length = fs.Int64("len", 0, "slice length in elements (0 = whole dataset)")
 		raw    = fs.Bool("raw", false, "fetch the compressed container instead of the field")
+		exact  = fs.Bool("exact", false, "read the lossless tier: the original bit for bit (needs a residual layer)")
 	)
 	must(fs.Parse(args))
 	if *name == "" || *out == "" {
@@ -702,15 +726,22 @@ func cmdGet(args []string) {
 	if *raw && *length > 0 {
 		fatal(fmt.Errorf("get: -raw and -len are mutually exclusive"))
 	}
+	if *raw && *exact {
+		fatal(fmt.Errorf("get: -raw and -exact are mutually exclusive"))
+	}
 	c := storeClient(*remote)
 	dst, err := os.Create(*out)
 	must(err)
 	bw := bufio.NewWriterSize(dst, 1<<20)
 	switch {
+	case *length > 0 && *exact:
+		err = c.SliceDatasetExact(context.Background(), *name, *off, *length, bw)
 	case *length > 0:
 		err = c.SliceDataset(context.Background(), *name, *off, *length, bw)
 	case *raw:
 		err = c.GetDatasetContainer(context.Background(), *name, bw)
+	case *exact:
+		err = c.GetDatasetExact(context.Background(), *name, bw)
 	default:
 		err = c.GetDataset(context.Background(), *name, bw)
 	}
@@ -800,6 +831,52 @@ func cmdRecompact(args []string) {
 	}
 	fmt.Printf("recompacted %s: bound %.6g -> %.6g, ratio %.2fx -> %.2fx (est PSNR %.2f dB, generation %d)\n",
 		rr.Name, rr.OldBound, rr.NewBound, rr.OldRatio, rr.NewRatio, float64(rr.EstPSNR), rr.Generation)
+}
+
+// cmdPromote adds a lossless residual layer to a stored dataset: the local
+// file must be the true original (the server verifies it against the
+// dataset's content hash before building the residual).
+func cmdPromote(args []string) {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	var (
+		remote = fs.String("remote", "", "rqserved base URL (required)")
+		name   = fs.String("name", "", "dataset name (required)")
+		in     = fs.String("in", "", "the original .rqmf field file (required)")
+	)
+	must(fs.Parse(args))
+	if *name == "" || *in == "" {
+		fatal(fmt.Errorf("promote: -name and -in are required"))
+	}
+	c := storeClient(*remote)
+	src, err := os.Open(*in)
+	must(err)
+	defer src.Close()
+	info, err := c.PromoteDataset(context.Background(), *name, bufio.NewReaderSize(src, 1<<20))
+	must(err)
+	fmt.Printf("promoted %s: %d residual bytes (%s), generation %d — exact reads enabled\n",
+		info.Name, info.ResidualBytes, info.ResidualBackend, info.Generation)
+}
+
+// cmdDemote drops a dataset's residual layer, keeping the lossy base.
+func cmdDemote(args []string) {
+	fs := flag.NewFlagSet("demote", flag.ExitOnError)
+	var (
+		remote = fs.String("remote", "", "rqserved base URL (required)")
+		name   = fs.String("name", "", "dataset name (required)")
+	)
+	must(fs.Parse(args))
+	if *name == "" {
+		fatal(fmt.Errorf("demote: -name is required"))
+	}
+	c := storeClient(*remote)
+	info, err := c.DemoteDataset(context.Background(), *name)
+	must(err)
+	if info.Exact {
+		fmt.Printf("demote %s: residual layer still present (unexpected)\n", info.Name)
+		return
+	}
+	fmt.Printf("demoted %s: residual layer dropped, lossy base kept (generation %d)\n",
+		info.Name, info.Generation)
 }
 
 // cmdScrub starts one background integrity pass on a shard's archive and —

@@ -1,0 +1,167 @@
+// Example progressive: the quality ladder over one dataset — a lossy
+// error-bounded base plus a lossless residual layer, served from the same
+// archive. An exact put stores both tiers; exact gets and slices return the
+// original bit for bit (verified against the stored SHA-256 server-side);
+// demote reclaims the residual's space while the lossy tier keeps serving;
+// promote rebuilds the layer from the true original, which must reproduce
+// the dataset's content hash. Recompacting a promoted dataset re-encodes
+// from the true original, so the quality target is actually hit rather
+// than bounded from a reconstruction.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+
+	"rqm"
+	"rqm/client"
+	"rqm/internal/grid"
+	"rqm/internal/service"
+	"rqm/internal/store"
+)
+
+func main() {
+	// A real deployment runs `rqserved -addr :8080 -store-dir /var/lib/rqm`;
+	// the example hosts the same handler in-process over a temp directory.
+	dir, err := os.MkdirTemp("", "rqm-progressive-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := service.New(service.Config{Store: st})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	c, err := client.New(srv.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Synthesize a smooth field and serialize it as the .rqmf upload body.
+	g, err := rqm.GenerateField("nyx/temperature", 42, rqm.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	field, err := rqm.FieldFromData("nyx-temperature", rqm.Float64, g.Data, g.Dims...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var body bytes.Buffer
+	if _, err := field.WriteTo(&body); err != nil {
+		log.Fatal(err)
+	}
+	original := append([]byte(nil), body.Bytes()...)
+
+	// 1. Exact put: one request stores both tiers — the lossy base through
+	//    the chunked pipeline, and the residual (everything the compression
+	//    threw away, XOR-coded against the reconstruction) beside it.
+	info, err := c.PutDataset(ctx, "nyx", &body, client.PutDatasetParams{
+		Mode: "rel", ErrorBound: 1e-3, ChunkValues: 64 * 1024, Exact: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactPct := 100 * float64(info.ContainerBytes+info.ResidualBytes) / float64(info.OriginalBytes)
+	fmt.Printf("exact put %q: base %d bytes (ratio %.2fx) + residual %d bytes (%s)\n",
+		info.Name, info.ContainerBytes, info.Ratio, info.ResidualBytes, info.ResidualBackend)
+	fmt.Printf("  lossy+residual = %.1f%% of the %d-byte original — bit-exactness under raw size\n",
+		exactPct, info.OriginalBytes)
+
+	// 2. Exact get: the server reconstructs base ⊕ residual, proves the
+	//    result against the stored SHA-256, and streams the original bytes.
+	var back bytes.Buffer
+	if err := c.GetDatasetExact(ctx, "nyx", &back); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact get: %d bytes, identical to the upload: %v\n",
+		back.Len(), bytes.Equal(back.Bytes(), original))
+
+	// 3. Exact slice: only the chunks — and residual blocks — covering the
+	//    range are decoded; the values come back bit-identical.
+	const off, n = 100_000, 4096
+	var sliceBuf bytes.Buffer
+	if err := c.SliceDatasetExact(ctx, "nyx", off, n, &sliceBuf); err != nil {
+		log.Fatal(err)
+	}
+	slice, err := grid.ReadFrom(&sliceBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactVals := 0
+	for i := 0; i < slice.Len(); i++ {
+		if slice.Data[i] == field.Data[off+i] {
+			exactVals++
+		}
+	}
+	fmt.Printf("exact slice [%d:%d): %d/%d values bit-identical to the original\n",
+		off, off+n, exactVals, slice.Len())
+
+	// 4. Demote: drop the residual to reclaim its space. The lossy tier
+	//    keeps serving; the exact tier answers a typed 409.
+	dinfo, err := c.DemoteDataset(ctx, "nyx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("demote: exact=%v, generation %d -> %d\n",
+		dinfo.Exact, info.Generation, dinfo.Generation)
+	var ae *client.APIError
+	if err := c.GetDatasetExact(ctx, "nyx", &bytes.Buffer{}); errors.As(err, &ae) {
+		fmt.Printf("exact get after demote: typed %d %s (lossy reads still serve)\n",
+			ae.Status, ae.Code)
+	}
+	if err := c.GetDataset(ctx, "nyx", &bytes.Buffer{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Promote: rebuild the layer from the true original. The server
+	//    proves the upload reproduces the dataset's content hash first — a
+	//    promotion can never install a residual that "restores" to the
+	//    wrong data (try corrupting `original` here: typed 409).
+	pinfo, err := c.PromoteDataset(ctx, "nyx", bytes.NewReader(original))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("promote: residual restored, %d bytes (%s), generation %d\n",
+		pinfo.ResidualBytes, pinfo.ResidualBackend, pinfo.Generation)
+
+	// 6. Recompact the promoted dataset toward a quality target: with the
+	//    residual present the rewrite re-encodes from the TRUE original —
+	//    the recorded bound is the fresh solve's alone, no accumulation,
+	//    and the new residual is rebuilt against the new base.
+	rr, err := c.RecompactDataset(ctx, "nyx", client.SolveTarget{Kind: "psnr", Value: 80})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rr.Skipped {
+		fmt.Printf("recompact to PSNR 80: skipped (%s)\n", rr.Reason)
+	} else {
+		fmt.Printf("recompact to PSNR 80 dB from the true original: bound %.3g -> %.3g, est PSNR %.1f dB\n",
+			rr.OldBound, rr.NewBound, float64(rr.EstPSNR))
+	}
+	back.Reset()
+	if err := c.GetDatasetExact(ctx, "nyx", &back); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact get after recompaction: still the original bit for bit: %v\n",
+		bytes.Equal(back.Bytes(), original))
+
+	// /metrics reports the ladder's activity.
+	ms, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics: %d residual bytes held, %d exact reads, %d promotes, %d demotes\n",
+		ms.ResidualBytes, ms.ExactReads, ms.Promotes, ms.Demotes)
+}

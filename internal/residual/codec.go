@@ -1,0 +1,210 @@
+package residual
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rqm/internal/ans"
+	"rqm/internal/bitio"
+	"rqm/internal/huffman"
+	"rqm/internal/lz77"
+)
+
+// Codec is one entropy backend for residual block payloads. Compress is free
+// to expand (the container falls back to storing the block raw); Decompress
+// must reproduce exactly rawLen bytes or fail typed. Backends are stateless
+// and safe for concurrent use.
+type Codec interface {
+	// Name is the backend's registry name (recorded in manifests).
+	Name() string
+	// ID is the backend's wire ID (recorded in the container header).
+	ID() uint8
+	// Compress encodes raw into a self-contained payload.
+	Compress(raw []byte) ([]byte, error)
+	// Decompress reverses Compress given the original length.
+	Decompress(enc []byte, rawLen int) ([]byte, error)
+}
+
+// Wire IDs. Frozen: containers carry them, so renumbering is a format break.
+const (
+	idHuffman = 1
+	idANS     = 2
+	idLZ77    = 3
+)
+
+// DefaultBackend is the backend used when the caller does not pick one.
+// tANS over byte planes wins on the near-constant high planes a good
+// predictor leaves behind, at table costs amortized per block.
+const DefaultBackend = "ans"
+
+var (
+	byName = map[string]Codec{}
+	byID   = map[uint8]Codec{}
+)
+
+func register(c Codec) {
+	byName[c.Name()] = c
+	byID[c.ID()] = c
+}
+
+func init() {
+	register(huffCodec{})
+	register(ansCodec{})
+	register(lzCodec{})
+}
+
+// ByName resolves a backend by registry name.
+func ByName(name string) (Codec, error) {
+	if c, ok := byName[name]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownBackend, name)
+}
+
+// ByID resolves a backend by wire ID.
+func ByID(id uint8) (Codec, error) {
+	if c, ok := byID[id]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: id %d", ErrUnknownBackend, id)
+}
+
+// Known reports whether name is a registered backend.
+func Known(name string) bool { _, ok := byName[name]; return ok }
+
+// symbolsOf widens bytes to the uint32 symbol alphabet the entropy stages
+// share with the quantization pipeline.
+func symbolsOf(raw []byte) []uint32 {
+	syms := make([]uint32, len(raw))
+	for i, b := range raw {
+		syms[i] = uint32(b)
+	}
+	return syms
+}
+
+// huffCodec frames a canonical Huffman stream as
+// [codebook][u64 LE bit count][bitstream].
+type huffCodec struct{}
+
+func (huffCodec) Name() string { return "huffman" }
+func (huffCodec) ID() uint8    { return idHuffman }
+
+func (huffCodec) Compress(raw []byte) ([]byte, error) {
+	syms := symbolsOf(raw)
+	cb, err := huffman.Build(huffman.FreqsOf(syms))
+	if err != nil {
+		return nil, err
+	}
+	w := bitio.NewWriter(len(raw) / 2)
+	if err := cb.Encode(w, syms); err != nil {
+		return nil, err
+	}
+	table := cb.Serialize()
+	out := make([]byte, 0, len(table)+8+len(w.Bytes()))
+	out = append(out, table...)
+	out = binary.LittleEndian.AppendUint64(out, w.Bits())
+	return append(out, w.Bytes()...), nil
+}
+
+func (huffCodec) Decompress(enc []byte, rawLen int) ([]byte, error) {
+	cb, consumed, err := huffman.Parse(enc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(enc) < consumed+8 {
+		return nil, fmt.Errorf("%w: huffman payload shorter than its bit count", ErrTruncated)
+	}
+	bits := binary.LittleEndian.Uint64(enc[consumed:])
+	stream := enc[consumed+8:]
+	if bits > uint64(len(stream))*8 {
+		return nil, fmt.Errorf("%w: %d bits declared, %d bytes present", ErrTruncated, bits, len(stream))
+	}
+	out := make([]uint32, rawLen)
+	if err := cb.Decode(bitio.NewReader(stream), out); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	raw := make([]byte, rawLen)
+	for i, s := range out {
+		if s > 0xff {
+			return nil, fmt.Errorf("%w: symbol %d outside byte range", ErrCorrupt, s)
+		}
+		raw[i] = byte(s)
+	}
+	return raw, nil
+}
+
+// ansCodec frames a 2-lane tANS stream as
+// [table][u64 LE bit count][2 × u32 LE final state][bitstream].
+type ansCodec struct{}
+
+func (ansCodec) Name() string { return "ans" }
+func (ansCodec) ID() uint8    { return idANS }
+
+func (ansCodec) Compress(raw []byte) ([]byte, error) {
+	syms := symbolsOf(raw)
+	t, err := ans.Build(huffman.FreqsOf(syms))
+	if err != nil {
+		return nil, err
+	}
+	defer t.Release()
+	var lut [256]uint32
+	t.FillLUT(lut[:])
+	stream, states, bits, err := t.Encode(nil, syms, lut[:])
+	if err != nil {
+		return nil, err
+	}
+	table := t.Serialize()
+	out := make([]byte, 0, len(table)+16+len(stream))
+	out = append(out, table...)
+	out = binary.LittleEndian.AppendUint64(out, bits)
+	for _, s := range states {
+		out = binary.LittleEndian.AppendUint32(out, s)
+	}
+	return append(out, stream...), nil
+}
+
+func (ansCodec) Decompress(enc []byte, rawLen int) ([]byte, error) {
+	t, consumed, err := ans.Parse(enc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	defer t.Release()
+	need := consumed + 8 + 4*ans.NumStates
+	if len(enc) < need {
+		return nil, fmt.Errorf("%w: ans payload shorter than its state block", ErrTruncated)
+	}
+	bits := binary.LittleEndian.Uint64(enc[consumed:])
+	var states [ans.NumStates]uint32
+	for i := range states {
+		states[i] = binary.LittleEndian.Uint32(enc[consumed+8+4*i:])
+	}
+	out := make([]uint32, rawLen)
+	if err := t.Decode(enc[need:], states, bits, out); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	raw := make([]byte, rawLen)
+	for i, s := range out {
+		if s > 0xff {
+			return nil, fmt.Errorf("%w: symbol %d outside byte range", ErrCorrupt, s)
+		}
+		raw[i] = byte(s)
+	}
+	return raw, nil
+}
+
+// lzCodec stores the lz77 token stream directly; it is self-delimiting given
+// the original length.
+type lzCodec struct{}
+
+func (lzCodec) Name() string { return "lz77" }
+func (lzCodec) ID() uint8    { return idLZ77 }
+
+func (lzCodec) Compress(raw []byte) ([]byte, error) { return lz77.Encode(raw), nil }
+
+func (lzCodec) Decompress(enc []byte, rawLen int) ([]byte, error) {
+	raw, err := lz77.Decode(enc, rawLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return raw, nil
+}

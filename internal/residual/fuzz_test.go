@@ -1,0 +1,68 @@
+package residual
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"rqm/internal/grid"
+)
+
+// FuzzContainer feeds arbitrary bytes through the full read path — index
+// scan plus every block decode — and requires typed errors, never a panic.
+// Seeds cover valid containers for each backend plus the damage classes the
+// scrubber must classify: truncations and bit flips at every layer.
+func FuzzContainer(f *testing.F) {
+	for _, name := range []string{"huffman", "ans", "lz77"} {
+		c, err := ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		orig := make([]float64, 300)
+		recon := make([]float64, 300)
+		for i := range orig {
+			orig[i] = math.Sin(float64(i) / 13)
+			recon[i] = orig[i] + 1e-4*math.Cos(float64(i))
+		}
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, c, grid.Float64, orig, recon, []int{128, 128, 44}); err != nil {
+			f.Fatal(err)
+		}
+		good := buf.Bytes()
+		f.Add(append([]byte(nil), good...))
+		for _, cut := range []int{3, HeaderSize - 1, HeaderSize + 7, len(good) / 2, len(good) - 1} {
+			f.Add(append([]byte(nil), good[:cut]...))
+		}
+		for _, pos := range []int{0, 4, 5, 6, 8, 20, 48, HeaderSize, HeaderSize + 4, HeaderSize + 9, len(good) - 1} {
+			b := append([]byte(nil), good...)
+			b[pos] ^= 0x40
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RQRS"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := LoadIndex(bytes.NewReader(data))
+		if err != nil {
+			requireTyped(t, err)
+			return
+		}
+		for _, e := range idx.Blocks {
+			if _, err := ReadBlock(bytes.NewReader(data), idx.Header, e); err != nil {
+				requireTyped(t, err)
+			}
+		}
+	})
+}
+
+func requireTyped(t *testing.T, err error) {
+	t.Helper()
+	for _, want := range []error{ErrBadMagic, ErrUnsupportedVersion, ErrUnknownBackend, ErrCorrupt, ErrTruncated} {
+		if errors.Is(err, want) {
+			return
+		}
+	}
+	t.Fatalf("untyped error: %v", err)
+}

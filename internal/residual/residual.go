@@ -1,0 +1,512 @@
+// Package residual implements the lossless residual layer over a lossy
+// container: the bitwise difference between the original field and its
+// decoded reconstruction, entropy-coded into a self-describing framed file
+// stored beside the base container.
+//
+// The residual is the XOR of the storage-width bit patterns (float32 →
+// uint32, float64 → uint64), not a floating-point subtraction: XOR is
+// exactly invertible bit for bit, while orig − recon need not round-trip
+// under FP arithmetic. When the predictor is good the reconstruction shares
+// the sign, exponent, and high mantissa bits of the original, so the XOR is
+// mostly zeros in the high bytes — byte-plane transposition groups those
+// near-constant planes together, and a generic entropy backend (Huffman,
+// tANS, or LZ77 — see Codec) compresses them far below the raw width.
+//
+// File layout (all integers little-endian):
+//
+//	offset size
+//	0      4   magic "RQRS"
+//	4      1   version (1)
+//	5      1   backend ID
+//	6      1   element width in bytes (4 or 8)
+//	7      1   reserved (0)
+//	8      8   element count
+//	16     32  SHA-256 of the exact original payload bytes
+//	48     4   block count
+//	52     …   block records
+//
+// Each block record is a 13-byte header — u32 values, u8 flags, u32 encoded
+// bytes, u32 CRC-32 (IEEE) of the payload — followed by the payload. Flag
+// bit 0 set means the payload is the raw (untransposed) residual bytes: the
+// writer falls back to raw storage when coding expands a block. Otherwise
+// the payload is one sub-record per byte plane — [u8 flags][u32 bytes][data]
+// — each plane entropy-coded with its own model (or stored raw when it is
+// incompressible noise): plane separation is the entire win, because a
+// single model over concatenated planes blurs the near-zero high planes
+// into the noisy low ones. Blocks align one-to-one with the base
+// container's chunk index, so a slice read decodes exactly the blocks
+// covering its chunks.
+package residual
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"rqm/internal/grid"
+)
+
+// Format constants.
+const (
+	// Magic opens every residual file ("RQRS" little-endian).
+	Magic = uint32(0x53525152)
+	// Version is the current format version.
+	Version = 1
+	// HeaderSize is the fixed file header length in bytes.
+	HeaderSize = 52
+	// blockHeaderSize is the fixed per-block header length in bytes.
+	blockHeaderSize = 13
+	// FlagRaw marks a block (or a plane sub-record) stored as raw bytes
+	// because coding would have expanded it.
+	FlagRaw = 1 << 0
+	// planeHeaderSize is the per-plane sub-record header length in bytes.
+	planeHeaderSize = 5
+	// maxBlockBytes bounds a single block payload LoadIndex will accept;
+	// far above any real block (chunks are tens of KiB), it stops a corrupt
+	// length field from driving a multi-GiB allocation.
+	maxBlockBytes = 1 << 30
+)
+
+// Typed errors; match with errors.Is.
+var (
+	// ErrBadMagic marks a file that does not open with the residual magic.
+	ErrBadMagic = errors.New("residual: bad magic")
+	// ErrUnsupportedVersion marks a file with an unknown format version.
+	ErrUnsupportedVersion = errors.New("residual: unsupported version")
+	// ErrUnknownBackend marks a backend name or ID outside the registry.
+	ErrUnknownBackend = errors.New("residual: unknown backend")
+	// ErrCorrupt marks structural damage: inconsistent headers, a CRC trip,
+	// or a payload that fails to decode.
+	ErrCorrupt = errors.New("residual: corrupt container")
+	// ErrTruncated marks a file that ends before its declared content.
+	ErrTruncated = errors.New("residual: truncated container")
+)
+
+// Header is the residual file's fixed header.
+type Header struct {
+	// BackendID names the entropy backend every block was coded with.
+	BackendID uint8
+	// Width is the element storage width in bytes (4 or 8).
+	Width int
+	// ElemCount is the total element count across all blocks.
+	ElemCount int64
+	// OriginalHash is the SHA-256 of the exact original payload bytes
+	// (little-endian floats at Width, no grid header) — the digest an exact
+	// read is verified against before serving.
+	OriginalHash [32]byte
+	// BlockCount is the number of block records.
+	BlockCount int
+}
+
+// BlockEntry locates one block record inside the file.
+type BlockEntry struct {
+	// Offset is the record's byte offset from the file start.
+	Offset int64
+	// Values is the block's element count.
+	Values int
+	// Flags is the block's flag byte (FlagRaw).
+	Flags uint8
+	// EncBytes is the payload length.
+	EncBytes int
+	// CRC is the CRC-32 (IEEE) of the payload.
+	CRC uint32
+}
+
+// Index is a parsed residual file skeleton: the header plus every block's
+// location, built by one header scan without touching payloads.
+type Index struct {
+	Header Header
+	Blocks []BlockEntry
+}
+
+// widthOf maps a grid precision to its storage width in bytes.
+func widthOf(prec grid.Precision) (int, error) {
+	switch prec.Bits() {
+	case 32:
+		return 4, nil
+	case 64:
+		return 8, nil
+	}
+	return 0, fmt.Errorf("residual: unsupported precision %v", prec)
+}
+
+// Compute returns the XOR residual of orig against recon, little-endian at
+// the storage width, in plain element order. Applying it to recon with Apply
+// reproduces orig's storage bit patterns exactly.
+func Compute(orig, recon []float64, prec grid.Precision) ([]byte, error) {
+	if len(orig) != len(recon) {
+		return nil, fmt.Errorf("residual: %d original values vs %d reconstructed", len(orig), len(recon))
+	}
+	w, err := widthOf(prec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(orig)*w)
+	if w == 4 {
+		for i := range orig {
+			x := math.Float32bits(float32(orig[i])) ^ math.Float32bits(float32(recon[i]))
+			binary.LittleEndian.PutUint32(out[4*i:], x)
+		}
+		return out, nil
+	}
+	for i := range orig {
+		x := math.Float64bits(orig[i]) ^ math.Float64bits(recon[i])
+		binary.LittleEndian.PutUint64(out[8*i:], x)
+	}
+	return out, nil
+}
+
+// Apply XORs the residual into recon in place, recovering the original
+// values at storage precision. res must be len(recon)*width bytes.
+func Apply(recon []float64, res []byte, prec grid.Precision) error {
+	w, err := widthOf(prec)
+	if err != nil {
+		return err
+	}
+	if len(res) != len(recon)*w {
+		return fmt.Errorf("%w: %d residual bytes for %d values at width %d", ErrCorrupt, len(res), len(recon), w)
+	}
+	if w == 4 {
+		for i := range recon {
+			x := math.Float32bits(float32(recon[i])) ^ binary.LittleEndian.Uint32(res[4*i:])
+			recon[i] = float64(math.Float32frombits(x))
+		}
+		return nil
+	}
+	for i := range recon {
+		x := math.Float64bits(recon[i]) ^ binary.LittleEndian.Uint64(res[8*i:])
+		recon[i] = math.Float64frombits(x)
+	}
+	return nil
+}
+
+// OriginalHash is the SHA-256 of vals serialized little-endian at the
+// storage width — the payload digest stamped into the file header and the
+// manifest, recomputed on every exact read before serving.
+func OriginalHash(vals []float64, prec grid.Precision) ([32]byte, error) {
+	var zero [32]byte
+	w, err := widthOf(prec)
+	if err != nil {
+		return zero, err
+	}
+	h := sha256.New()
+	var buf [8]byte
+	if w == 4 {
+		for _, v := range vals {
+			binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(float32(v)))
+			h.Write(buf[:4])
+		}
+	} else {
+		for _, v := range vals {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	h.Sum(zero[:0])
+	return zero, nil
+}
+
+// transpose regroups raw (n elements × width bytes) into byte planes:
+// plane p holds byte p of every element. The near-zero high planes of a
+// well-predicted residual become long constant runs.
+func transpose(raw []byte, width int) []byte {
+	n := len(raw) / width
+	out := make([]byte, len(raw))
+	for p := 0; p < width; p++ {
+		plane := out[p*n : (p+1)*n]
+		for i := 0; i < n; i++ {
+			plane[i] = raw[i*width+p]
+		}
+	}
+	return out
+}
+
+// untranspose inverts transpose.
+func untranspose(planes []byte, width int) []byte {
+	n := len(planes) / width
+	out := make([]byte, len(planes))
+	for p := 0; p < width; p++ {
+		plane := planes[p*n : (p+1)*n]
+		for i := 0; i < n; i++ {
+			out[i*width+p] = plane[i]
+		}
+	}
+	return out
+}
+
+// Encode writes a complete residual file: orig XOR recon, blocked by the
+// base container's chunk geometry (blocks[i] values in block i), each block
+// byte-plane-transposed and compressed with c (falling back to raw storage
+// when coding expands). Returns the byte count written.
+func Encode(w io.Writer, c Codec, prec grid.Precision, orig, recon []float64, blocks []int) (int64, error) {
+	width, err := widthOf(prec)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for i, v := range blocks {
+		if v <= 0 {
+			return 0, fmt.Errorf("residual: block %d has %d values", i, v)
+		}
+		total += v
+	}
+	if total != len(orig) {
+		return 0, fmt.Errorf("residual: blocks cover %d values, field holds %d", total, len(orig))
+	}
+	origHash, err := OriginalHash(orig, prec)
+	if err != nil {
+		return 0, err
+	}
+
+	hdr := make([]byte, HeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	hdr[4] = Version
+	hdr[5] = c.ID()
+	hdr[6] = byte(width)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(total))
+	copy(hdr[16:48], origHash[:])
+	binary.LittleEndian.PutUint32(hdr[48:], uint32(len(blocks)))
+	written := int64(0)
+	nw, err := w.Write(hdr)
+	written += int64(nw)
+	if err != nil {
+		return written, err
+	}
+
+	start := 0
+	var bh [blockHeaderSize]byte
+	for _, v := range blocks {
+		raw, err := Compute(orig[start:start+v], recon[start:start+v], prec)
+		if err != nil {
+			return written, err
+		}
+		start += v
+		payload, err := encodeBlock(c, raw, width)
+		if err != nil {
+			return written, err
+		}
+		flags := uint8(0)
+		if len(payload) >= len(raw) {
+			payload, flags = raw, FlagRaw
+		}
+		binary.LittleEndian.PutUint32(bh[0:], uint32(v))
+		bh[4] = flags
+		binary.LittleEndian.PutUint32(bh[5:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(bh[9:], crc32.ChecksumIEEE(payload))
+		nw, err = w.Write(bh[:])
+		written += int64(nw)
+		if err != nil {
+			return written, err
+		}
+		nw, err = w.Write(payload)
+		written += int64(nw)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// LoadIndex reads the file header and scans every block header (seeking
+// past payloads), validating structure as it goes: magic, version, a
+// registered backend, a sane width, and block counts that sum to the
+// declared element count. Payload bytes are not read or verified here.
+func LoadIndex(r io.ReadSeeker) (*Index, error) {
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("residual: %w", err)
+	}
+	end, err := r.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, fmt.Errorf("residual: %w", err)
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("residual: %w", err)
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrUnsupportedVersion, hdr[4])
+	}
+	if _, err := ByID(hdr[5]); err != nil {
+		return nil, err
+	}
+	if hdr[6] != 4 && hdr[6] != 8 {
+		return nil, fmt.Errorf("%w: element width %d", ErrCorrupt, hdr[6])
+	}
+	if hdr[7] != 0 {
+		return nil, fmt.Errorf("%w: nonzero reserved byte", ErrCorrupt)
+	}
+	elems := binary.LittleEndian.Uint64(hdr[8:])
+	if elems == 0 || elems > uint64(math.MaxInt64) {
+		return nil, fmt.Errorf("%w: element count %d", ErrCorrupt, elems)
+	}
+	nblocks := binary.LittleEndian.Uint32(hdr[48:])
+	if nblocks == 0 || uint64(nblocks) > elems {
+		return nil, fmt.Errorf("%w: %d blocks for %d elements", ErrCorrupt, nblocks, elems)
+	}
+	idx := &Index{Header: Header{
+		BackendID:  hdr[5],
+		Width:      int(hdr[6]),
+		ElemCount:  int64(elems),
+		BlockCount: int(nblocks),
+	}}
+	copy(idx.Header.OriginalHash[:], hdr[16:48])
+
+	off := int64(HeaderSize)
+	var covered int64
+	var bh [blockHeaderSize]byte
+	for i := 0; i < int(nblocks); i++ {
+		if _, err := io.ReadFull(r, bh[:]); err != nil {
+			return nil, fmt.Errorf("%w: block %d header: %v", ErrTruncated, i, err)
+		}
+		e := BlockEntry{
+			Offset:   off,
+			Values:   int(binary.LittleEndian.Uint32(bh[0:])),
+			Flags:    bh[4],
+			EncBytes: int(binary.LittleEndian.Uint32(bh[5:])),
+			CRC:      binary.LittleEndian.Uint32(bh[9:]),
+		}
+		if e.Values <= 0 || e.EncBytes <= 0 || e.EncBytes > maxBlockBytes {
+			return nil, fmt.Errorf("%w: block %d: %d values, %d bytes", ErrCorrupt, i, e.Values, e.EncBytes)
+		}
+		if e.Flags&^uint8(FlagRaw) != 0 {
+			return nil, fmt.Errorf("%w: block %d: unknown flags %#x", ErrCorrupt, i, e.Flags)
+		}
+		if e.Flags&FlagRaw != 0 && e.EncBytes != e.Values*idx.Header.Width {
+			return nil, fmt.Errorf("%w: block %d: raw payload of %d bytes for %d values", ErrCorrupt, i, e.EncBytes, e.Values)
+		}
+		next := off + blockHeaderSize + int64(e.EncBytes)
+		if next > end {
+			return nil, fmt.Errorf("%w: block %d runs past the file end", ErrTruncated, i)
+		}
+		if _, err := r.Seek(next, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("residual: %w", err)
+		}
+		covered += int64(e.Values)
+		off = next
+		idx.Blocks = append(idx.Blocks, e)
+	}
+	if covered != idx.Header.ElemCount {
+		return nil, fmt.Errorf("%w: blocks cover %d values, header declares %d", ErrCorrupt, covered, idx.Header.ElemCount)
+	}
+	if off != end {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the last block", ErrCorrupt, end-off)
+	}
+	return idx, nil
+}
+
+// VerifyBlock reads one block's payload and verifies its CRC without
+// decoding — the shallow-scrub pass over a residual file.
+func VerifyBlock(r io.ReadSeeker, e BlockEntry) error {
+	if _, err := r.Seek(e.Offset+blockHeaderSize, io.SeekStart); err != nil {
+		return fmt.Errorf("residual: %w", err)
+	}
+	payload := make([]byte, e.EncBytes)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("%w: block payload: %v", ErrTruncated, err)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != e.CRC {
+		return fmt.Errorf("%w: block CRC %08x, expected %08x", ErrCorrupt, crc, e.CRC)
+	}
+	return nil
+}
+
+// ReadBlock reads, CRC-verifies, and decodes one block, returning the raw
+// residual bytes (e.Values × width, plain element order) ready for Apply.
+func ReadBlock(r io.ReadSeeker, hdr Header, e BlockEntry) ([]byte, error) {
+	c, err := ByID(hdr.BackendID)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.Seek(e.Offset+blockHeaderSize, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("residual: %w", err)
+	}
+	payload := make([]byte, e.EncBytes)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: block payload: %v", ErrTruncated, err)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != e.CRC {
+		return nil, fmt.Errorf("%w: block CRC %08x, expected %08x", ErrCorrupt, crc, e.CRC)
+	}
+	if e.Flags&FlagRaw != 0 {
+		return payload, nil
+	}
+	planes, err := decodeBlock(c, payload, e.Values, hdr.Width)
+	if err != nil {
+		return nil, err
+	}
+	return untranspose(planes, hdr.Width), nil
+}
+
+// encodeBlock codes each byte plane of the transposed residual
+// independently, storing a plane raw when its own coding expands it.
+func encodeBlock(c Codec, raw []byte, width int) ([]byte, error) {
+	planes := transpose(raw, width)
+	n := len(raw) / width
+	out := make([]byte, 0, len(raw)/4+width*planeHeaderSize)
+	for p := 0; p < width; p++ {
+		plane := planes[p*n : (p+1)*n]
+		enc, err := c.Compress(plane)
+		if err != nil {
+			return nil, err
+		}
+		flags := uint8(0)
+		if len(enc) >= len(plane) {
+			enc, flags = plane, FlagRaw
+		}
+		out = append(out, flags)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(enc)))
+		out = append(out, enc...)
+	}
+	return out, nil
+}
+
+// decodeBlock reverses encodeBlock, returning the transposed plane bytes.
+func decodeBlock(c Codec, payload []byte, values, width int) ([]byte, error) {
+	planes := make([]byte, 0, values*width)
+	pos := 0
+	for p := 0; p < width; p++ {
+		if len(payload)-pos < planeHeaderSize {
+			return nil, fmt.Errorf("%w: plane %d header", ErrTruncated, p)
+		}
+		flags := payload[pos]
+		encLen := int(binary.LittleEndian.Uint32(payload[pos+1:]))
+		pos += planeHeaderSize
+		if flags&^uint8(FlagRaw) != 0 {
+			return nil, fmt.Errorf("%w: plane %d: unknown flags %#x", ErrCorrupt, p, flags)
+		}
+		if encLen < 0 || len(payload)-pos < encLen {
+			return nil, fmt.Errorf("%w: plane %d payload of %d bytes", ErrTruncated, p, encLen)
+		}
+		enc := payload[pos : pos+encLen]
+		pos += encLen
+		if flags&FlagRaw != 0 {
+			if encLen != values {
+				return nil, fmt.Errorf("%w: raw plane %d holds %d bytes for %d values", ErrCorrupt, p, encLen, values)
+			}
+			planes = append(planes, enc...)
+			continue
+		}
+		plane, err := c.Decompress(enc, values)
+		if err != nil {
+			return nil, err
+		}
+		if len(plane) != values {
+			return nil, fmt.Errorf("%w: plane %d decoded to %d bytes, want %d", ErrCorrupt, p, len(plane), values)
+		}
+		planes = append(planes, plane...)
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after plane %d", ErrCorrupt, len(payload)-pos, width-1)
+	}
+	return planes, nil
+}

@@ -195,10 +195,11 @@ func (rt *Router) deleteOn(ctx context.Context, sh *shardState, name string) err
 }
 
 // syncReplica copies name from src to dst byte-for-byte: full manifest +
-// raw container off src, framed into dst's raw-put endpoint. The container
-// is streamed, never buffered or re-encoded. Returns the container bytes
-// moved and the raw-put status (201 stored/repaired, 200 skipped, 409
-// target-newer).
+// raw container off src — plus the raw residual file when the manifest
+// declares a lossless layer — framed into dst's raw-put endpoint. The
+// streams are never buffered or re-encoded, so a sync moves the whole
+// quality ladder verbatim. Returns the bytes moved and the raw-put status
+// (201 stored/repaired, 200 skipped, 409 target-newer).
 //
 // Integrity is enforced at three points, so a sync can neither propagate
 // corruption nor be fooled by it: the source shard shallow-verifies its
@@ -238,6 +239,16 @@ func (rt *Router) syncReplicaInner(ctx context.Context, src, dst *shardState, na
 	if manResp.StatusCode != http.StatusOK {
 		return 0, 0, fmt.Errorf("fetch manifest from %s: status %d", src.url, manResp.StatusCode)
 	}
+	// The only manifest field the router reads: whether a residual layer
+	// travels with the container. Everything else passes through opaquely.
+	var man struct {
+		Residual *struct {
+			Bytes int64 `json:"bytes"`
+		} `json:"residual"`
+	}
+	if err := json.Unmarshal(manBytes, &man); err != nil {
+		return 0, 0, fmt.Errorf("parse manifest from %s: %w", src.url, err)
+	}
 
 	// Raw container stream, source-verified before the first byte leaves.
 	rawReq, err := http.NewRequestWithContext(ctx, http.MethodGet, src.url+datasetPath(name)+"?raw=1&verify=1", nil)
@@ -254,10 +265,41 @@ func (rt *Router) syncReplicaInner(ctx context.Context, src, dst *shardState, na
 		return 0, 0, fmt.Errorf("fetch container from %s: status %d", src.url, rawResp.StatusCode)
 	}
 
-	// Frame: 4-byte big-endian manifest length, manifest JSON, container.
+	// Residual stream, when declared: fetched with the same source-side
+	// verification and appended after the container — the raw-put frame is
+	// [len][manifest][container][residual], exactly what the target re-stages.
+	stream := io.Reader(rawResp.Body)
+	frameLen := int64(0)
+	if cl := rawResp.ContentLength; cl > 0 {
+		frameLen = int64(4+len(manBytes)) + cl
+	}
+	if man.Residual != nil {
+		resReq, err := http.NewRequestWithContext(ctx, http.MethodGet, src.url+datasetPath(name)+"?raw=1&residual=1&verify=1", nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		resResp, err := rt.hc.Do(resReq)
+		if err != nil {
+			return 0, 0, fmt.Errorf("fetch residual from %s: %w", src.url, err)
+		}
+		defer resResp.Body.Close()
+		if resResp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resResp.Body, errBodyLimit))
+			return 0, 0, fmt.Errorf("fetch residual from %s: status %d", src.url, resResp.StatusCode)
+		}
+		stream = io.MultiReader(rawResp.Body, resResp.Body)
+		if frameLen > 0 && resResp.ContentLength > 0 {
+			frameLen += resResp.ContentLength
+		} else {
+			frameLen = 0 // one length unknown: fall back to chunked
+		}
+	}
+
+	// Frame: 4-byte big-endian manifest length, manifest JSON, container,
+	// then the residual when the manifest declares one.
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(manBytes)))
-	counted := &countingReader{r: rawResp.Body}
+	counted := &countingReader{r: stream}
 	body := io.MultiReader(bytes.NewReader(hdr[:]), bytes.NewReader(manBytes), counted)
 
 	putReq, err := http.NewRequestWithContext(ctx, http.MethodPost, dst.url+datasetPath(name)+"/raw?repair=1", body)
@@ -265,8 +307,8 @@ func (rt *Router) syncReplicaInner(ctx context.Context, src, dst *shardState, na
 		return 0, 0, err
 	}
 	putReq.Header.Set("Content-Type", "application/octet-stream")
-	if cl := rawResp.ContentLength; cl > 0 {
-		putReq.ContentLength = int64(4+len(manBytes)) + cl
+	if frameLen > 0 {
+		putReq.ContentLength = frameLen
 	}
 	putResp, err := rt.hc.Do(putReq)
 	if err != nil {

@@ -104,6 +104,8 @@ type Router struct {
 	proxiedDeletes      atomic.Int64
 	proxiedSlices       atomic.Int64
 	proxiedRecompacts   atomic.Int64
+	proxiedPromotes     atomic.Int64
+	proxiedDemotes      atomic.Int64
 	failovers           atomic.Int64
 	readRepairs         atomic.Int64
 	readRepairFailures  atomic.Int64
@@ -190,6 +192,8 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("DELETE /v1/datasets/{name}", rt.handleDelete)
 	rt.mux.HandleFunc("GET /v1/datasets/{name}/slice", rt.handleSlice)
 	rt.mux.HandleFunc("POST /v1/datasets/{name}/recompact", rt.handleRecompact)
+	rt.mux.HandleFunc("POST /v1/datasets/{name}/promote", rt.handlePromote)
+	rt.mux.HandleFunc("POST /v1/datasets/{name}/demote", rt.handleDemote)
 	rt.mux.HandleFunc("/", rt.handleNotRoutable)
 	if cfg.ProbeInterval > 0 {
 		go rt.probeLoop()
@@ -754,10 +758,35 @@ func infoNewer(a, b *service.DatasetInfo) bool {
 // many repairs succeeded.
 func (rt *Router) handleRecompact(w http.ResponseWriter, r *http.Request) {
 	rt.count(&rt.proxiedRecompacts, 1)
+	rt.forwardThenSync(w, r, "/recompact", "recompact", errBodyLimit)
+}
+
+// handlePromote / handleDemote proxy the residual-layer transitions the same
+// way: the promotion (body: the original field, proven against the content
+// hash shard-side) or demotion runs on one replica, and the peers receive
+// the resulting generation — residual included — through the raw sync frame,
+// so the lossless tier never has to be rebuilt R times.
+func (rt *Router) handlePromote(w http.ResponseWriter, r *http.Request) {
+	rt.count(&rt.proxiedPromotes, 1)
+	rt.forwardThenSync(w, r, "/promote", "promote", rt.cfg.MaxBodyBytes)
+}
+
+func (rt *Router) handleDemote(w http.ResponseWriter, r *http.Request) {
+	rt.count(&rt.proxiedDemotes, 1)
+	rt.forwardThenSync(w, r, "/demote", "demote", errBodyLimit)
+}
+
+// forwardThenSync is the shared mutate-once-replicate-bytes proxy: the
+// request (body buffered up to maxBody, replayable across failover) goes to
+// the first healthy replica that takes it — a 404 tries the next peer, any
+// other answer is final — and on success the served shard's new bytes are
+// raw-synced to the remaining desired replicas. X-RQM-Replicas-Synced
+// reports how many peers converged in-request.
+func (rt *Router) forwardThenSync(w http.ResponseWriter, r *http.Request, subpath, verb string, maxBody int64) {
 	name := r.PathValue("name")
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, errBodyLimit))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
-		rt.writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large", "request body too large")
+		rt.writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large", "request body exceeds %d bytes", maxBody)
 		return
 	}
 	healthy, _ := rt.candidates(name)
@@ -766,7 +795,7 @@ func (rt *Router) handleRecompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i, sh := range healthy {
-		req, rerr := shardRequest(r.Context(), http.MethodPost, sh, datasetPath(name)+"/recompact", r.URL.RawQuery, r.Header, bytes.NewReader(body))
+		req, rerr := shardRequest(r.Context(), http.MethodPost, sh, datasetPath(name)+subpath, r.URL.RawQuery, r.Header, bytes.NewReader(body))
 		if rerr != nil {
 			rt.writeErr(w, http.StatusBadGateway, "proxy_failed", "%v", rerr)
 			return
@@ -803,7 +832,7 @@ func (rt *Router) handleRecompact(w http.ResponseWriter, r *http.Request) {
 		relayBuffered(w, res)
 		return
 	}
-	rt.writeErr(w, http.StatusBadGateway, "no_replica", "no replica could recompact dataset %q", name)
+	rt.writeErr(w, http.StatusBadGateway, "no_replica", "no replica could %s dataset %q", verb, name)
 }
 
 // handleNotRoutable rejects everything outside the dataset and cluster
@@ -895,6 +924,8 @@ type Metrics struct {
 	ProxiedDeletes      int64   `json:"proxied_deletes"`
 	ProxiedSlices       int64   `json:"proxied_slices"`
 	ProxiedRecompacts   int64   `json:"proxied_recompacts"`
+	ProxiedPromotes     int64   `json:"proxied_promotes"`
+	ProxiedDemotes      int64   `json:"proxied_demotes"`
 	Failovers           int64   `json:"failovers"`
 	ReadRepairs         int64   `json:"read_repairs"`
 	ReadRepairFailures  int64   `json:"read_repair_failures"`
@@ -925,6 +956,8 @@ func (rt *Router) Snapshot() Metrics {
 		ProxiedDeletes:      rt.proxiedDeletes.Load(),
 		ProxiedSlices:       rt.proxiedSlices.Load(),
 		ProxiedRecompacts:   rt.proxiedRecompacts.Load(),
+		ProxiedPromotes:     rt.proxiedPromotes.Load(),
+		ProxiedDemotes:      rt.proxiedDemotes.Load(),
 		Failovers:           rt.failovers.Load(),
 		ReadRepairs:         rt.readRepairs.Load(),
 		ReadRepairFailures:  rt.readRepairFailures.Load(),

@@ -44,8 +44,12 @@ import (
 //	                                      ?adaptive-space=1 replans chunk
 //	                                      geometry spatially and records the
 //	                                      partitioner in the manifest)
-//	POST   /v1/datasets/{name}/raw        framed manifest + container bytes ->
+//	POST   /v1/datasets/{name}/raw        framed manifest + container bytes
+//	                                      (+ residual bytes when the manifest
+//	                                      declares a residual layer) ->
 //	                                      verbatim replica admit (no re-compress)
+//	POST   /v1/datasets/{name}/promote    .rqmf original body -> add residual
+//	POST   /v1/datasets/{name}/demote     drop residual, keep lossy base
 
 // DatasetInfo is the JSON summary of one stored dataset (put/stat/list
 // responses; the manifest minus the profile blob).
@@ -69,6 +73,11 @@ type DatasetInfo struct {
 	EstPSNR        Float     `json:"est_psnr"`
 	Chunks         int       `json:"chunks"`
 	Profiled       bool      `json:"profiled"`
+	// Exact reports a residual layer: the dataset can serve the original bit
+	// for bit (?exact=1). ResidualBytes/ResidualBackend describe its cost.
+	Exact           bool   `json:"exact"`
+	ResidualBytes   int64  `json:"residual_bytes,omitempty"`
+	ResidualBackend string `json:"residual_backend,omitempty"`
 }
 
 // ListDatasetsResponse is the GET /v1/datasets body.
@@ -102,7 +111,7 @@ type RecompactResponse struct {
 }
 
 func datasetInfo(m *store.Manifest) DatasetInfo {
-	return DatasetInfo{
+	di := DatasetInfo{
 		Name:           m.Name,
 		CreatedAt:      m.CreatedAt,
 		Generation:     m.Generation,
@@ -123,6 +132,12 @@ func datasetInfo(m *store.Manifest) DatasetInfo {
 		Chunks:         len(m.Chunks),
 		Profiled:       m.Profile != nil,
 	}
+	if m.Residual != nil {
+		di.Exact = true
+		di.ResidualBytes = m.Residual.Bytes
+		di.ResidualBackend = m.Residual.Backend
+	}
+	return di
 }
 
 // requireStore gates the dataset endpoints on a configured store.
@@ -277,10 +292,21 @@ func (s *Service) handleDatasetPut(w http.ResponseWriter, r *http.Request) error
 		}
 		return man, bw.Flush()
 	}
+	// ?exact=1 stages a residual layer alongside the container: the put
+	// becomes progressive-quality, able to serve the original bit for bit.
+	rb, err := residualBuilderFor(q, r.Header, f.Data, f.Prec)
+	if err != nil {
+		return err
+	}
 	var committed *store.Manifest
-	if base != nil {
+	switch {
+	case base != nil && rb != nil:
+		committed, err = st.ReplaceWithResidual(name, base, build, rb)
+	case base != nil:
 		committed, err = st.Replace(name, base, build)
-	} else {
+	case rb != nil:
+		committed, err = st.PutWithResidual(name, build, rb)
+	default:
 		committed, err = st.Put(name, build)
 	}
 	if err != nil {
@@ -389,6 +415,17 @@ func (s *Service) handleDatasetGet(w http.ResponseWriter, r *http.Request) error
 			return err
 		}
 	}
+	// The residual tier's two read paths: ?exact=1 decodes losslessly (its
+	// own end-to-end hash check replaces the streaming container path), and
+	// ?raw=1&residual=1 ships the residual file verbatim for replica sync.
+	if !raw && param(q, r.Header, "exact") == "1" {
+		s.count(&s.datasetGets, 1)
+		return s.serveExact(w, st, m)
+	}
+	if raw && param(q, r.Header, "residual") == "1" {
+		s.count(&s.datasetGets, 1)
+		return s.serveResidualRaw(w, st, m)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -467,11 +504,22 @@ func (s *Service) handleDatasetSlice(w http.ResponseWriter, r *http.Request) err
 	if err != nil {
 		return err
 	}
-	vals, err := st.ReadRangeWith(m, off, n)
+	// ?exact=1 reads the range at the lossless tier: same covering-chunk
+	// decode, plus each chunk's residual block — still O(covering chunks).
+	exact := param(q, r.Header, "exact") == "1"
+	var vals []float64
+	if exact {
+		vals, err = st.ReadRangeExact(m, off, n)
+	} else {
+		vals, err = st.ReadRangeWith(m, off, n)
+	}
 	if err != nil {
 		return err
 	}
 	s.count(&s.sliceReads, 1)
+	if exact {
+		s.count(&s.exactReads, 1)
+	}
 	// The slice travels as a self-describing 1-D .rqmf field in the
 	// dataset's original precision; the offset rides in a header.
 	sf, err := grid.FromData(m.Name, m.Prec(), vals, len(vals))
@@ -481,6 +529,9 @@ func (s *Service) handleDatasetSlice(w http.ResponseWriter, r *http.Request) err
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-RQM-Dataset", m.Name)
 	w.Header().Set("X-RQM-Offset", strconv.FormatInt(off, 10))
+	if exact {
+		w.Header().Set("X-RQM-Exact", "1")
+	}
 	_, err = sf.WriteTo(w)
 	return ignoreWriteErr(err)
 }
@@ -536,7 +587,11 @@ func (s *Service) handleDatasetRecompact(w http.ResponseWriter, r *http.Request)
 
 	// The decision is answered entirely from the cached profile — O(sample),
 	// no decompression: only a rewrite the model endorses touches the
-	// container.
+	// container. A residual layer changes the calculus: the rewrite re-encodes
+	// from the TRUE original (recovered bit-exactly), so the "a lossy archive
+	// cannot improve" skips do not apply — any model-solved bound is reachable,
+	// error does not accumulate, and tightening quality is legal.
+	hasResidual := m.Residual != nil
 	var newAbs float64
 	switch {
 	case hasRatio:
@@ -550,7 +605,7 @@ func (s *Service) handleDatasetRecompact(w http.ResponseWriter, r *http.Request)
 		if err != nil {
 			return errf(http.StatusBadRequest, "unsolvable", "%v", err)
 		}
-		if newAbs <= curAbs {
+		if newAbs <= curAbs && !hasResidual {
 			resp.Skipped = true
 			resp.Reason = fmt.Sprintf(
 				"model bound %.6g for ratio %.2fx is not looser than the stored bound %.6g; rewriting cannot gain",
@@ -562,7 +617,7 @@ func (s *Service) handleDatasetRecompact(w http.ResponseWriter, r *http.Request)
 		if err != nil {
 			return errf(http.StatusBadRequest, "unsolvable", "%v", err)
 		}
-		if newAbs <= curAbs*(1+1e-9) {
+		if newAbs <= curAbs*(1+1e-9) && !hasResidual {
 			resp.Skipped = true
 			resp.Reason = fmt.Sprintf(
 				"stored bound %.6g is already at or beyond the bound %.6g the model solves for %.4g dB; "+
@@ -586,7 +641,16 @@ func (s *Service) handleDatasetRecompact(w http.ResponseWriter, r *http.Request)
 		policy = rqm.AdaptiveBound{TargetPSNR: targetPSNR}
 	}
 
-	nm, rwStats, err := s.rewriteDataset(st, m, curAbs, newAbs, p, partName, policy)
+	// With a residual layer, recover the true original first: the rewrite's
+	// input is then exact, and the new residual is rebuilt against the new
+	// container — accumulated error dies here instead of compounding.
+	var orig []float64
+	if hasResidual {
+		if orig, err = st.ReadRangeExact(m, 0, m.TotalValues); err != nil {
+			return err
+		}
+	}
+	nm, rwStats, err := s.rewriteDataset(st, m, curAbs, newAbs, p, partName, policy, orig)
 	if err != nil {
 		return err
 	}
@@ -617,35 +681,52 @@ func (s *Service) handleDatasetRecompact(w http.ResponseWriter, r *http.Request)
 // own bound. Each generation's recorded bound therefore stays a true bound
 // as errors accumulate.
 //
+// With orig non-nil (the true original, recovered through the residual
+// layer) the accumulation story inverts: the rewrite's input IS the original,
+// the manifest records newAbs alone, and the residual is rebuilt against the
+// new container so the dataset stays bit-exact at generation+1.
+//
 // With a non-fixed partName the rewrite replans chunk geometry spatially:
 // the named partitioner splits the field where variance is non-uniform and
 // the policy solves a bound per region, so the per-chunk bounds vary and the
 // manifest records curAbs plus the loosest of them. Partitioners are
 // deterministic, so recording partName makes the geometry reproducible by
 // the next recompaction.
-func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, newAbs float64, p *rqm.Profile, partName string, policy rqm.AdaptiveBound) (*store.Manifest, rqm.StreamStats, error) {
+func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, newAbs float64, p *rqm.Profile, partName string, policy rqm.AdaptiveBound, orig []float64) (*store.Manifest, rqm.StreamStats, error) {
 	var stats rqm.StreamStats
-	path, err := st.ContainerPath(m.Name)
-	if err != nil {
-		return nil, stats, err
-	}
-	cf, err := os.Open(path)
-	if err != nil {
-		return nil, stats, err
-	}
-	sr, err := rqm.NewReader(bufio.NewReaderSize(cf, 1<<20))
-	if err != nil {
+	var f *rqm.Field
+	baseErr := curAbs
+	if orig != nil {
+		// Exact input: no inherited error, the new bound stands alone.
+		baseErr = 0
+		ef, err := grid.FromData(m.Name, m.Prec(), orig, m.Dims...)
+		if err != nil {
+			return nil, stats, err
+		}
+		f = ef
+	} else {
+		path, err := st.ContainerPath(m.Name)
+		if err != nil {
+			return nil, stats, err
+		}
+		cf, err := os.Open(path)
+		if err != nil {
+			return nil, stats, err
+		}
+		sr, err := rqm.NewReader(bufio.NewReaderSize(cf, 1<<20))
+		if err != nil {
+			cf.Close()
+			return nil, stats, err
+		}
+		f, err = sr.ReadAll()
+		sr.Close()
 		cf.Close()
-		return nil, stats, err
+		if err != nil {
+			return nil, stats, err
+		}
+		f.Name = m.Name
+		f.Prec = m.Prec()
 	}
-	f, err := sr.ReadAll()
-	sr.Close()
-	cf.Close()
-	if err != nil {
-		return nil, stats, err
-	}
-	f.Name = m.Name
-	f.Prec = m.Prec()
 
 	kind, err := rqm.ParsePredictorKind(m.Predictor)
 	if err != nil {
@@ -670,7 +751,7 @@ func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, new
 	if err != nil {
 		return nil, stats, err
 	}
-	effective := curAbs + newAbs
+	effective := baseErr + newAbs
 	est := p.EstimateAt(effective)
 	nm := &store.Manifest{
 		CreatedAt:     m.CreatedAt,
@@ -708,7 +789,7 @@ func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, new
 			rqm.WithPartitioner(pt),
 			rqm.WithAdaptiveBound(policy))
 	}
-	committed, err := st.Replace(m.Name, m, func(cw io.Writer) (*store.Manifest, error) {
+	build := func(cw io.Writer) (*store.Manifest, error) {
 		bw := bufio.NewWriterSize(cw, 1<<20)
 		sw, err := eng.NewFieldStreamWriter(bw, f, streamOpts...)
 		if err != nil {
@@ -725,13 +806,21 @@ func (s *Service) rewriteDataset(st *store.Store, m *store.Manifest, curAbs, new
 		if spatial {
 			// Per-region bounds vary; the honest end-to-end guarantee is the
 			// accumulated input error plus the loosest region bound.
-			nm.ErrorBound = curAbs + stats.MaxBound
+			nm.ErrorBound = baseErr + stats.MaxBound
 			nm.EstPSNR = finiteOrZero(p.EstimateAt(nm.ErrorBound).PSNR)
 		}
 		return nm, bw.Flush()
-	})
-	if err != nil {
-		return nil, stats, err
+	}
+	var committed *store.Manifest
+	var err2 error
+	if orig != nil {
+		committed, err2 = st.ReplaceWithResidual(m.Name, m, build,
+			store.BuildResidual(orig, m.Prec(), m.Residual.Backend))
+	} else {
+		committed, err2 = st.Replace(m.Name, m, build)
+	}
+	if err2 != nil {
+		return nil, stats, err2
 	}
 	return committed, stats, nil
 }
@@ -836,16 +925,35 @@ func (s *Service) handleDatasetRawPut(w http.ResponseWriter, r *http.Request) er
 		}
 	}
 
+	// When the incoming manifest declares a residual layer, the frame carries
+	// the residual file right after the container: exactly ContainerBytes of
+	// container, then exactly Residual.Bytes of residual. CopyResidual makes
+	// the store's staging checks prove the copy arrived byte-identical.
 	build := func(cw io.Writer) (*store.Manifest, error) {
+		if m.Residual != nil {
+			if _, err := io.CopyN(cw, br, m.ContainerBytes); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
 		if _, err := io.Copy(cw, br); err != nil {
 			return nil, err
 		}
 		return m, nil
 	}
+	var rb store.ResidualBuilder
+	if m.Residual != nil {
+		rb = store.CopyResidual(br, m.Residual)
+	}
 	var committed *store.Manifest
-	if cur != nil {
+	switch {
+	case cur != nil && rb != nil:
+		committed, err = st.ReplaceWithResidual(name, cur, build, rb)
+	case cur != nil:
 		committed, err = st.Replace(name, cur, build)
-	} else {
+	case rb != nil:
+		committed, err = st.PutWithResidual(name, build, rb)
+	default:
 		committed, err = st.Put(name, build)
 	}
 	if err != nil {

@@ -84,6 +84,11 @@ func mapError(err error) (int, string, string) {
 		return http.StatusBadRequest, "bad_range", err.Error()
 	case errors.Is(err, store.ErrConflict):
 		return http.StatusConflict, "conflict", err.Error()
+	case errors.Is(err, store.ErrNoResidual):
+		// An exact read (or bodyless promote) against a lossy-only dataset:
+		// the request is well-formed, the dataset simply has no lossless tier
+		// — a 409 the client resolves by promoting with the original.
+		return http.StatusConflict, "no_residual", err.Error()
 	case errors.Is(err, store.ErrManifestCorrupt), errors.Is(err, store.ErrManifestVersion):
 		return http.StatusInternalServerError, "manifest_corrupt", err.Error()
 	}

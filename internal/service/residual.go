@@ -1,0 +1,238 @@
+package service
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+
+	"rqm/internal/grid"
+	"rqm/internal/residual"
+	"rqm/internal/store"
+)
+
+// Progressive-quality endpoints: the lossless residual layer over the lossy
+// base. A dataset put with ?exact=1 (or later promoted) carries a residual
+// file alongside its container; exact reads XOR the residual onto the lossy
+// reconstruction and return the original bit for bit, verified against the
+// stored original hash before a single byte goes out.
+//
+//	GET  /v1/datasets/{name}?exact=1          bit-exact original .rqmf
+//	GET  /v1/datasets/{name}?raw=1&residual=1 stored residual file verbatim
+//	GET  /v1/datasets/{name}/slice?exact=1    bit-exact range
+//	POST /v1/datasets/{name}/promote          .rqmf original body -> add a
+//	                                          residual layer to a lossy dataset
+//	POST /v1/datasets/{name}/demote           drop the residual layer, keep
+//	                                          the lossy base
+
+// residualBuilderFor resolves the ?exact=1 / ?residual-backend= pair of a put
+// into a residual builder (nil when the put is plain lossy).
+func residualBuilderFor(q url.Values, h http.Header, data []float64, prec grid.Precision) (store.ResidualBuilder, error) {
+	if param(q, h, "exact") != "1" {
+		return nil, nil
+	}
+	backend := param(q, h, "residual-backend")
+	if backend == "" {
+		backend = residual.DefaultBackend
+	}
+	if _, err := residual.ByName(backend); err != nil {
+		return nil, errf(http.StatusBadRequest, "bad_param", "residual-backend: %v", err)
+	}
+	return store.BuildResidual(data, prec, backend), nil
+}
+
+// serveExact answers GET ?exact=1: the full dataset at the lossless tier.
+// The reconstruction is verified against the residual layer's stored
+// original hash BEFORE the status commits — an exact read that cannot prove
+// it is exact fails typed instead of serving plausible bytes.
+func (s *Service) serveExact(w http.ResponseWriter, st *store.Store, m *store.Manifest) error {
+	vals, err := st.ReadRangeExact(m, 0, m.TotalValues)
+	if err != nil {
+		return err
+	}
+	sum, err := residual.OriginalHash(vals, m.Prec())
+	if err != nil {
+		return err
+	}
+	if got := hex.EncodeToString(sum[:]); got != m.Residual.OriginalHash {
+		return fmt.Errorf("%w: %q: exact reconstruction hashes to %s, residual layer promises %s",
+			store.ErrCorruptDataset, m.Name, got, m.Residual.OriginalHash)
+	}
+	s.count(&s.exactReads, 1)
+	f, err := grid.FromData(m.Name, m.Prec(), vals, m.Dims...)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-RQM-Dataset", m.Name)
+	w.Header().Set("X-RQM-Exact", "1")
+	_, err = f.WriteTo(w)
+	return ignoreWriteErr(err)
+}
+
+// serveResidualRaw answers GET ?raw=1&residual=1: the stored residual file
+// verbatim, the replica-sync counterpart of the raw container path. End-to-end
+// integrity rides the manifest's residual hash (and ?verify=1, handled by the
+// caller, adds a shallow pre-check exactly like the container path).
+func (s *Service) serveResidualRaw(w http.ResponseWriter, st *store.Store, m *store.Manifest) error {
+	path, err := st.ResidualPath(m.Name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", fmt.Sprintf("%d", m.Residual.Bytes))
+	h.Set("X-RQM-Dataset", m.Name)
+	h.Set("X-RQM-Residual-Backend", m.Residual.Backend)
+	h.Set("X-RQM-Residual-Hash", m.Residual.Hash)
+	_, err = io.Copy(w, f)
+	return ignoreWriteErr(err)
+}
+
+// nextGeneration clones a manifest for a same-container rewrite (promote /
+// demote): identity (CreatedAt, ContentHash, profile) carries over, the
+// generation bumps, and the store refills the container-derived fields —
+// keeping ContainerHash makes the staged copy prove itself byte-identical.
+func nextGeneration(m *store.Manifest) *store.Manifest {
+	nm := *m
+	nm.Generation++
+	nm.Chunks = nil
+	nm.Residual = nil
+	return &nm
+}
+
+// copyContainerBuild is the build function for promote/demote: the committed
+// container streamed into the stage verbatim. Reading the committed file
+// while its replacement stages is safe — publish is a whole-directory swap.
+func copyContainerBuild(st *store.Store, name string, nm *store.Manifest) func(io.Writer) (*store.Manifest, error) {
+	return func(cw io.Writer) (*store.Manifest, error) {
+		path, err := st.ContainerPath(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if _, err := io.Copy(cw, f); err != nil {
+			return nil, err
+		}
+		return nm, nil
+	}
+}
+
+// handleDatasetPromote adds a residual layer to a committed dataset. The body
+// is the original .rqmf field; the handler proves it IS the original (the
+// bytes must reproduce the manifest's ContentHash) before building the
+// residual against the stored container — a promotion can never quietly
+// install a residual that "restores" to the wrong data. With a residual
+// already present and no body, the promote is an idempotent no-op.
+func (s *Service) handleDatasetPromote(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	name, err := pathName(r)
+	if err != nil {
+		return err
+	}
+	m, err := st.Manifest(name)
+	if err != nil {
+		return err
+	}
+	q := r.URL.Query()
+	br := bufio.NewReaderSize(r.Body, 1<<20)
+	if _, err := br.Peek(1); err != nil {
+		// No body. Already promoted -> idempotent skip; otherwise the caller
+		// must supply the original — the lossy base cannot conjure it.
+		if m.Residual != nil {
+			w.Header().Set("X-RQM-Promote", "skipped")
+			return writeJSON(w, http.StatusOK, datasetInfo(m))
+		}
+		return fmt.Errorf("%w: %q: promotion needs the original field in the request body",
+			store.ErrNoResidual, name)
+	}
+	hasher := sha256.New()
+	f, err := readFieldBody(io.TeeReader(br, hasher))
+	if err != nil {
+		return err
+	}
+	if f.Prec.Bits() != m.PrecBits || !equalDims(f.Dims, m.Dims) {
+		return errf(http.StatusConflict, "conflict",
+			"promotion body is %d-bit %v, dataset %q is %d-bit %v",
+			f.Prec.Bits(), f.Dims, name, m.PrecBits, m.Dims)
+	}
+	if sum := hex.EncodeToString(hasher.Sum(nil)); m.ContentHash != "" && sum != m.ContentHash {
+		return errf(http.StatusConflict, "conflict",
+			"promotion body hashes to %s, dataset %q was put from %s: not the original", sum, name, m.ContentHash)
+	}
+	backend := param(q, r.Header, "residual-backend")
+	if backend == "" {
+		backend = residual.DefaultBackend
+	}
+	if _, err := residual.ByName(backend); err != nil {
+		return errf(http.StatusBadRequest, "bad_param", "residual-backend: %v", err)
+	}
+	nm := nextGeneration(m)
+	committed, err := st.ReplaceWithResidual(name, m, copyContainerBuild(st, name, nm),
+		store.BuildResidual(f.Data, f.Prec, backend))
+	if err != nil {
+		return putError(err)
+	}
+	s.count(&s.promotes, 1)
+	w.Header().Set("X-RQM-Promote", "promoted")
+	return writeJSON(w, http.StatusCreated, datasetInfo(committed))
+}
+
+// handleDatasetDemote drops a dataset's residual layer, keeping the lossy
+// base: the container is re-committed verbatim at generation+1 without a
+// residual builder, which clears the manifest's residual record and deletes
+// the file in the same atomic publish. Demoting a lossy dataset is a no-op.
+func (s *Service) handleDatasetDemote(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.requireStore()
+	if err != nil {
+		return err
+	}
+	name, err := pathName(r)
+	if err != nil {
+		return err
+	}
+	m, err := st.Manifest(name)
+	if err != nil {
+		return err
+	}
+	if m.Residual == nil {
+		w.Header().Set("X-RQM-Demote", "skipped")
+		return writeJSON(w, http.StatusOK, datasetInfo(m))
+	}
+	nm := nextGeneration(m)
+	committed, err := st.Replace(name, m, copyContainerBuild(st, name, nm))
+	if err != nil {
+		return putError(err)
+	}
+	s.count(&s.demotes, 1)
+	w.Header().Set("X-RQM-Demote", "demoted")
+	return writeJSON(w, http.StatusOK, datasetInfo(committed))
+}
+
+func equalDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

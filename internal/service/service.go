@@ -122,6 +122,12 @@ type Service struct {
 	recompactions  atomic.Int64
 	recompactSkips atomic.Int64
 
+	// Residual-layer counters: bit-exact reads served (full gets and exact
+	// slices), and promote/demote transitions between the quality tiers.
+	exactReads atomic.Int64
+	promotes   atomic.Int64
+	demotes    atomic.Int64
+
 	// Partition-layer counters: adaptive-space runs (compressions and
 	// recompactions planned by a spatial partitioner) and the regions/splits
 	// those plans produced.
@@ -194,6 +200,10 @@ func New(cfg Config) (*Service, error) {
 	s.mux.Handle("/v1/scrub", s.handle(http.MethodPost, false, s.handleScrubStart))
 	s.mux.Handle("/v1/scrub/status", s.handle(http.MethodGet, false, s.handleScrubStatus))
 	s.mux.Handle("/v1/datasets/{name}/recompact", s.handle(http.MethodPost, true, s.handleDatasetRecompact))
+	// Progressive quality: promote installs a residual layer over the lossy
+	// base (body = the original field), demote drops it. See residual.go.
+	s.mux.Handle("/v1/datasets/{name}/promote", s.handle(http.MethodPost, true, s.handleDatasetPromote))
+	s.mux.Handle("/v1/datasets/{name}/demote", s.handle(http.MethodPost, true, s.handleDatasetDemote))
 	// Replication plumbing: a raw put admits an already-compressed container
 	// verbatim (manifest framed ahead of it), so replica repair and shard
 	// rebalancing never decompress or recompress. See handleDatasetRawPut.
@@ -440,6 +450,13 @@ type MetricsSnapshot struct {
 	StoreWrites          int64 `json:"store_writes"`
 	StoreChunkReads      int64 `json:"store_chunk_reads"`
 
+	// Residual-layer counters and gauges: bytes of stored residual files
+	// across the archive, bit-exact reads served, and tier transitions.
+	ResidualBytes int64 `json:"residual_bytes"`
+	ExactReads    int64 `json:"exact_reads"`
+	Promotes      int64 `json:"promotes"`
+	Demotes       int64 `json:"demotes"`
+
 	// Partition-layer counters (zero until an adaptive-space run happens).
 	AdaptiveSpaceRuns int64 `json:"adaptive_space_runs"`
 	PartitionRegions  int64 `json:"partition_regions"`
@@ -494,6 +511,9 @@ func (s *Service) Snapshot() MetricsSnapshot {
 		SliceReads:           s.sliceReads.Load(),
 		Recompactions:        s.recompactions.Load(),
 		RecompactionsSkipped: s.recompactSkips.Load(),
+		ExactReads:           s.exactReads.Load(),
+		Promotes:             s.promotes.Load(),
+		Demotes:              s.demotes.Load(),
 
 		AdaptiveSpaceRuns: s.adaptiveSpaceRuns.Load(),
 		PartitionRegions:  s.partitionRegions.Load(),
@@ -504,6 +524,7 @@ func (s *Service) Snapshot() MetricsSnapshot {
 		snap.StoreBytes, snap.Datasets = s.store.Bytes()
 		snap.StoreWrites = s.store.Writes()
 		snap.StoreChunkReads = s.store.ChunkReads()
+		snap.ResidualBytes = s.store.ResidualBytes()
 		snap.ScrubRuns, snap.ChunksVerified,
 			snap.DatasetsQuarantined, snap.BytesQuarantined = s.store.ScrubStats()
 	}

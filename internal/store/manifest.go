@@ -14,6 +14,7 @@ import (
 	"rqm/internal/grid"
 	"rqm/internal/partition"
 	"rqm/internal/predictor"
+	"rqm/internal/residual"
 )
 
 // ManifestVersion is the current manifest schema version. Readers accept
@@ -74,6 +75,26 @@ type ProfileRecord struct {
 	// Errors is the sampled prediction-error vector, base64-encoded
 	// little-endian float64s (compact and exact, unlike a JSON number array).
 	Errors string `json:"errors_b64"`
+}
+
+// ResidualRecord describes a dataset's optional lossless residual layer:
+// the entropy-coded XOR of the original against the lossy reconstruction,
+// stored beside the container (see internal/residual). Its presence is what
+// makes a dataset "promoted": exact reads are served by decoding the base
+// and applying the residual, and recompaction can re-encode from the true
+// original instead of the accumulated-error reconstruction.
+type ResidualRecord struct {
+	// Backend names the entropy backend the residual was coded with.
+	Backend string `json:"backend"`
+	// Bytes is the residual file's on-disk size.
+	Bytes int64 `json:"bytes"`
+	// Hash is the SHA-256 of the residual file's bytes, stamped by the
+	// store at commit time — the deep-scrub reference for the residual.
+	Hash string `json:"hash"`
+	// OriginalHash is the SHA-256 of the exact original payload bytes
+	// (little-endian floats at the storage width, no header). Every exact
+	// read is verified against it before serving.
+	OriginalHash string `json:"original_hash"`
 }
 
 // Manifest is one dataset's on-disk metadata: identity, shape, the applied
@@ -139,6 +160,9 @@ type Manifest struct {
 	// Profile is the cached ratio-quality profile (nil only for datasets
 	// stored without one).
 	Profile *ProfileRecord `json:"profile,omitempty"`
+	// Residual describes the optional lossless residual layer (nil for
+	// lossy-only datasets).
+	Residual *ResidualRecord `json:"residual,omitempty"`
 }
 
 // isSHA256Hex reports whether s is a lowercase hex SHA-256 digest — the
@@ -222,6 +246,20 @@ func ParseManifest(data []byte) (*Manifest, error) {
 	}
 	if indexed != m.TotalValues {
 		return nil, corruptf("chunk index covers %d values, dataset holds %d", indexed, m.TotalValues)
+	}
+	if m.Residual != nil {
+		if !residual.Known(m.Residual.Backend) {
+			return nil, corruptf("unknown residual backend %q", m.Residual.Backend)
+		}
+		if m.Residual.Bytes <= 0 {
+			return nil, corruptf("residual of %d bytes", m.Residual.Bytes)
+		}
+		if !isSHA256Hex(m.Residual.Hash) {
+			return nil, corruptf("residual hash %q is not a SHA-256 hex digest", m.Residual.Hash)
+		}
+		if !isSHA256Hex(m.Residual.OriginalHash) {
+			return nil, corruptf("residual original_hash %q is not a SHA-256 hex digest", m.Residual.OriginalHash)
+		}
 	}
 	if m.Profile != nil {
 		if _, err := m.Profile.decodeErrors(); err != nil {

@@ -82,6 +82,22 @@ func FuzzManifest(f *testing.F) {
 		`"name":"fuzz-seed","container_hash":"`+strings.Repeat("zz", 32)+`"`, 1)))
 	f.Add([]byte(strings.Replace(string(valid), `"name":"fuzz-seed"`,
 		`"name":"fuzz-seed","container_hash":"abcd"`, 1)))
+	// Residual-section variants: a valid record, an unknown backend, a
+	// malformed hash, non-positive byte counts, and a truncated section. A
+	// malformed record must reject typed — the exact-read path trusts these
+	// fields as its integrity reference.
+	resOK := `"residual":{"backend":"ans","bytes":2048,"hash":"` + strings.Repeat("ef", 32) +
+		`","original_hash":"` + strings.Repeat("01", 32) + `"}`
+	f.Add([]byte(strings.Replace(string(valid), `"name":"fuzz-seed"`,
+		`"name":"fuzz-seed",`+resOK, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"name":"fuzz-seed"`,
+		`"name":"fuzz-seed",`+strings.Replace(resOK, `"ans"`, `"warp-drive"`, 1), 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"name":"fuzz-seed"`,
+		`"name":"fuzz-seed",`+strings.Replace(resOK, strings.Repeat("ef", 32), "zz", 1), 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"name":"fuzz-seed"`,
+		`"name":"fuzz-seed",`+strings.Replace(resOK, `"bytes":2048`, `"bytes":0`, 1), 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"name":"fuzz-seed"`,
+		`"name":"fuzz-seed",`+resOK[:len(resOK)/2], 1)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := store.ParseManifest(data) // must never panic
@@ -103,6 +119,10 @@ func FuzzManifest(f *testing.F) {
 		if m2.Name != m.Name || m2.TotalValues != m.TotalValues || len(m2.Chunks) != len(m.Chunks) ||
 			m2.ContainerHash != m.ContainerHash {
 			t.Fatalf("round trip changed identity: %+v vs %+v", m2, m)
+		}
+		if (m.Residual == nil) != (m2.Residual == nil) ||
+			(m.Residual != nil && *m2.Residual != *m.Residual) {
+			t.Fatalf("round trip changed residual record: %+v vs %+v", m2.Residual, m.Residual)
 		}
 		// A present profile must either rebuild or fail typed.
 		if m.Profile != nil {

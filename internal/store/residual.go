@@ -1,0 +1,281 @@
+// Residual-layer store support: staging and commit-time validation of the
+// residual file, the exact (bit-lossless) range read path, and the builder
+// that synthesizes a residual from an original against a staged container.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rqm/internal/codec"
+	"rqm/internal/grid"
+	"rqm/internal/residual"
+)
+
+// stageResidual writes the residual file into the staging directory, tees
+// it through SHA-256, and validates the staged bytes against both the
+// builder's declared record (a replica transfer must arrive intact) and the
+// manifest's chunk geometry (blocks must align one-to-one with chunks) —
+// the same refuse-to-commit discipline the container gets.
+func (s *Store) stageResidual(stage, name, cpath string, m *Manifest, rb ResidualBuilder) (*ResidualRecord, error) {
+	rpath := filepath.Join(stage, ResidualFile)
+	rf, err := os.Create(rpath)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	hasher := sha256.New()
+	rec, err := rb(cpath, io.MultiWriter(rf, hasher))
+	if err == nil {
+		err = rf.Sync()
+	}
+	if cerr := rf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		return nil, errors.New("store: residual builder returned no record")
+	}
+	fi, err := os.Stat(rpath)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sum := hex.EncodeToString(hasher.Sum(nil))
+	if rec.Hash != "" && rec.Hash != sum {
+		return nil, fmt.Errorf("%w: %q: staged residual hashes to %s, record declares %s",
+			ErrCorruptDataset, name, sum, rec.Hash)
+	}
+	if rec.Bytes > 0 && rec.Bytes != fi.Size() {
+		return nil, fmt.Errorf("%w: %q: staged residual is %d bytes, record declares %d",
+			ErrCorruptDataset, name, fi.Size(), rec.Bytes)
+	}
+	out := &ResidualRecord{
+		Backend:      rec.Backend,
+		Bytes:        fi.Size(),
+		Hash:         sum,
+		OriginalHash: rec.OriginalHash,
+	}
+
+	// Structural check of what was just written: parseable, right backend,
+	// and block-for-chunk aligned with the manifest.
+	f, err := os.Open(rpath)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	idx, err := residual.LoadIndex(f)
+	if err != nil {
+		return nil, corruptResidual(name, err)
+	}
+	if out.OriginalHash == "" {
+		out.OriginalHash = hex.EncodeToString(idx.Header.OriginalHash[:])
+	}
+	if err := checkResidualIndex(name, m, out, idx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// checkResidualIndex cross-checks a residual index against the manifest it
+// is about to be (or is) committed with.
+func checkResidualIndex(name string, m *Manifest, rec *ResidualRecord, idx *residual.Index) error {
+	c, err := residual.ByName(rec.Backend)
+	if err != nil {
+		return corruptResidual(name, err)
+	}
+	if idx.Header.BackendID != c.ID() {
+		return fmt.Errorf("%w: %q: residual coded with backend id %d, record names %q",
+			ErrCorruptDataset, name, idx.Header.BackendID, rec.Backend)
+	}
+	if idx.Header.Width*8 != m.PrecBits {
+		return fmt.Errorf("%w: %q: residual width %d bytes for %d-bit data",
+			ErrCorruptDataset, name, idx.Header.Width, m.PrecBits)
+	}
+	if idx.Header.ElemCount != m.TotalValues {
+		return fmt.Errorf("%w: %q: residual covers %d values, dataset holds %d",
+			ErrCorruptDataset, name, idx.Header.ElemCount, m.TotalValues)
+	}
+	if hh := hex.EncodeToString(idx.Header.OriginalHash[:]); hh != rec.OriginalHash {
+		return fmt.Errorf("%w: %q: residual header original hash %s, record declares %s",
+			ErrCorruptDataset, name, hh, rec.OriginalHash)
+	}
+	if len(idx.Blocks) != len(m.Chunks) {
+		return fmt.Errorf("%w: %q: residual holds %d blocks, container holds %d chunks",
+			ErrCorruptDataset, name, len(idx.Blocks), len(m.Chunks))
+	}
+	for i, b := range idx.Blocks {
+		if b.Values != m.Chunks[i].Values {
+			return fmt.Errorf("%w: %q: residual block %d covers %d values, chunk covers %d",
+				ErrCorruptDataset, name, i, b.Values, m.Chunks[i].Values)
+		}
+	}
+	return nil
+}
+
+// BuildResidual synthesizes a residual layer: it decodes the (staged or
+// committed) container at containerPath to obtain the exact lossy
+// reconstruction, computes the XOR residual against orig, and writes the
+// framed residual file to w, blocked to the container's chunk geometry.
+// The returned record declares the backend and original hash; the store
+// fills Bytes and Hash at staging. Shaped as a ResidualBuilder factory so
+// callers pass BuildResidual(orig, prec, backend) straight to
+// PutWithResidual / ReplaceWithResidual.
+func BuildResidual(orig []float64, prec grid.Precision, backend string) ResidualBuilder {
+	return func(containerPath string, w io.Writer) (*ResidualRecord, error) {
+		c, err := residual.ByName(backend)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(containerPath)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		defer f.Close()
+		idx, err := codec.LoadIndex(f)
+		if err != nil {
+			return nil, fmt.Errorf("store: residual base: %w", err)
+		}
+		if idx.TotalValues != int64(len(orig)) {
+			return nil, fmt.Errorf("store: residual base holds %d values, original holds %d",
+				idx.TotalValues, len(orig))
+		}
+		recon := make([]float64, 0, idx.TotalValues)
+		blocks := make([]int, len(idx.Entries))
+		for i, e := range idx.Entries {
+			ch, err := codec.ReadChunkAt(f, e)
+			if err != nil {
+				return nil, fmt.Errorf("store: residual base: %w", err)
+			}
+			vals, err := codec.DecodeChunk(ch)
+			if err != nil {
+				return nil, fmt.Errorf("store: residual base: %w", err)
+			}
+			blocks[i] = len(vals)
+			recon = append(recon, vals...)
+		}
+		if _, err := residual.Encode(w, c, prec, orig, recon, blocks); err != nil {
+			return nil, err
+		}
+		h, err := residual.OriginalHash(orig, prec)
+		if err != nil {
+			return nil, err
+		}
+		return &ResidualRecord{Backend: backend, OriginalHash: hex.EncodeToString(h[:])}, nil
+	}
+}
+
+// CopyResidual is the replica-transfer ResidualBuilder: it streams exactly
+// declared.Bytes from r into the staged residual file and re-declares the
+// source's record, so the store's staging checks prove the copy arrived
+// byte-identical (hash and size must reproduce).
+func CopyResidual(r io.Reader, declared *ResidualRecord) ResidualBuilder {
+	return func(_ string, w io.Writer) (*ResidualRecord, error) {
+		if declared == nil {
+			return nil, errors.New("store: CopyResidual needs the declared record")
+		}
+		if _, err := io.CopyN(w, r, declared.Bytes); err != nil {
+			return nil, fmt.Errorf("store: copying residual: %w", err)
+		}
+		rec := *declared
+		return &rec, nil
+	}
+}
+
+// ReadRangeExact is ReadRangeWith at the lossless tier: it decodes the
+// chunks covering [off, off+n), applies each chunk's residual block, and
+// returns bit-exact original values. Only the covering chunks and blocks
+// are read. ErrNoResidual when the dataset has no residual layer.
+func (s *Store) ReadRangeExact(m *Manifest, off, n int64) ([]float64, error) {
+	name := m.Name
+	if m.Residual == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoResidual, name)
+	}
+	if off < 0 || n <= 0 || off > m.TotalValues || n > m.TotalValues-off {
+		return nil, fmt.Errorf("%w: [%d, %d) of %d values", ErrBadRange, off, off+n, m.TotalValues)
+	}
+	f, err := s.fs.Open(filepath.Join(s.datasetDir(name), ContainerFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	rf, err := s.fs.Open(filepath.Join(s.datasetDir(name), ResidualFile))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %q: manifest records a residual but the file is missing",
+				ErrCorruptDataset, name)
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer rf.Close()
+	idx, err := residual.LoadIndex(rf)
+	if err != nil {
+		return nil, corruptResidual(name, err)
+	}
+	if len(idx.Blocks) != len(m.Chunks) || idx.Header.Width*8 != m.PrecBits {
+		return nil, fmt.Errorf("%w: %q: residual layout does not match the container", ErrCorruptDataset, name)
+	}
+
+	out := make([]float64, 0, n)
+	var start int64 // first element of the current chunk
+	for i, e := range m.IndexEntries() {
+		end := start + int64(e.Values)
+		if end <= off {
+			start = end
+			continue
+		}
+		if start >= off+n {
+			break
+		}
+		c, err := codec.ReadChunkAt(f, e)
+		if err != nil {
+			return nil, corruptRead(name, err)
+		}
+		vals, err := codec.DecodeChunk(c)
+		if err != nil {
+			return nil, corruptRead(name, err)
+		}
+		if idx.Blocks[i].Values != len(vals) {
+			return nil, fmt.Errorf("%w: %q: residual block %d covers %d values, chunk decodes %d",
+				ErrCorruptDataset, name, i, idx.Blocks[i].Values, len(vals))
+		}
+		raw, err := residual.ReadBlock(rf, idx.Header, idx.Blocks[i])
+		if err != nil {
+			return nil, corruptResidual(name, err)
+		}
+		if err := residual.Apply(vals, raw, m.Prec()); err != nil {
+			return nil, corruptResidual(name, err)
+		}
+		s.chunkReads.Add(1)
+		lo, hi := int64(0), int64(len(vals))
+		if off > start {
+			lo = off - start
+		}
+		if off+n < end {
+			hi = off + n - start
+		}
+		out = append(out, vals[lo:hi]...)
+		start = end
+	}
+	return out, nil
+}
+
+// corruptResidual wraps a residual read/parse failure in ErrCorruptDataset
+// when the cause is an integrity failure (the residual-layer counterpart of
+// corruptRead).
+func corruptResidual(name string, err error) error {
+	for _, sentinel := range []error{
+		residual.ErrBadMagic, residual.ErrUnsupportedVersion, residual.ErrUnknownBackend,
+		residual.ErrCorrupt, residual.ErrTruncated,
+	} {
+		if errors.Is(err, sentinel) {
+			return fmt.Errorf("%w: %q: %w", ErrCorruptDataset, name, err)
+		}
+	}
+	return fmt.Errorf("store: dataset %q: %w", name, err)
+}

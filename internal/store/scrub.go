@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"rqm/internal/codec"
+	"rqm/internal/residual"
 )
 
 // QuarantineDir is the directory under the store root where scrub parks
@@ -196,7 +197,71 @@ func (s *Store) verifyDataset(name string, deep bool) (raw []byte, chunks int64,
 		return raw, 0, fmt.Errorf("%w: %q: manifest names %q", ErrCorruptDataset, name, m.Name)
 	}
 	chunks, err = s.verifyContainer(name, m, deep)
-	return raw, chunks, err
+	if err != nil {
+		return raw, chunks, err
+	}
+	return raw, chunks, s.verifyResidual(name, m, deep)
+}
+
+// verifyResidual runs the residual-side checks for one dataset: presence
+// and size against the manifest record, structural index parse, block
+// alignment with the container's chunk geometry, and per-block CRCs; deep
+// additionally decodes every block and re-hashes the file against the
+// manifest's residual hash. Datasets without a residual layer pass
+// trivially.
+func (s *Store) verifyResidual(name string, m *Manifest, deep bool) error {
+	if m.Residual == nil {
+		return nil
+	}
+	f, err := s.fs.Open(filepath.Join(s.datasetDir(name), ResidualFile))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("%w: %q: manifest records a residual but the file is missing",
+				ErrCorruptDataset, name)
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if size != m.Residual.Bytes {
+		return fmt.Errorf("%w: %q: residual is %d bytes on disk, manifest records %d",
+			ErrCorruptDataset, name, size, m.Residual.Bytes)
+	}
+	idx, err := residual.LoadIndex(f)
+	if err != nil {
+		return corruptResidual(name, err)
+	}
+	if err := checkResidualIndex(name, m, m.Residual, idx); err != nil {
+		return err
+	}
+	for _, e := range idx.Blocks {
+		if deep {
+			_, err = residual.ReadBlock(f, idx.Header, e)
+		} else {
+			err = residual.VerifyBlock(f, e)
+		}
+		if err != nil {
+			return corruptResidual(name, err)
+		}
+		s.chunksVerified.Add(1)
+	}
+	if deep {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if sum := hex.EncodeToString(h.Sum(nil)); sum != m.Residual.Hash {
+			return fmt.Errorf("%w: %q: residual hashes to %s, manifest records %s",
+				ErrCorruptDataset, name, sum, m.Residual.Hash)
+		}
+	}
+	return nil
 }
 
 // verifyContainer runs the container-side checks for one dataset.
@@ -304,6 +369,7 @@ func (s *Store) quarantine(name string, rawManifest []byte) error {
 		return fmt.Errorf("%w: %q", ErrConflict, name)
 	}
 	size := s.datasetSize(name)
+	res := s.residualSize(name)
 	hadManifest := err == nil
 	dst := filepath.Join(s.root, QuarantineDir, name)
 	for i := 1; ; i++ {
@@ -318,6 +384,7 @@ func (s *Store) quarantine(name string, rawManifest []byte) error {
 	syncDir(filepath.Join(s.root, "datasets"))
 	syncDir(filepath.Join(s.root, QuarantineDir))
 	s.bytesStored.Add(-size)
+	s.residualBytes.Add(-res)
 	if hadManifest {
 		s.datasetCount.Add(-1)
 	}

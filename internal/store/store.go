@@ -66,13 +66,19 @@ var (
 	// replicated reader can tell "this copy is rotten — fail over and repair
 	// it" apart from "this shard is down".
 	ErrCorruptDataset = errors.New("store: corrupt dataset")
+	// ErrNoResidual marks an exact-read or residual access against a dataset
+	// that has no residual layer (never promoted, or demoted since). The
+	// lossy tier still serves; this is a tier miss, not corruption.
+	ErrNoResidual = errors.New("store: dataset has no residual layer")
 )
 
-// ContainerFile and ManifestFile are the fixed file names inside a dataset
-// directory.
+// ContainerFile, ManifestFile, and ResidualFile are the fixed file names
+// inside a dataset directory (the residual file exists only on promoted
+// datasets).
 const (
 	ContainerFile = "data.rqz"
 	ManifestFile  = "manifest.json"
+	ResidualFile  = "residual.rqr"
 )
 
 // oldPrefix marks a displaced dataset directory awaiting replacement
@@ -135,11 +141,12 @@ type Store struct {
 	writes     atomic.Int64 // container (re)writes committed
 	chunkReads atomic.Int64 // chunks decompressed by ReadRange
 
-	// bytesStored / datasetCount are gauges maintained incrementally on
-	// Put/Delete (initialized by one scan at Open), so a metrics scrape
-	// never re-reads manifests.
-	bytesStored  atomic.Int64
-	datasetCount atomic.Int64
+	// bytesStored / datasetCount / residualBytes are gauges maintained
+	// incrementally on Put/Delete (initialized by one scan at Open), so a
+	// metrics scrape never re-reads manifests.
+	bytesStored   atomic.Int64
+	datasetCount  atomic.Int64
+	residualBytes atomic.Int64
 
 	// Integrity counters (see scrub.go): scrub passes completed, chunk CRC
 	// verifications performed, datasets and bytes moved to quarantine/.
@@ -180,12 +187,14 @@ func Open(root string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	var total int64
+	var total, resid int64
 	for _, m := range ms {
 		total += s.datasetSize(m.Name)
+		resid += s.residualSize(m.Name)
 	}
 	s.bytesStored.Store(total)
 	s.datasetCount.Store(int64(len(ms)))
+	s.residualBytes.Store(resid)
 	return s, nil
 }
 
@@ -220,12 +229,21 @@ func (s *Store) recoverParked() error {
 // datasetSize is the on-disk footprint of one committed dataset.
 func (s *Store) datasetSize(name string) int64 {
 	var total int64
-	for _, f := range []string{ContainerFile, ManifestFile} {
+	for _, f := range []string{ContainerFile, ManifestFile, ResidualFile} {
 		if fi, err := os.Stat(filepath.Join(s.datasetDir(name), f)); err == nil {
 			total += fi.Size()
 		}
 	}
 	return total
+}
+
+// residualSize is the on-disk size of one dataset's residual file (0 when
+// the dataset has none).
+func (s *Store) residualSize(name string) int64 {
+	if fi, err := os.Stat(filepath.Join(s.datasetDir(name), ResidualFile)); err == nil {
+		return fi.Size()
+	}
+	return 0
 }
 
 // Dir returns the store root.
@@ -295,12 +313,38 @@ func (s *Store) List() ([]*Manifest, error) {
 	return out, nil
 }
 
-// Bytes reports the committed datasets' total container+manifest footprint
-// and count. The gauges are maintained incrementally on Put/Delete, so this
-// is an O(1) read — safe for a metrics scraper to poll.
+// Bytes reports the committed datasets' total container+manifest+residual
+// footprint and count. The gauges are maintained incrementally on
+// Put/Delete, so this is an O(1) read — safe for a metrics scraper to poll.
 func (s *Store) Bytes() (total int64, datasets int) {
 	return s.bytesStored.Load(), int(s.datasetCount.Load())
 }
+
+// ResidualBytes reports the total on-disk size of residual files across
+// committed datasets — the cost of the archive's promoted tier.
+func (s *Store) ResidualBytes() int64 { return s.residualBytes.Load() }
+
+// ResidualPath returns the path of a committed dataset's residual file, or
+// ErrNoResidual when the dataset exists but has no residual layer.
+func (s *Store) ResidualPath(name string) (string, error) {
+	m, err := s.Manifest(name)
+	if err != nil {
+		return "", err
+	}
+	if m.Residual == nil {
+		return "", fmt.Errorf("%w: %q", ErrNoResidual, name)
+	}
+	return filepath.Join(s.datasetDir(name), ResidualFile), nil
+}
+
+// ResidualBuilder stages a dataset's residual file. It runs after the
+// container is fully staged — containerPath is the staged container, so the
+// builder can decode the exact reconstruction the residual must invert —
+// and writes the residual file bytes to w. The returned record's Backend
+// and OriginalHash are the builder's to declare; Bytes and Hash are filled
+// by the store from the staged bytes (and verified against the record when
+// the builder pre-declares them, e.g. a replica transfer).
+type ResidualBuilder func(containerPath string, w io.Writer) (*ResidualRecord, error)
 
 // Put admits (or replaces) one dataset. build receives the staged container
 // file to write; the manifest it returns is completed by the store — chunk
@@ -309,22 +353,41 @@ func (s *Store) Bytes() (total int64, datasets int) {
 // fully written container. The whole dataset publishes with one directory
 // rename; a crash mid-put leaves the previous state.
 func (s *Store) Put(name string, build func(w io.Writer) (*Manifest, error)) (*Manifest, error) {
-	return s.put(name, nil, build)
+	return s.put(name, nil, build, nil)
+}
+
+// PutWithResidual is Put plus a residual layer: rb stages the residual file
+// after the container, and the committed manifest carries the residual
+// record. The same single-rename publish covers both files, so a crash can
+// never leave a container without its residual or vice versa.
+func (s *Store) PutWithResidual(name string, build func(w io.Writer) (*Manifest, error), rb ResidualBuilder) (*Manifest, error) {
+	return s.put(name, nil, build, rb)
 }
 
 // Replace is Put conditioned on the committed version: the commit aborts
 // with ErrConflict if the dataset's (CreatedAt, Generation) no longer
 // matches base — it was re-put or deleted while the caller was rebuilding
 // it. Recompaction rides this compare-and-swap so a long rewrite can never
-// silently clobber newer data or resurrect a deleted dataset.
+// silently clobber newer data or resurrect a deleted dataset. A Replace
+// without a residual builder drops any residual the dataset had (the
+// manifest's Residual section is cleared): a rewritten container invalidates
+// the old residual by construction.
 func (s *Store) Replace(name string, base *Manifest, build func(w io.Writer) (*Manifest, error)) (*Manifest, error) {
 	if base == nil {
 		return nil, errors.New("store: Replace needs the base manifest")
 	}
-	return s.put(name, base, build)
+	return s.put(name, base, build, nil)
 }
 
-func (s *Store) put(name string, base *Manifest, build func(w io.Writer) (*Manifest, error)) (*Manifest, error) {
+// ReplaceWithResidual is Replace plus a residual layer (see PutWithResidual).
+func (s *Store) ReplaceWithResidual(name string, base *Manifest, build func(w io.Writer) (*Manifest, error), rb ResidualBuilder) (*Manifest, error) {
+	if base == nil {
+		return nil, errors.New("store: Replace needs the base manifest")
+	}
+	return s.put(name, base, build, rb)
+}
+
+func (s *Store) put(name string, base *Manifest, build func(w io.Writer) (*Manifest, error), rb ResidualBuilder) (*Manifest, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, err
 	}
@@ -341,7 +404,7 @@ func (s *Store) put(name string, base *Manifest, build func(w io.Writer) (*Manif
 	}
 	defer os.RemoveAll(stage) // no-op after a successful publish
 
-	m, err := s.stageDataset(stage, name, build)
+	m, err := s.stageDataset(stage, name, build, rb)
 	if err != nil {
 		return nil, err
 	}
@@ -362,11 +425,12 @@ func (s *Store) put(name string, base *Manifest, build func(w io.Writer) (*Manif
 	}
 	dst := s.datasetDir(name)
 	old := filepath.Join(s.root, "datasets", oldPrefix+name)
-	var oldSize int64
+	var oldSize, oldRes int64
 	replaced := false
 	if _, err := os.Stat(dst); err == nil {
 		replaced = true
 		oldSize = s.datasetSize(name)
+		oldRes = s.residualSize(name)
 		_ = os.RemoveAll(old) // a same-name leftover would block the rename
 		if err := os.Rename(dst, old); err != nil {
 			return nil, fmt.Errorf("store: displacing old dataset: %w", err)
@@ -384,6 +448,7 @@ func (s *Store) put(name string, base *Manifest, build func(w io.Writer) (*Manif
 	syncDir(filepath.Dir(dst))
 	s.writes.Add(1)
 	s.bytesStored.Add(s.datasetSize(name) - oldSize)
+	s.residualBytes.Add(s.residualSize(name) - oldRes)
 	if !replaced {
 		s.datasetCount.Add(1)
 	}
@@ -400,8 +465,9 @@ func (s *Store) checkBase(name string, base *Manifest) error {
 	return nil
 }
 
-// stageDataset writes container and manifest into the staging directory.
-func (s *Store) stageDataset(stage, name string, build func(w io.Writer) (*Manifest, error)) (*Manifest, error) {
+// stageDataset writes container, optional residual, and manifest into the
+// staging directory (in that order — the manifest is the commit record).
+func (s *Store) stageDataset(stage, name string, build func(w io.Writer) (*Manifest, error), rb ResidualBuilder) (*Manifest, error) {
 	cpath := filepath.Join(stage, ContainerFile)
 	cf, err := os.Create(cpath)
 	if err != nil {
@@ -456,6 +522,19 @@ func (s *Store) stageDataset(stage, name string, build func(w io.Writer) (*Manif
 		m.Ratio = float64(m.OriginalBytes) / float64(size)
 	}
 
+	// Stage the residual layer, when the caller supplies one. Without a
+	// builder the manifest must not claim a residual either: a build that
+	// copies an old manifest forward cannot commit a record whose file was
+	// never staged.
+	m.Residual = nil
+	if rb != nil {
+		rec, err := s.stageResidual(stage, name, cpath, m, rb)
+		if err != nil {
+			return nil, err
+		}
+		m.Residual = rec
+	}
+
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("store: encoding manifest: %w", err)
@@ -484,6 +563,7 @@ func (s *Store) Delete(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	size := s.datasetSize(name)
+	res := s.residualSize(name)
 	if err := os.Remove(filepath.Join(dir, ManifestFile)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -491,6 +571,7 @@ func (s *Store) Delete(name string) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.bytesStored.Add(-size)
+	s.residualBytes.Add(-res)
 	s.datasetCount.Add(-1)
 	return nil
 }
